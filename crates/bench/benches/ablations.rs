@@ -1,0 +1,77 @@
+//! Ablation benches beyond the paper's figures: per-helper cost, SRH size
+//! sweep and map-type lookup cost. These quantify the design choices
+//! DESIGN.md calls out (indirect SRH writes, helper-mediated packet
+//! mutation, map-backed state).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebpf_vm::maps::{ArrayMap, LpmTrieMap, Map, UpdateFlags};
+use ebpf_vm::BpfHashMap;
+use netpkt::ipv6::proto;
+use netpkt::packet::build_srv6_udp_packet;
+use netpkt::srh::SegmentRoutingHeader;
+use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+use std::net::Ipv6Addr;
+use std::time::Duration;
+
+fn srv6_packet_with_segments(n: usize) -> Vec<u8> {
+    let path: Vec<Ipv6Addr> = (0..n).map(|i| format!("fc00:1::e{i:x}").parse().unwrap()).collect();
+    let srh = SegmentRoutingHeader::from_path(proto::UDP, &path);
+    build_srv6_udp_packet("2001:db8::1".parse().unwrap(), &srh, 1024, 5001, &[0u8; 64], 64)
+        .data()
+        .to_vec()
+}
+
+fn bench_srh_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_srh_segments");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+    for segments in [2usize, 4, 8] {
+        let mut dp = Seg6Datapath::new("fc00:1::1".parse().unwrap());
+        dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
+        dp.add_local_sid("fc00:1::e0".parse().unwrap(), Seg6LocalAction::End);
+        let template = srv6_packet_with_segments(segments);
+        group.bench_function(format!("end_static/{segments}_segments"), |b| {
+            b.iter(|| {
+                let mut skb = Skb::new(netpkt::PacketBuf::from_slice(&template));
+                dp.process(&mut skb, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_lookup_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_map_lookup");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+
+    let array = ArrayMap::new(16, 256);
+    let key = 17u32.to_ne_bytes();
+    group.bench_function("array", |b| b.iter(|| array.lookup(&key)));
+
+    let hash = BpfHashMap::new(16, 16, 1024);
+    for i in 0..256u64 {
+        let mut k = vec![0u8; 16];
+        k[..8].copy_from_slice(&i.to_le_bytes());
+        hash.update(&k, &[0u8; 16], UpdateFlags::Any).unwrap();
+    }
+    let mut hkey = vec![0u8; 16];
+    hkey[..8].copy_from_slice(&17u64.to_le_bytes());
+    group.bench_function("hash", |b| b.iter(|| hash.lookup(&hkey)));
+
+    let lpm = LpmTrieMap::new(20, 16, 256);
+    for i in 0..64u8 {
+        let mut k = 64u32.to_ne_bytes().to_vec();
+        k.extend_from_slice(&[0x20, 0x01, 0x0d, 0xb8, i, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        lpm.update(&k, &[0u8; 16], UpdateFlags::Any).unwrap();
+    }
+    let mut lkey = 128u32.to_ne_bytes().to_vec();
+    lkey.extend_from_slice(&[0x20, 0x01, 0x0d, 0xb8, 17, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+    group.bench_function("lpm_trie", |b| b.iter(|| lpm.lookup(&lkey)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_srh_size_sweep, bench_map_lookup_cost);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Figure 2: per-packet forwarding cost of the
+//! simple endpoint functions (static vs BPF, JIT vs interpreter).
+//!
+//! Run with `cargo bench -p bench --bench fig2_endpoint_functions`. The
+//! normalised bar values the paper plots are printed by
+//! `cargo run --release -p bench --bin figures -- fig2`.
+
+use bench::fig2::{build_scenario, Fig2Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_endpoint_functions");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in Fig2Variant::all() {
+        let mut scenario = build_scenario(variant);
+        group.bench_function(variant.label(), |b| b.iter(|| scenario.forward_one()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

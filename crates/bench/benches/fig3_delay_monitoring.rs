@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 3: forwarding cost of the passive
+//! delay-monitoring programs at probing ratios 1:10000 and 1:100.
+
+use bench::fig3::{build_scenario, Fig3Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_delay_monitoring");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for variant in Fig3Variant::all() {
+        let mut scenario = build_scenario(variant);
+        group.bench_function(variant.label(), |b| b.iter(|| scenario.forward_one()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

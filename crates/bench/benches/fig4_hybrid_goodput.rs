@@ -1,0 +1,22 @@
+//! Quick-mode regeneration of Figure 4 (aggregated UDP goodput on the CPE
+//! as a function of the payload size), run as part of `cargo bench`.
+//!
+//! This is a simulation experiment, not a Criterion microbenchmark, so it
+//! uses a plain `main` (harness = false) and prints the series. The full
+//! sweep with longer simulated durations is available through
+//! `cargo run --release -p bench --bin figures -- fig4`.
+
+use bench::hybrid::{run_fig4, Fig4Mode};
+
+fn main() {
+    let payloads = [200usize, 600, 1000, 1400];
+    let duration_ns = 30_000_000; // 30 ms of simulated traffic per point
+    println!("# Figure 4 (quick mode): aggregated UDP goodput through the CPE");
+    println!("# payload_bytes  mode                goodput_mbps");
+    let points = run_fig4(&payloads, duration_ns);
+    for mode in Fig4Mode::all() {
+        for point in points.iter().filter(|p| p.mode == mode) {
+            println!("{:14}  {:18}  {:10.1}", point.payload, point.mode.label(), point.goodput_mbps);
+        }
+    }
+}

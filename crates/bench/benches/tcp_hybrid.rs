@@ -1,0 +1,26 @@
+//! Quick-mode regeneration of the §4.2 TCP experiment: goodput of bulk TCP
+//! over the WRR-scheduled hybrid access links, with and without the
+//! TWD-based delay compensation.
+//!
+//! Run as part of `cargo bench` (harness = false). Longer runs and the
+//! four-flow variant are available through
+//! `cargo run --release -p bench --bin figures -- tcp`.
+
+use bench::hybrid::run_tcp;
+use simnet::NS_PER_SEC;
+
+fn main() {
+    let duration = 4 * NS_PER_SEC;
+    println!("# TCP over hybrid access links (quick mode, 4 s simulated)");
+    println!("# configuration                 goodput_mbps  out_of_order  compensation_ms");
+    for (compensated, flows) in [(false, 1usize), (true, 1)] {
+        let result = run_tcp(compensated, flows, duration, 0x7c9);
+        let label = if compensated { "WRR + delay compensation" } else { "naive WRR (no compensation)" };
+        println!(
+            "{label:30}  {:12.1}  {:12}  {:14.1}",
+            result.goodput_mbps,
+            result.out_of_order,
+            result.compensation_ns as f64 / 1e6
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Figure 2: forwarding rate of simple endpoint functions, normalised to
+//! plain IPv6 forwarding, plus the §3.2 JIT/interpreter factor.
+//!
+//! The paper's setup 1 streams 64-byte-payload UDP packets with a
+//! two-segment SRH through router R, which executes one endpoint function
+//! per packet on a single core. Here the same single-router datapath is
+//! driven in a tight loop and the per-packet cost is measured directly.
+
+use netpkt::ipv6::proto;
+use netpkt::packet::build_srv6_udp_packet;
+use netpkt::srh::SegmentRoutingHeader;
+use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction, Skb, Verdict};
+use srv6_nf::{add_tlv_program, end_program, end_t_program, tag_increment_program};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// The endpoint-function variants of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fig2Variant {
+    /// Plain IPv6 forwarding (no seg6local action) — the 100 % reference.
+    PlainForwarding,
+    /// The static, in-kernel `End` behaviour.
+    EndStatic,
+    /// `End` written in BPF.
+    EndBpf,
+    /// The static `End.T` behaviour.
+    EndTStatic,
+    /// `End.T` written in BPF.
+    EndTBpf,
+    /// The `Tag++` BPF program.
+    TagIncrementBpf,
+    /// The `Add TLV` BPF program (JIT enabled).
+    AddTlvBpf,
+    /// The `Add TLV` BPF program with the JIT disabled (interpreter).
+    AddTlvBpfNoJit,
+}
+
+impl Fig2Variant {
+    /// Every variant, in the order Figure 2 presents them.
+    pub fn all() -> [Fig2Variant; 8] {
+        [
+            Fig2Variant::PlainForwarding,
+            Fig2Variant::EndStatic,
+            Fig2Variant::EndBpf,
+            Fig2Variant::EndTStatic,
+            Fig2Variant::EndTBpf,
+            Fig2Variant::TagIncrementBpf,
+            Fig2Variant::AddTlvBpf,
+            Fig2Variant::AddTlvBpfNoJit,
+        ]
+    }
+
+    /// The label used in the paper's figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig2Variant::PlainForwarding => "IPv6 forwarding (reference)",
+            Fig2Variant::EndStatic => "End static",
+            Fig2Variant::EndBpf => "End BPF",
+            Fig2Variant::EndTStatic => "End.T static",
+            Fig2Variant::EndTBpf => "End.T BPF",
+            Fig2Variant::TagIncrementBpf => "Tag++ BPF",
+            Fig2Variant::AddTlvBpf => "Add TLV BPF",
+            Fig2Variant::AddTlvBpfNoJit => "Add TLV no JIT",
+        }
+    }
+}
+
+/// A ready-to-run Figure 2 scenario: a router datapath with the right SID
+/// installed and the template packet `trafgen` would send.
+pub struct Fig2Scenario {
+    /// The router under test.
+    pub datapath: Seg6Datapath,
+    /// The packet template (64-byte UDP payload, two-segment SRH, the first
+    /// segment owned by the router).
+    pub template: Vec<u8>,
+    /// Which variant this scenario exercises.
+    pub variant: Fig2Variant,
+}
+
+/// SID used by the endpoint variants.
+pub fn endpoint_sid() -> Ipv6Addr {
+    "fc00:1::e".parse().unwrap()
+}
+
+/// Builds the scenario for one Figure 2 variant.
+pub fn build_scenario(variant: Fig2Variant) -> Fig2Scenario {
+    let sid = endpoint_sid();
+    let next_segment: Ipv6Addr = "fc00:2::d2".parse().unwrap();
+    let mut dp = Seg6Datapath::new("fc00:1::1".parse().unwrap());
+    // Routes: everything SRv6 goes out of interface 2; the End.T table 100
+    // holds the same route so static and BPF End.T behave identically.
+    dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
+    dp.add_route("2001:db8::/32".parse().unwrap(), vec![Nexthop::via("fe80::3".parse().unwrap(), 3)]);
+    dp.add_route_in_table(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
+
+    let action = match variant {
+        Fig2Variant::PlainForwarding => None,
+        Fig2Variant::EndStatic => Some(Seg6LocalAction::End),
+        Fig2Variant::EndTStatic => Some(Seg6LocalAction::EndT { table: 100 }),
+        Fig2Variant::EndBpf => Some(load_bpf(&dp, end_program(), true)),
+        Fig2Variant::EndTBpf => Some(load_bpf(&dp, end_t_program(100), true)),
+        Fig2Variant::TagIncrementBpf => Some(load_bpf(&dp, tag_increment_program(), true)),
+        Fig2Variant::AddTlvBpf => Some(load_bpf(&dp, add_tlv_program(), true)),
+        Fig2Variant::AddTlvBpfNoJit => Some(load_bpf(&dp, add_tlv_program(), false)),
+    };
+    if let Some(action) = action {
+        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), action);
+    }
+
+    // The packet: for endpoint variants the first segment is the SID; for
+    // the plain-forwarding reference the destination is simply routed.
+    let path = match variant {
+        Fig2Variant::PlainForwarding => vec!["fc00:2::99".parse().unwrap(), next_segment],
+        _ => vec![sid, next_segment],
+    };
+    let srh = SegmentRoutingHeader::from_path(proto::UDP, &path);
+    let template = build_srv6_udp_packet("2001:db8::1".parse().unwrap(), &srh, 1024, 5001, &[0u8; 64], 64)
+        .data()
+        .to_vec();
+    Fig2Scenario { datapath: dp, template, variant }
+}
+
+fn load_bpf(dp: &Seg6Datapath, prog: ebpf_vm::Program, use_jit: bool) -> Seg6LocalAction {
+    let loaded = ebpf_vm::program::load(prog, &HashMap::new(), &dp.helpers).expect("figure-2 program must verify");
+    Seg6LocalAction::EndBpf { prog: loaded, use_jit }
+}
+
+impl Fig2Scenario {
+    /// Processes one packet built from the template; panics if the datapath
+    /// does not forward it (a mis-configured benchmark would otherwise
+    /// silently measure the drop path).
+    pub fn forward_one(&mut self) {
+        let mut skb = Skb::new(netpkt::PacketBuf::from_slice(&self.template));
+        let now = self.datapath.stats.received;
+        match self.datapath.process(&mut skb, now) {
+            Verdict::Forward { .. } => {}
+            other => panic!("{:?}: packet was not forwarded: {other:?}", self.variant),
+        }
+    }
+
+    /// Measures the forwarding rate in packets per second over `count`
+    /// packets.
+    pub fn measure_pps(&mut self, count: usize) -> f64 {
+        crate::measure_rate(count, || self.forward_one()).0
+    }
+}
+
+/// One row of the Figure 2 result table.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Variant measured.
+    pub variant: Fig2Variant,
+    /// Absolute forwarding rate measured on this host.
+    pub pps: f64,
+    /// Rate normalised to the plain-IPv6-forwarding reference.
+    pub normalized: f64,
+    /// The value the paper reports (fraction of the reference), for
+    /// comparison in EXPERIMENTS.md.
+    pub paper_normalized: f64,
+}
+
+/// The normalised values read off the paper's Figure 2 bars.
+pub fn paper_reference(variant: Fig2Variant) -> f64 {
+    match variant {
+        Fig2Variant::PlainForwarding => 1.0,
+        Fig2Variant::EndStatic => 0.78,
+        Fig2Variant::EndBpf => 0.75,
+        Fig2Variant::EndTStatic => 0.77,
+        Fig2Variant::EndTBpf => 0.72,
+        Fig2Variant::TagIncrementBpf => 0.72,
+        Fig2Variant::AddTlvBpf => 0.70,
+        Fig2Variant::AddTlvBpfNoJit => 0.39,
+    }
+}
+
+/// Runs the whole Figure 2 experiment with `count` packets per variant.
+pub fn run(count: usize) -> Vec<Fig2Row> {
+    let baseline = build_scenario(Fig2Variant::PlainForwarding).measure_pps(count);
+    Fig2Variant::all()
+        .into_iter()
+        .map(|variant| {
+            let pps = if variant == Fig2Variant::PlainForwarding {
+                baseline
+            } else {
+                build_scenario(variant).measure_pps(count)
+            };
+            Fig2Row {
+                variant,
+                pps,
+                normalized: pps / baseline,
+                paper_normalized: paper_reference(variant),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_forwards_packets() {
+        for variant in Fig2Variant::all() {
+            let mut scenario = build_scenario(variant);
+            scenario.forward_one();
+            scenario.forward_one();
+            assert_eq!(scenario.datapath.stats.forwarded, 2, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn bpf_variants_invoke_programs() {
+        let mut scenario = build_scenario(Fig2Variant::AddTlvBpf);
+        scenario.forward_one();
+        assert_eq!(scenario.datapath.stats.bpf_invocations, 1);
+        let mut scenario = build_scenario(Fig2Variant::EndStatic);
+        scenario.forward_one();
+        assert_eq!(scenario.datapath.stats.bpf_invocations, 0);
+        assert_eq!(scenario.datapath.stats.seg6local_invocations, 1);
+    }
+
+    #[test]
+    fn run_produces_normalised_rows_with_sane_ordering() {
+        let rows = run(2_000);
+        assert_eq!(rows.len(), 8);
+        let get = |v: Fig2Variant| rows.iter().find(|r| r.variant == v).unwrap().normalized;
+        // The reference is 1.0 by construction.
+        assert!((get(Fig2Variant::PlainForwarding) - 1.0).abs() < 1e-9);
+        // BPF End cannot be faster than static End; no-JIT cannot be faster
+        // than JIT (allow a small tolerance for measurement noise).
+        assert!(get(Fig2Variant::EndBpf) <= get(Fig2Variant::EndStatic) * 1.05);
+        assert!(get(Fig2Variant::AddTlvBpfNoJit) <= get(Fig2Variant::AddTlvBpf) * 1.05);
+        // Every normalised value is positive and below ~1.1.
+        for row in &rows {
+            assert!(row.normalized > 0.0 && row.normalized < 1.2, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # bench — the experiment harness
+//!
+//! Scenario builders and measurement routines shared by the Criterion
+//! benches and by the `figures` binary, one per element of the paper's
+//! evaluation:
+//!
+//! * [`fig2`] — the endpoint-function forwarding microbenchmark (Figure 2
+//!   and the §3.2 JIT factor);
+//! * [`fig3`] — the delay-monitoring overhead benchmark (Figure 3);
+//! * [`hybrid`] — the hybrid-access simulation (Figure 4 and the §4.2 TCP
+//!   numbers).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod hybrid;
+
+use std::time::Instant;
+
+/// Measures how many times `iteration` can run per second, by running it
+/// `count` times and timing the whole batch with a monotonic clock. Returns
+/// (rate per second, mean nanoseconds per iteration).
+pub fn measure_rate(count: usize, mut iteration: impl FnMut()) -> (f64, f64) {
+    // A short warm-up so one-time allocations do not pollute the figure.
+    for _ in 0..count.min(1_000) {
+        iteration();
+    }
+    let start = Instant::now();
+    for _ in 0..count {
+        iteration();
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / count as f64;
+    (1e9 / ns, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_rate_returns_consistent_values() {
+        let mut counter = 0u64;
+        let (rate, ns) = measure_rate(10_000, || counter = counter.wrapping_add(1));
+        assert!(rate > 0.0);
+        assert!(ns > 0.0);
+        assert!((rate - 1e9 / ns).abs() / rate < 1e-6);
+    }
+}

@@ -1,0 +1,128 @@
+//! The context structure exposed to LWT and seg6local eBPF programs.
+//!
+//! Kernel LWT-BPF programs receive a `struct __sk_buff *`; this module
+//! defines the equivalent fixed layout our programs see. The first two
+//! fields are the packet `data` / `data_end` pointers (at the offsets the
+//! `ebpf-vm` verifier expects), followed by the scalar metadata the use
+//! cases read: packet length, protocol, mark, ingress interface and the RX
+//! software timestamp that `End.DM` needs.
+
+use crate::skb::Skb;
+use ebpf_vm::vm::PKT_BASE;
+
+/// EtherType of IPv6, the only protocol the LWT hooks see here.
+pub const ETH_P_IPV6: u32 = 0x86dd;
+
+/// Byte offsets of the context fields, usable from eBPF programs.
+pub mod offsets {
+    /// `data` pointer (u64).
+    pub const DATA: i16 = 0;
+    /// `data_end` pointer (u64).
+    pub const DATA_END: i16 = 8;
+    /// Packet length in bytes (u32).
+    pub const LEN: i16 = 16;
+    /// Protocol / EtherType (u32).
+    pub const PROTOCOL: i16 = 20;
+    /// Mark (u32), writable by programs.
+    pub const MARK: i16 = 24;
+    /// Ingress interface index (u32).
+    pub const INGRESS_IFINDEX: i16 = 28;
+    /// RX software timestamp in nanoseconds (u64).
+    pub const TSTAMP: i16 = 32;
+    /// Scratch area `cb[0..20]`, preserved across the invocation (20 bytes).
+    pub const CB: i16 = 40;
+    /// Total size of the context structure.
+    pub const SIZE: usize = 64;
+}
+
+/// Builds the context byte buffer for one program invocation.
+pub fn build_context(skb: &Skb) -> Vec<u8> {
+    let mut ctx = vec![0u8; offsets::SIZE];
+    write_u64(&mut ctx, offsets::DATA, PKT_BASE);
+    write_u64(&mut ctx, offsets::DATA_END, PKT_BASE + skb.len() as u64);
+    write_u32(&mut ctx, offsets::LEN, skb.len() as u32);
+    write_u32(&mut ctx, offsets::PROTOCOL, ETH_P_IPV6);
+    write_u32(&mut ctx, offsets::MARK, skb.mark);
+    write_u32(&mut ctx, offsets::INGRESS_IFINDEX, skb.ingress_ifindex);
+    write_u64(&mut ctx, offsets::TSTAMP, skb.rx_timestamp_ns);
+    ctx
+}
+
+/// Re-synchronises the `data_end` and `len` fields after a helper changed
+/// the packet size (SRH growth/shrink, encapsulation, decapsulation).
+pub fn refresh_packet_len(ctx: &mut [u8], new_len: usize) {
+    write_u64(ctx, offsets::DATA_END, PKT_BASE + new_len as u64);
+    write_u32(ctx, offsets::LEN, new_len as u32);
+}
+
+/// Copies back the fields a program may legitimately modify (the mark and
+/// the cb scratch area are the only ones we honour).
+pub fn read_back(ctx: &[u8], skb: &mut Skb) {
+    skb.mark = read_u32(ctx, offsets::MARK);
+}
+
+/// Reads the mark field from a context buffer.
+pub fn read_mark(ctx: &[u8]) -> u32 {
+    read_u32(ctx, offsets::MARK)
+}
+
+fn write_u64(ctx: &mut [u8], off: i16, value: u64) {
+    let off = off as usize;
+    ctx[off..off + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+fn write_u32(ctx: &mut [u8], off: i16, value: u32) {
+    let off = off as usize;
+    ctx[off..off + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+fn read_u32(ctx: &[u8], off: i16) -> u32 {
+    let off = off as usize;
+    u32::from_le_bytes([ctx[off], ctx[off + 1], ctx[off + 2], ctx[off + 3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::PacketBuf;
+
+    #[test]
+    fn context_layout_matches_offsets() {
+        let mut skb = Skb::received(PacketBuf::from_slice(&[0u8; 100]), 42_000, 3);
+        skb.mark = 7;
+        let ctx = build_context(&skb);
+        assert_eq!(ctx.len(), offsets::SIZE);
+        assert_eq!(u64::from_le_bytes(ctx[0..8].try_into().unwrap()), PKT_BASE);
+        assert_eq!(u64::from_le_bytes(ctx[8..16].try_into().unwrap()), PKT_BASE + 100);
+        assert_eq!(u32::from_le_bytes(ctx[16..20].try_into().unwrap()), 100);
+        assert_eq!(u32::from_le_bytes(ctx[20..24].try_into().unwrap()), ETH_P_IPV6);
+        assert_eq!(read_mark(&ctx), 7);
+        assert_eq!(u32::from_le_bytes(ctx[28..32].try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(ctx[32..40].try_into().unwrap()), 42_000);
+    }
+
+    #[test]
+    fn refresh_packet_len_updates_bounds() {
+        let skb = Skb::new(PacketBuf::from_slice(&[0u8; 10]));
+        let mut ctx = build_context(&skb);
+        refresh_packet_len(&mut ctx, 50);
+        assert_eq!(u64::from_le_bytes(ctx[8..16].try_into().unwrap()), PKT_BASE + 50);
+        assert_eq!(u32::from_le_bytes(ctx[16..20].try_into().unwrap()), 50);
+    }
+
+    #[test]
+    fn read_back_honours_mark_changes() {
+        let mut skb = Skb::new(PacketBuf::from_slice(&[0u8; 10]));
+        let mut ctx = build_context(&skb);
+        ctx[offsets::MARK as usize..offsets::MARK as usize + 4].copy_from_slice(&99u32.to_le_bytes());
+        read_back(&ctx, &mut skb);
+        assert_eq!(skb.mark, 99);
+    }
+
+    #[test]
+    fn data_offsets_agree_with_the_vm_convention() {
+        assert_eq!(i64::from(offsets::DATA), ebpf_vm::vm::CTX_OFF_DATA);
+        assert_eq!(i64::from(offsets::DATA_END), ebpf_vm::vm::CTX_OFF_DATA_END);
+        assert!(offsets::SIZE as i64 <= ebpf_vm::verifier::MAX_CTX_SIZE);
+    }
+}

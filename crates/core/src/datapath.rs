@@ -1,0 +1,387 @@
+//! The per-node SRv6 datapath: ties the FIB, the seg6local My-SID table,
+//! the seg6 transit behaviours and the BPF LWT hooks together, mirroring
+//! the order in which the Linux IPv6 layer consults them.
+//!
+//! One [`Seg6Datapath`] instance is what a router node in `simnet` runs for
+//! every received packet, and what the Figure 2 / Figure 3 benchmarks drive
+//! directly (the lab in §3.2 measures exactly this single-router, single
+//! core forwarding path).
+
+use crate::fib::{flow_hash, Nexthop, RouterTables, MAIN_TABLE};
+use crate::lwt_bpf::{run_lwt_bpf, LwtBpfAttachment, LwtBpfTable, LwtHook};
+use crate::seg6local::{apply_action, ActionCtx, LocalSidTable, Seg6LocalAction};
+use crate::skb::{RouteOverride, Skb};
+use crate::srv6_ops;
+use crate::transit::{apply_transit, TransitBehaviour, TransitTable};
+use crate::verdict::{ActionOutcome, DropReason, Verdict};
+use ebpf_vm::helpers::HelperRegistry;
+use netpkt::{Ipv6Header, Ipv6Prefix};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+/// Counters maintained by the datapath.
+#[derive(Debug, Default, Clone)]
+pub struct DatapathStats {
+    /// Packets handed to [`Seg6Datapath::process`].
+    pub received: u64,
+    /// Packets that left with a [`Verdict::Forward`].
+    pub forwarded: u64,
+    /// Packets delivered to the local host stack.
+    pub local_delivered: u64,
+    /// Packets dropped, by reason.
+    pub dropped: HashMap<DropReason, u64>,
+    /// seg6local actions executed.
+    pub seg6local_invocations: u64,
+    /// End.BPF / LWT-BPF programs executed.
+    pub bpf_invocations: u64,
+    /// Transit behaviours (SRH insertions/encapsulations) applied.
+    pub transit_applied: u64,
+}
+
+impl DatapathStats {
+    /// Total number of dropped packets.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Number of packets dropped for `reason`.
+    pub fn dropped_for(&self, reason: DropReason) -> u64 {
+        self.dropped.get(&reason).copied().unwrap_or(0)
+    }
+}
+
+/// The SRv6 datapath of one node.
+pub struct Seg6Datapath {
+    /// Address identifying this node (used as encapsulation source and as a
+    /// local-delivery address).
+    pub local_addr: Ipv6Addr,
+    /// Additional addresses considered local.
+    pub host_addrs: Vec<Ipv6Addr>,
+    /// FIB tables (shared with helper environments).
+    pub tables: Arc<RouterTables>,
+    /// seg6local My-SID table.
+    pub local_sids: LocalSidTable,
+    /// seg6 transit behaviours.
+    pub transit: TransitTable,
+    /// BPF LWT attachments.
+    pub lwt_bpf: LwtBpfTable,
+    /// Helper registry used for every program this node runs.
+    pub helpers: HelperRegistry,
+    /// Counters.
+    pub stats: DatapathStats,
+}
+
+impl Seg6Datapath {
+    /// Creates a datapath for a node addressed by `local_addr`, with the
+    /// SRv6 helper registry installed.
+    pub fn new(local_addr: Ipv6Addr) -> Self {
+        Seg6Datapath {
+            local_addr,
+            host_addrs: Vec::new(),
+            tables: Arc::new(RouterTables::new()),
+            local_sids: LocalSidTable::new(),
+            transit: TransitTable::new(),
+            lwt_bpf: LwtBpfTable::new(),
+            helpers: crate::helpers::seg6_helper_registry(),
+            stats: DatapathStats::default(),
+        }
+    }
+
+    /// Adds an address the node answers for (local delivery).
+    pub fn add_host_addr(&mut self, addr: Ipv6Addr) {
+        if !self.host_addrs.contains(&addr) {
+            self.host_addrs.push(addr);
+        }
+    }
+
+    /// Installs a route in the main table.
+    pub fn add_route(&mut self, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+        self.tables.insert_main(prefix, nexthops);
+    }
+
+    /// Installs a route in a specific table.
+    pub fn add_route_in_table(&mut self, table: u32, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+        self.tables.insert(table, prefix, nexthops);
+    }
+
+    /// Binds a seg6local action to a SID.
+    pub fn add_local_sid(&mut self, sid: Ipv6Prefix, action: Seg6LocalAction) {
+        self.local_sids.insert(sid, action);
+    }
+
+    /// Installs a seg6 transit behaviour for traffic towards `prefix`.
+    pub fn add_transit(&mut self, prefix: Ipv6Prefix, behaviour: TransitBehaviour) {
+        self.transit.insert(prefix, behaviour);
+    }
+
+    /// Attaches a BPF LWT program to traffic towards `prefix`.
+    pub fn attach_lwt_bpf(&mut self, prefix: Ipv6Prefix, attachment: LwtBpfAttachment) {
+        self.lwt_bpf.insert(prefix, attachment);
+    }
+
+    /// Whether `dst` is one of this node's local addresses.
+    pub fn is_local_addr(&self, dst: Ipv6Addr) -> bool {
+        dst == self.local_addr || self.host_addrs.contains(&dst)
+    }
+
+    /// Processes one packet, as the IPv6 receive path would, and returns the
+    /// forwarding verdict. `now_ns` is the current time (it drives
+    /// `bpf_ktime_get_ns` and the `End.DM` timestamps).
+    pub fn process(&mut self, skb: &mut Skb, now_ns: u64) -> Verdict {
+        self.stats.received += 1;
+        let verdict = self.process_inner(skb, now_ns);
+        match &verdict {
+            Verdict::Forward { .. } => self.stats.forwarded += 1,
+            Verdict::LocalDeliver => self.stats.local_delivered += 1,
+            Verdict::Drop(reason) => *self.stats.dropped.entry(*reason).or_insert(0) += 1,
+        }
+        verdict
+    }
+
+    fn process_inner(&mut self, skb: &mut Skb, now_ns: u64) -> Verdict {
+        let header = match Ipv6Header::parse(skb.packet.data()) {
+            Ok(h) => h,
+            Err(_) => return Verdict::Drop(DropReason::Malformed),
+        };
+        let fhash = flow_hash(header.src, header.dst, header.flow_label);
+
+        // 1. seg6local: is the destination one of our SIDs?
+        if let Some((sid_prefix, action)) = self.local_sids.lookup(header.dst) {
+            let action = action.clone();
+            let local_sid = if sid_prefix.len() == 128 { sid_prefix.addr() } else { header.dst };
+            self.stats.seg6local_invocations += 1;
+            if matches!(action, Seg6LocalAction::EndBpf { .. }) {
+                self.stats.bpf_invocations += 1;
+            }
+            let actx = ActionCtx { local_sid, tables: &self.tables, helpers: &self.helpers, now_ns };
+            let outcome = apply_action(&action, skb, &actx);
+            return self.resolve_outcome(outcome, skb, fhash);
+        }
+
+        // 2. Local delivery (possibly through an lwt_in program).
+        if self.is_local_addr(header.dst) {
+            if let Some(attachment) = self.lwt_bpf.lookup(header.dst, LwtHook::In) {
+                let attachment = attachment.clone();
+                self.stats.bpf_invocations += 1;
+                match run_lwt_bpf(&attachment, skb, self.local_addr, &self.tables, &self.helpers, now_ns) {
+                    ActionOutcome::Drop(reason) => return Verdict::Drop(reason),
+                    ActionOutcome::LocalDeliver | ActionOutcome::Forward { .. } => {}
+                }
+            }
+            return Verdict::LocalDeliver;
+        }
+
+        // 3. Forwarding path: BPF LWT xmit programs first, then static seg6
+        //    transit behaviours, then the plain FIB.
+        if let Some(attachment) = self.lwt_bpf.lookup(header.dst, LwtHook::Xmit) {
+            let attachment = attachment.clone();
+            self.stats.bpf_invocations += 1;
+            let outcome = run_lwt_bpf(&attachment, skb, self.local_addr, &self.tables, &self.helpers, now_ns);
+            if matches!(
+                &outcome,
+                ActionOutcome::Forward { route_override, .. } if !route_override.is_set()
+            ) {
+                self.stats.transit_applied += 1;
+            }
+            return self.resolve_outcome(outcome, skb, fhash);
+        }
+        if let Some(behaviour) = self.transit.lookup(header.dst) {
+            let behaviour = behaviour.clone();
+            self.stats.transit_applied += 1;
+            let outcome = apply_transit(&behaviour, skb, self.local_addr);
+            return self.resolve_outcome(outcome, skb, fhash);
+        }
+
+        self.resolve_outcome(
+            ActionOutcome::Forward { dst: header.dst, route_override: RouteOverride::default() },
+            skb,
+            fhash,
+        )
+    }
+
+    /// Resolves an [`ActionOutcome`] into a final verdict: decrements the
+    /// hop limit and performs whatever FIB lookup the outcome still needs.
+    fn resolve_outcome(&mut self, outcome: ActionOutcome, skb: &mut Skb, fhash: u64) -> Verdict {
+        let (dst, over) = match outcome {
+            ActionOutcome::Drop(reason) => return Verdict::Drop(reason),
+            ActionOutcome::LocalDeliver => return Verdict::LocalDeliver,
+            ActionOutcome::Forward { dst, route_override } => (dst, route_override),
+        };
+        // A seg6local action may have re-targeted the packet at this very
+        // node (e.g. the next SID is also ours after decapsulation).
+        if self.is_local_addr(dst) && !over.is_set() {
+            return Verdict::LocalDeliver;
+        }
+        match srv6_ops::decrement_hop_limit(skb.packet.data_mut()) {
+            Ok(0) | Err(_) => return Verdict::Drop(DropReason::HopLimitExceeded),
+            Ok(_) => {}
+        }
+        // Fully resolved override: nothing left to look up.
+        if let (Some(nexthop), Some(oif)) = (over.nexthop, over.oif) {
+            return Verdict::Forward { oif, neighbour: nexthop };
+        }
+        // Next hop known but not the interface: find the interface by
+        // looking the next hop itself up.
+        if let Some(nexthop) = over.nexthop {
+            return match self.tables.lookup_main(nexthop, fhash) {
+                Some(result) => Verdict::Forward { oif: result.nexthop.oif, neighbour: nexthop },
+                None => Verdict::Drop(DropReason::NoRoute),
+            };
+        }
+        // Otherwise: ordinary lookup of the destination in the requested
+        // table (End.T / End.DT6) or the main one.
+        let table = over.table.unwrap_or(MAIN_TABLE);
+        match self.tables.lookup(table, dst, fhash) {
+            Some(result) => Verdict::Forward { oif: result.nexthop.oif, neighbour: result.nexthop.neighbour(dst) },
+            None => Verdict::Drop(DropReason::NoRoute),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf_vm::asm::assemble;
+    use ebpf_vm::program::{load, Program, ProgramType};
+    use netpkt::ipv6::proto;
+    use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
+    use netpkt::srh::SegmentRoutingHeader;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn router() -> Seg6Datapath {
+        let mut dp = Seg6Datapath::new(addr("fc00::11"));
+        dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
+        dp.add_route("2001:db8::/32".parse().unwrap(), vec![Nexthop::via(addr("fe80::3"), 3)]);
+        dp
+    }
+
+    fn srv6_skb(path: &[&str]) -> Skb {
+        let segments: Vec<Ipv6Addr> = path.iter().map(|s| addr(s)).collect();
+        let srh = SegmentRoutingHeader::from_path(proto::UDP, &segments);
+        Skb::new(build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 32], 64))
+    }
+
+    fn plain_skb(dst: &str) -> Skb {
+        Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr(dst), 1, 2, &[0u8; 16], 64))
+    }
+
+    #[test]
+    fn plain_forwarding_uses_the_fib_and_decrements_hop_limit() {
+        let mut dp = router();
+        let mut skb = plain_skb("fc00::42");
+        let verdict = dp.process(&mut skb, 0);
+        assert_eq!(verdict, Verdict::Forward { oif: 2, neighbour: addr("fe80::2") });
+        let header = Ipv6Header::parse(skb.packet.data()).unwrap();
+        assert_eq!(header.hop_limit, 63);
+        assert_eq!(dp.stats.forwarded, 1);
+    }
+
+    #[test]
+    fn unroutable_packets_are_dropped_and_counted() {
+        let mut dp = router();
+        let mut skb = plain_skb("3001::1");
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Drop(DropReason::NoRoute));
+        assert_eq!(dp.stats.dropped_for(DropReason::NoRoute), 1);
+        assert_eq!(dp.stats.total_dropped(), 1);
+    }
+
+    #[test]
+    fn local_delivery_for_host_addresses() {
+        let mut dp = router();
+        dp.add_host_addr(addr("2001:db8::99"));
+        let mut skb = plain_skb("2001:db8::99");
+        assert_eq!(dp.process(&mut skb, 0), Verdict::LocalDeliver);
+        let mut skb = plain_skb("fc00::11");
+        assert_eq!(dp.process(&mut skb, 0), Verdict::LocalDeliver);
+        assert_eq!(dp.stats.local_delivered, 2);
+    }
+
+    #[test]
+    fn seg6local_end_is_invoked_for_matching_sids() {
+        let mut dp = router();
+        dp.add_local_sid("fc00::e1".parse().unwrap(), Seg6LocalAction::End);
+        let mut skb = srv6_skb(&["fc00::e1", "fc00::22"]);
+        let verdict = dp.process(&mut skb, 0);
+        assert_eq!(verdict, Verdict::Forward { oif: 2, neighbour: addr("fe80::2") });
+        assert_eq!(dp.stats.seg6local_invocations, 1);
+        assert_eq!(dp.stats.bpf_invocations, 0);
+        // The SRH was advanced: the packet's destination is now the next SID.
+        let header = Ipv6Header::parse(skb.packet.data()).unwrap();
+        assert_eq!(header.dst, addr("fc00::22"));
+    }
+
+    #[test]
+    fn seg6local_end_bpf_counts_bpf_invocations() {
+        let mut dp = router();
+        let insns = assemble("mov64 r0, 0\nexit").unwrap();
+        let prog = load(
+            Program::new("end-bpf", ProgramType::LwtSeg6Local, insns),
+            &std::collections::HashMap::new(),
+            &dp.helpers,
+        )
+        .unwrap();
+        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        let mut skb = srv6_skb(&["fc00::e2", "fc00::22"]);
+        assert!(dp.process(&mut skb, 0).is_forward());
+        assert_eq!(dp.stats.bpf_invocations, 1);
+        assert_eq!(dp.stats.seg6local_invocations, 1);
+    }
+
+    #[test]
+    fn end_x_resolves_interface_through_the_nexthop_route() {
+        let mut dp = router();
+        dp.add_route("fe80::/64".parse().unwrap(), vec![Nexthop::direct(7)]);
+        dp.add_local_sid(
+            "fc00::e3".parse().unwrap(),
+            Seg6LocalAction::EndX { nexthop: addr("fe80::42") },
+        );
+        let mut skb = srv6_skb(&["fc00::e3", "fc00::22"]);
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 7, neighbour: addr("fe80::42") });
+    }
+
+    #[test]
+    fn end_t_uses_the_requested_table() {
+        let mut dp = router();
+        dp.add_route_in_table(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::9"), 9)]);
+        dp.add_local_sid("fc00::e4".parse().unwrap(), Seg6LocalAction::EndT { table: 100 });
+        let mut skb = srv6_skb(&["fc00::e4", "fc00::22"]);
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 9, neighbour: addr("fe80::9") });
+    }
+
+    #[test]
+    fn transit_encap_applies_to_matching_traffic() {
+        let mut dp = router();
+        dp.add_transit(
+            "2001:db8:1::/48".parse().unwrap(),
+            TransitBehaviour::encap_through(&[addr("fc00::a"), addr("2001:db8:1::99")]),
+        );
+        let mut skb = plain_skb("2001:db8:1::99");
+        let before = skb.len();
+        let verdict = dp.process(&mut skb, 0);
+        // The new destination fc00::a is routed through interface 2.
+        assert_eq!(verdict, Verdict::Forward { oif: 2, neighbour: addr("fe80::2") });
+        assert!(skb.len() > before);
+        assert_eq!(dp.stats.transit_applied, 1);
+        let parsed = netpkt::ParsedPacket::parse(skb.packet.data()).unwrap();
+        assert_eq!(parsed.outer.dst, addr("fc00::a"));
+        assert!(parsed.inner.is_some());
+    }
+
+    #[test]
+    fn hop_limit_exhaustion_drops() {
+        let mut dp = router();
+        let mut skb = Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr("fc00::42"), 1, 2, &[0u8; 8], 1));
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Drop(DropReason::HopLimitExceeded));
+    }
+
+    #[test]
+    fn malformed_packets_are_dropped() {
+        let mut dp = router();
+        let mut skb = Skb::new(netpkt::PacketBuf::from_slice(&[0u8; 10]));
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Drop(DropReason::Malformed));
+    }
+}

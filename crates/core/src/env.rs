@@ -1,0 +1,153 @@
+//! The helper environment handed to eBPF programs by the SRv6 hooks.
+//!
+//! Helpers run "inside the kernel": they need the router's FIB, the current
+//! time, the location of the SRH inside the packet and a place to record
+//! the routing decisions they take (the "destination already set in the
+//! packet metadata" that `BPF_REDIRECT` refers to in §3.1). [`Seg6Env`]
+//! carries all of that; it implements [`ebpf_vm::VmEnv`] so the base
+//! helpers (`bpf_ktime_get_ns`, `bpf_get_prandom_u32`, ...) work too, and
+//! the SRv6 helpers recover it by downcasting.
+
+use crate::fib::RouterTables;
+use crate::skb::RouteOverride;
+use ebpf_vm::vm::VmEnv;
+use std::any::Any;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+/// Everything the SRv6 helpers record during one program invocation, read
+/// back by the hook after the program returns.
+#[derive(Debug, Default, Clone)]
+pub struct EnvOutcome {
+    /// Routing decision installed by `bpf_lwt_seg6_action` (End.X/T/DT6/...).
+    pub route_override: RouteOverride,
+    /// The outer IPv6 header (and SRH) were removed (End.DT6 / End.DX6).
+    pub decapped: bool,
+    /// An SRH (and possibly an outer IPv6 header) was pushed
+    /// (`bpf_lwt_push_encap`, End.B6, End.B6.Encaps).
+    pub pushed_encap: bool,
+    /// `bpf_lwt_seg6_store_bytes` or `bpf_lwt_seg6_adjust_srh` touched the
+    /// SRH; End.BPF re-validates it before forwarding.
+    pub srh_modified: bool,
+    /// Which `bpf_lwt_seg6_action` action was applied, if any (for stats and
+    /// tests).
+    pub seg6_action: Option<u32>,
+}
+
+/// The environment for one eBPF invocation on the SRv6 data plane.
+pub struct Seg6Env {
+    /// Current time in nanoseconds (drives `bpf_ktime_get_ns`).
+    pub now_ns: u64,
+    /// Address of the local SID (or of the router, for LWT hooks); used as
+    /// the source of encapsulated packets.
+    pub local_addr: Ipv6Addr,
+    /// The router's FIB tables, shared with the datapath.
+    pub tables: Arc<RouterTables>,
+    /// Byte offset of the outermost SRH inside the packet, when there is
+    /// one. The seg6 helpers refuse to run without it.
+    pub srh_offset: Option<usize>,
+    /// Hash identifying the flow, used when a helper performs an ECMP FIB
+    /// lookup.
+    pub flow_hash: u64,
+    /// Decisions taken by helpers.
+    pub out: EnvOutcome,
+    /// Messages emitted through `bpf_trace_printk`.
+    pub traces: Vec<String>,
+    rng_state: u64,
+}
+
+impl Seg6Env {
+    /// Creates an environment for a program running on the node that owns
+    /// `tables`, at time `now_ns`.
+    pub fn new(local_addr: Ipv6Addr, tables: Arc<RouterTables>, now_ns: u64) -> Self {
+        Seg6Env {
+            now_ns,
+            local_addr,
+            tables,
+            srh_offset: None,
+            flow_hash: 0,
+            out: EnvOutcome::default(),
+            traces: Vec::new(),
+            rng_state: 0x853c_49e6_748f_ea9b ^ now_ns.max(1),
+        }
+    }
+
+    /// Sets the SRH offset (used by the seg6local hook before running the
+    /// program).
+    pub fn with_srh_offset(mut self, offset: usize) -> Self {
+        self.srh_offset = Some(offset);
+        self
+    }
+
+    /// Sets the flow hash used for ECMP decisions taken by helpers.
+    pub fn with_flow_hash(mut self, hash: u64) -> Self {
+        self.flow_hash = hash;
+        self
+    }
+}
+
+impl VmEnv for Seg6Env {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn ktime_ns(&mut self) -> u64 {
+        self.now_ns
+    }
+
+    fn prandom_u32(&mut self) -> u32 {
+        // xorshift64*: deterministic per (seed, call sequence), which keeps
+        // simulations reproducible while still spreading sampling decisions.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
+    }
+
+    fn trace(&mut self, message: &str) {
+        self.traces.push(message.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Seg6Env {
+        Seg6Env::new("fc00::1".parse().unwrap(), Arc::new(RouterTables::new()), 1_000)
+    }
+
+    #[test]
+    fn ktime_returns_now() {
+        let mut e = env();
+        assert_eq!(e.ktime_ns(), 1_000);
+    }
+
+    #[test]
+    fn prandom_is_deterministic_for_a_seed_and_varies_across_calls() {
+        let mut a = env();
+        let mut b = env();
+        let seq_a: Vec<u32> = (0..4).map(|_| a.prandom_u32()).collect();
+        let seq_b: Vec<u32> = (0..4).map(|_| b.prandom_u32()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn traces_are_collected() {
+        let mut e = env();
+        e.trace("hello");
+        e.trace("world");
+        assert_eq!(e.traces, vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let e = env().with_srh_offset(40).with_flow_hash(99);
+        assert_eq!(e.srh_offset, Some(40));
+        assert_eq!(e.flow_hash, 99);
+        assert!(!e.out.route_override.is_set());
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors surfaced by the SRv6 data plane.
+
+use std::fmt;
+
+/// Why the data plane refused or dropped a packet, or failed to apply a
+/// configuration change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The packet could not be parsed.
+    Parse(netpkt::Error),
+    /// The packet reached a seg6local endpoint but does not satisfy its
+    /// preconditions (e.g. no SRH, or segments_left == 0 where a next
+    /// segment is required).
+    NotAnSrv6Endpoint(&'static str),
+    /// No route matched the destination.
+    NoRoute,
+    /// The eBPF program attached to an End.BPF action failed to load or
+    /// faulted at run time.
+    Bpf(ebpf_vm::Error),
+    /// The SRH failed the post-program validation that End.BPF performs.
+    SrhValidation(&'static str),
+    /// A configuration operation was invalid (duplicate SID, bad parameter).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "packet parse error: {e}"),
+            Error::NotAnSrv6Endpoint(why) => write!(f, "not a valid SRv6 endpoint packet: {why}"),
+            Error::NoRoute => write!(f, "no route to destination"),
+            Error::Bpf(e) => write!(f, "eBPF error: {e}"),
+            Error::SrhValidation(why) => write!(f, "SRH validation failed after BPF program: {why}"),
+            Error::Config(why) => write!(f, "configuration error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<netpkt::Error> for Error {
+    fn from(value: netpkt::Error) -> Self {
+        Error::Parse(value)
+    }
+}
+
+impl From<ebpf_vm::Error> for Error {
+    fn from(value: ebpf_vm::Error) -> Self {
+        Error::Bpf(value)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: Error = netpkt::Error::Malformed("x").into();
+        assert!(err.to_string().contains("parse"));
+        let err: Error = ebpf_vm::Error::Map("boom".into()).into();
+        assert!(err.to_string().contains("boom"));
+        assert!(Error::NoRoute.to_string().contains("route"));
+    }
+}

@@ -1,0 +1,339 @@
+//! The IPv6 forwarding information base (FIB).
+//!
+//! SRv6 relies on ordinary shortest-path forwarding between segments, so
+//! every node needs a routing table. This module provides a
+//! longest-prefix-match FIB with Equal-Cost Multi-Path (ECMP) support —
+//! needed both for normal forwarding and for the paper's `End.OAMP` use
+//! case (§4.3), which queries the ECMP next hops of a destination — plus a
+//! set of numbered tables as used by `End.T` and `End.DT6`.
+
+use netpkt::Ipv6Prefix;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+/// Identifier of the main routing table (mirrors `RT_TABLE_MAIN`).
+pub const MAIN_TABLE: u32 = 254;
+
+/// A single next hop of a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nexthop {
+    /// Layer-3 gateway; `None` for directly connected prefixes.
+    pub via: Option<Ipv6Addr>,
+    /// Outgoing interface index.
+    pub oif: u32,
+    /// Relative weight used by the ECMP hash (>= 1).
+    pub weight: u32,
+}
+
+impl Nexthop {
+    /// A next hop through `via` on interface `oif` with weight 1.
+    pub fn via(via: Ipv6Addr, oif: u32) -> Self {
+        Nexthop { via: Some(via), oif, weight: 1 }
+    }
+
+    /// A directly connected next hop on interface `oif`.
+    pub fn direct(oif: u32) -> Self {
+        Nexthop { via: None, oif, weight: 1 }
+    }
+
+    /// Sets the ECMP weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// The address packets are actually sent to when using this next hop:
+    /// the gateway if there is one, otherwise `dst` itself.
+    pub fn neighbour(&self, dst: Ipv6Addr) -> Ipv6Addr {
+        self.via.unwrap_or(dst)
+    }
+}
+
+/// A route: a prefix and its (possibly multiple, for ECMP) next hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Ipv6Prefix,
+    /// One entry per equal-cost path.
+    pub nexthops: Vec<Nexthop>,
+}
+
+/// The result of a FIB lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The matched prefix.
+    pub prefix: Ipv6Prefix,
+    /// The next hop selected for this flow.
+    pub nexthop: Nexthop,
+    /// Number of equal-cost next hops the prefix has.
+    pub ecmp_width: usize,
+}
+
+/// A single routing table with longest-prefix-match lookup and ECMP.
+#[derive(Debug, Default, Clone)]
+pub struct Fib {
+    routes: Vec<Route>,
+}
+
+impl Fib {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the route for `prefix`.
+    pub fn insert(&mut self, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+        assert!(!nexthops.is_empty(), "a route needs at least one next hop");
+        match self.routes.iter_mut().find(|r| r.prefix == prefix) {
+            Some(route) => route.nexthops = nexthops,
+            None => self.routes.push(Route { prefix, nexthops }),
+        }
+    }
+
+    /// Removes the route for `prefix`, returning whether it existed.
+    pub fn remove(&mut self, prefix: &Ipv6Prefix) -> bool {
+        let before = self.routes.len();
+        self.routes.retain(|r| &r.prefix != prefix);
+        self.routes.len() != before
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// All routes, for inspection.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    fn best_match(&self, dst: Ipv6Addr) -> Option<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.prefix.contains(dst))
+            .max_by_key(|r| r.prefix.len())
+    }
+
+    /// Longest-prefix-match lookup. `flow_hash` selects among equal-cost
+    /// next hops (weighted), so packets of one flow stick to one path.
+    pub fn lookup(&self, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+        let route = self.best_match(dst)?;
+        let total_weight: u64 = route.nexthops.iter().map(|n| u64::from(n.weight)).sum();
+        let mut slot = flow_hash % total_weight.max(1);
+        let mut chosen = &route.nexthops[0];
+        for nexthop in &route.nexthops {
+            if slot < u64::from(nexthop.weight) {
+                chosen = nexthop;
+                break;
+            }
+            slot -= u64::from(nexthop.weight);
+        }
+        Some(LookupResult {
+            prefix: route.prefix,
+            nexthop: chosen.clone(),
+            ecmp_width: route.nexthops.len(),
+        })
+    }
+
+    /// Every equal-cost next hop for `dst`, as `End.OAMP` reports them.
+    pub fn ecmp_nexthops(&self, dst: Ipv6Addr) -> Vec<Nexthop> {
+        self.best_match(dst).map(|r| r.nexthops.clone()).unwrap_or_default()
+    }
+}
+
+/// Computes the flow hash used for ECMP next-hop selection, following the
+/// 5-tuple-agnostic approach of RFC 6438: source, destination and flow
+/// label. A stable hash keeps a flow on a single path (avoiding the
+/// reordering the paper's §4.2 works around), while Paris-traceroute-style
+/// probing can vary the flow label to explore all paths.
+pub fn flow_hash(src: Ipv6Addr, dst: Ipv6Addr, flow_label: u32) -> u64 {
+    // FNV-1a over the concatenated fields: cheap, deterministic, good enough
+    // dispersion for path selection.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    };
+    for byte in src.octets() {
+        mix(byte);
+    }
+    for byte in dst.octets() {
+        mix(byte);
+    }
+    for byte in flow_label.to_be_bytes() {
+        mix(byte);
+    }
+    hash
+}
+
+/// The set of numbered routing tables of one router. `End.T` and `End.DT6`
+/// look segments up in specific tables; interior mutability lets the tables
+/// be shared with helper environments during eBPF execution.
+#[derive(Debug, Default)]
+pub struct RouterTables {
+    tables: RwLock<HashMap<u32, Fib>>,
+}
+
+impl RouterTables {
+    /// Creates an empty set of tables (the main table is created lazily).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a route into table `table`.
+    pub fn insert(&self, table: u32, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+        self.tables.write().entry(table).or_default().insert(prefix, nexthops);
+    }
+
+    /// Inserts a route into the main table.
+    pub fn insert_main(&self, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+        self.insert(MAIN_TABLE, prefix, nexthops);
+    }
+
+    /// Removes a route from table `table`.
+    pub fn remove(&self, table: u32, prefix: &Ipv6Prefix) -> bool {
+        self.tables.write().get_mut(&table).map_or(false, |fib| fib.remove(prefix))
+    }
+
+    /// Looks `dst` up in table `table`.
+    pub fn lookup(&self, table: u32, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+        self.tables.read().get(&table).and_then(|fib| fib.lookup(dst, flow_hash))
+    }
+
+    /// Looks `dst` up in the main table.
+    pub fn lookup_main(&self, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+        self.lookup(MAIN_TABLE, dst, flow_hash)
+    }
+
+    /// ECMP next hops of `dst` in the main table (for `End.OAMP`).
+    pub fn ecmp_nexthops(&self, dst: Ipv6Addr) -> Vec<Nexthop> {
+        self.tables.read().get(&MAIN_TABLE).map(|fib| fib.ecmp_nexthops(dst)).unwrap_or_default()
+    }
+
+    /// Number of routes across all tables.
+    pub fn total_routes(&self) -> usize {
+        self.tables.read().values().map(Fib::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn prefix(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(prefix("2001:db8::/32"), vec![Nexthop::via(addr("fe80::1"), 1)]);
+        fib.insert(prefix("2001:db8:1::/48"), vec![Nexthop::via(addr("fe80::2"), 2)]);
+        fib.insert(prefix("::/0"), vec![Nexthop::via(addr("fe80::ff"), 9)]);
+        let hit = fib.lookup(addr("2001:db8:1::42"), 0).unwrap();
+        assert_eq!(hit.nexthop.oif, 2);
+        let hit = fib.lookup(addr("2001:db8:2::42"), 0).unwrap();
+        assert_eq!(hit.nexthop.oif, 1);
+        let hit = fib.lookup(addr("2abc::1"), 0).unwrap();
+        assert_eq!(hit.nexthop.oif, 9);
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let mut fib = Fib::new();
+        fib.insert(prefix("fc00::/64"), vec![Nexthop::direct(1)]);
+        assert!(fib.lookup(addr("2001::1"), 0).is_none());
+        assert!(fib.ecmp_nexthops(addr("2001::1")).is_empty());
+    }
+
+    #[test]
+    fn ecmp_selection_is_deterministic_per_hash_and_covers_all_paths() {
+        let mut fib = Fib::new();
+        fib.insert(
+            prefix("fc00::/16"),
+            vec![Nexthop::via(addr("fe80::1"), 1), Nexthop::via(addr("fe80::2"), 2), Nexthop::via(addr("fe80::3"), 3)],
+        );
+        let mut seen = std::collections::HashSet::new();
+        for hash in 0..100u64 {
+            let a = fib.lookup(addr("fc00::1"), hash).unwrap();
+            let b = fib.lookup(addr("fc00::1"), hash).unwrap();
+            assert_eq!(a, b);
+            seen.insert(a.nexthop.oif);
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(fib.lookup(addr("fc00::1"), 0).unwrap().ecmp_width, 3);
+    }
+
+    #[test]
+    fn weighted_ecmp_respects_weights() {
+        let mut fib = Fib::new();
+        fib.insert(
+            prefix("fc00::/16"),
+            vec![
+                Nexthop::via(addr("fe80::1"), 1).with_weight(3),
+                Nexthop::via(addr("fe80::2"), 2).with_weight(1),
+            ],
+        );
+        let mut counts = [0u32; 2];
+        for hash in 0..400u64 {
+            let hit = fib.lookup(addr("fc00::1"), hash).unwrap();
+            counts[(hit.nexthop.oif - 1) as usize] += 1;
+        }
+        // Weight 3:1 → roughly three quarters on interface 1.
+        assert_eq!(counts[0] + counts[1], 400);
+        assert_eq!(counts[0], 300);
+        assert_eq!(counts[1], 100);
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_deletes() {
+        let mut fib = Fib::new();
+        fib.insert(prefix("fc00::/64"), vec![Nexthop::direct(1)]);
+        fib.insert(prefix("fc00::/64"), vec![Nexthop::direct(7)]);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(addr("fc00::1"), 0).unwrap().nexthop.oif, 7);
+        assert!(fib.remove(&prefix("fc00::/64")));
+        assert!(!fib.remove(&prefix("fc00::/64")));
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn flow_hash_is_stable_and_label_sensitive() {
+        let a = flow_hash(addr("2001::1"), addr("2001::2"), 5);
+        let b = flow_hash(addr("2001::1"), addr("2001::2"), 5);
+        let c = flow_hash(addr("2001::1"), addr("2001::2"), 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nexthop_neighbour_prefers_gateway() {
+        let via = Nexthop::via(addr("fe80::1"), 1);
+        assert_eq!(via.neighbour(addr("2001::9")), addr("fe80::1"));
+        let direct = Nexthop::direct(2);
+        assert_eq!(direct.neighbour(addr("2001::9")), addr("2001::9"));
+    }
+
+    #[test]
+    fn router_tables_isolate_table_ids() {
+        let tables = RouterTables::new();
+        tables.insert_main(prefix("fc00::/16"), vec![Nexthop::direct(1)]);
+        tables.insert(100, prefix("fc00::/16"), vec![Nexthop::direct(2)]);
+        assert_eq!(tables.lookup_main(addr("fc00::1"), 0).unwrap().nexthop.oif, 1);
+        assert_eq!(tables.lookup(100, addr("fc00::1"), 0).unwrap().nexthop.oif, 2);
+        assert!(tables.lookup(200, addr("fc00::1"), 0).is_none());
+        assert_eq!(tables.total_routes(), 2);
+        assert!(tables.remove(100, &prefix("fc00::/16")));
+        assert_eq!(tables.total_routes(), 1);
+    }
+}

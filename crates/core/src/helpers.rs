@@ -1,0 +1,540 @@
+//! The four SRv6 eBPF helpers the paper adds to the kernel (§3.1).
+//!
+//! * [`bpf_lwt_seg6_store_bytes`](helper_seg6_store_bytes) — indirect write
+//!   access to the *editable* fields of the SRH (flags, tag, TLVs);
+//! * [`bpf_lwt_seg6_adjust_srh`](helper_seg6_adjust_srh) — grow or shrink
+//!   the space reserved to TLVs;
+//! * [`bpf_lwt_seg6_action`](helper_seg6_action) — apply a basic SRv6
+//!   behaviour (End.X, End.T, End.B6, End.B6.Encaps, End.DT6, End.DX6);
+//! * [`bpf_lwt_push_encap`](helper_lwt_push_encap) — attach an SRH to plain
+//!   IPv6 traffic from a BPF LWT program (inline or encap mode).
+//!
+//! The first three are restricted to `End.BPF` (`lwt_seg6local`) programs;
+//! the last one to the LWT hooks, mirroring the kernel's gating.
+
+use crate::ctx;
+use crate::env::Seg6Env;
+use crate::fib::MAIN_TABLE;
+use crate::srv6_ops;
+use ebpf_vm::helpers::{ids, HelperRegistry};
+use ebpf_vm::program::ProgramType;
+use ebpf_vm::vm::HelperApi;
+use std::net::Ipv6Addr;
+
+/// Action codes accepted by `bpf_lwt_seg6_action`, mirroring the kernel's
+/// `SEG6_LOCAL_ACTION_*` values.
+pub mod action_codes {
+    /// `End.X`: forward to a specific IPv6 next hop (parameter: 16-byte
+    /// address).
+    pub const END_X: u32 = 2;
+    /// `End.T`: look the new destination up in a specific table (parameter:
+    /// 4-byte table id).
+    pub const END_T: u32 = 3;
+    /// `End.DX6`: decapsulate and forward to a specific next hop
+    /// (parameter: 16-byte address).
+    pub const END_DX6: u32 = 5;
+    /// `End.DT6`: decapsulate and look the inner destination up in a table
+    /// (parameter: 4-byte table id).
+    pub const END_DT6: u32 = 7;
+    /// `End.B6`: insert a new SRH on top of the existing one (parameter:
+    /// the SRH bytes).
+    pub const END_B6: u32 = 9;
+    /// `End.B6.Encaps`: encapsulate in an outer IPv6 header with a new SRH
+    /// (parameter: the SRH bytes).
+    pub const END_B6_ENCAP: u32 = 10;
+}
+
+/// Encapsulation modes accepted by `bpf_lwt_push_encap`, mirroring
+/// `enum bpf_lwt_encap_mode`.
+pub mod encap_modes {
+    /// Encapsulate the packet in an outer IPv6 header carrying the SRH.
+    pub const SEG6: u64 = 0;
+    /// Insert the SRH directly into the existing IPv6 packet.
+    pub const SEG6_INLINE: u64 = 1;
+}
+
+static SEG6LOCAL_ONLY: &[ProgramType] = &[ProgramType::LwtSeg6Local];
+static LWT_HOOKS: &[ProgramType] = &[ProgramType::LwtIn, ProgramType::LwtOut, ProgramType::LwtXmit];
+
+/// Builds a helper registry with the base kernel helpers plus the four SRv6
+/// helpers, gated by program type exactly as the paper's kernel patch does.
+pub fn seg6_helper_registry() -> HelperRegistry {
+    let mut registry = HelperRegistry::with_base_helpers();
+    registry.register(ids::LWT_SEG6_STORE_BYTES, "bpf_lwt_seg6_store_bytes", helper_seg6_store_bytes, Some(SEG6LOCAL_ONLY));
+    registry.register(ids::LWT_SEG6_ADJUST_SRH, "bpf_lwt_seg6_adjust_srh", helper_seg6_adjust_srh, Some(SEG6LOCAL_ONLY));
+    registry.register(ids::LWT_SEG6_ACTION, "bpf_lwt_seg6_action", helper_seg6_action, Some(SEG6LOCAL_ONLY));
+    registry.register(ids::LWT_PUSH_ENCAP, "bpf_lwt_push_encap", helper_lwt_push_encap, Some(LWT_HOOKS));
+    registry
+}
+
+fn env_of<'e>(api: &'e mut HelperApi<'_, '_>) -> Option<&'e mut Seg6Env> {
+    api.env_any().downcast_mut::<Seg6Env>()
+}
+
+fn read_param(api: &HelperApi<'_, '_>, ptr: u64, len: usize) -> Option<Vec<u8>> {
+    if len == 0 || len > 4096 {
+        return None;
+    }
+    api.read_bytes(ptr, len).ok()
+}
+
+/// `long bpf_lwt_seg6_store_bytes(skb, offset, from, len)`
+///
+/// Writes `len` bytes taken from program memory at `from` into the SRH at
+/// `offset` (relative to the start of the SRH). Only the flags octet, the
+/// tag and the TLV area may be written; anything else — the segment list,
+/// the header length, segments_left — is refused so that the program cannot
+/// "jeopardise the integrity of the SRH" (§3).
+pub fn helper_seg6_store_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let offset = args[1] as usize;
+    let len = args[3] as usize;
+    let Some(bytes) = read_param(api, args[2], len) else { return -1 };
+    let Some(env) = env_of(api) else { return -1 };
+    let Some(srh_off) = env.srh_offset else { return -1 };
+    let srh_modified_flag = {
+        // Parse enough of the SRH to know which byte ranges are editable.
+        let packet = api.packet();
+        if packet.len() < srh_off + 8 {
+            return -1;
+        }
+        let srh_len = 8 + usize::from(packet[srh_off + 1]) * 8;
+        let last_entry = usize::from(packet[srh_off + 4]);
+        let tlv_start = 8 + 16 * (last_entry + 1);
+        let end = offset.saturating_add(len);
+        let in_flags = offset == 5 && end <= 6;
+        let in_tag = offset >= 6 && end <= 8;
+        let in_tlv_area = offset >= tlv_start && end <= srh_len;
+        if !(in_flags || in_tag || in_tlv_area) {
+            return -1;
+        }
+        if srh_off + end > packet.len() {
+            return -1;
+        }
+        true
+    };
+    let packet = api.packet_mut();
+    packet[srh_off + offset..srh_off + offset + len].copy_from_slice(&bytes);
+    if let Some(env) = env_of(api) {
+        env.out.srh_modified = srh_modified_flag;
+    }
+    0
+}
+
+/// `long bpf_lwt_seg6_adjust_srh(skb, offset, delta)`
+///
+/// Grows (`delta > 0`) or shrinks (`delta < 0`) the TLV area of the SRH at
+/// `offset` bytes from the start of the SRH. `delta` must be a multiple of
+/// eight so the header length stays expressible; the IPv6 payload length,
+/// the SRH header length and the program's view of the packet (`data_end`,
+/// `len`) are all updated. The newly allocated space is zero-filled and must
+/// be turned into valid TLVs by the program before it returns, otherwise the
+/// End.BPF post-validation drops the packet.
+pub fn helper_seg6_adjust_srh(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let offset = args[1] as usize;
+    let delta = args[2] as i64 as i32 as i64; // sign-extend the 32-bit argument
+    if delta == 0 {
+        return 0;
+    }
+    if delta % 8 != 0 || delta.unsigned_abs() > 4096 {
+        return -1;
+    }
+    let Some(env) = env_of(api) else { return -1 };
+    let Some(srh_off) = env.srh_offset else { return -1 };
+    {
+        let packet = api.packet();
+        if packet.len() < srh_off + 8 {
+            return -1;
+        }
+        let srh_len = 8 + usize::from(packet[srh_off + 1]) * 8;
+        let last_entry = usize::from(packet[srh_off + 4]);
+        let tlv_start = 8 + 16 * (last_entry + 1);
+        // Only offsets after the segment list are accepted.
+        if offset < tlv_start || offset > srh_len {
+            return -1;
+        }
+        if delta < 0 && offset.saturating_add(delta.unsigned_abs() as usize) > srh_len {
+            return -1;
+        }
+        let new_hdrlen = (srh_len as i64 + delta - 8) / 8;
+        if !(0..=255).contains(&new_hdrlen) {
+            return -1;
+        }
+    }
+    let abs_off = srh_off + offset;
+    {
+        let packet = api.packet_mut();
+        if delta > 0 {
+            packet.splice(abs_off..abs_off, std::iter::repeat(0u8).take(delta as usize));
+        } else {
+            packet.drain(abs_off..abs_off + delta.unsigned_abs() as usize);
+        }
+        // Update the SRH header length (in 8-octet units past the first 8).
+        let new_srh_units = i64::from(packet[srh_off + 1]) + delta / 8;
+        packet[srh_off + 1] = new_srh_units as u8;
+        if srv6_ops::adjust_payload_length(packet, delta as isize).is_err() {
+            return -1;
+        }
+    }
+    let new_len = api.packet().len();
+    ctx::refresh_packet_len(api.ctx_mut(), new_len);
+    if let Some(env) = env_of(api) {
+        env.out.srh_modified = true;
+    }
+    0
+}
+
+/// `long bpf_lwt_seg6_action(skb, action, param, param_len)`
+///
+/// Applies one of the static SRv6 behaviours from inside an `End.BPF`
+/// program. Actions that need a FIB lookup perform it immediately and store
+/// the result in the packet metadata, which is what makes the program's
+/// `BPF_REDIRECT` return value meaningful (§3.1).
+pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let action = args[1] as u32;
+    let param_len = args[3] as usize;
+    let param = if param_len > 0 { read_param(api, args[2], param_len) } else { Some(Vec::new()) };
+    let Some(param) = param else { return -1 };
+
+    // Snapshot what we need from the environment up front to keep borrows
+    // short; decisions are written back at the end.
+    let (local_addr, tables, flow_hash) = match env_of(api) {
+        Some(env) => (env.local_addr, env.tables.clone(), env.flow_hash),
+        None => return -1,
+    };
+
+    let mut decapped = false;
+    let mut pushed = false;
+    let outcome: Result<crate::skb::RouteOverride, ()> = (|| {
+        let mut over = crate::skb::RouteOverride::default();
+        match action {
+            action_codes::END_X | action_codes::END_DX6 => {
+                if param.len() != 16 {
+                    return Err(());
+                }
+                let mut octets = [0u8; 16];
+                octets.copy_from_slice(&param);
+                let nexthop = Ipv6Addr::from(octets);
+                if action == action_codes::END_DX6 {
+                    srv6_ops::decap_outer(api.packet_mut()).map_err(|_| ())?;
+                    decapped = true;
+                }
+                over.nexthop = Some(nexthop);
+            }
+            action_codes::END_T | action_codes::END_DT6 => {
+                if param.len() != 4 {
+                    return Err(());
+                }
+                let table = u32::from_le_bytes([param[0], param[1], param[2], param[3]]);
+                let table = if table == 0 { MAIN_TABLE } else { table };
+                if action == action_codes::END_DT6 {
+                    srv6_ops::decap_outer(api.packet_mut()).map_err(|_| ())?;
+                    decapped = true;
+                }
+                let dst = srv6_ops::outer_dst(api.packet()).map_err(|_| ())?;
+                let result = tables.lookup(table, dst, flow_hash).ok_or(())?;
+                over.table = Some(table);
+                over.nexthop = Some(result.nexthop.neighbour(dst));
+                over.oif = Some(result.nexthop.oif);
+            }
+            action_codes::END_B6 => {
+                let dst = srv6_ops::insert_srh_inline(api.packet_mut(), &param).map_err(|_| ())?;
+                pushed = true;
+                if let Some(result) = tables.lookup(MAIN_TABLE, dst, flow_hash) {
+                    over.nexthop = Some(result.nexthop.neighbour(dst));
+                    over.oif = Some(result.nexthop.oif);
+                }
+            }
+            action_codes::END_B6_ENCAP => {
+                let dst = srv6_ops::push_srh_encap(api.packet_mut(), &param, local_addr).map_err(|_| ())?;
+                pushed = true;
+                if let Some(result) = tables.lookup(MAIN_TABLE, dst, flow_hash) {
+                    over.nexthop = Some(result.nexthop.neighbour(dst));
+                    over.oif = Some(result.nexthop.oif);
+                }
+            }
+            _ => return Err(()),
+        }
+        Ok(over)
+    })();
+
+    let Ok(over) = outcome else { return -1 };
+    let new_len = api.packet().len();
+    ctx::refresh_packet_len(api.ctx_mut(), new_len);
+    if let Some(env) = env_of(api) {
+        env.out.route_override = over;
+        env.out.decapped = decapped;
+        env.out.pushed_encap = pushed;
+        env.out.seg6_action = Some(action);
+    }
+    0
+}
+
+/// `long bpf_lwt_push_encap(skb, type, hdr, len)`
+///
+/// From a BPF LWT program (not an `End.BPF` one): encapsulates the packet
+/// with an outer IPv6 header and the SRH built by the program
+/// ([`encap_modes::SEG6`]) or inserts the SRH into the existing IPv6 header
+/// ([`encap_modes::SEG6_INLINE`]). This is the helper the delay-monitoring
+/// ingress program and the hybrid-access WRR scheduler rely on (§4.1, §4.2).
+pub fn helper_lwt_push_encap(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let mode = args[1];
+    let len = args[3] as usize;
+    let Some(srh_bytes) = read_param(api, args[2], len) else { return -1 };
+    let Some(env) = env_of(api) else { return -1 };
+    let local_addr = env.local_addr;
+    let result = match mode {
+        encap_modes::SEG6 => srv6_ops::push_srh_encap(api.packet_mut(), &srh_bytes, local_addr),
+        encap_modes::SEG6_INLINE => srv6_ops::insert_srh_inline(api.packet_mut(), &srh_bytes),
+        _ => return -1,
+    };
+    if result.is_err() {
+        return -1;
+    }
+    let new_len = api.packet().len();
+    ctx::refresh_packet_len(api.ctx_mut(), new_len);
+    if let Some(env) = env_of(api) {
+        env.out.pushed_encap = true;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::build_context;
+    use crate::fib::{Nexthop, RouterTables};
+    use crate::skb::Skb;
+    use ebpf_vm::vm::{RunContext, RunState, STACK_BASE};
+    use netpkt::ipv6::proto;
+    use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
+    use netpkt::srh::{SegmentRoutingHeader, SrhTlv};
+    use netpkt::PacketBuf;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn srv6_packet_with_tlv() -> Vec<u8> {
+        let mut srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::1"), addr("fc00::2")]);
+        srh.tlvs.push(SrhTlv::DelayMeasurement { tx_timestamp_ns: 7 });
+        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 16], 64)
+            .data()
+            .to_vec()
+    }
+
+    struct Harness {
+        env: Seg6Env,
+        ctx: Vec<u8>,
+        packet: Vec<u8>,
+        state: RunState,
+        maps: HashMap<u32, ebpf_vm::MapHandle>,
+    }
+
+    impl Harness {
+        fn new(packet: Vec<u8>, tables: Arc<RouterTables>) -> Self {
+            let skb = Skb::new(PacketBuf::from_slice(&packet));
+            let ctx = build_context(&skb);
+            let env = Seg6Env::new(addr("fc00::1"), tables, 1000).with_srh_offset(40);
+            Harness { env, ctx, packet, state: RunState::new(64), maps: HashMap::new() }
+        }
+
+        fn call(&mut self, f: ebpf_vm::helpers::HelperFn, args: [u64; 5]) -> i64 {
+            let mut rc = RunContext { ctx: &mut self.ctx, packet: &mut self.packet, env: &mut self.env };
+            let mut api = HelperApi { state: &mut self.state, rc: &mut rc, maps: &self.maps };
+            f(&mut api, args)
+        }
+
+        fn stage(&mut self, bytes: &[u8]) -> u64 {
+            let addr = STACK_BASE + 64;
+            let mut rc = RunContext { ctx: &mut self.ctx, packet: &mut self.packet, env: &mut self.env };
+            let mut api = HelperApi { state: &mut self.state, rc: &mut rc, maps: &self.maps };
+            api.write_bytes(addr, bytes).unwrap();
+            addr
+        }
+    }
+
+    #[test]
+    fn registry_gates_helpers_by_hook() {
+        let reg = seg6_helper_registry();
+        assert!(reg.allowed_for(ids::LWT_SEG6_ACTION, ProgramType::LwtSeg6Local));
+        assert!(!reg.allowed_for(ids::LWT_SEG6_ACTION, ProgramType::LwtXmit));
+        assert!(reg.allowed_for(ids::LWT_PUSH_ENCAP, ProgramType::LwtXmit));
+        assert!(!reg.allowed_for(ids::LWT_PUSH_ENCAP, ProgramType::LwtSeg6Local));
+    }
+
+    #[test]
+    fn store_bytes_edits_tag_and_tlv_but_not_segments() {
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(srv6_packet_with_tlv(), tables);
+        // Write the tag (offset 6, 2 bytes).
+        let from = h.stage(&[0xbe, 0xef]);
+        assert_eq!(h.call(helper_seg6_store_bytes, [0, 6, from, 2, 0]), 0);
+        assert_eq!(&h.packet[40 + 6..40 + 8], &[0xbe, 0xef]);
+        assert!(h.env.out.srh_modified);
+        // Write the flags byte.
+        let from = h.stage(&[0xa5]);
+        assert_eq!(h.call(helper_seg6_store_bytes, [0, 5, from, 1, 0]), 0);
+        assert_eq!(h.packet[40 + 5], 0xa5);
+        // Writing into the segment list is refused.
+        let from = h.stage(&[0u8; 16]);
+        assert_eq!(h.call(helper_seg6_store_bytes, [0, 8, from, 16, 0]), -1);
+        // Writing into the TLV area is allowed (TLVs start after 2 segments).
+        let tlv_start = 8 + 2 * 16;
+        let from = h.stage(&[124, 8, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(h.call(helper_seg6_store_bytes, [0, tlv_start as u64, from, 8, 0]), 0);
+        // Out-of-range offsets are refused.
+        let from = h.stage(&[0u8; 4]);
+        assert_eq!(h.call(helper_seg6_store_bytes, [0, 4000, from, 4, 0]), -1);
+    }
+
+    #[test]
+    fn adjust_srh_grows_and_shrinks_the_tlv_area() {
+        let tables = Arc::new(RouterTables::new());
+        let packet = srv6_packet_with_tlv();
+        let original_len = packet.len();
+        let mut h = Harness::new(packet, tables);
+        let srh_len = 8 + usize::from(h.packet[41]) * 8;
+        // Grow by 8 bytes at the end of the SRH.
+        assert_eq!(h.call(helper_seg6_adjust_srh, [0, srh_len as u64, 8, 0, 0]), 0);
+        assert_eq!(h.packet.len(), original_len + 8);
+        let new_srh_len = 8 + usize::from(h.packet[41]) * 8;
+        assert_eq!(new_srh_len, srh_len + 8);
+        // The context was refreshed.
+        assert_eq!(
+            u32::from_le_bytes(h.ctx[16..20].try_into().unwrap()) as usize,
+            original_len + 8
+        );
+        // IPv6 payload length was adjusted.
+        let payload = u16::from_be_bytes([h.packet[4], h.packet[5]]) as usize;
+        assert_eq!(payload, h.packet.len() - 40);
+        // Shrink it back.
+        assert_eq!(h.call(helper_seg6_adjust_srh, [0, srh_len as u64, (-8i64) as u64, 0, 0]), 0);
+        assert_eq!(h.packet.len(), original_len);
+        // Misaligned deltas and offsets inside the segment list are refused.
+        assert_eq!(h.call(helper_seg6_adjust_srh, [0, srh_len as u64, 4, 0, 0]), -1);
+        assert_eq!(h.call(helper_seg6_adjust_srh, [0, 8, 8, 0, 0]), -1);
+    }
+
+    #[test]
+    fn action_end_x_sets_nexthop_override() {
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(srv6_packet_with_tlv(), tables);
+        let nh = addr("fe80::42");
+        let from = h.stage(&nh.octets());
+        assert_eq!(h.call(helper_seg6_action, [0, action_codes::END_X as u64, from, 16, 0]), 0);
+        assert_eq!(h.env.out.route_override.nexthop, Some(nh));
+        assert_eq!(h.env.out.seg6_action, Some(action_codes::END_X));
+        assert!(!h.env.out.decapped);
+    }
+
+    #[test]
+    fn action_end_t_looks_up_in_the_requested_table() {
+        let tables = Arc::new(RouterTables::new());
+        tables.insert(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::9"), 7)]);
+        let mut h = Harness::new(srv6_packet_with_tlv(), tables);
+        let from = h.stage(&100u32.to_le_bytes());
+        assert_eq!(h.call(helper_seg6_action, [0, action_codes::END_T as u64, from, 4, 0]), 0);
+        assert_eq!(h.env.out.route_override.table, Some(100));
+        assert_eq!(h.env.out.route_override.oif, Some(7));
+        assert_eq!(h.env.out.route_override.nexthop, Some(addr("fe80::9")));
+        // A lookup miss makes the helper fail.
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(srv6_packet_with_tlv(), tables);
+        let from = h.stage(&100u32.to_le_bytes());
+        assert_eq!(h.call(helper_seg6_action, [0, action_codes::END_T as u64, from, 4, 0]), -1);
+    }
+
+    #[test]
+    fn action_end_dt6_decapsulates_and_looks_up_inner_destination() {
+        // Build an encapsulated packet: outer IPv6 + SRH + inner IPv6/UDP.
+        let inner = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::2"), 5, 6, &[0u8; 8], 64)
+            .data()
+            .to_vec();
+        let mut packet = inner.clone();
+        let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::1")]);
+        srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addr("fc00::99")).unwrap();
+
+        let tables = Arc::new(RouterTables::new());
+        tables.insert_main("2001:db8::/32".parse().unwrap(), vec![Nexthop::via(addr("fe80::d"), 3)]);
+        let mut h = Harness::new(packet, tables);
+        let from = h.stage(&0u32.to_le_bytes());
+        assert_eq!(h.call(helper_seg6_action, [0, action_codes::END_DT6 as u64, from, 4, 0]), 0);
+        assert!(h.env.out.decapped);
+        assert_eq!(h.packet, inner);
+        assert_eq!(h.env.out.route_override.oif, Some(3));
+        // The context length was refreshed to the inner packet length.
+        assert_eq!(u32::from_le_bytes(h.ctx[16..20].try_into().unwrap()) as usize, inner.len());
+    }
+
+    #[test]
+    fn action_end_b6_encap_pushes_a_new_outer_header() {
+        let tables = Arc::new(RouterTables::new());
+        tables.insert_main("fd00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::b"), 9)]);
+        let packet = srv6_packet_with_tlv();
+        let original_len = packet.len();
+        let mut h = Harness::new(packet, tables);
+        let new_srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fd00::1"), addr("fd00::2")]);
+        let from = h.stage(&new_srh.to_bytes());
+        assert_eq!(
+            h.call(helper_seg6_action, [0, action_codes::END_B6_ENCAP as u64, from, new_srh.wire_len() as u64, 0]),
+            0
+        );
+        assert!(h.env.out.pushed_encap);
+        assert_eq!(h.packet.len(), original_len + 40 + new_srh.wire_len());
+        assert_eq!(srv6_ops::outer_dst(&h.packet).unwrap(), addr("fd00::1"));
+        assert_eq!(h.env.out.route_override.oif, Some(9));
+    }
+
+    #[test]
+    fn action_rejects_unknown_codes_and_bad_params() {
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(srv6_packet_with_tlv(), tables);
+        let from = h.stage(&[0u8; 16]);
+        assert_eq!(h.call(helper_seg6_action, [0, 42, from, 16, 0]), -1);
+        // END_X with a wrong parameter size.
+        assert_eq!(h.call(helper_seg6_action, [0, action_codes::END_X as u64, from, 4, 0]), -1);
+    }
+
+    #[test]
+    fn push_encap_wraps_plain_ipv6_traffic() {
+        let plain = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::2"), 1, 2, &[0u8; 32], 64)
+            .data()
+            .to_vec();
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(plain.clone(), tables);
+        let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::a"), addr("2001:db8::2")]);
+        let from = h.stage(&srh.to_bytes());
+        assert_eq!(
+            h.call(helper_lwt_push_encap, [0, encap_modes::SEG6, from, srh.wire_len() as u64, 0]),
+            0
+        );
+        assert!(h.env.out.pushed_encap);
+        assert_eq!(srv6_ops::outer_dst(&h.packet).unwrap(), addr("fc00::a"));
+        assert_eq!(srv6_ops::outer_src(&h.packet).unwrap(), addr("fc00::1"));
+        assert_eq!(h.packet.len(), plain.len() + 40 + srh.wire_len());
+        // Unknown modes are refused.
+        let from = h.stage(&srh.to_bytes());
+        assert_eq!(h.call(helper_lwt_push_encap, [0, 9, from, srh.wire_len() as u64, 0]), -1);
+    }
+
+    #[test]
+    fn push_encap_inline_mode_inserts_srh() {
+        let plain = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::2"), 1, 2, &[0u8; 8], 64)
+            .data()
+            .to_vec();
+        let tables = Arc::new(RouterTables::new());
+        let mut h = Harness::new(plain.clone(), tables);
+        let srh = SegmentRoutingHeader::from_path(proto::NONE, &[addr("fc00::a"), addr("2001:db8::2")]);
+        let from = h.stage(&srh.to_bytes());
+        assert_eq!(
+            h.call(helper_lwt_push_encap, [0, encap_modes::SEG6_INLINE, from, srh.wire_len() as u64, 0]),
+            0
+        );
+        let parsed = netpkt::ParsedPacket::parse(&h.packet).unwrap();
+        assert_eq!(parsed.outer.dst, addr("fc00::a"));
+        assert!(parsed.srh.is_some());
+        assert_eq!(parsed.transport_proto, proto::UDP);
+    }
+}

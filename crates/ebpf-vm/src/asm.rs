@@ -1,0 +1,446 @@
+//! A small text assembler for eBPF programs.
+//!
+//! The mnemonics match the [`crate::disasm`] output, so programs can be
+//! written, dumped and re-assembled losslessly. Labels (an identifier
+//! followed by `:`) can be used as jump targets instead of numeric offsets,
+//! which keeps the network functions in the `srv6-nf` crate readable.
+//!
+//! ```
+//! use ebpf_vm::asm::assemble;
+//!
+//! let insns = assemble(r"
+//!     ; return the packet length field from the context
+//!     ldxw r0, [r1+0]
+//!     jeq r0, 0, drop
+//!     exit
+//! drop:
+//!     mov64 r0, 2        ; BPF_DROP
+//!     exit
+//! ").unwrap();
+//! assert_eq!(insns.len(), 5);
+//! ```
+
+use crate::error::{Error, Result};
+use crate::insn::{alu, jmp, AccessSize, Insn};
+use std::collections::HashMap;
+
+/// Assembles a program from its textual representation.
+pub fn assemble(source: &str) -> Result<Vec<Insn>> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut parsed_lines: Vec<(usize, String)> = Vec::new();
+
+    // First pass: strip comments, collect labels and count instruction slots.
+    let mut slot = 0usize;
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || !is_identifier(label) {
+                return Err(Error::Assembler { line: lineno + 1, message: "invalid label name".into() });
+            }
+            if labels.insert(label.to_string(), slot).is_some() {
+                return Err(Error::Assembler { line: lineno + 1, message: format!("duplicate label '{label}'") });
+            }
+            continue;
+        }
+        let mnemonic = line.split_whitespace().next().unwrap_or("").to_lowercase();
+        slot += if mnemonic == "lddw" { 2 } else { 1 };
+        parsed_lines.push((lineno + 1, line));
+    }
+
+    // Second pass: emit instructions.
+    let mut insns = Vec::with_capacity(slot);
+    for (lineno, line) in parsed_lines {
+        let pc = insns.len();
+        emit_line(&line, lineno, pc, &labels, &mut insns)?;
+    }
+    Ok(insns)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn emit_line(
+    line: &str,
+    lineno: usize,
+    pc: usize,
+    labels: &HashMap<String, usize>,
+    insns: &mut Vec<Insn>,
+) -> Result<()> {
+    let err = |message: String| Error::Assembler { line: lineno, message };
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m.to_lowercase(), r.trim()),
+        None => (line.to_lowercase(), ""),
+    };
+    let operands: Vec<String> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    };
+
+    let reg = |s: &str| -> Result<u8> {
+        let s = s.trim();
+        if let Some(num) = s.strip_prefix('r').or_else(|| s.strip_prefix('R')) {
+            let n: u8 = num.parse().map_err(|_| err(format!("invalid register '{s}'")))?;
+            if n > 10 {
+                return Err(err(format!("register r{n} does not exist")));
+            }
+            return Ok(n);
+        }
+        Err(err(format!("expected a register, found '{s}'")))
+    };
+    let imm = |s: &str| -> Result<i64> { parse_int(s).ok_or_else(|| err(format!("invalid immediate '{s}'"))) };
+    // [rN+off] / [rN-off] / [rN]
+    let mem = |s: &str| -> Result<(u8, i16)> {
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err(format!("expected a memory operand like [r1+8], found '{s}'")))?;
+        let (reg_part, off) = match inner.find(['+', '-']) {
+            Some(idx) => {
+                let (r, o) = inner.split_at(idx);
+                (r.trim(), parse_int(o.trim()).ok_or_else(|| err(format!("invalid offset in '{s}'")))?)
+            }
+            None => (inner.trim(), 0),
+        };
+        Ok((reg(reg_part)?, off as i16))
+    };
+    // Branch target: label or +N/-N.
+    let branch = |s: &str, origin: usize| -> Result<i16> {
+        let s = s.trim();
+        if let Some(target) = labels.get(s) {
+            let delta = *target as i64 - origin as i64 - 1;
+            return i16::try_from(delta).map_err(|_| err("branch target too far".into()));
+        }
+        if let Some(value) = parse_int(s) {
+            return i16::try_from(value).map_err(|_| err("branch offset too large".into()));
+        }
+        Err(err(format!("unknown label '{s}'")))
+    };
+    let expect = |n: usize| -> Result<()> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("expected {n} operands, found {}", operands.len())))
+        }
+    };
+
+    // ALU mnemonics: <op>32 / <op>64 (with "mov" aliases for mov64).
+    let alu_ops: &[(&str, u8)] = &[
+        ("add", alu::ADD),
+        ("sub", alu::SUB),
+        ("mul", alu::MUL),
+        ("div", alu::DIV),
+        ("or", alu::OR),
+        ("and", alu::AND),
+        ("lsh", alu::LSH),
+        ("rsh", alu::RSH),
+        ("mod", alu::MOD),
+        ("xor", alu::XOR),
+        ("mov", alu::MOV),
+        ("arsh", alu::ARSH),
+    ];
+    for (name, op) in alu_ops {
+        for (suffix, is64) in [("64", true), ("32", false), ("", true)] {
+            if mnemonic == format!("{name}{suffix}") {
+                expect(2)?;
+                let dst = reg(&operands[0])?;
+                let insn = if operands[1].starts_with('r') || operands[1].starts_with('R') {
+                    let src_reg = reg(&operands[1])?;
+                    if is64 {
+                        Insn::alu64_reg(*op, dst, src_reg)
+                    } else {
+                        Insn::alu32_reg(*op, dst, src_reg)
+                    }
+                } else {
+                    let value = imm(&operands[1])?;
+                    if is64 {
+                        Insn::alu64_imm(*op, dst, value as i32)
+                    } else {
+                        Insn::alu32_imm(*op, dst, value as i32)
+                    }
+                };
+                insns.push(insn);
+                return Ok(());
+            }
+        }
+    }
+
+    // Jump mnemonics.
+    let jmp_ops: &[(&str, u8)] = &[
+        ("jeq", jmp::JEQ),
+        ("jgt", jmp::JGT),
+        ("jge", jmp::JGE),
+        ("jset", jmp::JSET),
+        ("jne", jmp::JNE),
+        ("jsgt", jmp::JSGT),
+        ("jsge", jmp::JSGE),
+        ("jlt", jmp::JLT),
+        ("jle", jmp::JLE),
+        ("jslt", jmp::JSLT),
+        ("jsle", jmp::JSLE),
+    ];
+    for (name, op) in jmp_ops {
+        for (suffix, is64) in [("", true), ("32", false)] {
+            if mnemonic == format!("{name}{suffix}") {
+                expect(3)?;
+                let dst = reg(&operands[0])?;
+                let off = branch(&operands[2], pc)?;
+                let insn = if operands[1].starts_with('r') || operands[1].starts_with('R') {
+                    let mut i = Insn::jmp_reg(*op, dst, reg(&operands[1])?, off);
+                    if !is64 {
+                        i.opcode = (i.opcode & !0x07) | crate::insn::class::JMP32;
+                    }
+                    i
+                } else {
+                    let value = imm(&operands[1])? as i32;
+                    if is64 {
+                        Insn::jmp_imm(*op, dst, value, off)
+                    } else {
+                        Insn::jmp32_imm(*op, dst, value, off)
+                    }
+                };
+                insns.push(insn);
+                return Ok(());
+            }
+        }
+    }
+
+    // Loads / stores: ldx{b,h,w,dw}, stx{...}, st{...}.
+    let sizes: &[(&str, AccessSize)] = &[
+        ("dw", AccessSize::Double),
+        ("w", AccessSize::Word),
+        ("h", AccessSize::Half),
+        ("b", AccessSize::Byte),
+    ];
+    for (suffix, size) in sizes {
+        if mnemonic == format!("ldx{suffix}") {
+            expect(2)?;
+            let dst = reg(&operands[0])?;
+            let (base, off) = mem(&operands[1])?;
+            insns.push(Insn::load(*size, dst, base, off));
+            return Ok(());
+        }
+        if mnemonic == format!("stx{suffix}") {
+            expect(2)?;
+            let (base, off) = mem(&operands[0])?;
+            let src_reg = reg(&operands[1])?;
+            insns.push(Insn::store_reg(*size, base, src_reg, off));
+            return Ok(());
+        }
+        if mnemonic == format!("st{suffix}") {
+            expect(2)?;
+            let (base, off) = mem(&operands[0])?;
+            let value = imm(&operands[1])?;
+            insns.push(Insn::store_imm(*size, base, off, value as i32));
+            return Ok(());
+        }
+    }
+
+    match mnemonic.as_str() {
+        "lddw" => {
+            expect(2)?;
+            let dst = reg(&operands[0])?;
+            let value = parse_int(&operands[1]).ok_or_else(|| err(format!("invalid immediate '{}'", operands[1])))? as u64;
+            insns.push(Insn::lddw_lo(dst, value));
+            insns.push(Insn::lddw_hi(value));
+            Ok(())
+        }
+        "neg" | "neg64" | "neg32" => {
+            expect(1)?;
+            let dst = reg(&operands[0])?;
+            let is64 = mnemonic != "neg32";
+            let mut insn = Insn::alu64_imm(alu::NEG, dst, 0);
+            if !is64 {
+                insn = Insn::alu32_imm(alu::NEG, dst, 0);
+            }
+            insns.push(insn);
+            Ok(())
+        }
+        "be16" | "be32" | "be64" | "le16" | "le32" | "le64" => {
+            expect(1)?;
+            let dst = reg(&operands[0])?;
+            let bits: i32 = mnemonic[2..].parse().unwrap();
+            let insn = if mnemonic.starts_with("be") { Insn::to_be(dst, bits) } else { Insn::to_le(dst, bits) };
+            insns.push(insn);
+            Ok(())
+        }
+        "ja" | "jmp" => {
+            expect(1)?;
+            let off = branch(&operands[0], pc)?;
+            insns.push(Insn::ja(off));
+            Ok(())
+        }
+        "call" => {
+            expect(1)?;
+            let id = imm(&operands[0])?;
+            insns.push(Insn::call(id as u32));
+            Ok(())
+        }
+        "exit" => {
+            expect(0)?;
+            insns.push(Insn::exit());
+            Ok(())
+        }
+        other => Err(err(format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok().map(|v| v as i64);
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return u64::from_str_radix(hex, 16).ok().map(|v| -(v as i64));
+    }
+    if let Some(rest) = s.strip_prefix('+') {
+        return rest.parse().ok();
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use crate::insn::{alu, jmp};
+
+    #[test]
+    fn assembles_basic_program() {
+        let insns = assemble(
+            r"
+            mov64 r0, 0
+            add64 r0, 42
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(insns, vec![Insn::mov64_imm(0, 0), Insn::alu64_imm(alu::ADD, 0, 42), Insn::exit()]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let insns = assemble(
+            r"
+            mov64 r0, 1
+            jeq r0, 1, done
+            mov64 r0, 0
+        done:
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(insns[1], Insn::jmp_imm(jmp::JEQ, 0, 1, 1));
+    }
+
+    #[test]
+    fn memory_operands_and_sizes() {
+        let insns = assemble(
+            r"
+            ldxw r2, [r1+16]
+            ldxdw r3, [r1]
+            stxb [r10-8], r2
+            stdw [r10-16], 7
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(insns[0], Insn::load(AccessSize::Word, 2, 1, 16));
+        assert_eq!(insns[1], Insn::load(AccessSize::Double, 3, 1, 0));
+        assert_eq!(insns[2], Insn::store_reg(AccessSize::Byte, 10, 2, -8));
+        assert_eq!(insns[3], Insn::store_imm(AccessSize::Double, 10, -16, 7));
+    }
+
+    #[test]
+    fn lddw_hex_and_call() {
+        let insns = assemble(
+            r"
+            lddw r1, 0xdeadbeef00000001
+            call 74
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0], Insn::lddw_lo(1, 0xdead_beef_0000_0001));
+        assert_eq!(insns[1], Insn::lddw_hi(0xdead_beef_0000_0001));
+        assert_eq!(insns[2], Insn::call(74));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let insns = assemble("; a comment\n\n  # another\n mov64 r0, 0 ; trailing\n exit\n").unwrap();
+        assert_eq!(insns.len(), 2);
+    }
+
+    #[test]
+    fn labels_across_lddw_account_for_two_slots() {
+        let insns = assemble(
+            r"
+            lddw r1, 0x10
+            jeq r1, 0, out
+            mov64 r0, 1
+            exit
+        out:
+            mov64 r0, 0
+            exit
+        ",
+        )
+        .unwrap();
+        // lddw occupies slots 0-1, jeq is at 2, label 'out' is at slot 5.
+        assert_eq!(insns[2], Insn::jmp_imm(jmp::JEQ, 1, 0, 2));
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let err = assemble("mov64 r0, 0\nbogus r1, 2\nexit").unwrap_err();
+        match err {
+            Error::Assembler { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(assemble("mov64 r11, 0\nexit").is_err());
+        assert!(assemble("jeq r0, 0, nowhere\nexit").is_err());
+        assert!(assemble("dup:\ndup:\nexit").is_err());
+        assert!(assemble("ldxw r0, r1\nexit").is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_the_disassembler() {
+        let source = r"
+            mov64 r6, r1
+            ldxw r2, [r6+4]
+            be32 r2
+            jgt r2, 100, +2
+            mov64 r0, 0
+            exit
+            mov64 r0, 2
+            exit
+        ";
+        let insns = assemble(source).unwrap();
+        let text = disassemble(&insns);
+        let again = assemble(&text).unwrap();
+        assert_eq!(insns, again);
+    }
+
+    #[test]
+    fn negative_and_signed_offsets() {
+        let insns = assemble("mov64 r0, -5\nja +1\nexit\nexit").unwrap();
+        assert_eq!(insns[0], Insn::mov64_imm(0, -5));
+        assert_eq!(insns[1], Insn::ja(1));
+    }
+}

@@ -1,0 +1,386 @@
+//! Helper functions and the helper registry.
+//!
+//! Helpers are the proxies between eBPF programs and the kernel (§2.1 of
+//! the paper). A program calls them by numeric id with the `call`
+//! instruction; the verifier only accepts ids that are registered for the
+//! program's hook. This module provides the base helpers every hook gets
+//! (map access, time, randomness, perf events, `skb_load_bytes`) and the
+//! registry that embedders — the `seg6-core` crate in this workspace —
+//! extend with their own helpers, exactly as the paper added four SRv6
+//! helpers to the kernel.
+
+use crate::error::Result;
+use crate::maps::{MapType, UpdateFlags};
+use crate::perf::PerfEvent;
+use crate::program::ProgramType;
+use crate::vm::HelperApi;
+use std::collections::HashMap;
+
+/// Numeric ids of the helpers known to this workspace. The values mirror
+/// the upstream `enum bpf_func_id` so that anyone familiar with the kernel
+/// ABI recognises them.
+pub mod ids {
+    /// `bpf_map_lookup_elem`
+    pub const MAP_LOOKUP_ELEM: u32 = 1;
+    /// `bpf_map_update_elem`
+    pub const MAP_UPDATE_ELEM: u32 = 2;
+    /// `bpf_map_delete_elem`
+    pub const MAP_DELETE_ELEM: u32 = 3;
+    /// `bpf_ktime_get_ns`
+    pub const KTIME_GET_NS: u32 = 5;
+    /// `bpf_trace_printk`
+    pub const TRACE_PRINTK: u32 = 6;
+    /// `bpf_get_prandom_u32`
+    pub const GET_PRANDOM_U32: u32 = 7;
+    /// `bpf_perf_event_output`
+    pub const PERF_EVENT_OUTPUT: u32 = 25;
+    /// `bpf_skb_load_bytes`
+    pub const SKB_LOAD_BYTES: u32 = 26;
+    /// `bpf_lwt_push_encap` — added by the paper for LWT BPF programs.
+    pub const LWT_PUSH_ENCAP: u32 = 73;
+    /// `bpf_lwt_seg6_store_bytes` — added by the paper for End.BPF.
+    pub const LWT_SEG6_STORE_BYTES: u32 = 74;
+    /// `bpf_lwt_seg6_adjust_srh` — added by the paper for End.BPF.
+    pub const LWT_SEG6_ADJUST_SRH: u32 = 75;
+    /// `bpf_lwt_seg6_action` — added by the paper for End.BPF.
+    pub const LWT_SEG6_ACTION: u32 = 76;
+}
+
+/// Signature of a helper implementation. Arguments are the raw contents of
+/// r1–r5; the return value goes to r0.
+pub type HelperFn = fn(&mut HelperApi<'_, '_>, [u64; 5]) -> i64;
+
+/// A registered helper.
+#[derive(Clone)]
+pub struct HelperDesc {
+    /// Helper name, for diagnostics and the disassembler.
+    pub name: &'static str,
+    /// Implementation.
+    pub func: HelperFn,
+    /// Hooks allowed to call this helper; `None` means every hook.
+    pub allowed: Option<&'static [ProgramType]>,
+}
+
+/// The set of helpers available to programs at verification and run time.
+#[derive(Clone, Default)]
+pub struct HelperRegistry {
+    helpers: HashMap<u32, HelperDesc>,
+}
+
+impl HelperRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with the base helpers.
+    pub fn with_base_helpers() -> Self {
+        let mut registry = Self::new();
+        registry.register(ids::MAP_LOOKUP_ELEM, "bpf_map_lookup_elem", helper_map_lookup_elem, None);
+        registry.register(ids::MAP_UPDATE_ELEM, "bpf_map_update_elem", helper_map_update_elem, None);
+        registry.register(ids::MAP_DELETE_ELEM, "bpf_map_delete_elem", helper_map_delete_elem, None);
+        registry.register(ids::KTIME_GET_NS, "bpf_ktime_get_ns", helper_ktime_get_ns, None);
+        registry.register(ids::TRACE_PRINTK, "bpf_trace_printk", helper_trace_printk, None);
+        registry.register(ids::GET_PRANDOM_U32, "bpf_get_prandom_u32", helper_get_prandom_u32, None);
+        registry.register(ids::PERF_EVENT_OUTPUT, "bpf_perf_event_output", helper_perf_event_output, None);
+        registry.register(ids::SKB_LOAD_BYTES, "bpf_skb_load_bytes", helper_skb_load_bytes, None);
+        registry
+    }
+
+    /// Registers (or replaces) a helper.
+    pub fn register(
+        &mut self,
+        id: u32,
+        name: &'static str,
+        func: HelperFn,
+        allowed: Option<&'static [ProgramType]>,
+    ) {
+        self.helpers.insert(id, HelperDesc { name, func, allowed });
+    }
+
+    /// Looks a helper up by id.
+    pub fn get(&self, id: u32) -> Option<&HelperDesc> {
+        self.helpers.get(&id)
+    }
+
+    /// Whether `prog_type` may call helper `id`.
+    pub fn allowed_for(&self, id: u32, prog_type: ProgramType) -> bool {
+        match self.helpers.get(&id) {
+            None => false,
+            Some(desc) => desc.allowed.map_or(true, |types| types.contains(&prog_type)),
+        }
+    }
+
+    /// Name of a helper, for diagnostics.
+    pub fn name_of(&self, id: u32) -> Option<&'static str> {
+        self.helpers.get(&id).map(|d| d.name)
+    }
+
+    /// Number of registered helpers.
+    pub fn len(&self) -> usize {
+        self.helpers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.helpers.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base helper implementations
+// ---------------------------------------------------------------------------
+
+fn ok_or_minus_one(result: Result<()>) -> i64 {
+    match result {
+        Ok(()) => 0,
+        Err(_) => -1,
+    }
+}
+
+/// `void *bpf_map_lookup_elem(map, key)` — returns a pointer to the value or
+/// NULL.
+fn helper_map_lookup_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let Ok(map) = api.map_by_ptr(args[0]) else { return 0 };
+    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return 0 };
+    match map.lookup_ref(&key) {
+        Some(value) => api.register_value_region(value) as i64,
+        None => 0,
+    }
+}
+
+/// `long bpf_map_update_elem(map, key, value, flags)`.
+fn helper_map_update_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let Ok(map) = api.map_by_ptr(args[0]) else { return -1 };
+    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return -1 };
+    let Ok(value) = api.read_bytes(args[2], map.value_size()) else { return -1 };
+    let flags = match args[3] {
+        0 => UpdateFlags::Any,
+        1 => UpdateFlags::NoExist,
+        2 => UpdateFlags::Exist,
+        _ => return -1,
+    };
+    ok_or_minus_one(map.update(&key, &value, flags))
+}
+
+/// `long bpf_map_delete_elem(map, key)`.
+fn helper_map_delete_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let Ok(map) = api.map_by_ptr(args[0]) else { return -1 };
+    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return -1 };
+    ok_or_minus_one(map.delete(&key))
+}
+
+/// `u64 bpf_ktime_get_ns(void)`.
+fn helper_ktime_get_ns(api: &mut HelperApi<'_, '_>, _args: [u64; 5]) -> i64 {
+    api.env().ktime_ns() as i64
+}
+
+/// `long bpf_trace_printk(fmt, fmt_size, ...)` — reads a message from the
+/// program and hands it to the environment's trace sink.
+fn helper_trace_printk(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let len = (args[1] as usize).min(256);
+    let Ok(bytes) = api.read_bytes(args[0], len) else { return -1 };
+    let message = String::from_utf8_lossy(&bytes).trim_end_matches('\0').to_string();
+    api.env().trace(&message);
+    message.len() as i64
+}
+
+/// `u32 bpf_get_prandom_u32(void)`.
+fn helper_get_prandom_u32(api: &mut HelperApi<'_, '_>, _args: [u64; 5]) -> i64 {
+    i64::from(api.env().prandom_u32())
+}
+
+/// `long bpf_perf_event_output(ctx, map, flags, data, size)` — pushes `size`
+/// bytes read from the program's memory into the perf ring buffer attached
+/// to `map`.
+fn helper_perf_event_output(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let Ok(map) = api.map_by_ptr(args[1]) else { return -1 };
+    if map.map_type() != MapType::PerfEventArray {
+        return -1;
+    }
+    let Some(buffer) = map.perf_buffer() else { return -1 };
+    let size = args[4] as usize;
+    if size > 4096 {
+        return -1;
+    }
+    let Ok(data) = api.read_bytes(args[3], size) else { return -1 };
+    buffer.push(PerfEvent { cpu: 0, data });
+    0
+}
+
+/// `long bpf_skb_load_bytes(ctx, offset, to, len)` — copies packet bytes to
+/// program memory (typically the stack).
+fn helper_skb_load_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
+    let offset = args[1] as usize;
+    let len = args[3] as usize;
+    if len == 0 || len > 4096 {
+        return -1;
+    }
+    let packet_len = api.packet().len();
+    if offset.checked_add(len).map_or(true, |end| end > packet_len) {
+        return -1;
+    }
+    let data = api.packet()[offset..offset + len].to_vec();
+    match api.write_bytes(args[2], &data) {
+        Ok(()) => 0,
+        Err(_) => -1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::{ArrayMap, Map, MapHandle, PerfEventArray};
+    use crate::vm::{map_ptr_value, NullEnv, RunContext, RunState, STACK_BASE};
+    use std::collections::HashMap as StdHashMap;
+    use std::sync::Arc;
+
+    fn setup(maps: &StdHashMap<u32, MapHandle>) -> (RunState, Vec<u8>, Vec<u8>) {
+        let _ = maps;
+        (RunState::new(16), vec![0u8; 16], (0u8..64).collect())
+    }
+
+    #[test]
+    fn registry_contains_base_helpers() {
+        let registry = HelperRegistry::with_base_helpers();
+        assert!(registry.len() >= 8);
+        assert!(!registry.is_empty());
+        assert_eq!(registry.name_of(ids::MAP_LOOKUP_ELEM), Some("bpf_map_lookup_elem"));
+        assert!(registry.get(ids::KTIME_GET_NS).is_some());
+        assert!(registry.get(424242).is_none());
+        // Unrestricted helpers are allowed everywhere; unknown ids nowhere.
+        assert!(registry.allowed_for(ids::KTIME_GET_NS, ProgramType::LwtSeg6Local));
+        assert!(!registry.allowed_for(424242, ProgramType::LwtSeg6Local));
+    }
+
+    #[test]
+    fn restricted_helper_is_gated_by_program_type() {
+        static ONLY_SEG6: &[ProgramType] = &[ProgramType::LwtSeg6Local];
+        fn noop(_api: &mut HelperApi<'_, '_>, _args: [u64; 5]) -> i64 {
+            0
+        }
+        let mut registry = HelperRegistry::new();
+        registry.register(100, "test_helper", noop, Some(ONLY_SEG6));
+        assert!(registry.allowed_for(100, ProgramType::LwtSeg6Local));
+        assert!(!registry.allowed_for(100, ProgramType::LwtXmit));
+    }
+
+    #[test]
+    fn map_lookup_and_update_through_helpers() {
+        let map: MapHandle = ArrayMap::new(8, 2);
+        let mut maps = StdHashMap::new();
+        maps.insert(3u32, Arc::clone(&map));
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let mut env = NullEnv;
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+
+        // Write key 1 to the stack.
+        let key_addr = STACK_BASE + 8;
+        {
+            let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+            api.write_bytes(key_addr, &1u32.to_ne_bytes()).unwrap();
+            let value_addr = STACK_BASE + 16;
+            api.write_bytes(value_addr, &[9u8; 8]).unwrap();
+            // update elem
+            let ret = helper_map_update_elem(
+                &mut api,
+                [map_ptr_value(3), key_addr, value_addr, 0, 0],
+            );
+            assert_eq!(ret, 0);
+            // lookup returns a readable pointer
+            let ptr = helper_map_lookup_elem(&mut api, [map_ptr_value(3), key_addr, 0, 0, 0]);
+            assert!(ptr > 0);
+            assert_eq!(api.read_bytes(ptr as u64, 8).unwrap(), vec![9u8; 8]);
+            // unknown fd fails cleanly
+            assert_eq!(helper_map_lookup_elem(&mut api, [map_ptr_value(9), key_addr, 0, 0, 0]), 0);
+            // delete is not supported on arrays
+            assert_eq!(helper_map_delete_elem(&mut api, [map_ptr_value(3), key_addr, 0, 0, 0]), -1);
+        }
+        assert_eq!(map.lookup(&1u32.to_ne_bytes()), Some(vec![9u8; 8]));
+    }
+
+    #[test]
+    fn perf_event_output_pushes_to_ring() {
+        let perf = PerfEventArray::new(8);
+        let map: MapHandle = perf.clone();
+        let mut maps = StdHashMap::new();
+        maps.insert(1u32, Arc::clone(&map));
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let mut env = NullEnv;
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+        let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+        api.write_bytes(STACK_BASE, &[1, 2, 3, 4]).unwrap();
+        let ret = helper_perf_event_output(&mut api, [0, map_ptr_value(1), 0, STACK_BASE, 4]);
+        assert_eq!(ret, 0);
+        let event = perf.perf_buffer().unwrap().poll().unwrap();
+        assert_eq!(event.data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn skb_load_bytes_copies_packet_data() {
+        let maps = StdHashMap::new();
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let mut env = NullEnv;
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+        let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+        let dst = STACK_BASE + 64;
+        assert_eq!(helper_skb_load_bytes(&mut api, [0, 10, dst, 4, 0]), 0);
+        assert_eq!(api.read_bytes(dst, 4).unwrap(), vec![10, 11, 12, 13]);
+        // Out-of-bounds offsets fail.
+        assert_eq!(helper_skb_load_bytes(&mut api, [0, 62, dst, 4, 0]), -1);
+        assert_eq!(helper_skb_load_bytes(&mut api, [0, 0, dst, 0, 0]), -1);
+    }
+
+    #[test]
+    fn ktime_and_prandom_use_the_environment() {
+        struct FixedEnv;
+        impl crate::vm::VmEnv for FixedEnv {
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn ktime_ns(&mut self) -> u64 {
+                424242
+            }
+            fn prandom_u32(&mut self) -> u32 {
+                7
+            }
+        }
+        let maps = StdHashMap::new();
+        let mut state = RunState::new(0);
+        let mut ctx = vec![0u8; 4];
+        let mut pkt = vec![0u8; 4];
+        let mut env = FixedEnv;
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+        let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+        assert_eq!(helper_ktime_get_ns(&mut api, [0; 5]), 424242);
+        assert_eq!(helper_get_prandom_u32(&mut api, [0; 5]), 7);
+    }
+
+    #[test]
+    fn trace_printk_reads_message() {
+        #[derive(Default)]
+        struct Collecting {
+            messages: Vec<String>,
+        }
+        impl crate::vm::VmEnv for Collecting {
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn trace(&mut self, message: &str) {
+                self.messages.push(message.to_string());
+            }
+        }
+        let maps = StdHashMap::new();
+        let mut state = RunState::new(0);
+        let mut ctx = vec![0u8; 4];
+        let mut pkt = vec![0u8; 4];
+        let mut env = Collecting::default();
+        {
+            let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+            let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+            api.write_bytes(STACK_BASE, b"hello\0\0\0").unwrap();
+            assert_eq!(helper_trace_printk(&mut api, [STACK_BASE, 8, 0, 0, 0]), 5);
+        }
+        assert_eq!(env.messages, vec!["hello".to_string()]);
+    }
+}

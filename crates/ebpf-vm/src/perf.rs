@@ -1,0 +1,132 @@
+//! Perf-event ring buffer.
+//!
+//! The paper's delay-monitoring use case (§4.1) pushes timestamps from the
+//! `End.DM` eBPF program to a user-space daemon through perf events, because
+//! "an eBPF program is not capable of sending out-of-band replies". This
+//! module reproduces the mechanism: a bounded ring buffer of raw byte
+//! records that programs write through `bpf_perf_event_output` and daemons
+//! drain.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A single record pushed by `bpf_perf_event_output`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfEvent {
+    /// Logical CPU the event was emitted from (always 0 in this single-core
+    /// reproduction).
+    pub cpu: u32,
+    /// The raw bytes the program emitted.
+    pub data: Vec<u8>,
+}
+
+/// A bounded ring buffer of perf events.
+///
+/// When the buffer is full the oldest events are dropped and counted, which
+/// is the observable behaviour of an overrun kernel ring buffer.
+#[derive(Debug)]
+pub struct PerfEventBuffer {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<PerfEvent>,
+    dropped: u64,
+    total: u64,
+}
+
+impl PerfEventBuffer {
+    /// Creates a ring buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        PerfEventBuffer {
+            inner: Mutex::new(Inner { events: VecDeque::with_capacity(capacity), dropped: 0, total: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes an event, dropping the oldest one if the buffer is full.
+    pub fn push(&self, event: PerfEvent) {
+        let mut inner = self.inner.lock();
+        inner.total += 1;
+        if inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Removes and returns the oldest event, if any.
+    pub fn poll(&self) -> Option<PerfEvent> {
+        self.inner.lock().events.pop_front()
+    }
+
+    /// Drains every pending event.
+    pub fn drain(&self) -> Vec<PerfEvent> {
+        self.inner.lock().events.drain(..).collect()
+    }
+
+    /// Number of events currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Total number of events ever pushed (including dropped ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.inner.lock().total
+    }
+}
+
+/// Convenience alias for sharing a buffer between the datapath and daemons.
+pub type SharedPerfBuffer = Arc<PerfEventBuffer>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_poll_in_fifo_order() {
+        let buf = PerfEventBuffer::new(4);
+        buf.push(PerfEvent { cpu: 0, data: vec![1] });
+        buf.push(PerfEvent { cpu: 0, data: vec![2] });
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.poll().unwrap().data, vec![1]);
+        assert_eq!(buf.poll().unwrap().data, vec![2]);
+        assert!(buf.poll().is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn overrun_drops_oldest_and_counts() {
+        let buf = PerfEventBuffer::new(2);
+        for i in 0..5u8 {
+            buf.push(PerfEvent { cpu: 0, data: vec![i] });
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        assert_eq!(buf.total_pushed(), 5);
+        let remaining = buf.drain();
+        assert_eq!(remaining.iter().map(|e| e.data[0]).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let buf = PerfEventBuffer::new(0);
+        buf.push(PerfEvent { cpu: 0, data: vec![1] });
+        buf.push(PerfEvent { cpu: 0, data: vec![2] });
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.poll().unwrap().data, vec![2]);
+    }
+}

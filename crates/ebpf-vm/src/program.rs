@@ -1,0 +1,180 @@
+//! Program containers and the loader.
+//!
+//! A [`Program`] is the unverified unit an operator writes (by hand, with
+//! the [`crate::asm`] assembler or the [`crate::builder::ProgramBuilder`]).
+//! Loading it — as `bpf(BPF_PROG_LOAD)` does in the kernel — runs the
+//! verifier and resolves the map file descriptors referenced by
+//! `lddw`-with-pseudo-map-fd instructions, producing a [`LoadedProgram`]
+//! that the interpreter or the JIT can execute.
+
+use crate::error::{Error, Result};
+use crate::helpers::HelperRegistry;
+use crate::insn::Insn;
+use crate::maps::MapHandle;
+use crate::verifier::{self, VerifierStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The source-register value marking an `lddw` as a pseudo map-fd load,
+/// mirroring the kernel's `BPF_PSEUDO_MAP_FD`.
+pub const PSEUDO_MAP_FD: u8 = 1;
+
+/// Hook a program is written for. The hook determines which helpers the
+/// verifier lets the program call and what its context looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramType {
+    /// The paper's new hook: `seg6local` `End.BPF` endpoint programs.
+    LwtSeg6Local,
+    /// Lightweight-tunnel input hook.
+    LwtIn,
+    /// Lightweight-tunnel output hook.
+    LwtOut,
+    /// Lightweight-tunnel transmit hook (where `bpf_lwt_push_encap` lives).
+    LwtXmit,
+    /// Classic socket filter (used in tests).
+    SocketFilter,
+}
+
+impl ProgramType {
+    /// Human-readable name, as `bpftool` would print it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProgramType::LwtSeg6Local => "lwt_seg6local",
+            ProgramType::LwtIn => "lwt_in",
+            ProgramType::LwtOut => "lwt_out",
+            ProgramType::LwtXmit => "lwt_xmit",
+            ProgramType::SocketFilter => "socket_filter",
+        }
+    }
+}
+
+/// Return codes understood by the seg6local and LWT hooks, as defined in the
+/// paper (§3.1).
+pub mod retcode {
+    /// Continue with the default processing (FIB lookup on the new
+    /// destination for `End.BPF`).
+    pub const BPF_OK: u64 = 0;
+    /// Drop the packet.
+    pub const BPF_DROP: u64 = 2;
+    /// Skip the default lookup; the destination was already set through a
+    /// helper (`bpf_lwt_seg6_action` with a lookup-performing action).
+    pub const BPF_REDIRECT: u64 = 7;
+}
+
+/// An unverified eBPF program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Name used in diagnostics (mirrors the kernel's 16-byte prog name).
+    pub name: String,
+    /// Hook the program targets.
+    pub prog_type: ProgramType,
+    /// The instruction stream.
+    pub insns: Vec<Insn>,
+    /// License string; GPL-compatible licenses unlock all helpers, as in the
+    /// kernel.
+    pub license: String,
+}
+
+impl Program {
+    /// Creates a program with the GPL license.
+    pub fn new(name: impl Into<String>, prog_type: ProgramType, insns: Vec<Insn>) -> Self {
+        Program { name: name.into(), prog_type, insns, license: "GPL".to_string() }
+    }
+
+    /// Number of instructions (two-slot `lddw` counts as two).
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+/// A verified program with its maps resolved, ready for execution.
+#[derive(Clone)]
+pub struct LoadedProgram {
+    /// The original program.
+    pub program: Program,
+    /// Maps referenced by the program, keyed by the fd used in the bytecode.
+    pub maps: HashMap<u32, MapHandle>,
+    /// Statistics reported by the verifier.
+    pub verifier_stats: VerifierStats,
+}
+
+impl std::fmt::Debug for LoadedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedProgram")
+            .field("name", &self.program.name)
+            .field("type", &self.program.prog_type)
+            .field("insns", &self.program.insns.len())
+            .field("maps", &self.maps.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Loads (verifies) a program, resolving the map fds it references against
+/// `maps`. Fails if the program references an fd that is not provided, or if
+/// the verifier rejects it.
+pub fn load(
+    program: Program,
+    maps: &HashMap<u32, MapHandle>,
+    helpers: &HelperRegistry,
+) -> Result<Arc<LoadedProgram>> {
+    // Every pseudo-map-fd lddw must resolve to a provided map.
+    let mut used = HashMap::new();
+    for (idx, insn) in program.insns.iter().enumerate() {
+        if insn.is_lddw() && insn.src == PSEUDO_MAP_FD {
+            let fd = insn.imm as u32;
+            match maps.get(&fd) {
+                Some(handle) => {
+                    used.insert(fd, Arc::clone(handle));
+                }
+                None => {
+                    return Err(Error::verifier(idx, format!("unknown map fd {fd}")));
+                }
+            }
+        }
+    }
+    let verifier_stats = verifier::verify(&program, helpers, maps)?;
+    Ok(Arc::new(LoadedProgram { program, maps: used, verifier_stats }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::HelperRegistry;
+    use crate::insn::Insn;
+
+    #[test]
+    fn program_type_names() {
+        assert_eq!(ProgramType::LwtSeg6Local.name(), "lwt_seg6local");
+        assert_eq!(ProgramType::LwtXmit.name(), "lwt_xmit");
+    }
+
+    #[test]
+    fn load_trivial_program() {
+        let prog = Program::new("noop", ProgramType::SocketFilter, vec![Insn::mov64_imm(0, 0), Insn::exit()]);
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+        let loaded = load(prog, &HashMap::new(), &HelperRegistry::with_base_helpers()).unwrap();
+        assert!(loaded.maps.is_empty());
+        assert!(loaded.verifier_stats.insns_processed >= 2);
+    }
+
+    #[test]
+    fn load_rejects_unknown_map_fd() {
+        let value = crate::vm::map_ptr_value(9);
+        let mut lo = Insn::lddw_lo(1, value);
+        lo.src = PSEUDO_MAP_FD;
+        lo.imm = 9;
+        let prog = Program::new(
+            "bad-map",
+            ProgramType::SocketFilter,
+            vec![lo, Insn::lddw_hi(0), Insn::mov64_imm(0, 0), Insn::exit()],
+        );
+        let err = load(prog, &HashMap::new(), &HelperRegistry::with_base_helpers()).unwrap_err();
+        assert!(matches!(err, Error::Verifier { .. }));
+    }
+}

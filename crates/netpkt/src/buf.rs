@@ -1,0 +1,237 @@
+//! An `sk_buff`-like packet buffer with headroom.
+//!
+//! SRv6 processing constantly pushes and pulls headers: transit behaviours
+//! prepend an outer IPv6 header and an SRH, `End.DT6` removes them again,
+//! and `bpf_lwt_seg6_adjust_srh` grows or shrinks the TLV area in the middle
+//! of the packet. [`PacketBuf`] mirrors the relevant parts of the kernel's
+//! `sk_buff`: a contiguous allocation with spare *headroom* in front of the
+//! packet data so that prepending a header usually does not reallocate.
+
+use crate::error::{Error, Result};
+
+/// Default headroom reserved by [`PacketBuf::new`], enough for an outer IPv6
+/// header plus an SRH with a handful of segments.
+pub const DEFAULT_HEADROOM: usize = 128;
+
+/// A packet buffer with headroom, similar to the kernel's `sk_buff`.
+///
+/// The packet's bytes live in `storage[offset..]`. Pushing a header moves
+/// `offset` towards zero; pulling a header moves it forward. Middle-of-packet
+/// insertion and removal (needed by the SRH TLV helpers) are also supported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBuf {
+    storage: Vec<u8>,
+    offset: usize,
+}
+
+impl Default for PacketBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuf {
+    /// Creates an empty buffer with [`DEFAULT_HEADROOM`] bytes of headroom.
+    pub fn new() -> Self {
+        Self::with_headroom(DEFAULT_HEADROOM)
+    }
+
+    /// Creates an empty buffer with `headroom` bytes reserved in front.
+    pub fn with_headroom(headroom: usize) -> Self {
+        PacketBuf { storage: vec![0; headroom], offset: headroom }
+    }
+
+    /// Creates a buffer holding `data`, with [`DEFAULT_HEADROOM`] bytes of
+    /// headroom in front of it.
+    pub fn from_slice(data: &[u8]) -> Self {
+        let mut buf = Self::with_headroom(DEFAULT_HEADROOM);
+        buf.append(data);
+        buf
+    }
+
+    /// Current packet length in bytes (excluding headroom).
+    pub fn len(&self) -> usize {
+        self.storage.len() - self.offset
+    }
+
+    /// Whether the packet currently holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining headroom in bytes.
+    pub fn headroom(&self) -> usize {
+        self.offset
+    }
+
+    /// Read-only view of the packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.storage[self.offset..]
+    }
+
+    /// Mutable view of the packet bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[self.offset..]
+    }
+
+    /// Appends `bytes` at the end of the packet (tail).
+    pub fn append(&mut self, bytes: &[u8]) {
+        self.storage.extend_from_slice(bytes);
+    }
+
+    /// Prepends `header` in front of the packet, like `skb_push`.
+    ///
+    /// Grows the headroom if the buffer does not have enough of it.
+    pub fn push_header(&mut self, header: &[u8]) {
+        if header.len() > self.offset {
+            self.grow_headroom(header.len().max(DEFAULT_HEADROOM));
+        }
+        self.offset -= header.len();
+        self.storage[self.offset..self.offset + header.len()].copy_from_slice(header);
+    }
+
+    /// Removes `len` bytes from the front of the packet, like `skb_pull`.
+    pub fn pull(&mut self, len: usize) -> Result<()> {
+        if len > self.len() {
+            return Err(Error::Truncated { needed: len, available: self.len() });
+        }
+        self.offset += len;
+        Ok(())
+    }
+
+    /// Inserts `len` zero bytes at `at` (an offset inside the packet data).
+    ///
+    /// This is the primitive behind `bpf_lwt_seg6_adjust_srh` with a positive
+    /// delta: the TLV area of the SRH grows in the middle of the packet.
+    pub fn expand_at(&mut self, at: usize, len: usize) -> Result<()> {
+        if at > self.len() {
+            return Err(Error::NoSpace("expand offset beyond end of packet"));
+        }
+        let abs = self.offset + at;
+        self.storage.splice(abs..abs, std::iter::repeat(0u8).take(len));
+        Ok(())
+    }
+
+    /// Removes `len` bytes starting at `at` (an offset inside the packet
+    /// data). This is `bpf_lwt_seg6_adjust_srh` with a negative delta.
+    pub fn shrink_at(&mut self, at: usize, len: usize) -> Result<()> {
+        if at.checked_add(len).map_or(true, |end| end > self.len()) {
+            return Err(Error::Truncated { needed: at + len, available: self.len() });
+        }
+        let abs = self.offset + at;
+        self.storage.drain(abs..abs + len);
+        Ok(())
+    }
+
+    /// Copies `bytes` into the packet at offset `at`.
+    pub fn write_at(&mut self, at: usize, bytes: &[u8]) -> Result<()> {
+        if at.checked_add(bytes.len()).map_or(true, |end| end > self.len()) {
+            return Err(Error::NoSpace("write beyond end of packet"));
+        }
+        let abs = self.offset + at;
+        self.storage[abs..abs + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Returns `len` bytes starting at offset `at`.
+    pub fn slice(&self, at: usize, len: usize) -> Result<&[u8]> {
+        if at.checked_add(len).map_or(true, |end| end > self.len()) {
+            return Err(Error::Truncated { needed: at + len, available: self.len() });
+        }
+        Ok(&self.data()[at..at + len])
+    }
+
+    /// Truncates the packet to `len` bytes (drops the tail).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.storage.truncate(self.offset + len);
+        }
+    }
+
+    fn grow_headroom(&mut self, extra: usize) {
+        let mut storage = vec![0u8; self.storage.len() + extra];
+        storage[extra + self.offset..].copy_from_slice(&self.storage[self.offset..]);
+        self.storage = storage;
+        self.offset += extra;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_data_roundtrip() {
+        let mut buf = PacketBuf::new();
+        buf.append(&[1, 2, 3, 4]);
+        assert_eq!(buf.data(), &[1, 2, 3, 4]);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn push_header_prepends() {
+        let mut buf = PacketBuf::from_slice(&[9, 9]);
+        buf.push_header(&[1, 2, 3]);
+        assert_eq!(buf.data(), &[1, 2, 3, 9, 9]);
+    }
+
+    #[test]
+    fn push_header_grows_headroom_when_exhausted() {
+        let mut buf = PacketBuf::with_headroom(2);
+        buf.append(&[7]);
+        buf.push_header(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(buf.data(), &[1, 2, 3, 4, 5, 6, 7, 8, 7]);
+    }
+
+    #[test]
+    fn pull_removes_front_bytes() {
+        let mut buf = PacketBuf::from_slice(&[1, 2, 3, 4]);
+        buf.pull(2).unwrap();
+        assert_eq!(buf.data(), &[3, 4]);
+        assert!(buf.pull(10).is_err());
+    }
+
+    #[test]
+    fn expand_at_inserts_zeroes_in_the_middle() {
+        let mut buf = PacketBuf::from_slice(&[1, 2, 3, 4]);
+        buf.expand_at(2, 3).unwrap();
+        assert_eq!(buf.data(), &[1, 2, 0, 0, 0, 3, 4]);
+    }
+
+    #[test]
+    fn shrink_at_removes_middle_bytes() {
+        let mut buf = PacketBuf::from_slice(&[1, 2, 3, 4, 5]);
+        buf.shrink_at(1, 3).unwrap();
+        assert_eq!(buf.data(), &[1, 5]);
+        assert!(buf.shrink_at(1, 5).is_err());
+    }
+
+    #[test]
+    fn write_at_and_slice() {
+        let mut buf = PacketBuf::from_slice(&[0; 6]);
+        buf.write_at(2, &[0xaa, 0xbb]).unwrap();
+        assert_eq!(buf.slice(2, 2).unwrap(), &[0xaa, 0xbb]);
+        assert!(buf.write_at(5, &[1, 2]).is_err());
+        assert!(buf.slice(5, 2).is_err());
+    }
+
+    #[test]
+    fn truncate_drops_tail_only() {
+        let mut buf = PacketBuf::from_slice(&[1, 2, 3, 4]);
+        buf.truncate(2);
+        assert_eq!(buf.data(), &[1, 2]);
+        buf.truncate(10);
+        assert_eq!(buf.data(), &[1, 2]);
+    }
+
+    #[test]
+    fn headroom_tracks_pushes_and_pulls() {
+        let mut buf = PacketBuf::with_headroom(16);
+        assert_eq!(buf.headroom(), 16);
+        buf.push_header(&[0; 10]);
+        assert_eq!(buf.headroom(), 6);
+        buf.pull(4).unwrap();
+        assert_eq!(buf.headroom(), 10);
+    }
+}

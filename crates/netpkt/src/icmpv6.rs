@@ -1,0 +1,149 @@
+//! A minimal ICMPv6 (RFC 4443) subset: echo request/reply, time exceeded
+//! and destination unreachable.
+//!
+//! The End.OAMP use case (§4.3) extends traceroute; when a hop does not
+//! expose the SRv6 eBPF function, the prober falls back to the classic
+//! ICMPv6 time-exceeded mechanism, which this module provides.
+
+use crate::error::{ensure_len, Error, Result};
+
+/// ICMPv6 message types used by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Icmpv6Type {
+    /// Destination unreachable (type 1).
+    DestinationUnreachable,
+    /// Time exceeded — hop limit reached zero (type 3).
+    TimeExceeded,
+    /// Echo request (type 128).
+    EchoRequest,
+    /// Echo reply (type 129).
+    EchoReply,
+}
+
+impl Icmpv6Type {
+    /// Wire value of the type field.
+    pub fn code(self) -> u8 {
+        match self {
+            Icmpv6Type::DestinationUnreachable => 1,
+            Icmpv6Type::TimeExceeded => 3,
+            Icmpv6Type::EchoRequest => 128,
+            Icmpv6Type::EchoReply => 129,
+        }
+    }
+
+    /// Parses a wire type value.
+    pub fn from_code(code: u8) -> Result<Self> {
+        match code {
+            1 => Ok(Icmpv6Type::DestinationUnreachable),
+            3 => Ok(Icmpv6Type::TimeExceeded),
+            128 => Ok(Icmpv6Type::EchoRequest),
+            129 => Ok(Icmpv6Type::EchoReply),
+            _ => Err(Error::Malformed("unsupported ICMPv6 type")),
+        }
+    }
+}
+
+/// Length of the fixed ICMPv6 header (type, code, checksum, 4-byte body).
+pub const ICMPV6_HEADER_LEN: usize = 8;
+
+/// An ICMPv6 header with its 4-byte type-specific field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icmpv6Header {
+    /// Message type.
+    pub msg_type: Icmpv6Type,
+    /// Message code (0 for everything we emit).
+    pub code: u8,
+    /// Checksum (0 when not yet computed).
+    pub checksum: u16,
+    /// For echo messages: identifier (high 16 bits) and sequence (low 16
+    /// bits). For errors: unused / MTU.
+    pub rest: u32,
+}
+
+impl Icmpv6Header {
+    /// Builds an echo-request header with the given identifier and sequence.
+    pub fn echo_request(identifier: u16, sequence: u16) -> Self {
+        Icmpv6Header {
+            msg_type: Icmpv6Type::EchoRequest,
+            code: 0,
+            checksum: 0,
+            rest: (u32::from(identifier) << 16) | u32::from(sequence),
+        }
+    }
+
+    /// Builds an echo-reply header answering `request`.
+    pub fn echo_reply_to(request: &Icmpv6Header) -> Self {
+        Icmpv6Header { msg_type: Icmpv6Type::EchoReply, ..*request }
+    }
+
+    /// Builds a hop-limit-exceeded error header.
+    pub fn time_exceeded() -> Self {
+        Icmpv6Header { msg_type: Icmpv6Type::TimeExceeded, code: 0, checksum: 0, rest: 0 }
+    }
+
+    /// Echo identifier (only meaningful for echo messages).
+    pub fn identifier(&self) -> u16 {
+        (self.rest >> 16) as u16
+    }
+
+    /// Echo sequence number (only meaningful for echo messages).
+    pub fn sequence(&self) -> u16 {
+        self.rest as u16
+    }
+
+    /// Parses the fixed ICMPv6 header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, ICMPV6_HEADER_LEN)?;
+        Ok(Icmpv6Header {
+            msg_type: Icmpv6Type::from_code(buf[0])?,
+            code: buf[1],
+            checksum: u16::from_be_bytes([buf[2], buf[3]]),
+            rest: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+        })
+    }
+
+    /// Serialises the fixed header.
+    pub fn to_bytes(&self) -> [u8; ICMPV6_HEADER_LEN] {
+        let mut out = [0u8; ICMPV6_HEADER_LEN];
+        out[0] = self.msg_type.code();
+        out[1] = self.code;
+        out[2..4].copy_from_slice(&self.checksum.to_be_bytes());
+        out[4..8].copy_from_slice(&self.rest.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_request_roundtrip() {
+        let hdr = Icmpv6Header::echo_request(0x1234, 7);
+        let parsed = Icmpv6Header::parse(&hdr.to_bytes()).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(parsed.identifier(), 0x1234);
+        assert_eq!(parsed.sequence(), 7);
+    }
+
+    #[test]
+    fn echo_reply_preserves_id_and_seq() {
+        let req = Icmpv6Header::echo_request(9, 3);
+        let reply = Icmpv6Header::echo_reply_to(&req);
+        assert_eq!(reply.msg_type, Icmpv6Type::EchoReply);
+        assert_eq!(reply.identifier(), 9);
+        assert_eq!(reply.sequence(), 3);
+    }
+
+    #[test]
+    fn time_exceeded_roundtrip() {
+        let hdr = Icmpv6Header::time_exceeded();
+        assert_eq!(Icmpv6Header::parse(&hdr.to_bytes()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let bytes = [200u8, 0, 0, 0, 0, 0, 0, 0];
+        assert!(Icmpv6Header::parse(&bytes).is_err());
+    }
+}

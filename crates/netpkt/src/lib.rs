@@ -1,0 +1,67 @@
+//! # netpkt — wire formats for the SRv6 eBPF reproduction
+//!
+//! This crate provides the packet formats used throughout the workspace:
+//! IPv6, the Segment Routing Header (SRH) with its TLVs, UDP, TCP and
+//! ICMPv6, plus a small `skb`-like packet buffer ([`PacketBuf`]) that
+//! supports pushing and pulling headers the way the Linux kernel does when
+//! encapsulating and decapsulating SRv6 traffic.
+//!
+//! Everything here is plain, allocation-friendly Rust with no I/O: packets
+//! are built and parsed in memory and handed to the `seg6-core` data plane
+//! or to the `simnet` simulator.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use netpkt::{Ipv6Header, SegmentRoutingHeader, UdpHeader, PacketBuf, proto};
+//! use std::net::Ipv6Addr;
+//!
+//! // Build an SRv6 packet with two segments and a UDP payload.
+//! let segments = vec![
+//!     "fc00::2".parse::<Ipv6Addr>().unwrap(),
+//!     "fc00::1".parse::<Ipv6Addr>().unwrap(),
+//! ];
+//! let srh = SegmentRoutingHeader::new(proto::UDP, segments, 1);
+//! let udp = UdpHeader::new(5000, 6000, 64);
+//! let payload = vec![0u8; 64];
+//!
+//! let mut pkt = PacketBuf::with_headroom(128);
+//! pkt.append(&payload);
+//! pkt.push_header(&udp.to_bytes());
+//! pkt.push_header(&srh.to_bytes());
+//! let ip = Ipv6Header::new(
+//!     "2001:db8::1".parse().unwrap(),
+//!     "fc00::1".parse().unwrap(),
+//!     proto::ROUTING,
+//!     pkt.len() as u16,
+//!     64,
+//! );
+//! pkt.push_header(&ip.to_bytes());
+//!
+//! let parsed = Ipv6Header::parse(pkt.data()).unwrap();
+//! assert_eq!(parsed.next_header, proto::ROUTING);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buf;
+pub mod checksum;
+pub mod error;
+pub mod icmpv6;
+pub mod ipv6;
+pub mod packet;
+pub mod prefix;
+pub mod srh;
+pub mod tcp;
+pub mod udp;
+
+pub use buf::PacketBuf;
+pub use error::{Error, Result};
+pub use icmpv6::{Icmpv6Header, Icmpv6Type};
+pub use ipv6::{proto, Ipv6Header, IPV6_HEADER_LEN};
+pub use packet::ParsedPacket;
+pub use prefix::Ipv6Prefix;
+pub use srh::{SegmentRoutingHeader, SrhTlv, TlvKind, SRH_FIXED_LEN};
+pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};

@@ -1,0 +1,210 @@
+//! Whole-packet parsing and building helpers.
+//!
+//! [`ParsedPacket`] walks an IPv6 packet from its outermost header and
+//! records where each header lives inside the buffer, so the SRv6 data plane
+//! can locate the SRH (to advance or edit it) and the transport header
+//! without re-parsing from scratch at every step.
+
+use crate::buf::PacketBuf;
+use crate::error::{Error, Result};
+use crate::ipv6::{proto, Ipv6Header, IPV6_HEADER_LEN};
+use crate::srh::SegmentRoutingHeader;
+use crate::udp::UdpHeader;
+use std::net::Ipv6Addr;
+
+/// Location and parsed form of the SRH inside a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrhLocation {
+    /// Byte offset of the SRH from the start of the packet.
+    pub offset: usize,
+    /// Length of the SRH in bytes.
+    pub len: usize,
+    /// Parsed header.
+    pub srh: SegmentRoutingHeader,
+}
+
+/// A parsed view of an IPv6 packet (outer header, optional SRH, optional
+/// inner IPv6 header for encapsulated traffic, transport offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// The outermost IPv6 header.
+    pub outer: Ipv6Header,
+    /// The SRH attached to the outermost header, if any.
+    pub srh: Option<SrhLocation>,
+    /// The inner IPv6 header, when the packet is IPv6-in-IPv6 encapsulated.
+    pub inner: Option<Ipv6Header>,
+    /// Byte offset of the inner IPv6 header, if present.
+    pub inner_offset: Option<usize>,
+    /// Protocol of the upper-layer header located at `transport_offset`.
+    pub transport_proto: u8,
+    /// Byte offset of the upper-layer (UDP/TCP/ICMPv6) header.
+    pub transport_offset: usize,
+}
+
+impl ParsedPacket {
+    /// Parses `data` as an IPv6 packet, following a routing extension header
+    /// and at most one level of IPv6-in-IPv6 encapsulation.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        let outer = Ipv6Header::parse(data)?;
+        let mut offset = IPV6_HEADER_LEN;
+        let mut next = outer.next_header;
+        let mut srh = None;
+        if next == proto::ROUTING {
+            let parsed = SegmentRoutingHeader::parse(&data[offset..])?;
+            let len = 8 + usize::from(parsed.hdr_ext_len()) * 8;
+            next = parsed.next_header;
+            srh = Some(SrhLocation { offset, len, srh: parsed });
+            offset += len;
+        }
+        let (inner, inner_offset, transport_proto, transport_offset) = if next == proto::IPV6 {
+            let inner_hdr = Ipv6Header::parse(&data[offset..])?;
+            let inner_off = offset;
+            let mut t_off = offset + IPV6_HEADER_LEN;
+            let mut t_proto = inner_hdr.next_header;
+            // Follow an inner SRH too (e.g. nested B6 encapsulation); we only
+            // record the transport location in that case.
+            if t_proto == proto::ROUTING {
+                let inner_srh = SegmentRoutingHeader::parse(&data[t_off..])?;
+                t_proto = inner_srh.next_header;
+                t_off += 8 + usize::from(inner_srh.hdr_ext_len()) * 8;
+            }
+            (Some(inner_hdr), Some(inner_off), t_proto, t_off)
+        } else {
+            (None, None, next, offset)
+        };
+        Ok(ParsedPacket {
+            outer,
+            srh,
+            inner,
+            inner_offset,
+            transport_proto,
+            transport_offset,
+        })
+    }
+
+    /// Parses the packet held by a [`PacketBuf`].
+    pub fn parse_buf(buf: &PacketBuf) -> Result<Self> {
+        Self::parse(buf.data())
+    }
+
+    /// The SRH if present, or an error tailored to seg6local processing.
+    pub fn require_srh(&self) -> Result<&SrhLocation> {
+        self.srh.as_ref().ok_or(Error::Malformed("packet has no Segment Routing Header"))
+    }
+}
+
+/// Builds a plain IPv6/UDP packet, as `pktgen` produces in the paper's
+/// experiments.
+pub fn build_ipv6_udp_packet(
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    hop_limit: u8,
+) -> PacketBuf {
+    let udp = UdpHeader::build_datagram(&src, &dst, src_port, dst_port, payload);
+    let ip = Ipv6Header::new(src, dst, proto::UDP, udp.len() as u16, hop_limit);
+    let mut pkt = PacketBuf::with_headroom(128);
+    pkt.append(&udp);
+    pkt.push_header(&ip.to_bytes());
+    pkt
+}
+
+/// Builds an SRv6 UDP packet: an outer IPv6 header whose destination is the
+/// SRH's current segment, the SRH itself, and a UDP datagram, as `trafgen`
+/// produces in the paper's experiments (§3.2).
+pub fn build_srv6_udp_packet(
+    src: Ipv6Addr,
+    srh: &SegmentRoutingHeader,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+    hop_limit: u8,
+) -> PacketBuf {
+    let current = srh.current_segment().expect("SRH must have at least one segment");
+    let udp = UdpHeader::build_datagram(&src, &current, src_port, dst_port, payload);
+    let srh_bytes = srh.to_bytes();
+    let ip = Ipv6Header::new(
+        src,
+        current,
+        proto::ROUTING,
+        (srh_bytes.len() + udp.len()) as u16,
+        hop_limit,
+    );
+    let mut pkt = PacketBuf::with_headroom(128);
+    pkt.append(&udp);
+    pkt.push_header(&srh_bytes);
+    pkt.push_header(&ip.to_bytes());
+    pkt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srh::{SrhTlv, TlvKind};
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_plain_udp_packet() {
+        let pkt = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::2"), 1000, 2000, &[0; 64], 64);
+        let parsed = ParsedPacket::parse_buf(&pkt).unwrap();
+        assert!(parsed.srh.is_none());
+        assert!(parsed.inner.is_none());
+        assert_eq!(parsed.transport_proto, proto::UDP);
+        assert_eq!(parsed.transport_offset, IPV6_HEADER_LEN);
+        assert_eq!(parsed.outer.payload_length as usize, pkt.len() - IPV6_HEADER_LEN);
+        assert!(parsed.require_srh().is_err());
+    }
+
+    #[test]
+    fn parse_srv6_udp_packet() {
+        let srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::1"), addr("fc00::2")]);
+        let pkt = build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0; 64], 64);
+        let parsed = ParsedPacket::parse_buf(&pkt).unwrap();
+        let loc = parsed.require_srh().unwrap();
+        assert_eq!(loc.offset, IPV6_HEADER_LEN);
+        assert_eq!(loc.srh.current_segment(), Some(addr("fc00::1")));
+        assert_eq!(parsed.outer.dst, addr("fc00::1"));
+        assert_eq!(parsed.transport_proto, proto::UDP);
+        assert_eq!(parsed.transport_offset, IPV6_HEADER_LEN + loc.len);
+    }
+
+    #[test]
+    fn parse_encapsulated_packet() {
+        // inner plain packet
+        let inner = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::2"), 1, 2, &[0; 16], 64);
+        // outer encapsulation with an SRH carrying a DM TLV
+        let mut srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::a"), addr("fc00::b")]);
+        srh.tlvs.push(SrhTlv::DelayMeasurement { tx_timestamp_ns: 42 });
+        let srh_bytes = srh.to_bytes();
+        let mut pkt = inner.clone();
+        pkt.push_header(&srh_bytes);
+        let outer_ip = Ipv6Header::new(
+            addr("fc00::99"),
+            addr("fc00::a"),
+            proto::ROUTING,
+            (srh_bytes.len() + inner.len()) as u16,
+            64,
+        );
+        pkt.push_header(&outer_ip.to_bytes());
+
+        let parsed = ParsedPacket::parse_buf(&pkt).unwrap();
+        assert_eq!(parsed.outer.dst, addr("fc00::a"));
+        let loc = parsed.require_srh().unwrap();
+        assert!(loc.srh.find_tlv(TlvKind::DelayMeasurement).is_some());
+        let inner_hdr = parsed.inner.clone().unwrap();
+        assert_eq!(inner_hdr.dst, addr("2001:db8::2"));
+        assert_eq!(parsed.transport_proto, proto::UDP);
+        assert_eq!(parsed.inner_offset, Some(IPV6_HEADER_LEN + loc.len));
+        assert_eq!(parsed.transport_offset, IPV6_HEADER_LEN + loc.len + IPV6_HEADER_LEN);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ParsedPacket::parse(&[0u8; 10]).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! IPv6 prefixes, used by the FIB and by the seg6local My-SID table.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+/// An IPv6 prefix: an address plus a prefix length in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv6Prefix {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Ipv6Prefix {
+    /// Creates a prefix, masking `addr` down to `len` bits.
+    ///
+    /// Returns an error if `len` exceeds 128.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Result<Self> {
+        if len > 128 {
+            return Err(Error::ValueOutOfRange("prefix length exceeds 128"));
+        }
+        Ok(Ipv6Prefix { addr: mask(addr, len), len })
+    }
+
+    /// A /128 prefix covering exactly `addr`.
+    pub fn host(addr: Ipv6Addr) -> Self {
+        Ipv6Prefix { addr, len: 128 }
+    }
+
+    /// The (masked) network address.
+    pub fn addr(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `::/0`.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside the prefix.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        mask(addr, self.len) == self.addr
+    }
+
+    /// Whether `other` is entirely contained in this prefix.
+    pub fn covers(&self, other: &Ipv6Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+}
+
+fn mask(addr: Ipv6Addr, len: u8) -> Ipv6Addr {
+    let value = u128::from_be_bytes(addr.octets());
+    let masked = if len == 0 { 0 } else { value & (u128::MAX << (128 - u32::from(len))) };
+    Ipv6Addr::from(masked.to_be_bytes())
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.split_once('/') {
+            Some((addr, len)) => {
+                let addr: Ipv6Addr = addr.parse().map_err(|_| Error::Malformed("invalid IPv6 address in prefix"))?;
+                let len: u8 = len.parse().map_err(|_| Error::Malformed("invalid prefix length"))?;
+                Ipv6Prefix::new(addr, len)
+            }
+            None => {
+                let addr: Ipv6Addr = s.parse().map_err(|_| Error::Malformed("invalid IPv6 address"))?;
+                Ok(Ipv6Prefix::host(addr))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_masks_host_bits() {
+        let p = Ipv6Prefix::new("2001:db8::ffff".parse().unwrap(), 64).unwrap();
+        assert_eq!(p.addr(), "2001:db8::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(p.len(), 64);
+    }
+
+    #[test]
+    fn rejects_length_over_128() {
+        assert!(Ipv6Prefix::new(Ipv6Addr::UNSPECIFIED, 129).is_err());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p: Ipv6Prefix = "fc00:1::/32".parse().unwrap();
+        assert!(p.contains("fc00:1::42".parse().unwrap()));
+        assert!(!p.contains("fc00:2::42".parse().unwrap()));
+        let narrower: Ipv6Prefix = "fc00:1:2::/48".parse().unwrap();
+        assert!(p.covers(&narrower));
+        assert!(!narrower.covers(&p));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let p: Ipv6Prefix = "::/0".parse().unwrap();
+        assert!(p.is_default());
+        assert!(p.contains("2001:db8::1".parse().unwrap()));
+        assert!(p.contains(Ipv6Addr::UNSPECIFIED));
+    }
+
+    #[test]
+    fn parse_without_slash_is_host_prefix() {
+        let p: Ipv6Prefix = "fc00::1".parse().unwrap();
+        assert_eq!(p.len(), 128);
+        assert!(p.contains("fc00::1".parse().unwrap()));
+        assert!(!p.contains("fc00::2".parse().unwrap()));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p: Ipv6Prefix = "2001:db8:abcd::/48".parse().unwrap();
+        let again: Ipv6Prefix = p.to_string().parse().unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("not-an-address/64".parse::<Ipv6Prefix>().is_err());
+        assert!("2001:db8::/xyz".parse::<Ipv6Prefix>().is_err());
+        assert!("2001:db8::/200".parse::<Ipv6Prefix>().is_err());
+    }
+}

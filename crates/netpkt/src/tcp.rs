@@ -1,0 +1,140 @@
+//! A TCP header (RFC 793), without options.
+//!
+//! The hybrid-access experiment of the paper (§4.2) measures TCP goodput
+//! over two aggregated links. The Reno-style model in `trafficgen` only
+//! needs the base header: sequence/acknowledgement numbers, flags and the
+//! receive window.
+
+use crate::error::{ensure_len, Error, Result};
+
+/// Length of the option-less TCP header in bytes.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// FIN: sender has finished sending.
+    pub fin: bool,
+    /// SYN: synchronise sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+    /// ACK: the acknowledgement number is valid.
+    pub ack: bool,
+}
+
+impl TcpFlags {
+    /// A segment carrying only an acknowledgement.
+    pub const ACK: TcpFlags = TcpFlags { fin: false, syn: false, rst: false, psh: false, ack: true };
+    /// A SYN segment.
+    pub const SYN: TcpFlags = TcpFlags { fin: false, syn: true, rst: false, psh: false, ack: false };
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP header without options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Next sequence number the sender expects to receive.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u16,
+    /// Transport checksum (0 when not yet computed).
+    pub checksum: u16,
+}
+
+impl TcpHeader {
+    /// Creates a header with the given endpoints and numbers.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags, window: u16) -> Self {
+        TcpHeader { src_port, dst_port, seq, ack, flags, window, checksum: 0 }
+    }
+
+    /// Parses a TCP header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, TCP_HEADER_LEN)?;
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(Error::Malformed("TCP data offset below 5 words"));
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: TcpFlags::from_byte(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+        })
+    }
+
+    /// Serialises the header (data offset fixed at 5 words, no options).
+    pub fn to_bytes(&self) -> [u8; TCP_HEADER_LEN] {
+        let mut out = [0u8; TCP_HEADER_LEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = 5 << 4;
+        out[13] = self.flags.to_byte();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = TcpHeader::new(49152, 5001, 0xdead_beef, 0x1234_5678, TcpFlags::ACK, 65535);
+        assert_eq!(TcpHeader::parse(&hdr.to_bytes()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for bits in 0u8..32 {
+            let flags = TcpFlags::from_byte(bits);
+            assert_eq!(flags.to_byte(), bits);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_short_header() {
+        assert!(TcpHeader::parse(&[0; 19]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_data_offset() {
+        let mut bytes = TcpHeader::new(1, 2, 3, 4, TcpFlags::SYN, 10).to_bytes();
+        bytes[12] = 2 << 4;
+        assert!(TcpHeader::parse(&bytes).is_err());
+    }
+}

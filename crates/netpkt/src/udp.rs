@@ -1,0 +1,104 @@
+//! The UDP header (RFC 768).
+
+use crate::checksum::ipv6_transport_checksum;
+use crate::error::{ensure_len, Result};
+use std::net::Ipv6Addr;
+
+/// Length of the UDP header in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload, in bytes.
+    pub length: u16,
+    /// Transport checksum (0 when not yet computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for a datagram carrying `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: payload_len + UDP_HEADER_LEN as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Parses a UDP header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        ensure_len(buf, UDP_HEADER_LEN)?;
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+
+    /// Serialises the header.
+    pub fn to_bytes(&self) -> [u8; UDP_HEADER_LEN] {
+        let mut out = [0u8; UDP_HEADER_LEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+
+    /// Builds a full UDP datagram (header + payload) with a valid checksum
+    /// over the IPv6 pseudo-header.
+    pub fn build_datagram(
+        src: &Ipv6Addr,
+        dst: &Ipv6Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let header = UdpHeader::new(src_port, dst_port, payload.len() as u16);
+        let mut segment = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
+        segment.extend_from_slice(&header.to_bytes());
+        segment.extend_from_slice(payload);
+        let csum = ipv6_transport_checksum(src, dst, crate::ipv6::proto::UDP, &segment);
+        segment[6..8].copy_from_slice(&csum.to_be_bytes());
+        segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::verify_ipv6_transport_checksum;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = UdpHeader { src_port: 4242, dst_port: 53, length: 120, checksum: 0xabcd };
+        assert_eq!(UdpHeader::parse(&hdr.to_bytes()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn new_accounts_for_header_length() {
+        let hdr = UdpHeader::new(1, 2, 100);
+        assert_eq!(hdr.length, 108);
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        assert!(UdpHeader::parse(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn build_datagram_has_valid_checksum() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let dgram = UdpHeader::build_datagram(&src, &dst, 5000, 6000, &[1, 2, 3, 4, 5]);
+        assert_eq!(dgram.len(), UDP_HEADER_LEN + 5);
+        assert!(verify_ipv6_transport_checksum(&src, &dst, crate::ipv6::proto::UDP, &dgram));
+    }
+}

@@ -1,0 +1,228 @@
+//! User-space daemons accompanying the network functions.
+//!
+//! The paper pairs each in-kernel program with a small user-space component:
+//! a Python/bcc daemon that forwards delay reports to a controller (§4.1,
+//! 100 SLOC), a daemon on the aggregation box that measures the two-way
+//! delay of each hybrid link and compensates the difference with `tc netem`
+//! (§4.2), and a modified traceroute that consumes the `End.OAMP` reports
+//! (§4.3). These are their Rust equivalents; they consume the same
+//! perf-event ring buffers the programs write to.
+
+use crate::events::{DelayEvent, OamEvent};
+use ebpf_vm::perf::PerfEventBuffer;
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+/// The delay-collector daemon of §4.1: drains the perf ring buffer fed by
+/// `End.DM` and aggregates one-way-delay statistics per controller (the
+/// paper's daemon forwards each report to the controller over UDP; here the
+/// aggregation is local, which is equivalent for the experiments).
+#[derive(Debug)]
+pub struct DelayCollector {
+    buffer: Arc<PerfEventBuffer>,
+    reports: Vec<DelayEvent>,
+    malformed: u64,
+}
+
+impl DelayCollector {
+    /// Creates a collector reading from `buffer`.
+    pub fn new(buffer: Arc<PerfEventBuffer>) -> Self {
+        DelayCollector { buffer, reports: Vec::new(), malformed: 0 }
+    }
+
+    /// Drains every pending perf event, returning how many reports were
+    /// parsed.
+    pub fn poll(&mut self) -> usize {
+        let mut parsed = 0;
+        for event in self.buffer.drain() {
+            match DelayEvent::parse(&event.data) {
+                Some(report) => {
+                    self.reports.push(report);
+                    parsed += 1;
+                }
+                None => self.malformed += 1,
+            }
+        }
+        parsed
+    }
+
+    /// All reports collected so far.
+    pub fn reports(&self) -> &[DelayEvent] {
+        &self.reports
+    }
+
+    /// Number of perf events that failed to parse.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Mean one-way delay over all collected reports, in nanoseconds.
+    pub fn mean_owd_ns(&self) -> Option<u64> {
+        if self.reports.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.reports.iter().map(|r| u128::from(r.one_way_delay_ns())).sum();
+        Some((sum / self.reports.len() as u128) as u64)
+    }
+
+    /// Maximum one-way delay observed, in nanoseconds.
+    pub fn max_owd_ns(&self) -> Option<u64> {
+        self.reports.iter().map(DelayEvent::one_way_delay_ns).max()
+    }
+}
+
+/// The delay-compensation logic of the hybrid-access use case (§4.2): given
+/// the two-way delays measured on the two links, compute the extra one-way
+/// delay to apply (with `tc netem`) on the *fastest* path so both paths have
+/// comparable latency and per-packet load balancing stops reordering TCP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayCompensation {
+    /// Index (0 or 1) of the path the extra delay must be applied to.
+    pub delay_path: usize,
+    /// Extra one-way delay to apply, in nanoseconds.
+    pub extra_delay_ns: u64,
+}
+
+/// Computes the compensation from the measured two-way delays of both paths.
+pub fn compute_compensation(twd_path0_ns: u64, twd_path1_ns: u64) -> DelayCompensation {
+    if twd_path0_ns >= twd_path1_ns {
+        DelayCompensation { delay_path: 1, extra_delay_ns: (twd_path0_ns - twd_path1_ns) / 2 }
+    } else {
+        DelayCompensation { delay_path: 0, extra_delay_ns: (twd_path1_ns - twd_path0_ns) / 2 }
+    }
+}
+
+/// One hop of an [`EcmpTraceroute`] result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracerouteHop {
+    /// Hop index (1-based, as traceroute prints it).
+    pub ttl: u8,
+    /// Address of the reporting hop, when known.
+    pub hop: Option<Ipv6Addr>,
+    /// ECMP next hops reported by `End.OAMP`, empty when the hop fell back
+    /// to the legacy ICMP mechanism.
+    pub ecmp_nexthops: Vec<Ipv6Addr>,
+    /// Whether the information came from `End.OAMP` (`true`) or from the
+    /// ICMP fallback (`false`).
+    pub via_oamp: bool,
+}
+
+/// The multipath-aware traceroute client of §4.3: it accumulates `End.OAMP`
+/// reports (drained from the hops' perf buffers by the experiment harness)
+/// and falls back to plain ICMP knowledge for hops that do not expose the
+/// function.
+#[derive(Debug, Default)]
+pub struct EcmpTraceroute {
+    hops: BTreeMap<u8, TracerouteHop>,
+}
+
+impl EcmpTraceroute {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an `End.OAMP` report for hop `ttl`.
+    pub fn record_oamp(&mut self, ttl: u8, hop: Ipv6Addr, event: &OamEvent) {
+        self.hops.insert(
+            ttl,
+            TracerouteHop { ttl, hop: Some(hop), ecmp_nexthops: event.nexthops.clone(), via_oamp: true },
+        );
+    }
+
+    /// Records a legacy ICMP time-exceeded style answer for hop `ttl`.
+    pub fn record_icmp(&mut self, ttl: u8, hop: Option<Ipv6Addr>) {
+        self.hops.entry(ttl).or_insert(TracerouteHop { ttl, hop, ecmp_nexthops: Vec::new(), via_oamp: false });
+    }
+
+    /// The hops discovered so far, in TTL order.
+    pub fn hops(&self) -> Vec<&TracerouteHop> {
+        self.hops.values().collect()
+    }
+
+    /// Renders the result like the paper's enhanced traceroute would.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for hop in self.hops.values() {
+            let name = hop.hop.map(|a| a.to_string()).unwrap_or_else(|| "*".to_string());
+            if hop.via_oamp {
+                let nexthops: Vec<String> = hop.ecmp_nexthops.iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!("{:2}  {}  [OAMP ecmp: {}]\n", hop.ttl, name, nexthops.join(", ")));
+            } else {
+                out.push_str(&format!("{:2}  {}  [icmp]\n", hop.ttl, name));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf_vm::perf::PerfEvent;
+
+    #[test]
+    fn delay_collector_aggregates_reports() {
+        let buffer = Arc::new(PerfEventBuffer::new(16));
+        let event = DelayEvent {
+            tx_timestamp_ns: 100,
+            rx_timestamp_ns: 400,
+            controller: "2001:db8::c0".parse().unwrap(),
+            controller_port: 9,
+        };
+        buffer.push(PerfEvent { cpu: 0, data: event.to_bytes().to_vec() });
+        let slow = DelayEvent { rx_timestamp_ns: 1_100, ..event };
+        buffer.push(PerfEvent { cpu: 0, data: slow.to_bytes().to_vec() });
+        buffer.push(PerfEvent { cpu: 0, data: vec![1, 2, 3] });
+        let mut collector = DelayCollector::new(buffer);
+        assert_eq!(collector.poll(), 2);
+        assert_eq!(collector.reports().len(), 2);
+        assert_eq!(collector.malformed(), 1);
+        assert_eq!(collector.mean_owd_ns(), Some((300 + 1_000) / 2));
+        assert_eq!(collector.max_owd_ns(), Some(1_000));
+        // Nothing left to poll.
+        assert_eq!(collector.poll(), 0);
+    }
+
+    #[test]
+    fn empty_collector_has_no_statistics() {
+        let collector = DelayCollector::new(Arc::new(PerfEventBuffer::new(4)));
+        assert_eq!(collector.mean_owd_ns(), None);
+        assert_eq!(collector.max_owd_ns(), None);
+    }
+
+    #[test]
+    fn compensation_targets_the_faster_path() {
+        // Path 0 has a 60 ms RTT, path 1 a 10 ms RTT: delay path 1 by 25 ms.
+        let comp = compute_compensation(60_000_000, 10_000_000);
+        assert_eq!(comp, DelayCompensation { delay_path: 1, extra_delay_ns: 25_000_000 });
+        let comp = compute_compensation(10_000_000, 60_000_000);
+        assert_eq!(comp, DelayCompensation { delay_path: 0, extra_delay_ns: 25_000_000 });
+        assert_eq!(compute_compensation(5, 5).extra_delay_ns, 0);
+    }
+
+    #[test]
+    fn traceroute_records_and_renders_hops() {
+        let mut tr = EcmpTraceroute::new();
+        let event = OamEvent {
+            queried_dst: "2001:db8::9".parse().unwrap(),
+            reply_to: "2001:db8::50".parse().unwrap(),
+            reply_port: 33434,
+            nexthops: vec!["fe80::1".parse().unwrap(), "fe80::2".parse().unwrap()],
+        };
+        tr.record_oamp(2, "fc00::21".parse().unwrap(), &event);
+        tr.record_icmp(1, Some("fc00::11".parse().unwrap()));
+        tr.record_icmp(3, None);
+        let hops = tr.hops();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0].ttl, 1);
+        assert!(!hops[0].via_oamp);
+        assert!(hops[1].via_oamp);
+        assert_eq!(hops[1].ecmp_nexthops.len(), 2);
+        let rendered = tr.render();
+        assert!(rendered.contains("OAMP"));
+        assert!(rendered.contains("fe80::1"));
+        assert!(rendered.contains('*'));
+    }
+}

@@ -1,0 +1,166 @@
+//! Wire formats of the perf events the use-case programs push to user
+//! space.
+//!
+//! The paper's `End.DM` function "sends both timestamps and the information
+//! regarding the controller to a user space daemon using a perf event"
+//! (§4.1); `End.OAMP` similarly reports the ECMP next hops it discovered
+//! (§4.3). The structures below define those records so the eBPF programs
+//! (which build them with store instructions) and the Rust daemons (which
+//! parse them) agree on the layout.
+
+use std::net::Ipv6Addr;
+
+/// Size in bytes of a serialised [`DelayEvent`].
+pub const DELAY_EVENT_SIZE: usize = 40;
+/// Maximum number of next hops an [`OamEvent`] can carry.
+pub const OAM_MAX_NEXTHOPS: usize = 4;
+/// Size in bytes of a serialised [`OamEvent`].
+pub const OAM_EVENT_SIZE: usize = 40 + OAM_MAX_NEXTHOPS * 16;
+
+/// A delay measurement report (one per sampled probe packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayEvent {
+    /// Transmission timestamp inserted by the ingress router, nanoseconds.
+    pub tx_timestamp_ns: u64,
+    /// Reception timestamp read by `End.DM`, nanoseconds.
+    pub rx_timestamp_ns: u64,
+    /// Controller that must receive the measurement.
+    pub controller: Ipv6Addr,
+    /// Controller UDP port.
+    pub controller_port: u16,
+}
+
+impl DelayEvent {
+    /// One-way delay in nanoseconds (saturating, in case of clock skew).
+    pub fn one_way_delay_ns(&self) -> u64 {
+        self.rx_timestamp_ns.saturating_sub(self.tx_timestamp_ns)
+    }
+
+    /// Serialises the event in the layout the `End.DM` program emits.
+    pub fn to_bytes(&self) -> [u8; DELAY_EVENT_SIZE] {
+        let mut out = [0u8; DELAY_EVENT_SIZE];
+        out[0..8].copy_from_slice(&self.tx_timestamp_ns.to_le_bytes());
+        out[8..16].copy_from_slice(&self.rx_timestamp_ns.to_le_bytes());
+        out[16..32].copy_from_slice(&self.controller.octets());
+        out[32..34].copy_from_slice(&self.controller_port.to_be_bytes());
+        out
+    }
+
+    /// Parses an event emitted by the `End.DM` program.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < DELAY_EVENT_SIZE {
+            return None;
+        }
+        let mut addr = [0u8; 16];
+        addr.copy_from_slice(&data[16..32]);
+        Some(DelayEvent {
+            tx_timestamp_ns: u64::from_le_bytes(data[0..8].try_into().ok()?),
+            rx_timestamp_ns: u64::from_le_bytes(data[8..16].try_into().ok()?),
+            controller: Ipv6Addr::from(addr),
+            controller_port: u16::from_be_bytes([data[32], data[33]]),
+        })
+    }
+}
+
+/// An ECMP next-hop report emitted by `End.OAMP`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OamEvent {
+    /// Destination whose next hops were queried.
+    pub queried_dst: Ipv6Addr,
+    /// Prober address the reply must be sent to.
+    pub reply_to: Ipv6Addr,
+    /// Prober UDP port.
+    pub reply_port: u16,
+    /// The ECMP next hops found in the FIB (up to [`OAM_MAX_NEXTHOPS`]).
+    pub nexthops: Vec<Ipv6Addr>,
+}
+
+impl OamEvent {
+    /// Serialises the event in the layout the `End.OAMP` program emits.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; OAM_EVENT_SIZE];
+        out[0..16].copy_from_slice(&self.queried_dst.octets());
+        out[16..32].copy_from_slice(&self.reply_to.octets());
+        out[32..34].copy_from_slice(&self.reply_port.to_be_bytes());
+        out[34] = self.nexthops.len().min(OAM_MAX_NEXTHOPS) as u8;
+        for (i, nh) in self.nexthops.iter().take(OAM_MAX_NEXTHOPS).enumerate() {
+            out[40 + i * 16..40 + (i + 1) * 16].copy_from_slice(&nh.octets());
+        }
+        out
+    }
+
+    /// Parses an event emitted by the `End.OAMP` program.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < OAM_EVENT_SIZE {
+            return None;
+        }
+        let addr = |off: usize| {
+            let mut a = [0u8; 16];
+            a.copy_from_slice(&data[off..off + 16]);
+            Ipv6Addr::from(a)
+        };
+        let count = usize::from(data[34]).min(OAM_MAX_NEXTHOPS);
+        let nexthops = (0..count).map(|i| addr(40 + i * 16)).collect();
+        Some(OamEvent {
+            queried_dst: addr(0),
+            reply_to: addr(16),
+            reply_port: u16::from_be_bytes([data[32], data[33]]),
+            nexthops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_event_roundtrip() {
+        let event = DelayEvent {
+            tx_timestamp_ns: 1_000,
+            rx_timestamp_ns: 4_500,
+            controller: "2001:db8::c0".parse().unwrap(),
+            controller_port: 9999,
+        };
+        let parsed = DelayEvent::parse(&event.to_bytes()).unwrap();
+        assert_eq!(parsed, event);
+        assert_eq!(parsed.one_way_delay_ns(), 3_500);
+        assert!(DelayEvent::parse(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn delay_is_saturating() {
+        let event = DelayEvent {
+            tx_timestamp_ns: 100,
+            rx_timestamp_ns: 50,
+            controller: Ipv6Addr::UNSPECIFIED,
+            controller_port: 0,
+        };
+        assert_eq!(event.one_way_delay_ns(), 0);
+    }
+
+    #[test]
+    fn oam_event_roundtrip() {
+        let event = OamEvent {
+            queried_dst: "2001:db8::1".parse().unwrap(),
+            reply_to: "2001:db8::99".parse().unwrap(),
+            reply_port: 33434,
+            nexthops: vec!["fe80::1".parse().unwrap(), "fe80::2".parse().unwrap()],
+        };
+        let parsed = OamEvent::parse(&event.to_bytes()).unwrap();
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn oam_event_truncates_to_max_nexthops() {
+        let many: Vec<Ipv6Addr> = (0..6).map(|i| format!("fe80::{i}").parse().unwrap()).collect();
+        let event = OamEvent {
+            queried_dst: Ipv6Addr::UNSPECIFIED,
+            reply_to: Ipv6Addr::UNSPECIFIED,
+            reply_port: 0,
+            nexthops: many,
+        };
+        let parsed = OamEvent::parse(&event.to_bytes()).unwrap();
+        assert_eq!(parsed.nexthops.len(), OAM_MAX_NEXTHOPS);
+    }
+}

@@ -1,0 +1,35 @@
+//! # srv6-nf — the paper's use-case network functions
+//!
+//! The point of the `End.BPF` hook is that operators can write their own
+//! SRv6 network functions as eBPF programs. This crate contains the three
+//! use cases of §4 (plus the Figure 2 microbenchmark programs), written as
+//! real eBPF bytecode against the `ebpf-vm` instruction set and loaded
+//! through the verifier with the SRv6 helper registry:
+//!
+//! * **Figure 2 programs** ([`progs::end_program`], [`progs::end_t_program`],
+//!   [`progs::tag_increment_program`], [`progs::add_tlv_program`]);
+//! * **Passive delay monitoring** (§4.1): [`progs::owd_encap_program`] on
+//!   the ingress LWT hook and [`progs::end_dm_program`] as an `End.BPF`
+//!   SID, with the [`daemons::DelayCollector`] user-space daemon;
+//! * **Hybrid access networks** (§4.2): the [`progs::wrr_encap_program`]
+//!   per-packet scheduler, its maps ([`progs::wrr_maps`]) and the
+//!   delay-compensation logic ([`daemons::compute_compensation`]);
+//! * **ECMP next-hop discovery** (§4.3): [`progs::end_oamp_program`], the
+//!   custom [`oam`] helper it calls and the
+//!   [`daemons::EcmpTraceroute`] client.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemons;
+pub mod events;
+pub mod oam;
+pub mod progs;
+
+pub use daemons::{compute_compensation, DelayCollector, DelayCompensation, EcmpTraceroute, TracerouteHop};
+pub use events::{DelayEvent, OamEvent, DELAY_EVENT_SIZE, OAM_EVENT_SIZE, OAM_MAX_NEXTHOPS};
+pub use oam::{helper_fib_ecmp_nexthops, oam_helper_registry, HELPER_FIB_ECMP_NEXTHOPS};
+pub use progs::{
+    add_tlv_program, end_dm_program, end_oamp_program, end_program, end_t_program, owd_encap_program,
+    tag_increment_program, wrr_encap_program, wrr_maps, OwdEncapConfig, ADD_TLV_TYPE,
+};

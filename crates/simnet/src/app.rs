@@ -1,0 +1,87 @@
+//! Host applications running on simulated nodes.
+//!
+//! The paper's experiments need more than packet forwarding: iperf3/nttcp
+//! style sources and sinks, the user-space daemons of §4.1 and §4.2, and
+//! the TCP endpoints of the hybrid-access study. They all plug into the
+//! simulator through the [`Application`] trait: the simulator calls them
+//! when a packet is delivered to their node or when one of their timers
+//! fires, and they respond by emitting packets and scheduling more timers
+//! through [`AppApi`].
+
+use netpkt::PacketBuf;
+
+/// Handle an application uses to interact with the simulator during a
+/// callback.
+pub struct AppApi<'a> {
+    /// Current simulation time in nanoseconds.
+    pub now_ns: u64,
+    /// Node the application runs on.
+    pub node_id: usize,
+    pub(crate) outbox: &'a mut Vec<(u64, PacketBuf)>,
+    pub(crate) timers: &'a mut Vec<(u64, u64)>,
+}
+
+impl<'a> AppApi<'a> {
+    /// Creates a detached API backed by caller-owned buffers. Intended for
+    /// unit-testing applications outside a running simulator: sends land in
+    /// `outbox` as `(time, packet)` pairs and timers in `timers` as
+    /// `(time, timer_id)` pairs.
+    pub fn detached(
+        now_ns: u64,
+        node_id: usize,
+        outbox: &'a mut Vec<(u64, PacketBuf)>,
+        timers: &'a mut Vec<(u64, u64)>,
+    ) -> Self {
+        AppApi { now_ns, node_id, outbox, timers }
+    }
+
+    /// Sends `packet` from this node (it enters the node's own datapath, as
+    /// a locally generated packet would).
+    pub fn send(&mut self, packet: PacketBuf) {
+        self.outbox.push((self.now_ns, packet));
+    }
+
+    /// Sends `packet` after `delay_ns` nanoseconds.
+    pub fn send_after(&mut self, delay_ns: u64, packet: PacketBuf) {
+        self.outbox.push((self.now_ns + delay_ns, packet));
+    }
+
+    /// Schedules `timer_id` to fire after `delay_ns` nanoseconds.
+    pub fn schedule_timer(&mut self, delay_ns: u64, timer_id: u64) {
+        self.timers.push((self.now_ns + delay_ns, timer_id));
+    }
+}
+
+/// A host application attached to a node.
+pub trait Application: Send {
+    /// Called when a packet is delivered to the node the application runs
+    /// on.
+    fn on_packet(&mut self, api: &mut AppApi<'_>, packet: &PacketBuf);
+
+    /// Called when a timer previously scheduled through
+    /// [`AppApi::schedule_timer`] fires.
+    fn on_timer(&mut self, api: &mut AppApi<'_>, timer_id: u64);
+
+    /// Called once when the simulation starts, so the application can seed
+    /// its first timers or packets.
+    fn on_start(&mut self, _api: &mut AppApi<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_api_records_sends_and_timers() {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        let mut api = AppApi::detached(100, 3, &mut outbox, &mut timers);
+        api.send(PacketBuf::from_slice(&[1]));
+        api.send_after(50, PacketBuf::from_slice(&[2]));
+        api.schedule_timer(10, 7);
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[0].0, 100);
+        assert_eq!(outbox[1].0, 150);
+        assert_eq!(timers, vec![(110, 7)]);
+    }
+}

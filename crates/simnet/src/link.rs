@@ -1,0 +1,214 @@
+//! Links between nodes: bandwidth, propagation delay, and a netem-style
+//! impairment model (jitter, loss, extra delay, bounded queue).
+//!
+//! The paper's experiments depend on link characteristics twice: the lab's
+//! 10 Gbps links of setup 1 (§3.2) and the emulated hybrid access links of
+//! setup 2 (§4.2), where `tc netem` limits one path to 50 Mbps / 30 ms ± 5 ms
+//! and the other to 30 Mbps / 5 ms ± 2 ms. [`LinkConfig`] models both.
+
+/// Nanoseconds per second, for rate computations.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Configuration of one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay in nanoseconds.
+    pub delay_ns: u64,
+    /// Uniform jitter added to the propagation delay, in nanoseconds
+    /// (a sample in `[-jitter_ns, +jitter_ns]` is drawn per packet).
+    pub jitter_ns: u64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Transmit queue capacity in bytes; packets that would have to wait
+    /// longer than `queue_bytes * 8 / bandwidth` are dropped (tail drop).
+    pub queue_bytes: u64,
+}
+
+impl LinkConfig {
+    /// A link with the given rate (bits per second) and one-way delay in
+    /// milliseconds, no jitter, no loss and a 256 KiB queue.
+    pub fn new(bandwidth_bps: u64, delay_ms: u64) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            delay_ns: delay_ms * 1_000_000,
+            jitter_ns: 0,
+            loss: 0.0,
+            queue_bytes: 256 * 1024,
+        }
+    }
+
+    /// A 10 Gbps lab link with a 50 µs one-way delay, as in the paper's
+    /// setup 1.
+    pub fn lab_10g() -> Self {
+        LinkConfig { bandwidth_bps: 10_000_000_000, delay_ns: 50_000, jitter_ns: 0, loss: 0.0, queue_bytes: 1024 * 1024 }
+    }
+
+    /// A 1 Gbps link with a negligible delay, as between the Turris Omnia
+    /// and its neighbours in setup 2.
+    pub fn gigabit() -> Self {
+        LinkConfig { bandwidth_bps: 1_000_000_000, delay_ns: 100_000, jitter_ns: 0, loss: 0.0, queue_bytes: 512 * 1024 }
+    }
+
+    /// Sets the jitter (nanoseconds).
+    pub fn with_jitter_ns(mut self, jitter_ns: u64) -> Self {
+        self.jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Sets the loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the queue capacity in bytes.
+    pub fn with_queue_bytes(mut self, queue_bytes: u64) -> Self {
+        self.queue_bytes = queue_bytes;
+        self
+    }
+
+    /// Serialisation time of `bytes` on this link, in nanoseconds.
+    pub fn serialization_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * 8).saturating_mul(NS_PER_SEC) / self.bandwidth_bps.max(1)
+    }
+
+    /// Maximum time a packet may spend waiting in the transmit queue before
+    /// being tail-dropped, in nanoseconds.
+    pub fn max_queue_wait_ns(&self) -> u64 {
+        self.queue_bytes.saturating_mul(8).saturating_mul(NS_PER_SEC) / self.bandwidth_bps.max(1)
+    }
+}
+
+/// Per-direction transmit state and statistics.
+#[derive(Debug, Default, Clone)]
+pub struct LinkDirectionState {
+    /// Time until which the transmitter is busy.
+    pub busy_until_ns: u64,
+    /// Extra fixed delay applied on top of the configured propagation delay
+    /// (the knob the delay-compensation daemon of §4.2 turns).
+    pub extra_delay_ns: u64,
+    /// Arrival time of the most recently delivered packet; a link is a FIFO
+    /// pipe, so jitter may stretch delays but never reorders packets within
+    /// one direction.
+    pub last_arrival_ns: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped because the queue was full.
+    pub queue_drops: u64,
+    /// Packets dropped by the random-loss model.
+    pub loss_drops: u64,
+}
+
+/// A bidirectional link between two node interfaces.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Endpoint A: (node id, interface index on that node).
+    pub a: (usize, u32),
+    /// Endpoint B: (node id, interface index on that node).
+    pub b: (usize, u32),
+    /// Configuration of the A→B direction.
+    pub config_ab: LinkConfig,
+    /// Configuration of the B→A direction.
+    pub config_ba: LinkConfig,
+    /// State of the A→B direction.
+    pub state_ab: LinkDirectionState,
+    /// State of the B→A direction.
+    pub state_ba: LinkDirectionState,
+}
+
+impl Link {
+    /// Creates a symmetric link.
+    pub fn symmetric(a: (usize, u32), b: (usize, u32), config: LinkConfig) -> Self {
+        Link { a, b, config_ab: config, config_ba: config, state_ab: Default::default(), state_ba: Default::default() }
+    }
+
+    /// The remote endpoint as seen from `node`, plus whether the direction
+    /// of travel is A→B.
+    pub fn peer_of(&self, node: usize) -> Option<((usize, u32), bool)> {
+        if self.a.0 == node {
+            Some((self.b, true))
+        } else if self.b.0 == node {
+            Some((self.a, false))
+        } else {
+            None
+        }
+    }
+
+    /// Configuration for the direction leaving `node`.
+    pub fn config_from(&self, node: usize) -> &LinkConfig {
+        if self.a.0 == node {
+            &self.config_ab
+        } else {
+            &self.config_ba
+        }
+    }
+
+    /// State for the direction leaving `node`.
+    pub fn state_from_mut(&mut self, node: usize) -> &mut LinkDirectionState {
+        if self.a.0 == node {
+            &mut self.state_ab
+        } else {
+            &mut self.state_ba
+        }
+    }
+
+    /// State for the direction leaving `node` (read-only).
+    pub fn state_from(&self, node: usize) -> &LinkDirectionState {
+        if self.a.0 == node {
+            &self.state_ab
+        } else {
+            &self.state_ba
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_scales_with_size_and_rate() {
+        let cfg = LinkConfig::new(1_000_000_000, 0);
+        assert_eq!(cfg.serialization_ns(125), 1_000); // 1000 bits at 1 Gbps = 1 µs
+        let slow = LinkConfig::new(50_000_000, 30);
+        assert_eq!(slow.serialization_ns(125), 20_000);
+        assert_eq!(slow.delay_ns, 30_000_000);
+    }
+
+    #[test]
+    fn queue_wait_bound_follows_capacity() {
+        let cfg = LinkConfig::new(1_000_000_000, 0).with_queue_bytes(125_000);
+        assert_eq!(cfg.max_queue_wait_ns(), 1_000_000); // 1 Mbit at 1 Gbps = 1 ms
+    }
+
+    #[test]
+    fn builders_clamp_loss() {
+        let cfg = LinkConfig::new(1, 0).with_loss(1.5);
+        assert_eq!(cfg.loss, 1.0);
+        let cfg = LinkConfig::new(1, 0).with_loss(-0.5);
+        assert_eq!(cfg.loss, 0.0);
+    }
+
+    #[test]
+    fn peer_and_direction_resolution() {
+        let link = Link::symmetric((0, 1), (1, 2), LinkConfig::gigabit());
+        assert_eq!(link.peer_of(0), Some(((1, 2), true)));
+        assert_eq!(link.peer_of(1), Some(((0, 1), false)));
+        assert_eq!(link.peer_of(9), None);
+        assert_eq!(link.config_from(0).bandwidth_bps, 1_000_000_000);
+    }
+
+    #[test]
+    fn presets_match_the_paper_setups() {
+        assert_eq!(LinkConfig::lab_10g().bandwidth_bps, 10_000_000_000);
+        assert_eq!(LinkConfig::gigabit().bandwidth_bps, 1_000_000_000);
+        // The hybrid-access links from §4.2: one-way delay is half the RTT.
+        let xdsl = LinkConfig::new(50_000_000, 15).with_jitter_ns(2_500_000);
+        let lte = LinkConfig::new(30_000_000, 2).with_jitter_ns(1_000_000);
+        assert!(xdsl.delay_ns > lte.delay_ns);
+    }
+}

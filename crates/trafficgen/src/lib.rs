@@ -1,0 +1,20 @@
+//! # trafficgen — workload generators for the SRv6 eBPF experiments
+//!
+//! The paper drives its evaluation with standard Linux tools: `trafgen`
+//! (SRv6 UDP streams, §3.2), `pktgen` (plain IPv6 streams, §4.1), `iperf3`
+//! (constant-rate UDP flows, §4.2) and `nttcp` (bulk TCP goodput, §4.2).
+//! This crate provides their equivalents for the `simnet` simulator:
+//!
+//! * [`udp`] — packet-batch builders and a constant-rate UDP source;
+//! * [`tcp`] — a compact Reno-style bulk sender/receiver pair whose
+//!   behaviour under packet reordering reproduces the hybrid-access TCP
+//!   results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod tcp;
+pub mod udp;
+
+pub use tcp::{TcpBulkReceiver, TcpBulkSender, TcpReceiverStats, TcpSenderStats, DEFAULT_MSS};
+pub use udp::{pktgen_ipv6_udp, schedule_burst, trafgen_srv6_udp, UdpFlowSource};

@@ -1,0 +1,193 @@
+//! UDP workload generators: the `trafgen`, `pktgen` and `iperf3 -u`
+//! equivalents used throughout the paper's evaluation.
+
+use netpkt::ipv6::proto;
+use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
+use netpkt::srh::{SegmentRoutingHeader, SrhTlv};
+use netpkt::PacketBuf;
+use simnet::{AppApi, Application, Simulator, NS_PER_SEC};
+use std::net::Ipv6Addr;
+
+/// Builds the packet stream `trafgen` produces in §3.2: UDP datagrams with
+/// a configurable payload and an SRH whose path is given in visiting order.
+/// Extra TLVs (e.g. a Delay-Measurement TLV) can be attached.
+pub fn trafgen_srv6_udp(
+    src: Ipv6Addr,
+    path: &[Ipv6Addr],
+    payload_len: usize,
+    tlvs: Vec<SrhTlv>,
+    count: usize,
+) -> Vec<PacketBuf> {
+    let mut srh = SegmentRoutingHeader::from_path(proto::UDP, path);
+    srh.tlvs = tlvs;
+    let payload = vec![0u8; payload_len];
+    (0..count)
+        .map(|i| build_srv6_udp_packet(src, &srh, 1024 + (i % 1024) as u16, 5001, &payload, 64))
+        .collect()
+}
+
+/// Builds the plain-IPv6 stream `pktgen` produces (no SRH).
+pub fn pktgen_ipv6_udp(src: Ipv6Addr, dst: Ipv6Addr, payload_len: usize, count: usize) -> Vec<PacketBuf> {
+    let payload = vec![0u8; payload_len];
+    (0..count)
+        .map(|i| build_ipv6_udp_packet(src, dst, 1024 + (i % 1024) as u16, 5001, &payload, 64))
+        .collect()
+}
+
+/// An `iperf3 -u`-style constant-rate UDP source, attachable to a simulator
+/// node.
+pub struct UdpFlowSource {
+    /// Source address (should be an address of the node the app runs on).
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP payload size in bytes.
+    pub payload_len: usize,
+    /// Target sending rate in bits per second (of UDP payload).
+    pub rate_bps: u64,
+    /// How long to transmit, in nanoseconds.
+    pub duration_ns: u64,
+    sent: u64,
+    elapsed_ns: u64,
+}
+
+impl UdpFlowSource {
+    /// Creates a source sending `payload_len`-byte datagrams at `rate_bps`
+    /// for `duration_ns`.
+    pub fn new(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        dst_port: u16,
+        payload_len: usize,
+        rate_bps: u64,
+        duration_ns: u64,
+    ) -> Self {
+        UdpFlowSource {
+            src,
+            dst,
+            src_port: 49_152,
+            dst_port,
+            payload_len,
+            rate_bps,
+            duration_ns,
+            sent: 0,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Number of datagrams sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn interval_ns(&self) -> u64 {
+        let bits_per_packet = (self.payload_len as u64) * 8;
+        (bits_per_packet * NS_PER_SEC / self.rate_bps.max(1)).max(1)
+    }
+
+    fn emit(&mut self, api: &mut AppApi<'_>) {
+        let payload = vec![0u8; self.payload_len];
+        let pkt = build_ipv6_udp_packet(self.src, self.dst, self.src_port, self.dst_port, &payload, 64);
+        api.send(pkt);
+        self.sent += 1;
+    }
+}
+
+impl Application for UdpFlowSource {
+    fn on_start(&mut self, api: &mut AppApi<'_>) {
+        self.emit(api);
+        api.schedule_timer(self.interval_ns(), 0);
+    }
+
+    fn on_packet(&mut self, _api: &mut AppApi<'_>, _packet: &PacketBuf) {}
+
+    fn on_timer(&mut self, api: &mut AppApi<'_>, _timer_id: u64) {
+        self.elapsed_ns += self.interval_ns();
+        if self.elapsed_ns >= self.duration_ns {
+            return;
+        }
+        self.emit(api);
+        api.schedule_timer(self.interval_ns(), 0);
+    }
+}
+
+/// Schedules a pre-built packet burst into a simulator at a constant packet
+/// rate, as `trafgen` does on S1 (open-loop source).
+pub fn schedule_burst(sim: &mut Simulator, node: usize, packets: Vec<PacketBuf>, start_ns: u64, rate_pps: u64) {
+    let interval = NS_PER_SEC / rate_pps.max(1);
+    for (i, pkt) in packets.into_iter().enumerate() {
+        sim.inject_at(start_ns + i as u64 * interval, node, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::srh::TlvKind;
+    use netpkt::ParsedPacket;
+    use seg6_core::Nexthop;
+    use simnet::LinkConfig;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn trafgen_builds_srv6_packets_with_tlvs() {
+        let pkts = trafgen_srv6_udp(
+            addr("2001:db8::1"),
+            &[addr("fc00::1"), addr("fc00::2")],
+            64,
+            vec![SrhTlv::DelayMeasurement { tx_timestamp_ns: 9 }],
+            5,
+        );
+        assert_eq!(pkts.len(), 5);
+        for pkt in &pkts {
+            let parsed = ParsedPacket::parse(pkt.data()).unwrap();
+            let srh = &parsed.require_srh().unwrap().srh;
+            assert_eq!(srh.current_segment(), Some(addr("fc00::1")));
+            assert!(srh.find_tlv(TlvKind::DelayMeasurement).is_some());
+            assert_eq!(parsed.transport_proto, proto::UDP);
+        }
+    }
+
+    #[test]
+    fn pktgen_builds_plain_packets() {
+        let pkts = pktgen_ipv6_udp(addr("2001:db8::1"), addr("2001:db8::2"), 100, 3);
+        assert_eq!(pkts.len(), 3);
+        assert!(ParsedPacket::parse(pkts[0].data()).unwrap().srh.is_none());
+        assert_eq!(pkts[0].len(), 40 + 8 + 100);
+    }
+
+    #[test]
+    fn udp_flow_source_respects_rate_and_duration() {
+        let mut sim = Simulator::new(9);
+        let a = sim.add_node("A", addr("fc00::1"));
+        let b = sim.add_node("B", addr("fc00::2"));
+        sim.connect(a, b, LinkConfig::gigabit());
+        sim.node_mut(a).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+        // 8 Mbps of 1000-byte payloads for 100 ms = 100 packets.
+        let source = UdpFlowSource::new(addr("fc00::1"), addr("fc00::2"), 5001, 1000, 8_000_000, 100_000_000);
+        sim.add_app(a, Box::new(source));
+        sim.run_until(2 * NS_PER_SEC);
+        let sink = sim.node(b).sink(5001);
+        assert!((95..=101).contains(&sink.packets), "packets {}", sink.packets);
+    }
+
+    #[test]
+    fn schedule_burst_paces_injections() {
+        let mut sim = Simulator::new(10);
+        let a = sim.add_node("A", addr("fc00::1"));
+        let b = sim.add_node("B", addr("fc00::2"));
+        sim.connect(a, b, LinkConfig::lab_10g());
+        sim.node_mut(a).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+        let pkts = pktgen_ipv6_udp(addr("fc00::1"), addr("fc00::2"), 64, 50);
+        schedule_burst(&mut sim, a, pkts, 0, 1_000_000);
+        sim.run_to_completion();
+        assert_eq!(sim.node(b).sink(5001).packets, 50);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: install an `End.BPF` SID on a router and forward one SRv6
+//! packet through it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ebpf_vm::asm::assemble;
+use ebpf_vm::program::{load, Program, ProgramType};
+use netpkt::packet::build_srv6_udp_packet;
+use netpkt::srh::SegmentRoutingHeader;
+use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+fn main() {
+    // A router R with one SRv6 SID. Its FIB routes everything in fc00::/16
+    // towards interface 2.
+    let mut router = Seg6Datapath::new("fc00::1".parse().unwrap());
+    router.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
+
+    // The operator writes an SRv6 network function as eBPF text assembly:
+    // count packets in the mark field and let them continue (BPF_OK).
+    let source = r"
+        ; r1 = ctx. Read the mark, increment it, write it back.
+        ldxw r2, [r1+24]
+        add64 r2, 1
+        stxw [r1+24], r2
+        mov64 r0, 0          ; BPF_OK
+        exit
+    ";
+    let insns = assemble(source).expect("assembly");
+    let program = Program::new("quickstart_counter", ProgramType::LwtSeg6Local, insns);
+    let loaded = load(program, &HashMap::new(), &router.helpers).expect("the verifier accepts the program");
+    println!("loaded '{}' ({} instructions, verifier processed {})",
+        loaded.program.name, loaded.program.len(), loaded.verifier_stats.insns_processed);
+
+    // Bind it to the SID fc00::1:e as an End.BPF action.
+    router.add_local_sid("fc00::1:e".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+
+    // Build an SRv6 packet whose segment list visits that SID first.
+    let path: Vec<Ipv6Addr> = vec!["fc00::1:e".parse().unwrap(), "fc00::2:42".parse().unwrap()];
+    let srh = SegmentRoutingHeader::from_path(netpkt::proto::UDP, &path);
+    let packet = build_srv6_udp_packet("2001:db8::1".parse().unwrap(), &srh, 1024, 5001, &[0u8; 64], 64);
+
+    let mut skb = Skb::new(packet);
+    let verdict = router.process(&mut skb, 0);
+    println!("verdict: {verdict:?}");
+    println!("packet mark after the program ran: {}", skb.mark);
+    println!(
+        "datapath stats: received={} forwarded={} seg6local={} bpf={}",
+        router.stats.received,
+        router.stats.forwarded,
+        router.stats.seg6local_invocations,
+        router.stats.bpf_invocations
+    );
+    assert!(verdict.is_forward());
+    assert_eq!(skb.mark, 1);
+    println!("quickstart OK: the End.BPF program ran and the packet was forwarded to the next segment");
+}

@@ -1,0 +1,31 @@
+//! # srv6-ebpf-lab
+//!
+//! Umbrella crate of the reproduction of *Leveraging eBPF for programmable
+//! network functions with IPv6 Segment Routing* (CoNEXT 2018). It re-exports
+//! the workspace crates so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`netpkt`] — IPv6 / SRH / UDP / TCP / ICMPv6 wire formats;
+//! * [`ebpf_vm`] — the eBPF virtual machine (ISA, verifier, interpreter,
+//!   JIT, maps, helpers, perf events);
+//! * [`seg6_core`] — the SRv6 data plane with the `End.BPF` action and the
+//!   four SRv6 helpers (the paper's contribution);
+//! * [`simnet`] — the discrete-event network simulator standing in for the
+//!   paper's physical lab;
+//! * [`srv6_nf`] — the use-case network functions (delay monitoring, hybrid
+//!   access WRR, ECMP discovery) written as eBPF bytecode;
+//! * [`trafficgen`] — workload generators and the Reno TCP model.
+//!
+//! See the `examples/` directory for runnable walkthroughs of each use case
+//! and the `bench` crate for the harness regenerating every figure of the
+//! paper's evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ebpf_vm;
+pub use netpkt;
+pub use seg6_core;
+pub use simnet;
+pub use srv6_nf;
+pub use trafficgen;

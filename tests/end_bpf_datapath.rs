@@ -1,0 +1,109 @@
+//! Cross-crate integration tests: eBPF programs written with the assembler
+//! or the builders, loaded through the verifier, executed by the seg6
+//! datapath inside the simulator.
+
+use ebpf_vm::asm::assemble;
+use ebpf_vm::program::{load, Program, ProgramType};
+use netpkt::ipv6::proto;
+use netpkt::packet::build_srv6_udp_packet;
+use netpkt::srh::SegmentRoutingHeader;
+use seg6_core::{Nexthop, Seg6LocalAction};
+use simnet::{LinkConfig, Simulator};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+fn addr(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+/// An SRv6 packet traverses a three-node chain in the simulator; the middle
+/// router executes an End.BPF program that drops packets whose SRH tag is
+/// odd and forwards the rest.
+#[test]
+fn end_bpf_filters_packets_inside_the_simulator() {
+    let mut sim = Simulator::new(7);
+    let s1 = sim.add_node("S1", addr("fc00::a1"));
+    let r = sim.add_node("R", addr("fc00::11"));
+    let s2 = sim.add_node("S2", addr("fc00::a2"));
+    let (_, _, r_left) = sim.connect(s1, r, LinkConfig::lab_10g());
+    let (_, r_right, _) = sim.connect(r, s2, LinkConfig::lab_10g());
+
+    sim.node_mut(s1).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+    {
+        let dp = &mut sim.node_mut(r).datapath;
+        dp.add_route("fc00::a2/128".parse().unwrap(), vec![Nexthop::direct(r_right)]);
+        dp.add_route("fc00::a1/128".parse().unwrap(), vec![Nexthop::direct(r_left)]);
+    }
+
+    // Drop packets whose SRH tag (offset 46 from the start of the packet)
+    // is odd; forward the others.
+    let source = r"
+        ldxdw r6, [r1+0]      ; packet data
+        ldxb r2, [r6+47]      ; low-order byte of the SRH tag (network order)
+        and64 r2, 1
+        jeq r2, 0, keep
+        mov64 r0, 2           ; BPF_DROP
+        exit
+    keep:
+        mov64 r0, 0           ; BPF_OK
+        exit
+    ";
+    let insns = assemble(source).unwrap();
+    let prog = Program::new("tag_filter", ProgramType::LwtSeg6Local, insns);
+    let loaded = {
+        let dp = &sim.node_mut(r).datapath;
+        load(prog, &HashMap::new(), &dp.helpers).unwrap()
+    };
+    sim.node_mut(r)
+        .datapath
+        .add_local_sid("fc00::11/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+
+    // Send 10 packets, alternating tag parity.
+    for i in 0..10u16 {
+        let mut srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::11"), addr("fc00::a2")]);
+        srh.tag = i;
+        let pkt = build_srv6_udp_packet(addr("fc00::a1"), &srh, 1024, 5001, &[0u8; 64], 64);
+        sim.inject_at(u64::from(i) * 10_000, s1, pkt);
+    }
+    sim.run_to_completion();
+
+    // Only the five even-tagged packets arrive.
+    assert_eq!(sim.node(s2).sink(5001).packets, 5);
+    assert_eq!(sim.node(r).datapath.stats.bpf_invocations, 10);
+    assert_eq!(sim.node(r).datapath.stats.dropped_for(seg6_core::DropReason::BpfDrop), 5);
+}
+
+/// The same program gives identical results through the interpreter and the
+/// pre-decoded JIT when run over the full datapath.
+#[test]
+fn interpreter_and_jit_agree_on_the_datapath() {
+    for use_jit in [false, true] {
+        let mut dp = seg6_core::Seg6Datapath::new(addr("fc00::1"));
+        dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
+        let prog = srv6_nf::tag_increment_program();
+        let loaded = load(prog, &HashMap::new(), &dp.helpers).unwrap();
+        dp.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit });
+
+        let srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::e1"), addr("fc00::99")]);
+        let pkt = build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1, 2, &[0u8; 32], 64);
+        let mut skb = seg6_core::Skb::new(pkt);
+        assert!(dp.process(&mut skb, 0).is_forward());
+        let parsed = netpkt::ParsedPacket::parse(skb.packet.data()).unwrap();
+        assert_eq!(parsed.require_srh().unwrap().srh.tag, 1, "use_jit = {use_jit}");
+    }
+}
+
+/// Helper gating is enforced end to end: an lwt_xmit program cannot call a
+/// seg6local-only helper, and vice versa.
+#[test]
+fn helper_gating_is_enforced_at_load_time() {
+    let dp = seg6_core::Seg6Datapath::new(addr("fc00::1"));
+    // push_encap (73) from a seg6local program: rejected.
+    let insns = assemble("mov64 r2, 0\nmov64 r3, 0\nmov64 r4, 0\ncall 73\nexit").unwrap();
+    let prog = Program::new("bad1", ProgramType::LwtSeg6Local, insns);
+    assert!(load(prog, &HashMap::new(), &dp.helpers).is_err());
+    // seg6_store_bytes (74) from an lwt_xmit program: rejected.
+    let insns = assemble("mov64 r2, 6\nmov64 r3, 0\nmov64 r4, 2\ncall 74\nexit").unwrap();
+    let prog = Program::new("bad2", ProgramType::LwtXmit, insns);
+    assert!(load(prog, &HashMap::new(), &dp.helpers).is_err());
+}
