@@ -16,9 +16,7 @@ use std::time::Duration;
 fn srv6_packet_with_segments(n: usize) -> Vec<u8> {
     let path: Vec<Ipv6Addr> = (0..n).map(|i| format!("fc00:1::e{i:x}").parse().unwrap()).collect();
     let srh = SegmentRoutingHeader::from_path(proto::UDP, &path);
-    build_srv6_udp_packet("2001:db8::1".parse().unwrap(), &srh, 1024, 5001, &[0u8; 64], 64)
-        .data()
-        .to_vec()
+    build_srv6_udp_packet("2001:db8::1".parse().unwrap(), &srh, 1024, 5001, &[0u8; 64], 64).data().to_vec()
 }
 
 fn bench_srh_size_sweep(c: &mut Criterion) {

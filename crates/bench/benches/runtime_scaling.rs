@@ -1,0 +1,207 @@
+//! Criterion bench for the multi-queue runtime: how much batching buys on
+//! one core, and how aggregate packets/sec scale as worker shards are
+//! added, for the `End`, `Tag++` and WRR hybrid-access programs.
+//!
+//! The interesting comparison (the one the paper's deployment story needs)
+//! is `wrr/single_packet` — the one-at-a-time path the seed used — against
+//! `wrr/batched_Nworkers`: RSS-steered, batched, with per-worker program
+//! instances and private WRR map state.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ebpf_vm::MapHandle;
+use netpkt::ipv6::proto;
+use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
+use netpkt::srh::SegmentRoutingHeader;
+use netpkt::{Ipv6Prefix, PacketBuf};
+use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+use seg6_runtime::{Runtime, RuntimeConfig};
+use srv6_nf::{end_program, tag_increment_program, wrr_encap_program, wrr_maps};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use std::time::Duration;
+
+/// Packets per measured iteration (and the element count for throughput).
+const POOL: usize = 1024;
+
+fn addr(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+fn endpoint_sid() -> Ipv6Addr {
+    addr("fc00:1::e")
+}
+
+/// A pool of SRv6 packets aimed at the endpoint SID, spread over many
+/// flows so RSS steering distributes them.
+fn srv6_pool() -> Vec<PacketBuf> {
+    (0..POOL)
+        .map(|i| {
+            let srh = SegmentRoutingHeader::from_path(proto::UDP, &[endpoint_sid(), addr("fc00:2::d2")]);
+            build_srv6_udp_packet(
+                addr(&format!("2001:db8::{:x}", i + 1)),
+                &srh,
+                (1024 + i % 512) as u16,
+                5001,
+                &[0u8; 64],
+                64,
+            )
+        })
+        .collect()
+}
+
+/// A pool of plain IPv6/UDP packets towards the WRR-scheduled prefix.
+fn wrr_pool() -> Vec<PacketBuf> {
+    (0..POOL)
+        .map(|i| {
+            build_ipv6_udp_packet(
+                addr(&format!("2001:db8:1::{:x}", i + 1)),
+                addr(&format!("2001:db8:2::{:x}", i % 64 + 1)),
+                (1024 + i % 512) as u16,
+                5001,
+                &[0u8; 64],
+                64,
+            )
+        })
+        .collect()
+}
+
+/// A datapath running `action_prog` as an End.BPF SID, pinned to `cpu`.
+fn endpoint_datapath(prog: fn() -> ebpf_vm::Program, cpu: u32) -> Seg6Datapath {
+    let mut dp = Seg6Datapath::new(addr("fc00:1::1")).on_cpu(cpu);
+    dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
+    let loaded = ebpf_vm::program::load(prog(), &HashMap::new(), &dp.helpers).expect("program");
+    dp.add_local_sid(
+        Ipv6Prefix::host(endpoint_sid()),
+        Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
+    );
+    dp
+}
+
+/// A datapath running the WRR hybrid-access scheduler on the downstream
+/// prefix, with its own private WRR state (per-worker, as each CPU of a
+/// real deployment keeps its own deficit counters).
+fn wrr_datapath_with_prog(cpu: u32) -> (Seg6Datapath, std::sync::Arc<ebpf_vm::LoadedProgram>) {
+    let (sid0, sid1) = (addr("fc00:a::1"), addr("fc00:b::1"));
+    let mut dp = Seg6Datapath::new(addr("fc00::aa")).on_cpu(cpu);
+    dp.add_route(Ipv6Prefix::host(sid0), vec![Nexthop::direct(2)]);
+    dp.add_route(Ipv6Prefix::host(sid1), vec![Nexthop::direct(3)]);
+    dp.add_route("2001:db8:2::/48".parse().unwrap(), vec![Nexthop::direct(2)]);
+    let (state, config) = wrr_maps(5, 3, sid0, sid1);
+    let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+    maps.insert(2, state);
+    maps.insert(3, config);
+    let prog = ebpf_vm::program::load(wrr_encap_program(2, 3), &maps, &dp.helpers).expect("WRR program");
+    dp.attach_lwt_bpf(
+        "2001:db8:2::/48".parse().unwrap(),
+        LwtBpfAttachment { hook: LwtHook::Xmit, prog: prog.clone(), use_jit: true },
+    );
+    (dp, prog)
+}
+
+fn wrr_datapath(cpu: u32) -> Seg6Datapath {
+    wrr_datapath_with_prog(cpu).0
+}
+
+/// Single-thread, single-packet baseline: the seed's execution model.
+fn run_per_packet(dp: &mut Seg6Datapath, pool: &[PacketBuf]) -> u64 {
+    let mut forwarded = 0;
+    for packet in pool {
+        let mut skb = Skb::new(packet.clone());
+        if dp.process(&mut skb, 0).is_forward() {
+            forwarded += 1;
+        }
+    }
+    forwarded
+}
+
+/// Single-thread batched path (same datapath, batch API).
+fn run_batched(dp: &mut Seg6Datapath, pool: &[PacketBuf], batch: usize) -> u64 {
+    let mut forwarded = 0;
+    for chunk in pool.chunks(batch) {
+        let mut skbs: Vec<Skb> = chunk.iter().map(|p| Skb::new(p.clone())).collect();
+        forwarded += dp.process_batch(&mut skbs, 0).iter().filter(|v| v.is_forward()).count() as u64;
+    }
+    forwarded
+}
+
+fn bench_batch_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_batch");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(POOL as u64));
+
+    let pool = srv6_pool();
+    for (name, prog) in [("end_bpf", end_program as fn() -> _), ("tag_inc", tag_increment_program)] {
+        let mut dp = endpoint_datapath(prog, 0);
+        group.bench_function(format!("{name}/per_packet"), |b| b.iter(|| run_per_packet(&mut dp, &pool)));
+        let mut dp = endpoint_datapath(prog, 0);
+        group.bench_function(format!("{name}/batched32"), |b| b.iter(|| run_batched(&mut dp, &pool, 32)));
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(POOL as u64));
+
+    let pool = wrr_pool();
+    println!(
+        "host parallelism: {} core(s) — multi-worker rows only scale past one worker on multicore hosts",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // The seed's runtime model: one thread, one packet at a time, and the
+    // JIT image re-derived on every invocation (this PR moved compilation
+    // to load time; the extra `jit::compile` reproduces the removed cost).
+    let (mut dp, prog) = wrr_datapath_with_prog(0);
+    group.bench_function("wrr/single_packet_seed", |b| {
+        b.iter(|| {
+            let mut forwarded = 0u64;
+            for packet in &pool {
+                criterion::black_box(ebpf_vm::jit::compile(&prog).expect("compiles"));
+                let mut skb = Skb::new(packet.clone());
+                if dp.process(&mut skb, 0).is_forward() {
+                    forwarded += 1;
+                }
+            }
+            forwarded
+        })
+    });
+
+    // The current single-packet path (load-time compilation, no batching).
+    let mut dp = wrr_datapath(0);
+    group.bench_function("wrr/single_packet", |b| b.iter(|| run_per_packet(&mut dp, &pool)));
+
+    // The runtime: RSS steering, batches of 32, N worker threads.
+    for workers in [1u32, 2, 4, 8] {
+        let config = RuntimeConfig { workers, batch_size: 32, ..Default::default() };
+        let mut runtime = Runtime::new(config, wrr_datapath);
+        group.bench_function(format!("wrr/batched_{workers}workers"), |b| {
+            b.iter(|| {
+                runtime.enqueue_all(pool.iter().cloned());
+                runtime.run_threaded(0).forwarded
+            })
+        });
+    }
+
+    // End.BPF through the runtime, for the endpoint-function flavour.
+    for workers in [1u32, 4] {
+        let config = RuntimeConfig { workers, batch_size: 32, ..Default::default() };
+        let mut runtime = Runtime::new(config, |cpu| endpoint_datapath(end_program, cpu));
+        let pool = srv6_pool();
+        group.bench_function(format!("end_bpf/batched_{workers}workers"), |b| {
+            b.iter(|| {
+                runtime.enqueue_all(pool.iter().cloned());
+                runtime.run_threaded(0).forwarded
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_speedup, bench_worker_scaling);
+criterion_main!(benches);

@@ -91,7 +91,11 @@ pub fn build_scenario(variant: Fig2Variant) -> Fig2Scenario {
     // holds the same route so static and BPF End.T behave identically.
     dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
     dp.add_route("2001:db8::/32".parse().unwrap(), vec![Nexthop::via("fe80::3".parse().unwrap(), 3)]);
-    dp.add_route_in_table(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via("fe80::2".parse().unwrap(), 2)]);
+    dp.add_route_in_table(
+        100,
+        "fc00::/16".parse().unwrap(),
+        vec![Nexthop::via("fe80::2".parse().unwrap(), 2)],
+    );
 
     let action = match variant {
         Fig2Variant::PlainForwarding => None,
@@ -121,7 +125,8 @@ pub fn build_scenario(variant: Fig2Variant) -> Fig2Scenario {
 }
 
 fn load_bpf(dp: &Seg6Datapath, prog: ebpf_vm::Program, use_jit: bool) -> Seg6LocalAction {
-    let loaded = ebpf_vm::program::load(prog, &HashMap::new(), &dp.helpers).expect("figure-2 program must verify");
+    let loaded =
+        ebpf_vm::program::load(prog, &HashMap::new(), &dp.helpers).expect("figure-2 program must verify");
     Seg6LocalAction::EndBpf { prog: loaded, use_jit }
 }
 
@@ -184,12 +189,7 @@ pub fn run(count: usize) -> Vec<Fig2Row> {
             } else {
                 build_scenario(variant).measure_pps(count)
             };
-            Fig2Row {
-                variant,
-                pps,
-                normalized: pps / baseline,
-                paper_normalized: paper_reference(variant),
-            }
+            Fig2Row { variant, pps, normalized: pps / baseline, paper_normalized: paper_reference(variant) }
         })
         .collect()
 }

@@ -136,8 +136,12 @@ pub fn build_scenario(variant: Fig3Variant) -> Fig3Scenario {
             let perf_handle: MapHandle = perf.clone();
             let mut maps = HashMap::new();
             maps.insert(1u32, perf_handle);
-            let loaded = ebpf_vm::program::load(end_dm_program(1), &maps, &dp.helpers).expect("End.DM program");
-            dp.add_local_sid(netpkt::Ipv6Prefix::host(dm_sid()), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+            let loaded =
+                ebpf_vm::program::load(end_dm_program(1), &maps, &dp.helpers).expect("End.DM program");
+            dp.add_local_sid(
+                netpkt::Ipv6Prefix::host(dm_sid()),
+                Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
+            );
             collector = Some(DelayCollector::new(perf.perf_buffer().expect("perf buffer")));
 
             // Build the probe by running the encapsulation program once on
@@ -150,7 +154,8 @@ pub fn build_scenario(variant: Fig3Variant) -> Fig3Scenario {
                 controller_port: 9999,
                 ratio: 1,
             });
-            let encap = ebpf_vm::program::load(encap, &HashMap::new(), &ingress.helpers).expect("encap program");
+            let encap =
+                ebpf_vm::program::load(encap, &HashMap::new(), &ingress.helpers).expect("encap program");
             ingress.attach_lwt_bpf(
                 "2001:db8:2::/48".parse().unwrap(),
                 LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
@@ -204,14 +209,20 @@ pub struct Fig3Row {
 
 /// Runs the whole Figure 3 experiment.
 pub fn run(count: usize) -> Vec<Fig3Row> {
-    let baseline = build_scenario(Fig3Variant::PlainForwarding).measure_pps(count);
+    // The process warms up measurably over the first measurement (allocator
+    // pools, branch predictors, frequency scaling), so a single up-front
+    // reference skews every later ratio. Discard one warm-up run, then
+    // re-measure the reference right next to each variant and normalise to
+    // the adjacent measurement.
+    build_scenario(Fig3Variant::PlainForwarding).measure_pps(count);
     Fig3Variant::all()
         .into_iter()
         .map(|variant| {
-            let pps = if variant == Fig3Variant::PlainForwarding {
-                baseline
+            let pps = build_scenario(variant).measure_pps(count);
+            let baseline = if variant == Fig3Variant::PlainForwarding {
+                pps
             } else {
-                build_scenario(variant).measure_pps(count)
+                build_scenario(Fig3Variant::PlainForwarding).measure_pps(count)
             };
             Fig3Row { variant, pps, normalized: pps / baseline, paper_normalized: variant.paper_normalized() }
         })

@@ -46,11 +46,19 @@ pub mod addrs {
     }
     /// Aggregation-box SID reachable over link 0 / link 1.
     pub fn agg_sid(path: usize) -> Ipv6Addr {
-        if path == 0 { "fd00::a1".parse().unwrap() } else { "fd00::a2".parse().unwrap() }
+        if path == 0 {
+            "fd00::a1".parse().unwrap()
+        } else {
+            "fd00::a2".parse().unwrap()
+        }
     }
     /// CPE SID reachable over link 0 / link 1.
     pub fn cpe_sid(path: usize) -> Ipv6Addr {
-        if path == 0 { "fd00::b1".parse().unwrap() } else { "fd00::b2".parse().unwrap() }
+        if path == 0 {
+            "fd00::b1".parse().unwrap()
+        } else {
+            "fd00::b2".parse().unwrap()
+        }
     }
 }
 
@@ -102,7 +110,12 @@ pub struct HybridTopology {
 /// Builds the hybrid topology with the given per-link configurations and
 /// CPE CPU profile. Routing and the four `End.DT6` SIDs are installed; the
 /// WRR programs are installed separately by the experiments.
-pub fn build_topology(link0: LinkConfig, link1: LinkConfig, cpe_cpu: CpuProfile, seed: u64) -> HybridTopology {
+pub fn build_topology(
+    link0: LinkConfig,
+    link1: LinkConfig,
+    cpe_cpu: CpuProfile,
+    seed: u64,
+) -> HybridTopology {
     let mut sim = Simulator::new(seed);
     let s1 = sim.add_node("S1", addrs::s1());
     let agg = sim.add_node("A", addrs::agg());
@@ -130,8 +143,14 @@ pub fn build_topology(link0: LinkConfig, link1: LinkConfig, cpe_cpu: CpuProfile,
         dp.add_route("2001:db8:2::/48".parse().unwrap(), vec![Nexthop::direct(agg_if_l0)]);
         dp.add_route(netpkt::Ipv6Prefix::host(addrs::cpe()), vec![Nexthop::direct(agg_if_l0)]);
         // Upstream decapsulation SIDs.
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(addrs::agg_sid(0)), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(addrs::agg_sid(1)), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
+        dp.add_local_sid(
+            netpkt::Ipv6Prefix::host(addrs::agg_sid(0)),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
+        dp.add_local_sid(
+            netpkt::Ipv6Prefix::host(addrs::agg_sid(1)),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
     }
 
     // CPE routing.
@@ -145,8 +164,14 @@ pub fn build_topology(link0: LinkConfig, link1: LinkConfig, cpe_cpu: CpuProfile,
         dp.add_route("2001:db8:1::/48".parse().unwrap(), vec![Nexthop::direct(cpe_if_l1)]);
         dp.add_route(netpkt::Ipv6Prefix::host(addrs::agg()), vec![Nexthop::direct(cpe_if_l1)]);
         // Downstream decapsulation SIDs.
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(addrs::cpe_sid(0)), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(addrs::cpe_sid(1)), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
+        dp.add_local_sid(
+            netpkt::Ipv6Prefix::host(addrs::cpe_sid(0)),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
+        dp.add_local_sid(
+            netpkt::Ipv6Prefix::host(addrs::cpe_sid(1)),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
     }
 
     HybridTopology { sim, s1, agg, cpe, s2, links: [l0, l1] }
@@ -185,7 +210,8 @@ pub struct Fig4Point {
 /// Runs one Figure 4 point: a 1 Gbps UDP flow of `payload`-byte datagrams
 /// through the CPE for `duration_ns` of simulated time.
 pub fn run_fig4_point(mode: Fig4Mode, payload: usize, duration_ns: u64, seed: u64) -> Fig4Point {
-    let mut topo = build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::turris_omnia(), seed);
+    let mut topo =
+        build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::turris_omnia(), seed);
     let port = 5001;
     match mode {
         Fig4Mode::PlainForwarding => {}
@@ -202,7 +228,14 @@ pub fn run_fig4_point(mode: Fig4Mode, payload: usize, duration_ns: u64, seed: u6
             // Upstream: the CPE schedules its own traffic over both links
             // towards the aggregation box, which decapsulates. The JIT is
             // disabled, as on the paper's ARM32 CPE.
-            install_wrr(&mut topo.sim, topo.cpe, "2001:db8:1::/48", (addrs::agg_sid(0), addrs::agg_sid(1)), (1, 1), false);
+            install_wrr(
+                &mut topo.sim,
+                topo.cpe,
+                "2001:db8:1::/48",
+                (addrs::agg_sid(0), addrs::agg_sid(1)),
+                (1, 1),
+                false,
+            );
         }
     }
     // Source and sink depend on the direction.
@@ -222,7 +255,7 @@ pub fn run_fig4(payloads: &[usize], duration_ns: u64) -> Vec<Fig4Point> {
     let mut points = Vec::new();
     for mode in Fig4Mode::all() {
         for &payload in payloads {
-            points.push(run_fig4_point(mode, payload, duration_ns, 0xf1_64));
+            points.push(run_fig4_point(mode, payload, duration_ns, 0xf164));
         }
     }
     points
@@ -258,19 +291,44 @@ pub struct TcpRunResult {
 /// each link and timing its arrival at the client, reproducing the TWD
 /// measurement the paper's daemon performs.
 pub fn measure_path_delays(seed: u64) -> (u64, u64) {
+    // One probe per path samples the jitter, not the path: with +/- 2.5 ms
+    // of jitter a single sample can misestimate the skew by several
+    // milliseconds, which is enough residual reordering to defeat the
+    // compensation. Like the paper's daemon, probe each path repeatedly
+    // (spaced beyond the jitter correlation time) and keep the minimum,
+    // which converges on the propagation delay.
+    const PROBES: u16 = 5;
     let (link0, link1) = hybrid_access_links();
     let mut topo = build_topology(link0, link1, CpuProfile::turris_omnia(), seed);
-    let inject_ns = 1_000_000;
-    for path in 0..2 {
-        let inner = build_ipv6_udp_packet(addrs::agg(), addrs::s2(), 7000, 7770 + path as u16, &[0u8; 32], 64);
-        let mut packet = inner.data().to_vec();
-        let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addrs::cpe_sid(path)]);
-        srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addrs::agg()).expect("probe encapsulation");
-        topo.sim.inject_at(inject_ns, topo.agg, PacketBuf::from_slice(&packet));
+    for probe in 0..PROBES {
+        let inject_ns = 1_000_000 + u64::from(probe) * 50_000_000;
+        for path in 0..2u16 {
+            let inner = build_ipv6_udp_packet(
+                addrs::agg(),
+                addrs::s2(),
+                7000,
+                7700 + path * 100 + probe,
+                &[0u8; 32],
+                64,
+            );
+            let mut packet = inner.data().to_vec();
+            let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addrs::cpe_sid(path as usize)]);
+            srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addrs::agg())
+                .expect("probe encapsulation");
+            topo.sim.inject_at(inject_ns, topo.agg, PacketBuf::from_slice(&packet));
+        }
     }
     topo.sim.run_until(2 * NS_PER_SEC);
-    let owd = |port: u16| topo.sim.node(topo.s2).sink(port).first_arrival_ns.saturating_sub(inject_ns);
-    (owd(7770), owd(7771))
+    let owd = |base: u16| {
+        (0..PROBES)
+            .map(|probe| {
+                let inject_ns = 1_000_000 + u64::from(probe) * 50_000_000;
+                topo.sim.node(topo.s2).sink(base + probe).first_arrival_ns.saturating_sub(inject_ns)
+            })
+            .min()
+            .unwrap_or(0)
+    };
+    (owd(7700), owd(7800))
 }
 
 /// Runs the §4.2 TCP experiment: `flows` parallel bulk transfers from S1 to
@@ -281,7 +339,14 @@ pub fn run_tcp(compensated: bool, flows: usize, duration_ns: u64, seed: u64) -> 
     let mut topo = build_topology(link0, link1, CpuProfile::turris_omnia(), seed);
     // Downstream WRR on the aggregation box, weights matching the 50/30
     // capacities.
-    install_wrr(&mut topo.sim, topo.agg, "2001:db8:2::/48", (addrs::cpe_sid(0), addrs::cpe_sid(1)), (5, 3), true);
+    install_wrr(
+        &mut topo.sim,
+        topo.agg,
+        "2001:db8:2::/48",
+        (addrs::cpe_sid(0), addrs::cpe_sid(1)),
+        (5, 3),
+        true,
+    );
 
     // Delay compensation: measure both paths, then delay the faster one.
     let mut compensation_ns = 0;
@@ -297,11 +362,18 @@ pub fn run_tcp(compensated: bool, flows: usize, duration_ns: u64, seed: u64) -> 
     let mut receiver_handles = Vec::new();
     for flow in 0..flows {
         let port = 5201 + flow as u16;
-        let (mut sender, sender_stats) = TcpBulkSender::new(addrs::s1(), addrs::s2(), 40_000 + flow as u16, port, u64::MAX / 2, duration_ns);
-        // Linux detects the persistent reordering a multi-path scheduler
-        // creates and widens its reordering window; model that adapted
-        // state with a higher duplicate-ACK threshold (same in both runs).
-        sender.set_dupack_threshold(16);
+        // The sender's RACK-style reordering window (srtt/4, as in Linux)
+        // is what separates the two runs: the uncompensated path skew keeps
+        // gaps open past the window and triggers collapse-inducing fast
+        // retransmits, while compensated runs only see short jitter gaps.
+        let (sender, sender_stats) = TcpBulkSender::new(
+            addrs::s1(),
+            addrs::s2(),
+            40_000 + flow as u16,
+            port,
+            u64::MAX / 2,
+            duration_ns,
+        );
         let (receiver, receiver_stats) = TcpBulkReceiver::new(addrs::s2(), port);
         topo.sim.add_app(topo.s1, Box::new(sender));
         topo.sim.add_app(topo.s2, Box::new(receiver));
@@ -317,13 +389,7 @@ pub fn run_tcp(compensated: bool, flows: usize, duration_ns: u64, seed: u64) -> 
         goodput += stats.delivered_bytes as f64 * 8.0 / (duration_ns as f64 / 1e9);
         out_of_order += stats.out_of_order_segments;
     }
-    TcpRunResult {
-        compensated,
-        flows,
-        goodput_mbps: goodput / 1e6,
-        compensation_ns,
-        out_of_order,
-    }
+    TcpRunResult { compensated, flows, goodput_mbps: goodput / 1e6, compensation_ns, out_of_order }
 }
 
 #[cfg(test)]
@@ -332,7 +398,8 @@ mod tests {
 
     #[test]
     fn topology_forwards_plain_traffic_end_to_end() {
-        let mut topo = build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::unconstrained(), 1);
+        let mut topo =
+            build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::unconstrained(), 1);
         let pkt = build_ipv6_udp_packet(addrs::s1(), addrs::s2(), 1, 5001, &[0u8; 64], 64);
         topo.sim.inject_at(0, topo.s1, pkt);
         topo.sim.run_to_completion();
@@ -347,8 +414,16 @@ mod tests {
 
     #[test]
     fn wrr_mode_uses_both_links() {
-        let mut topo = build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::unconstrained(), 3);
-        install_wrr(&mut topo.sim, topo.cpe, "2001:db8:1::/48", (addrs::agg_sid(0), addrs::agg_sid(1)), (1, 1), true);
+        let mut topo =
+            build_topology(LinkConfig::gigabit(), LinkConfig::gigabit(), CpuProfile::unconstrained(), 3);
+        install_wrr(
+            &mut topo.sim,
+            topo.cpe,
+            "2001:db8:1::/48",
+            (addrs::agg_sid(0), addrs::agg_sid(1)),
+            (1, 1),
+            true,
+        );
         for i in 0..20u64 {
             let pkt = build_ipv6_udp_packet(addrs::s2(), addrs::s1(), 1, 6001, &[0u8; 200], 64);
             topo.sim.inject_at(i * 100_000, topo.s2, pkt);

@@ -49,6 +49,9 @@ pub struct Seg6Env {
     /// Hash identifying the flow, used when a helper performs an ECMP FIB
     /// lookup.
     pub flow_hash: u64,
+    /// Logical CPU (worker shard) the program runs on: selects per-CPU map
+    /// slots and the perf ring `BPF_F_CURRENT_CPU` targets.
+    pub cpu: u32,
     /// Decisions taken by helpers.
     pub out: EnvOutcome,
     /// Messages emitted through `bpf_trace_printk`.
@@ -66,6 +69,7 @@ impl Seg6Env {
             tables,
             srh_offset: None,
             flow_hash: 0,
+            cpu: 0,
             out: EnvOutcome::default(),
             traces: Vec::new(),
             rng_state: 0x853c_49e6_748f_ea9b ^ now_ns.max(1),
@@ -84,6 +88,12 @@ impl Seg6Env {
         self.flow_hash = hash;
         self
     }
+
+    /// Sets the logical CPU (worker shard) the program runs on.
+    pub fn with_cpu(mut self, cpu: u32) -> Self {
+        self.cpu = cpu;
+        self
+    }
 }
 
 impl VmEnv for Seg6Env {
@@ -93,6 +103,10 @@ impl VmEnv for Seg6Env {
 
     fn ktime_ns(&mut self) -> u64 {
         self.now_ns
+    }
+
+    fn cpu_id(&mut self) -> u32 {
+        self.cpu
     }
 
     fn prandom_u32(&mut self) -> u32 {

@@ -114,10 +114,7 @@ impl Fib {
     }
 
     fn best_match(&self, dst: Ipv6Addr) -> Option<&Route> {
-        self.routes
-            .iter()
-            .filter(|r| r.prefix.contains(dst))
-            .max_by_key(|r| r.prefix.len())
+        self.routes.iter().filter(|r| r.prefix.contains(dst)).max_by_key(|r| r.prefix.len())
     }
 
     /// Longest-prefix-match lookup. `flow_hash` selects among equal-cost
@@ -134,11 +131,7 @@ impl Fib {
             }
             slot -= u64::from(nexthop.weight);
         }
-        Some(LookupResult {
-            prefix: route.prefix,
-            nexthop: chosen.clone(),
-            ecmp_width: route.nexthops.len(),
-        })
+        Some(LookupResult { prefix: route.prefix, nexthop: chosen.clone(), ecmp_width: route.nexthops.len() })
     }
 
     /// Every equal-cost next hop for `dst`, as `End.OAMP` reports them.
@@ -198,7 +191,7 @@ impl RouterTables {
 
     /// Removes a route from table `table`.
     pub fn remove(&self, table: u32, prefix: &Ipv6Prefix) -> bool {
-        self.tables.write().get_mut(&table).map_or(false, |fib| fib.remove(prefix))
+        self.tables.write().get_mut(&table).is_some_and(|fib| fib.remove(prefix))
     }
 
     /// Looks `dst` up in table `table`.
@@ -261,7 +254,11 @@ mod tests {
         let mut fib = Fib::new();
         fib.insert(
             prefix("fc00::/16"),
-            vec![Nexthop::via(addr("fe80::1"), 1), Nexthop::via(addr("fe80::2"), 2), Nexthop::via(addr("fe80::3"), 3)],
+            vec![
+                Nexthop::via(addr("fe80::1"), 1),
+                Nexthop::via(addr("fe80::2"), 2),
+                Nexthop::via(addr("fe80::3"), 3),
+            ],
         );
         let mut seen = std::collections::HashSet::new();
         for hash in 0..100u64 {

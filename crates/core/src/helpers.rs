@@ -60,8 +60,18 @@ static LWT_HOOKS: &[ProgramType] = &[ProgramType::LwtIn, ProgramType::LwtOut, Pr
 /// helpers, gated by program type exactly as the paper's kernel patch does.
 pub fn seg6_helper_registry() -> HelperRegistry {
     let mut registry = HelperRegistry::with_base_helpers();
-    registry.register(ids::LWT_SEG6_STORE_BYTES, "bpf_lwt_seg6_store_bytes", helper_seg6_store_bytes, Some(SEG6LOCAL_ONLY));
-    registry.register(ids::LWT_SEG6_ADJUST_SRH, "bpf_lwt_seg6_adjust_srh", helper_seg6_adjust_srh, Some(SEG6LOCAL_ONLY));
+    registry.register(
+        ids::LWT_SEG6_STORE_BYTES,
+        "bpf_lwt_seg6_store_bytes",
+        helper_seg6_store_bytes,
+        Some(SEG6LOCAL_ONLY),
+    );
+    registry.register(
+        ids::LWT_SEG6_ADJUST_SRH,
+        "bpf_lwt_seg6_adjust_srh",
+        helper_seg6_adjust_srh,
+        Some(SEG6LOCAL_ONLY),
+    );
     registry.register(ids::LWT_SEG6_ACTION, "bpf_lwt_seg6_action", helper_seg6_action, Some(SEG6LOCAL_ONLY));
     registry.register(ids::LWT_PUSH_ENCAP, "bpf_lwt_push_encap", helper_lwt_push_encap, Some(LWT_HOOKS));
     registry
@@ -164,7 +174,7 @@ pub fn helper_seg6_adjust_srh(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i6
     {
         let packet = api.packet_mut();
         if delta > 0 {
-            packet.splice(abs_off..abs_off, std::iter::repeat(0u8).take(delta as usize));
+            packet.splice(abs_off..abs_off, std::iter::repeat_n(0u8, delta as usize));
         } else {
             packet.drain(abs_off..abs_off + delta.unsigned_abs() as usize);
         }
@@ -319,9 +329,7 @@ mod tests {
     fn srv6_packet_with_tlv() -> Vec<u8> {
         let mut srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::1"), addr("fc00::2")]);
         srh.tlvs.push(SrhTlv::DelayMeasurement { tx_timestamp_ns: 7 });
-        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 16], 64)
-            .data()
-            .to_vec()
+        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 16], 64).data().to_vec()
     }
 
     struct Harness {
@@ -402,10 +410,7 @@ mod tests {
         let new_srh_len = 8 + usize::from(h.packet[41]) * 8;
         assert_eq!(new_srh_len, srh_len + 8);
         // The context was refreshed.
-        assert_eq!(
-            u32::from_le_bytes(h.ctx[16..20].try_into().unwrap()) as usize,
-            original_len + 8
-        );
+        assert_eq!(u32::from_le_bytes(h.ctx[16..20].try_into().unwrap()) as usize, original_len + 8);
         // IPv6 payload length was adjusted.
         let payload = u16::from_be_bytes([h.packet[4], h.packet[5]]) as usize;
         assert_eq!(payload, h.packet.len() - 40);
@@ -478,7 +483,10 @@ mod tests {
         let new_srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fd00::1"), addr("fd00::2")]);
         let from = h.stage(&new_srh.to_bytes());
         assert_eq!(
-            h.call(helper_seg6_action, [0, action_codes::END_B6_ENCAP as u64, from, new_srh.wire_len() as u64, 0]),
+            h.call(
+                helper_seg6_action,
+                [0, action_codes::END_B6_ENCAP as u64, from, new_srh.wire_len() as u64, 0]
+            ),
             0
         );
         assert!(h.env.out.pushed_encap);
@@ -506,10 +514,7 @@ mod tests {
         let mut h = Harness::new(plain.clone(), tables);
         let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::a"), addr("2001:db8::2")]);
         let from = h.stage(&srh.to_bytes());
-        assert_eq!(
-            h.call(helper_lwt_push_encap, [0, encap_modes::SEG6, from, srh.wire_len() as u64, 0]),
-            0
-        );
+        assert_eq!(h.call(helper_lwt_push_encap, [0, encap_modes::SEG6, from, srh.wire_len() as u64, 0]), 0);
         assert!(h.env.out.pushed_encap);
         assert_eq!(srv6_ops::outer_dst(&h.packet).unwrap(), addr("fc00::a"));
         assert_eq!(srv6_ops::outer_src(&h.packet).unwrap(), addr("fc00::1"));

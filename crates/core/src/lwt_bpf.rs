@@ -96,6 +96,7 @@ pub fn run_lwt_bpf(
     tables: &Arc<RouterTables>,
     helpers: &HelperRegistry,
     now_ns: u64,
+    cpu: u32,
 ) -> ActionOutcome {
     let mut packet = skb.packet.data().to_vec();
     let header = match Ipv6Header::parse(&packet) {
@@ -103,7 +104,7 @@ pub fn run_lwt_bpf(
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     };
     let fhash = flow_hash(header.src, header.dst, header.flow_label);
-    let mut env = Seg6Env::new(local_addr, Arc::clone(tables), now_ns).with_flow_hash(fhash);
+    let mut env = Seg6Env::new(local_addr, Arc::clone(tables), now_ns).with_flow_hash(fhash).with_cpu(cpu);
     if let Some((off, _)) = srv6_ops::find_srh(&packet) {
         env.srh_offset = Some(off);
     }
@@ -124,7 +125,9 @@ pub fn run_lwt_bpf(
     ctx::read_back(&ctx_bytes, skb);
     match code {
         retcode::BPF_OK => ActionOutcome::Forward { dst, route_override: Default::default() },
-        retcode::BPF_REDIRECT => ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() },
+        retcode::BPF_REDIRECT => {
+            ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() }
+        }
         retcode::BPF_DROP => ActionOutcome::Drop(DropReason::BpfDrop),
         _ => ActionOutcome::Drop(DropReason::BpfError),
     }
@@ -176,7 +179,7 @@ mod tests {
         let prog = load_xmit("mov64 r0, 0\nexit", &helpers);
         let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
         let mut skb = plain_skb();
-        let outcome = run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0);
+        let outcome = run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0, 0);
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("2001:db8::2")),
             other => panic!("unexpected {other:?}"),
@@ -191,7 +194,7 @@ mod tests {
         let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
         let mut skb = plain_skb();
         assert_eq!(
-            run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0),
+            run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0, 0),
             ActionOutcome::Drop(DropReason::BpfDrop)
         );
     }

@@ -114,11 +114,7 @@ impl LocalSidTable {
 
     /// Finds the action bound to `dst`, if any.
     pub fn lookup(&self, dst: Ipv6Addr) -> Option<(&Ipv6Prefix, &Seg6LocalAction)> {
-        self.entries
-            .iter()
-            .filter(|(p, _)| p.contains(dst))
-            .max_by_key(|(p, _)| p.len())
-            .map(|(p, a)| (p, a))
+        self.entries.iter().filter(|(p, _)| p.contains(dst)).max_by_key(|(p, _)| p.len()).map(|(p, a)| (p, a))
     }
 
     /// Number of installed SIDs.
@@ -147,15 +143,17 @@ pub struct ActionCtx<'a> {
     pub helpers: &'a HelperRegistry,
     /// Current time in nanoseconds.
     pub now_ns: u64,
+    /// Logical CPU (worker shard) executing the action; End.BPF programs
+    /// see it as their processor id and per-CPU map slot.
+    pub cpu: u32,
 }
 
 /// Applies a seg6local action to `skb`.
 pub fn apply_action(action: &Seg6LocalAction, skb: &mut Skb, actx: &ActionCtx<'_>) -> ActionOutcome {
     match action {
-        Seg6LocalAction::End => with_advance(skb, |dst| ActionOutcome::Forward {
-            dst,
-            route_override: RouteOverride::default(),
-        }),
+        Seg6LocalAction::End => {
+            with_advance(skb, |dst| ActionOutcome::Forward { dst, route_override: RouteOverride::default() })
+        }
         Seg6LocalAction::EndX { nexthop } => with_advance(skb, |dst| ActionOutcome::Forward {
             dst,
             route_override: RouteOverride { nexthop: Some(*nexthop), ..Default::default() },
@@ -233,7 +231,12 @@ fn with_advance(skb: &mut Skb, then: impl FnOnce(Ipv6Addr) -> ActionOutcome) -> 
 /// The `End.BPF` action (§3 of the paper): advance the SRH, run the
 /// program, validate the SRH if it was edited, and honour the program's
 /// return code (`BPF_OK` / `BPF_DROP` / `BPF_REDIRECT`).
-pub fn run_end_bpf(skb: &mut Skb, prog: &LoadedProgram, use_jit: bool, actx: &ActionCtx<'_>) -> ActionOutcome {
+pub fn run_end_bpf(
+    skb: &mut Skb,
+    prog: &LoadedProgram,
+    use_jit: bool,
+    actx: &ActionCtx<'_>,
+) -> ActionOutcome {
     let mut packet = skb.packet.data().to_vec();
     // 1. Endpoint precondition + SRH advance.
     match srv6_ops::advance_srh(&mut packet) {
@@ -253,7 +256,8 @@ pub fn run_end_bpf(skb: &mut Skb, prog: &LoadedProgram, use_jit: bool, actx: &Ac
     let fhash = flow_hash(header.src, header.dst, header.flow_label);
     let mut env = Seg6Env::new(actx.local_sid, Arc::clone(actx.tables), actx.now_ns)
         .with_srh_offset(srh_off)
-        .with_flow_hash(fhash);
+        .with_flow_hash(fhash)
+        .with_cpu(actx.cpu);
     let mut ctx_bytes = ctx::build_context(skb);
     ctx::refresh_packet_len(&mut ctx_bytes, packet.len());
     // 3. Run the program.
@@ -278,7 +282,9 @@ pub fn run_end_bpf(skb: &mut Skb, prog: &LoadedProgram, use_jit: bool, actx: &Ac
     ctx::read_back(&ctx_bytes, skb);
     match code {
         retcode::BPF_OK => ActionOutcome::Forward { dst, route_override: RouteOverride::default() },
-        retcode::BPF_REDIRECT => ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() },
+        retcode::BPF_REDIRECT => {
+            ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() }
+        }
         retcode::BPF_DROP => ActionOutcome::Drop(DropReason::BpfDrop),
         _ => ActionOutcome::Drop(DropReason::BpfError),
     }
@@ -323,7 +329,7 @@ mod tests {
     }
 
     fn actx<'a>(tables: &'a Arc<RouterTables>, helpers: &'a HelperRegistry) -> ActionCtx<'a> {
-        ActionCtx { local_sid: addr("fc00::11"), tables, helpers, now_ns: 1_000 }
+        ActionCtx { local_sid: addr("fc00::11"), tables, helpers, now_ns: 1_000, cpu: 0 }
     }
 
     fn load_seg6_prog(source: &str, helpers: &HelperRegistry) -> Arc<LoadedProgram> {
@@ -361,7 +367,7 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         // The packet's destination was rewritten.
-        assert_eq!(srv6_ops::outer_dst(&skb.packet.data().to_vec()).unwrap(), addr("fc00::22"));
+        assert_eq!(srv6_ops::outer_dst(skb.packet.data()).unwrap(), addr("fc00::22"));
     }
 
     #[test]
@@ -385,10 +391,15 @@ mod tests {
         let tables = Arc::new(RouterTables::new());
         let helpers = seg6_helper_registry();
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
-        let outcome =
-            apply_action(&Seg6LocalAction::EndX { nexthop: addr("fe80::1") }, &mut skb, &actx(&tables, &helpers));
+        let outcome = apply_action(
+            &Seg6LocalAction::EndX { nexthop: addr("fe80::1") },
+            &mut skb,
+            &actx(&tables, &helpers),
+        );
         match outcome {
-            ActionOutcome::Forward { route_override, .. } => assert_eq!(route_override.nexthop, Some(addr("fe80::1"))),
+            ActionOutcome::Forward { route_override, .. } => {
+                assert_eq!(route_override.nexthop, Some(addr("fe80::1")))
+            }
             other => panic!("unexpected outcome {other:?}"),
         }
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
@@ -405,7 +416,8 @@ mod tests {
         let helpers = seg6_helper_registry();
         let mut skb = encapsulated_skb();
         let before = skb.len();
-        let outcome = apply_action(&Seg6LocalAction::EndDT6 { table: MAIN_TABLE }, &mut skb, &actx(&tables, &helpers));
+        let outcome =
+            apply_action(&Seg6LocalAction::EndDT6 { table: MAIN_TABLE }, &mut skb, &actx(&tables, &helpers));
         match outcome {
             ActionOutcome::Forward { dst, route_override } => {
                 assert_eq!(dst, addr("2001:db8::2"));
@@ -429,8 +441,11 @@ mod tests {
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         let before = skb.len();
         let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fd00::1"), addr("fd00::2")]);
-        let outcome =
-            apply_action(&Seg6LocalAction::EndB6Encaps { srh: srh.clone() }, &mut skb, &actx(&tables, &helpers));
+        let outcome = apply_action(
+            &Seg6LocalAction::EndB6Encaps { srh: srh.clone() },
+            &mut skb,
+            &actx(&tables, &helpers),
+        );
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("fd00::1")),
             other => panic!("unexpected outcome {other:?}"),
@@ -446,7 +461,11 @@ mod tests {
         // written in BPF, 1 SLOC).
         let prog = load_seg6_prog("mov64 r0, 0\nexit", &helpers);
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
-        let outcome = apply_action(&Seg6LocalAction::EndBpf { prog, use_jit: true }, &mut skb, &actx(&tables, &helpers));
+        let outcome = apply_action(
+            &Seg6LocalAction::EndBpf { prog, use_jit: true },
+            &mut skb,
+            &actx(&tables, &helpers),
+        );
         match outcome {
             ActionOutcome::Forward { dst, route_override } => {
                 assert_eq!(dst, addr("fc00::22"));
@@ -463,7 +482,11 @@ mod tests {
         let prog = load_seg6_prog("mov64 r0, 2\nexit", &helpers);
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         assert_eq!(
-            apply_action(&Seg6LocalAction::EndBpf { prog, use_jit: true }, &mut skb, &actx(&tables, &helpers)),
+            apply_action(
+                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &mut skb,
+                &actx(&tables, &helpers)
+            ),
             ActionOutcome::Drop(DropReason::BpfDrop)
         );
     }
@@ -475,7 +498,11 @@ mod tests {
         let prog = load_seg6_prog("mov64 r0, 0\nexit", &helpers);
         let mut skb = srv6_skb(&["fc00::11"]);
         assert_eq!(
-            apply_action(&Seg6LocalAction::EndBpf { prog, use_jit: true }, &mut skb, &actx(&tables, &helpers)),
+            apply_action(
+                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &mut skb,
+                &actx(&tables, &helpers)
+            ),
             ActionOutcome::Drop(DropReason::SegmentsLeftZero)
         );
     }
@@ -487,7 +514,11 @@ mod tests {
         let prog = load_seg6_prog("mov64 r0, 99\nexit", &helpers);
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         assert_eq!(
-            apply_action(&Seg6LocalAction::EndBpf { prog, use_jit: true }, &mut skb, &actx(&tables, &helpers)),
+            apply_action(
+                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &mut skb,
+                &actx(&tables, &helpers)
+            ),
             ActionOutcome::Drop(DropReason::BpfError)
         );
     }

@@ -59,13 +59,7 @@ impl Skb {
 
     /// Wraps a packet received at `rx_timestamp_ns` on `ingress_ifindex`.
     pub fn received(packet: PacketBuf, rx_timestamp_ns: u64, ingress_ifindex: u32) -> Self {
-        Skb {
-            packet,
-            rx_timestamp_ns,
-            ingress_ifindex,
-            mark: 0,
-            route_override: RouteOverride::default(),
-        }
+        Skb { packet, rx_timestamp_ns, ingress_ifindex, mark: 0, route_override: RouteOverride::default() }
     }
 
     /// Packet length in bytes.
@@ -100,12 +94,10 @@ mod tests {
 
     #[test]
     fn route_override_is_set_detection() {
-        let mut o = RouteOverride::default();
-        assert!(!o.is_set());
-        o.table = Some(254);
+        assert!(!RouteOverride::default().is_set());
+        let o = RouteOverride { table: Some(254), ..Default::default() };
         assert!(o.is_set());
-        let mut o = RouteOverride::default();
-        o.nexthop = Some("fe80::1".parse().unwrap());
+        let o = RouteOverride { nexthop: Some("fe80::1".parse().unwrap()), ..Default::default() };
         assert!(o.is_set());
     }
 }

@@ -88,6 +88,7 @@ pub fn decrement_hop_limit(packet: &mut [u8]) -> OpResult<u8> {
 /// The `End`-style SRH advance: requires an SRH with `segments_left > 0`,
 /// decrements it and rewrites the outer destination to the new current
 /// segment. Returns the new destination.
+#[allow(clippy::ptr_arg)] // sibling ops resize; a uniform signature reads better
 pub fn advance_srh(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
     let (off, len) = find_srh(packet).ok_or("packet has no SRH")?;
     let segments_left = packet[off + SRH_SEGMENTS_LEFT_OFFSET];
@@ -186,7 +187,8 @@ pub fn insert_srh_inline(packet: &mut Vec<u8>, srh_bytes: &[u8]) -> OpResult<Ipv
 pub fn validate_after_bpf(packet: &[u8]) -> OpResult<()> {
     let (off, len) = find_srh(packet).ok_or("SRH disappeared")?;
     SegmentRoutingHeader::validate_raw(&packet[off..off + len]).map_err(|_| "SRH failed validation")?;
-    let payload_len = u16::from_be_bytes([packet[PAYLOAD_LEN_OFFSET], packet[PAYLOAD_LEN_OFFSET + 1]]) as usize;
+    let payload_len =
+        u16::from_be_bytes([packet[PAYLOAD_LEN_OFFSET], packet[PAYLOAD_LEN_OFFSET + 1]]) as usize;
     if payload_len + IPV6_HEADER_LEN != packet.len() {
         return Err("IPv6 payload length inconsistent with packet length");
     }
@@ -219,10 +221,9 @@ mod tests {
     }
 
     fn srv6_packet() -> Vec<u8> {
-        let srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::1"), addr("fc00::2"), addr("fc00::3")]);
-        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 32], 64)
-            .data()
-            .to_vec()
+        let srh =
+            SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::1"), addr("fc00::2"), addr("fc00::3")]);
+        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1000, 2000, &[0u8; 32], 64).data().to_vec()
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl TransitTable {
 
     /// Finds the behaviour matching `dst` (longest prefix wins).
     pub fn lookup(&self, dst: Ipv6Addr) -> Option<&TransitBehaviour> {
-        self.entries
-            .iter()
-            .filter(|(p, _)| p.contains(dst))
-            .max_by_key(|(p, _)| p.len())
-            .map(|(_, b)| b)
+        self.entries.iter().filter(|(p, _)| p.contains(dst)).max_by_key(|(p, _)| p.len()).map(|(_, b)| b)
     }
 
     /// Number of installed behaviours.
@@ -149,7 +145,10 @@ mod tests {
     fn table_lookup_prefers_longest_prefix() {
         let mut table = TransitTable::new();
         table.insert("2001:db8::/32".parse().unwrap(), TransitBehaviour::encap_through(&[addr("fc00::1")]));
-        table.insert("2001:db8:0:1::/64".parse().unwrap(), TransitBehaviour::encap_through(&[addr("fc00::2")]));
+        table.insert(
+            "2001:db8:0:1::/64".parse().unwrap(),
+            TransitBehaviour::encap_through(&[addr("fc00::2")]),
+        );
         let b = table.lookup(addr("2001:db8:0:1::9")).unwrap();
         assert_eq!(b.srh.current_segment(), Some(addr("fc00::2")));
         let b = table.lookup(addr("2001:db8:9::9")).unwrap();

@@ -42,7 +42,10 @@ pub fn assemble(source: &str) -> Result<Vec<Insn>> {
                 return Err(Error::Assembler { line: lineno + 1, message: "invalid label name".into() });
             }
             if labels.insert(label.to_string(), slot).is_some() {
-                return Err(Error::Assembler { line: lineno + 1, message: format!("duplicate label '{label}'") });
+                return Err(Error::Assembler {
+                    line: lineno + 1,
+                    message: format!("duplicate label '{label}'"),
+                });
             }
             continue;
         }
@@ -85,11 +88,8 @@ fn emit_line(
         Some((m, r)) => (m.to_lowercase(), r.trim()),
         None => (line.to_lowercase(), ""),
     };
-    let operands: Vec<String> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(|s| s.trim().to_string()).collect()
-    };
+    let operands: Vec<String> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(|s| s.trim().to_string()).collect() };
 
     let reg = |s: &str| -> Result<u8> {
         let s = s.trim();
@@ -102,7 +102,8 @@ fn emit_line(
         }
         Err(err(format!("expected a register, found '{s}'")))
     };
-    let imm = |s: &str| -> Result<i64> { parse_int(s).ok_or_else(|| err(format!("invalid immediate '{s}'"))) };
+    let imm =
+        |s: &str| -> Result<i64> { parse_int(s).ok_or_else(|| err(format!("invalid immediate '{s}'"))) };
     // [rN+off] / [rN-off] / [rN]
     let mem = |s: &str| -> Result<(u8, i16)> {
         let inner = s
@@ -255,7 +256,9 @@ fn emit_line(
         "lddw" => {
             expect(2)?;
             let dst = reg(&operands[0])?;
-            let value = parse_int(&operands[1]).ok_or_else(|| err(format!("invalid immediate '{}'", operands[1])))? as u64;
+            let value = parse_int(&operands[1])
+                .ok_or_else(|| err(format!("invalid immediate '{}'", operands[1])))?
+                as u64;
             insns.push(Insn::lddw_lo(dst, value));
             insns.push(Insn::lddw_hi(value));
             Ok(())
@@ -275,7 +278,8 @@ fn emit_line(
             expect(1)?;
             let dst = reg(&operands[0])?;
             let bits: i32 = mnemonic[2..].parse().unwrap();
-            let insn = if mnemonic.starts_with("be") { Insn::to_be(dst, bits) } else { Insn::to_le(dst, bits) };
+            let insn =
+                if mnemonic.starts_with("be") { Insn::to_be(dst, bits) } else { Insn::to_le(dst, bits) };
             insns.push(insn);
             Ok(())
         }

@@ -136,10 +136,10 @@ impl ProgramBuilder {
     pub fn build(&self) -> Result<Vec<Insn>> {
         let mut insns = self.insns.clone();
         for (idx, label) in &self.fixups {
-            let target = self
-                .labels
-                .get(label)
-                .ok_or_else(|| Error::Assembler { line: *idx, message: format!("undefined label '{label}'") })?;
+            let target = self.labels.get(label).ok_or_else(|| Error::Assembler {
+                line: *idx,
+                message: format!("undefined label '{label}'"),
+            })?;
             let delta = *target as i64 - *idx as i64 - 1;
             insns[*idx].off = i16::try_from(delta)
                 .map_err(|_| Error::Assembler { line: *idx, message: "branch target too far".into() })?;

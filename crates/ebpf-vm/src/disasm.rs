@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn fuses_lddw_pairs() {
-        let insns = vec![Insn::lddw_lo(1, 0xdead_beef_0000_0001), Insn::lddw_hi(0xdead_beef_0000_0001), Insn::exit()];
+        let insns =
+            vec![Insn::lddw_lo(1, 0xdead_beef_0000_0001), Insn::lddw_hi(0xdead_beef_0000_0001), Insn::exit()];
         let text = disassemble(&insns);
         assert!(text.contains("lddw r1, 0xdeadbeef00000001"));
         assert_eq!(text.lines().count(), 2);

@@ -32,6 +32,8 @@ pub mod ids {
     pub const TRACE_PRINTK: u32 = 6;
     /// `bpf_get_prandom_u32`
     pub const GET_PRANDOM_U32: u32 = 7;
+    /// `bpf_get_smp_processor_id`
+    pub const GET_SMP_PROCESSOR_ID: u32 = 8;
     /// `bpf_perf_event_output`
     pub const PERF_EVENT_OUTPUT: u32 = 25;
     /// `bpf_skb_load_bytes`
@@ -82,6 +84,12 @@ impl HelperRegistry {
         registry.register(ids::KTIME_GET_NS, "bpf_ktime_get_ns", helper_ktime_get_ns, None);
         registry.register(ids::TRACE_PRINTK, "bpf_trace_printk", helper_trace_printk, None);
         registry.register(ids::GET_PRANDOM_U32, "bpf_get_prandom_u32", helper_get_prandom_u32, None);
+        registry.register(
+            ids::GET_SMP_PROCESSOR_ID,
+            "bpf_get_smp_processor_id",
+            helper_get_smp_processor_id,
+            None,
+        );
         registry.register(ids::PERF_EVENT_OUTPUT, "bpf_perf_event_output", helper_perf_event_output, None);
         registry.register(ids::SKB_LOAD_BYTES, "bpf_skb_load_bytes", helper_skb_load_bytes, None);
         registry
@@ -107,7 +115,7 @@ impl HelperRegistry {
     pub fn allowed_for(&self, id: u32, prog_type: ProgramType) -> bool {
         match self.helpers.get(&id) {
             None => false,
-            Some(desc) => desc.allowed.map_or(true, |types| types.contains(&prog_type)),
+            Some(desc) => desc.allowed.is_none_or(|types| types.contains(&prog_type)),
         }
     }
 
@@ -139,17 +147,19 @@ fn ok_or_minus_one(result: Result<()>) -> i64 {
 }
 
 /// `void *bpf_map_lookup_elem(map, key)` — returns a pointer to the value or
-/// NULL.
+/// NULL. Per-CPU maps resolve to the slot of the CPU the program runs on.
 fn helper_map_lookup_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[0]) else { return 0 };
     let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return 0 };
-    match map.lookup_ref(&key) {
+    let cpu = api.env().cpu_id();
+    match map.lookup_ref_cpu(&key, cpu) {
         Some(value) => api.register_value_region(value) as i64,
         None => 0,
     }
 }
 
-/// `long bpf_map_update_elem(map, key, value, flags)`.
+/// `long bpf_map_update_elem(map, key, value, flags)`. A program updating a
+/// per-CPU map writes its own CPU's slot, as in the kernel.
 fn helper_map_update_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[0]) else { return -1 };
     let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return -1 };
@@ -160,6 +170,16 @@ fn helper_map_update_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
         2 => UpdateFlags::Exist,
         _ => return -1,
     };
+    if map.map_type() == MapType::PerCpuArray {
+        let cpu = api.env().cpu_id();
+        match map.lookup_ref_cpu(&key, cpu) {
+            Some(slot) if flags != UpdateFlags::NoExist => {
+                slot.write().copy_from_slice(&value);
+                return 0;
+            }
+            _ => return -1,
+        }
+    }
     ok_or_minus_one(map.update(&key, &value, flags))
 }
 
@@ -190,21 +210,49 @@ fn helper_get_prandom_u32(api: &mut HelperApi<'_, '_>, _args: [u64; 5]) -> i64 {
     i64::from(api.env().prandom_u32())
 }
 
+/// `u32 bpf_get_smp_processor_id(void)` — the logical CPU (worker shard)
+/// the program runs on.
+fn helper_get_smp_processor_id(api: &mut HelperApi<'_, '_>, _args: [u64; 5]) -> i64 {
+    i64::from(api.env().cpu_id())
+}
+
+/// In `bpf_perf_event_output` flags, the low 32 bits select the target CPU
+/// ring; this value means "the CPU the program runs on".
+pub const BPF_F_CURRENT_CPU: u64 = 0xffff_ffff;
+/// Mask of the CPU-index bits in `bpf_perf_event_output` flags.
+pub const BPF_F_INDEX_MASK: u64 = 0xffff_ffff;
+
 /// `long bpf_perf_event_output(ctx, map, flags, data, size)` — pushes `size`
-/// bytes read from the program's memory into the perf ring buffer attached
-/// to `map`.
+/// bytes read from the program's memory into one CPU ring of the perf
+/// buffer attached to `map`. The low 32 bits of `flags` select the ring:
+/// [`BPF_F_CURRENT_CPU`] (the default every program in this workspace uses)
+/// targets the ring of the CPU the program runs on; an explicit index must
+/// name an existing ring, as in the kernel.
 fn helper_perf_event_output(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[1]) else { return -1 };
     if map.map_type() != MapType::PerfEventArray {
         return -1;
     }
     let Some(buffer) = map.perf_buffer() else { return -1 };
+    // The kernel rejects flags with any bit outside the index mask set
+    // (e.g. a sign-extended -1); match that so programs stay portable.
+    if args[2] & !BPF_F_INDEX_MASK != 0 {
+        return -1;
+    }
+    let index = args[2] & BPF_F_INDEX_MASK;
+    let cpu = if index == BPF_F_CURRENT_CPU {
+        api.env().cpu_id()
+    } else if index < u64::from(buffer.num_rings()) {
+        index as u32
+    } else {
+        return -1;
+    };
     let size = args[4] as usize;
     if size > 4096 {
         return -1;
     }
     let Ok(data) = api.read_bytes(args[3], size) else { return -1 };
-    buffer.push(PerfEvent { cpu: 0, data });
+    buffer.push(PerfEvent { cpu, data });
     0
 }
 
@@ -217,7 +265,7 @@ fn helper_skb_load_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
         return -1;
     }
     let packet_len = api.packet().len();
-    if offset.checked_add(len).map_or(true, |end| end > packet_len) {
+    if offset.checked_add(len).is_none_or(|end| end > packet_len) {
         return -1;
     }
     let data = api.packet()[offset..offset + len].to_vec();
@@ -282,10 +330,7 @@ mod tests {
             let value_addr = STACK_BASE + 16;
             api.write_bytes(value_addr, &[9u8; 8]).unwrap();
             // update elem
-            let ret = helper_map_update_elem(
-                &mut api,
-                [map_ptr_value(3), key_addr, value_addr, 0, 0],
-            );
+            let ret = helper_map_update_elem(&mut api, [map_ptr_value(3), key_addr, value_addr, 0, 0]);
             assert_eq!(ret, 0);
             // lookup returns a readable pointer
             let ptr = helper_map_lookup_elem(&mut api, [map_ptr_value(3), key_addr, 0, 0, 0]);
@@ -314,6 +359,76 @@ mod tests {
         assert_eq!(ret, 0);
         let event = perf.perf_buffer().unwrap().poll().unwrap();
         assert_eq!(event.data, vec![1, 2, 3, 4]);
+    }
+
+    struct CpuEnv(u32);
+    impl crate::vm::VmEnv for CpuEnv {
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn cpu_id(&mut self) -> u32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn map_lookup_resolves_the_current_cpus_slot() {
+        let map: MapHandle = crate::maps::PerCpuArrayMap::new(8, 1, 4);
+        let mut maps = StdHashMap::new();
+        maps.insert(3u32, Arc::clone(&map));
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let key_addr = STACK_BASE + 8;
+        for cpu in [0u32, 2] {
+            let mut env = CpuEnv(cpu);
+            let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+            let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+            api.write_bytes(key_addr, &0u32.to_ne_bytes()).unwrap();
+            let ptr = helper_map_lookup_elem(&mut api, [map_ptr_value(3), key_addr, 0, 0, 0]);
+            assert!(ptr > 0);
+            // Write the CPU id through the returned pointer.
+            api.write_bytes(ptr as u64, &u64::from(cpu).to_le_bytes()).unwrap();
+        }
+        // Each write landed in its own CPU's slot.
+        let per_cpu = map.lookup(&0u32.to_ne_bytes()).unwrap();
+        assert_eq!(&per_cpu[0..8], &0u64.to_le_bytes());
+        assert_eq!(&per_cpu[8..16], &0u64.to_le_bytes());
+        assert_eq!(&per_cpu[16..24], &2u64.to_le_bytes());
+    }
+
+    #[test]
+    fn smp_processor_id_reads_the_environment() {
+        let maps = StdHashMap::new();
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let mut env = CpuEnv(5);
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+        let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+        assert_eq!(helper_get_smp_processor_id(&mut api, [0; 5]), 5);
+    }
+
+    #[test]
+    fn perf_event_output_honours_the_cpu_index() {
+        let perf = PerfEventArray::per_cpu(8, 4);
+        let map: MapHandle = perf.clone();
+        let mut maps = StdHashMap::new();
+        maps.insert(1u32, Arc::clone(&map));
+        let (mut state, mut ctx, mut pkt) = setup(&maps);
+        let mut env = CpuEnv(3);
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
+        let mut api = HelperApi { state: &mut state, rc: &mut rc, maps: &maps };
+        api.write_bytes(STACK_BASE, &[9]).unwrap();
+        // BPF_F_CURRENT_CPU routes to the env's CPU ring.
+        assert_eq!(
+            helper_perf_event_output(&mut api, [0, map_ptr_value(1), BPF_F_CURRENT_CPU, STACK_BASE, 1]),
+            0
+        );
+        // An explicit in-range index is honoured.
+        assert_eq!(helper_perf_event_output(&mut api, [0, map_ptr_value(1), 1, STACK_BASE, 1]), 0);
+        // An explicit out-of-range index is rejected, as in the kernel.
+        assert_eq!(helper_perf_event_output(&mut api, [0, map_ptr_value(1), 7, STACK_BASE, 1]), -1);
+        let buffer = perf.perf_buffer().unwrap();
+        assert_eq!(buffer.len_cpu(3), 1);
+        assert_eq!(buffer.len_cpu(1), 1);
+        assert_eq!(buffer.poll_cpu(3).unwrap().cpu, 3);
     }
 
     #[test]

@@ -290,13 +290,7 @@ impl Insn {
 
     /// First slot of `dst = imm64`; must be followed by [`Insn::lddw_hi`].
     pub fn lddw_lo(dst: u8, imm64: u64) -> Insn {
-        Insn {
-            opcode: class::LD | mode::IMM | size::DW,
-            dst,
-            src: 0,
-            off: 0,
-            imm: imm64 as u32 as i32,
-        }
+        Insn { opcode: class::LD | mode::IMM | size::DW, dst, src: 0, off: 0, imm: imm64 as u32 as i32 }
     }
 
     /// Second slot of `dst = imm64`.
@@ -363,7 +357,7 @@ pub fn encode_program(insns: &[Insn]) -> Vec<u8> {
 /// Decodes a byte buffer into instructions. The length must be a multiple of
 /// eight bytes.
 pub fn decode_program(bytes: &[u8]) -> Result<Vec<Insn>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(Error::Decode("program length is not a multiple of 8".into()));
     }
     bytes.chunks_exact(8).map(Insn::decode).collect()

@@ -173,22 +173,14 @@ mod tests {
     fn lddw_loads_64_bit_immediates() {
         let mut pkt = vec![0u8; 8];
         let value = 0x1234_5678_9abc_def0u64;
-        let insns = vec![
-            Insn::lddw_lo(0, value),
-            Insn::lddw_hi(value),
-            Insn::exit(),
-        ];
+        let insns = vec![Insn::lddw_lo(0, value), Insn::lddw_hi(value), Insn::exit()];
         assert_eq!(run_insns(insns, &mut pkt).unwrap(), value);
     }
 
     #[test]
     fn byte_swap_to_network_order() {
         let mut pkt = vec![0u8; 8];
-        let insns = vec![
-            Insn::mov64_imm(0, 0x1234),
-            Insn::to_be(0, 16),
-            Insn::exit(),
-        ];
+        let insns = vec![Insn::mov64_imm(0, 0x1234), Insn::to_be(0, 16), Insn::exit()];
         assert_eq!(run_insns(insns, &mut pkt).unwrap(), 0x3412);
     }
 

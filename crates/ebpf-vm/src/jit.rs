@@ -262,15 +262,9 @@ fn alu_apply(op: u8, is64: bool, dst: u64, rhs: u64) -> u64 {
         alu::MUL => dst.wrapping_mul(rhs),
         alu::DIV => {
             if is64 {
-                if rhs == 0 {
-                    0
-                } else {
-                    dst / rhs
-                }
-            } else if rhs as u32 == 0 {
-                0
+                dst.checked_div(rhs).unwrap_or(0)
             } else {
-                u64::from(dst as u32 / rhs as u32)
+                (dst as u32).checked_div(rhs as u32).map_or(0, u64::from)
             }
         }
         alu::MOD => {
@@ -383,8 +377,7 @@ pub fn run_with_state(
             }
             MicroOp::Load { size, dst, src, off } => {
                 let addr = state.regs[usize::from(*src)].wrapping_add(*off as i64 as u64);
-                state.regs[usize::from(*dst)] =
-                    load_scalar(state, rc, addr, *size).map_err(|e| at(e, pc))?;
+                state.regs[usize::from(*dst)] = load_scalar(state, rc, addr, *size).map_err(|e| at(e, pc))?;
                 pc += 1;
             }
             MicroOp::StoreReg { size, dst, src, off } => {
@@ -414,7 +407,8 @@ pub fn run_with_state(
                 }
             }
             MicroOp::Call { id } => {
-                let desc = helpers.get(*id).ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
+                let desc =
+                    helpers.get(*id).ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
                 let func: HelperFn = desc.func;
                 let args = [state.regs[1], state.regs[2], state.regs[3], state.regs[4], state.regs[5]];
                 let ret = {
@@ -449,7 +443,7 @@ mod tests {
     use crate::insn::{alu, jmp, AccessSize, Insn};
     use crate::interp;
     use crate::program::{load, Program, ProgramType};
-    use crate::vm::{NullEnv, PKT_BASE, RunContext};
+    use crate::vm::{NullEnv, RunContext, PKT_BASE};
     use std::collections::HashMap;
 
     fn load_prog(insns: Vec<Insn>) -> (std::sync::Arc<LoadedProgram>, HelperRegistry) {

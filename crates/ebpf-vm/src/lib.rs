@@ -65,7 +65,10 @@ pub use builder::ProgramBuilder;
 pub use error::{Error, Result};
 pub use helpers::{ids as helper_ids, HelperRegistry};
 pub use insn::{AccessSize, Insn};
-pub use maps::{ArrayMap, HashMap as BpfHashMap, LpmTrieMap, Map, MapHandle, MapType, PerfEventArray, UpdateFlags};
+pub use maps::{
+    ArrayMap, HashMap as BpfHashMap, LpmTrieMap, Map, MapHandle, MapType, PerCpuArrayMap, PerfEventArray,
+    UpdateFlags, DEFAULT_NUM_CPUS,
+};
 pub use perf::{PerfEvent, PerfEventBuffer};
 pub use program::{load, retcode, LoadedProgram, Program, ProgramType};
 pub use verifier::VerifierStats;

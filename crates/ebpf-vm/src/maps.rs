@@ -30,7 +30,9 @@ pub enum MapType {
     Hash,
     /// Longest-prefix-match trie (e.g. for per-destination policies).
     LpmTrie,
-    /// Per-CPU array (collapsed to a single CPU in this reproduction).
+    /// Per-CPU array: every entry holds one independent value slot per
+    /// logical CPU (worker shard), and programs transparently address the
+    /// slot of the CPU they run on.
     PerCpuArray,
     /// Perf-event array used by `bpf_perf_event_output`.
     PerfEventArray,
@@ -58,11 +60,23 @@ pub trait Map: Send + Sync {
     fn value_size(&self) -> usize;
     /// Maximum number of entries.
     fn max_entries(&self) -> usize;
-    /// Copy-out lookup (user-space view).
+    /// Copy-out lookup (user-space view). For per-CPU maps this returns the
+    /// concatenation of every CPU's slot, as the `bpf()` syscall does.
     fn lookup(&self, key: &[u8]) -> Option<Vec<u8>>;
     /// Reference lookup (program view, as `bpf_map_lookup_elem` returns a
     /// pointer into the value).
     fn lookup_ref(&self, key: &[u8]) -> Option<ValueRef>;
+    /// Reference lookup on behalf of a program running on `cpu`. Ordinary
+    /// maps have one shared slot and ignore the CPU; per-CPU maps return
+    /// the slot owned by that CPU.
+    fn lookup_ref_cpu(&self, key: &[u8], cpu: u32) -> Option<ValueRef> {
+        let _ = cpu;
+        self.lookup_ref(key)
+    }
+    /// Number of per-CPU slots each entry holds (1 for ordinary maps).
+    fn num_cpus(&self) -> u32 {
+        1
+    }
     /// Insert or update an element.
     fn update(&self, key: &[u8], value: &[u8], flags: UpdateFlags) -> Result<()>;
     /// Delete an element.
@@ -77,11 +91,7 @@ pub trait Map: Send + Sync {
 
 fn check_key(map: &dyn Map, key: &[u8]) -> Result<()> {
     if key.len() != map.key_size() {
-        return Err(Error::Map(format!(
-            "key size mismatch: expected {}, got {}",
-            map.key_size(),
-            key.len()
-        )));
+        return Err(Error::Map(format!("key size mismatch: expected {}, got {}", map.key_size(), key.len())));
     }
     Ok(())
 }
@@ -106,7 +116,6 @@ fn check_value(map: &dyn Map, value: &[u8]) -> Result<()> {
 pub struct ArrayMap {
     values: Vec<ValueRef>,
     value_size: usize,
-    map_type: MapType,
 }
 
 impl ArrayMap {
@@ -116,18 +125,13 @@ impl ArrayMap {
         Arc::new(ArrayMap {
             values: (0..max_entries).map(|_| Arc::new(RwLock::new(vec![0u8; value_size]))).collect(),
             value_size,
-            map_type: MapType::Array,
         })
     }
 
-    /// Creates a per-CPU array map. This reproduction runs a single logical
-    /// CPU, so the layout is identical to [`ArrayMap::new`].
-    pub fn new_per_cpu(value_size: usize, max_entries: usize) -> Arc<Self> {
-        Arc::new(ArrayMap {
-            values: (0..max_entries).map(|_| Arc::new(RwLock::new(vec![0u8; value_size]))).collect(),
-            value_size,
-            map_type: MapType::PerCpuArray,
-        })
+    /// Creates a per-CPU array map sized for [`DEFAULT_NUM_CPUS`] logical
+    /// CPUs. Use [`PerCpuArrayMap::new`] to pick the CPU count explicitly.
+    pub fn new_per_cpu(value_size: usize, max_entries: usize) -> Arc<PerCpuArrayMap> {
+        PerCpuArrayMap::new(value_size, max_entries, DEFAULT_NUM_CPUS)
     }
 
     fn index(&self, key: &[u8]) -> Option<usize> {
@@ -141,7 +145,7 @@ impl ArrayMap {
 
 impl Map for ArrayMap {
     fn map_type(&self) -> MapType {
-        self.map_type
+        MapType::Array
     }
     fn key_size(&self) -> usize {
         4
@@ -166,6 +170,136 @@ impl Map for ArrayMap {
         }
         let idx = self.index(key).ok_or_else(|| Error::Map("array index out of bounds".into()))?;
         self.values[idx].write().copy_from_slice(value);
+        Ok(())
+    }
+    fn delete(&self, _key: &[u8]) -> Result<()> {
+        Err(Error::Map("array entries cannot be deleted".into()))
+    }
+    fn keys(&self) -> Vec<Vec<u8>> {
+        (0..self.values.len() as u32).map(|i| i.to_ne_bytes().to_vec()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-CPU array map
+// ---------------------------------------------------------------------------
+
+/// Default number of logical CPUs a per-CPU map is provisioned for when the
+/// embedder does not say. Large enough for any worker count the runtime
+/// accepts.
+pub const DEFAULT_NUM_CPUS: u32 = 64;
+
+/// `BPF_MAP_TYPE_PERCPU_ARRAY`: a fixed-size array where every entry holds
+/// one independent value slot *per logical CPU*.
+///
+/// A program calling `bpf_map_lookup_elem` receives a pointer to the slot
+/// of the CPU it runs on ([`Map::lookup_ref_cpu`] with the environment's
+/// CPU id), so concurrent workers never contend or race on shared state —
+/// the property the paper's End.BPF datapath gets from the kernel and that
+/// the multi-queue runtime reproduces by giving each worker shard its own
+/// CPU id. User-space reads see every slot at once, as the `bpf()` syscall
+/// does.
+pub struct PerCpuArrayMap {
+    /// `values[entry][cpu]`.
+    values: Vec<Vec<ValueRef>>,
+    value_size: usize,
+}
+
+impl PerCpuArrayMap {
+    /// Creates a per-CPU array with `max_entries` entries of `value_size`
+    /// bytes, one slot per CPU for `num_cpus` CPUs.
+    pub fn new(value_size: usize, max_entries: usize, num_cpus: u32) -> Arc<Self> {
+        let num_cpus = num_cpus.max(1);
+        Arc::new(PerCpuArrayMap {
+            values: (0..max_entries)
+                .map(|_| (0..num_cpus).map(|_| Arc::new(RwLock::new(vec![0u8; value_size]))).collect())
+                .collect(),
+            value_size,
+        })
+    }
+
+    fn index(&self, key: &[u8]) -> Option<usize> {
+        if key.len() != 4 {
+            return None;
+        }
+        let idx = u32::from_ne_bytes([key[0], key[1], key[2], key[3]]) as usize;
+        (idx < self.values.len()).then_some(idx)
+    }
+
+    fn cpu_slot(&self, entry: usize, cpu: u32) -> &ValueRef {
+        // Out-of-range CPU ids wrap rather than fault: programs obtain the
+        // id from the environment, which the embedder already bounds, and
+        // wrapping keeps the map usable if it was provisioned for fewer
+        // CPUs than the runtime grew to.
+        let slots = &self.values[entry];
+        &slots[cpu as usize % slots.len()]
+    }
+
+    /// User-space view of one CPU's slot.
+    pub fn lookup_cpu(&self, key: &[u8], cpu: u32) -> Option<Vec<u8>> {
+        self.index(key).map(|i| self.cpu_slot(i, cpu).read().clone())
+    }
+
+    /// User-space update of one CPU's slot.
+    pub fn update_cpu(&self, key: &[u8], cpu: u32, value: &[u8]) -> Result<()> {
+        if value.len() != self.value_size {
+            return Err(Error::Map(format!(
+                "value size mismatch: expected {}, got {}",
+                self.value_size,
+                value.len()
+            )));
+        }
+        let idx = self.index(key).ok_or_else(|| Error::Map("array index out of bounds".into()))?;
+        self.cpu_slot(idx, cpu).write().copy_from_slice(value);
+        Ok(())
+    }
+}
+
+impl Map for PerCpuArrayMap {
+    fn map_type(&self) -> MapType {
+        MapType::PerCpuArray
+    }
+    fn key_size(&self) -> usize {
+        4
+    }
+    fn value_size(&self) -> usize {
+        self.value_size
+    }
+    fn max_entries(&self) -> usize {
+        self.values.len()
+    }
+    fn num_cpus(&self) -> u32 {
+        self.values.first().map_or(1, |slots| slots.len() as u32)
+    }
+    /// The user-space view: all CPU slots of the entry, concatenated in CPU
+    /// order (the layout `bpf_map_lookup_elem` presents to the syscall).
+    fn lookup(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let idx = self.index(key)?;
+        let mut out = Vec::with_capacity(self.value_size * self.values[idx].len());
+        for slot in &self.values[idx] {
+            out.extend_from_slice(&slot.read());
+        }
+        Some(out)
+    }
+    fn lookup_ref(&self, key: &[u8]) -> Option<ValueRef> {
+        self.lookup_ref_cpu(key, 0)
+    }
+    fn lookup_ref_cpu(&self, key: &[u8], cpu: u32) -> Option<ValueRef> {
+        self.index(key).map(|i| Arc::clone(self.cpu_slot(i, cpu)))
+    }
+    /// User-space update: writes the same value into *every* CPU slot (the
+    /// common initialisation pattern). Use [`PerCpuArrayMap::update_cpu`]
+    /// to touch one slot.
+    fn update(&self, key: &[u8], value: &[u8], flags: UpdateFlags) -> Result<()> {
+        check_key(self, key)?;
+        check_value(self, value)?;
+        if flags == UpdateFlags::NoExist {
+            return Err(Error::Map("array entries always exist".into()));
+        }
+        let idx = self.index(key).ok_or_else(|| Error::Map("array index out of bounds".into()))?;
+        for slot in &self.values[idx] {
+            slot.write().copy_from_slice(value);
+        }
         Ok(())
     }
     fn delete(&self, _key: &[u8]) -> Result<()> {
@@ -269,12 +403,7 @@ impl LpmTrieMap {
     /// length field, as in the kernel ABI.
     pub fn new(key_size: usize, value_size: usize, max_entries: usize) -> Arc<Self> {
         assert!(key_size > 4, "LPM trie keys must include the 4-byte prefix length");
-        Arc::new(LpmTrieMap {
-            entries: RwLock::new(Vec::new()),
-            key_size,
-            value_size,
-            max_entries,
-        })
+        Arc::new(LpmTrieMap { entries: RwLock::new(Vec::new()), key_size, value_size, max_entries })
     }
 
     fn split_key<'k>(&self, key: &'k [u8]) -> Result<(u32, &'k [u8])> {
@@ -385,10 +514,17 @@ pub struct PerfEventArray {
 }
 
 impl PerfEventArray {
-    /// Creates a perf-event array backed by a ring buffer of `capacity`
+    /// Creates a perf-event array backed by a single ring of `capacity`
     /// events.
     pub fn new(capacity: usize) -> Arc<Self> {
         Arc::new(PerfEventArray { buffer: Arc::new(PerfEventBuffer::new(capacity)) })
+    }
+
+    /// Creates a perf-event array with one `capacity`-event ring per CPU,
+    /// the shape the multi-queue runtime attaches so worker shards never
+    /// contend on event output.
+    pub fn per_cpu(capacity: usize, num_cpus: u32) -> Arc<Self> {
+        Arc::new(PerfEventArray { buffer: Arc::new(PerfEventBuffer::with_rings(capacity, num_cpus)) })
     }
 }
 
@@ -534,10 +670,47 @@ mod tests {
     }
 
     #[test]
-    fn per_cpu_array_behaves_like_array() {
+    fn per_cpu_array_gives_each_cpu_its_own_slot() {
+        let map = PerCpuArrayMap::new(4, 2, 4);
+        assert_eq!(map.map_type(), MapType::PerCpuArray);
+        assert_eq!(map.num_cpus(), 4);
+        let key = 1u32.to_ne_bytes();
+        // Writes through a CPU's reference land only in that CPU's slot.
+        for cpu in 0..4u32 {
+            let slot = map.lookup_ref_cpu(&key, cpu).unwrap();
+            slot.write().copy_from_slice(&[cpu as u8; 4]);
+        }
+        for cpu in 0..4u32 {
+            assert_eq!(map.lookup_cpu(&key, cpu), Some(vec![cpu as u8; 4]));
+        }
+        // Distinct CPUs share nothing; the same CPU sees its own state.
+        assert_ne!(map.lookup_cpu(&key, 0), map.lookup_cpu(&key, 1));
+        // User-space sees every slot concatenated in CPU order.
+        assert_eq!(map.lookup(&key), Some(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]));
+    }
+
+    #[test]
+    fn per_cpu_array_user_space_update_hits_every_slot() {
+        let map = PerCpuArrayMap::new(2, 1, 3);
+        let key = 0u32.to_ne_bytes();
+        map.update(&key, &[7, 7], UpdateFlags::Any).unwrap();
+        for cpu in 0..3 {
+            assert_eq!(map.lookup_cpu(&key, cpu), Some(vec![7, 7]));
+        }
+        map.update_cpu(&key, 1, &[9, 9]).unwrap();
+        assert_eq!(map.lookup_cpu(&key, 1), Some(vec![9, 9]));
+        assert_eq!(map.lookup_cpu(&key, 0), Some(vec![7, 7]));
+        // Out-of-range CPU ids wrap.
+        assert_eq!(map.lookup_cpu(&key, 4), Some(vec![9, 9]));
+        assert!(map.update_cpu(&key, 0, &[1]).is_err());
+        assert!(map.delete(&key).is_err());
+        assert_eq!(map.keys().len(), 1);
+    }
+
+    #[test]
+    fn new_per_cpu_provisions_default_cpu_count() {
         let map = ArrayMap::new_per_cpu(4, 2);
         assert_eq!(map.map_type(), MapType::PerCpuArray);
-        map.update(&1u32.to_ne_bytes(), &[1, 2, 3, 4], UpdateFlags::Any).unwrap();
-        assert_eq!(map.lookup(&1u32.to_ne_bytes()), Some(vec![1, 2, 3, 4]));
+        assert_eq!(map.num_cpus(), DEFAULT_NUM_CPUS);
     }
 }

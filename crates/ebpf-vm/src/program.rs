@@ -13,7 +13,7 @@ use crate::insn::Insn;
 use crate::maps::MapHandle;
 use crate::verifier::{self, VerifierStats};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The source-register value marking an `lddw` as a pseudo map-fd load,
 /// mirroring the kernel's `BPF_PSEUDO_MAP_FD`.
@@ -101,6 +101,31 @@ pub struct LoadedProgram {
     pub maps: HashMap<u32, MapHandle>,
     /// Statistics reported by the verifier.
     pub verifier_stats: VerifierStats,
+    /// The pre-decoded JIT image, built once on first use — the kernel
+    /// compiles at load time, and re-deriving the image per invocation is
+    /// pure overhead on the per-packet hot path.
+    jit_cache: OnceLock<crate::jit::JitProgram>,
+    /// The interpreter's wire-form image, likewise built once.
+    interp_cache: OnceLock<crate::interp::InterpreterImage>,
+}
+
+impl LoadedProgram {
+    /// The program's compiled (pre-decoded JIT) image, compiling it on the
+    /// first call. Each `LoadedProgram` instance owns its own image, so a
+    /// worker shard that loads its own program instance also owns its own
+    /// compiled code, as each CPU's JIT output is private in the kernel.
+    pub fn jit(&self) -> Result<&crate::jit::JitProgram> {
+        if self.jit_cache.get().is_none() {
+            let compiled = crate::jit::compile(self)?;
+            let _ = self.jit_cache.set(compiled);
+        }
+        Ok(self.jit_cache.get().expect("cache populated above"))
+    }
+
+    /// The program's interpreter image, encoding it on the first call.
+    pub fn interp_image(&self) -> &crate::interp::InterpreterImage {
+        self.interp_cache.get_or_init(|| crate::interp::InterpreterImage::new(self))
+    }
 }
 
 impl std::fmt::Debug for LoadedProgram {
@@ -138,7 +163,13 @@ pub fn load(
         }
     }
     let verifier_stats = verifier::verify(&program, helpers, maps)?;
-    Ok(Arc::new(LoadedProgram { program, maps: used, verifier_stats }))
+    Ok(Arc::new(LoadedProgram {
+        program,
+        maps: used,
+        verifier_stats,
+        jit_cache: OnceLock::new(),
+        interp_cache: OnceLock::new(),
+    }))
 }
 
 #[cfg(test)]

@@ -119,13 +119,8 @@ pub fn verify(
     helpers: &HelperRegistry,
     maps: &HashMap<u32, MapHandle>,
 ) -> Result<VerifierStats> {
-    let mut verifier = Verifier {
-        program,
-        helpers,
-        maps,
-        is_lddw_hi: Vec::new(),
-        stats: VerifierStats::default(),
-    };
+    let mut verifier =
+        Verifier { program, helpers, maps, is_lddw_hi: Vec::new(), stats: VerifierStats::default() };
     verifier.check_structure()?;
     verifier.check_no_loops()?;
     verifier.symbolic_execution()?;
@@ -177,7 +172,10 @@ impl<'a> Verifier<'a> {
         let last_is_terminal = matches!(last.class(), class::JMP | class::JMP32)
             && matches!(last.opcode & 0xf0, jmp::EXIT | jmp::JA);
         if !last_is_terminal && !self.is_lddw_hi[insns.len() - 1] {
-            return Err(Error::verifier(insns.len() - 1, "program may fall through past the last instruction"));
+            return Err(Error::verifier(
+                insns.len() - 1,
+                "program may fall through past the last instruction",
+            ));
         }
         // Jump targets must land on real instructions.
         for (idx, insn) in insns.iter().enumerate() {
@@ -393,7 +391,10 @@ impl<'a> Verifier<'a> {
             RegType::PtrToCtx(ctx_off) => {
                 let start = ctx_off + off;
                 if start < 0 || start + len > MAX_CTX_SIZE {
-                    return Err(Error::verifier(pc, format!("context access out of bounds at offset {start}")));
+                    return Err(Error::verifier(
+                        pc,
+                        format!("context access out of bounds at offset {start}"),
+                    ));
                 }
                 Ok(())
             }
@@ -468,7 +469,13 @@ impl<'a> Verifier<'a> {
                 if insn.class() == class::STX {
                     self.read_reg(pc, regs, insn.src)?;
                 }
-                self.check_mem_access(pc, base, i64::from(insn.off), AccessSize::from_opcode(insn.opcode), true)?;
+                self.check_mem_access(
+                    pc,
+                    base,
+                    i64::from(insn.off),
+                    AccessSize::from_opcode(insn.opcode),
+                    true,
+                )?;
                 Ok(Step::Next)
             }
             class::JMP | class::JMP32 => self.step_jmp(pc, insn, regs),
@@ -624,6 +631,7 @@ impl<'a> Verifier<'a> {
     }
 }
 
+#[allow(clippy::large_enum_variant)]
 enum Step {
     Next,
     SkipOne,
@@ -687,11 +695,7 @@ mod tests {
 
     #[test]
     fn rejects_loops() {
-        let insns = vec![
-            Insn::mov64_imm(0, 0),
-            Insn::alu64_imm(alu::ADD, 0, 1),
-            Insn::ja(-2),
-        ];
+        let insns = vec![Insn::mov64_imm(0, 0), Insn::alu64_imm(alu::ADD, 0, 1), Insn::ja(-2)];
         let err = verify_insns(insns).unwrap_err();
         assert!(err.to_string().contains("back-edge") || err.to_string().contains("loop"));
     }
@@ -699,7 +703,8 @@ mod tests {
     #[test]
     fn rejects_out_of_range_jump() {
         assert!(verify_insns(vec![Insn::mov64_imm(0, 0), Insn::ja(5), Insn::exit()]).is_err());
-        assert!(verify_insns(vec![Insn::jmp_imm(jmp::JEQ, 1, 0, -5), Insn::mov64_imm(0, 0), Insn::exit()]).is_err());
+        assert!(verify_insns(vec![Insn::jmp_imm(jmp::JEQ, 1, 0, -5), Insn::mov64_imm(0, 0), Insn::exit()])
+            .is_err());
     }
 
     #[test]
@@ -750,11 +755,7 @@ mod tests {
 
     #[test]
     fn rejects_memory_access_through_scalar() {
-        let insns = vec![
-            Insn::mov64_imm(2, 1000),
-            Insn::load(AccessSize::Word, 0, 2, 0),
-            Insn::exit(),
-        ];
+        let insns = vec![Insn::mov64_imm(2, 1000), Insn::load(AccessSize::Word, 0, 2, 0), Insn::exit()];
         assert!(verify_insns(insns).is_err());
     }
 
@@ -781,12 +782,9 @@ mod tests {
     #[test]
     fn rejects_unknown_helper_and_division_by_zero() {
         assert!(verify_insns(vec![Insn::call(9999), Insn::exit()]).is_err());
-        assert!(verify_insns(vec![
-            Insn::mov64_imm(0, 1),
-            Insn::alu64_imm(alu::DIV, 0, 0),
-            Insn::exit()
-        ])
-        .is_err());
+        assert!(
+            verify_insns(vec![Insn::mov64_imm(0, 1), Insn::alu64_imm(alu::DIV, 0, 0), Insn::exit()]).is_err()
+        );
     }
 
     #[test]

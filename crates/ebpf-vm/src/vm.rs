@@ -82,6 +82,12 @@ pub trait VmEnv {
     fn ktime_ns(&mut self) -> u64 {
         0
     }
+    /// Logical CPU the program runs on (`bpf_get_smp_processor_id`). The
+    /// multi-queue runtime sets this to the worker shard id, which is also
+    /// the slot per-CPU maps index.
+    fn cpu_id(&mut self) -> u32 {
+        0
+    }
     /// Pseudo-random number (`bpf_get_prandom_u32`).
     fn prandom_u32(&mut self) -> u32 {
         0x9e37_79b9
@@ -176,7 +182,7 @@ enum Target {
 }
 
 fn resolve(state: &RunState, rc: &RunContext<'_>, addr: u64, len: usize) -> Result<Target> {
-    let end_ok = |start: usize, region_len: usize| start.checked_add(len).map_or(false, |e| e <= region_len);
+    let end_ok = |start: usize, region_len: usize| start.checked_add(len).is_some_and(|e| e <= region_len);
     if (STACK_BASE..STACK_BASE + STACK_SIZE as u64).contains(&addr) {
         let off = (addr - STACK_BASE) as usize;
         if end_ok(off, STACK_SIZE) {
@@ -192,7 +198,7 @@ fn resolve(state: &RunState, rc: &RunContext<'_>, addr: u64, len: usize) -> Resu
         if end_ok(off, rc.packet.len()) {
             return Ok(Target::Packet(off));
         }
-    } else if addr >= MAP_VALUE_BASE && addr < MAP_PTR_BASE {
+    } else if (MAP_VALUE_BASE..MAP_PTR_BASE).contains(&addr) {
         let region = ((addr - MAP_VALUE_BASE) / MAP_VALUE_STRIDE) as usize;
         let offset = ((addr - MAP_VALUE_BASE) % MAP_VALUE_STRIDE) as usize;
         if let Some(value) = state.value_regions.get(region) {
@@ -472,11 +478,8 @@ pub fn execute_insn(
             } else if op == alu::END {
                 state.regs[dst] = byte_swap(state.regs[dst], insn.imm, insn.opcode & src::X != 0, pc)?;
             } else {
-                let operand = if insn.opcode & src::X != 0 {
-                    state.regs[srcr]
-                } else {
-                    insn.imm as i64 as u64
-                };
+                let operand =
+                    if insn.opcode & src::X != 0 { state.regs[srcr] } else { insn.imm as i64 as u64 };
                 state.regs[dst] = alu_compute(op, is64, state.regs[dst], operand, pc)?;
             }
             Ok(Flow::Next)
@@ -499,11 +502,7 @@ pub fn execute_insn(
         class::ST | class::STX => {
             let size = AccessSize::from_opcode(insn.opcode);
             let addr = state.regs[dst].wrapping_add(insn.off as i64 as u64);
-            let value = if insn.class() == class::STX {
-                state.regs[srcr]
-            } else {
-                insn.imm as i64 as u64
-            };
+            let value = if insn.class() == class::STX { state.regs[srcr] } else { insn.imm as i64 as u64 };
             store_scalar(state, rc, addr, size, value).map_err(|e| relocate(e, pc))?;
             Ok(Flow::Next)
         }
@@ -514,9 +513,8 @@ pub fn execute_insn(
                 jmp::CALL => {
                     let id = insn.imm as u32;
                     let args = [state.regs[1], state.regs[2], state.regs[3], state.regs[4], state.regs[5]];
-                    let func = helpers
-                        .get(id)
-                        .ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
+                    let func =
+                        helpers.get(id).ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
                     let mut api = HelperApi { state, rc, maps };
                     let ret = (func.func)(&mut api, args);
                     state.regs[0] = ret as u64;
@@ -525,11 +523,8 @@ pub fn execute_insn(
                 jmp::EXIT => Ok(Flow::Exit),
                 jmp::JA => Ok(Flow::Branch(i64::from(insn.off))),
                 _ => {
-                    let operand = if insn.opcode & src::X != 0 {
-                        state.regs[srcr]
-                    } else {
-                        insn.imm as i64 as u64
-                    };
+                    let operand =
+                        if insn.opcode & src::X != 0 { state.regs[srcr] } else { insn.imm as i64 as u64 };
                     if jump_taken(op, is64, state.regs[dst], operand) {
                         Ok(Flow::Branch(i64::from(insn.off)))
                     } else {
@@ -560,11 +555,9 @@ pub fn run_program(
     use_jit: bool,
 ) -> Result<u64> {
     if use_jit {
-        let compiled = crate::jit::compile(loaded)?;
-        crate::jit::run(&compiled, loaded, helpers, rc)
+        crate::jit::run(loaded.jit()?, loaded, helpers, rc)
     } else {
-        let image = crate::interp::InterpreterImage::new(loaded);
-        crate::interp::run(&image, loaded, helpers, rc)
+        crate::interp::run(loaded.interp_image(), loaded, helpers, rc)
     }
 }
 

@@ -108,14 +108,14 @@ impl PacketBuf {
             return Err(Error::NoSpace("expand offset beyond end of packet"));
         }
         let abs = self.offset + at;
-        self.storage.splice(abs..abs, std::iter::repeat(0u8).take(len));
+        self.storage.splice(abs..abs, std::iter::repeat_n(0u8, len));
         Ok(())
     }
 
     /// Removes `len` bytes starting at `at` (an offset inside the packet
     /// data). This is `bpf_lwt_seg6_adjust_srh` with a negative delta.
     pub fn shrink_at(&mut self, at: usize, len: usize) -> Result<()> {
-        if at.checked_add(len).map_or(true, |end| end > self.len()) {
+        if at.checked_add(len).is_none_or(|end| end > self.len()) {
             return Err(Error::Truncated { needed: at + len, available: self.len() });
         }
         let abs = self.offset + at;
@@ -125,7 +125,7 @@ impl PacketBuf {
 
     /// Copies `bytes` into the packet at offset `at`.
     pub fn write_at(&mut self, at: usize, bytes: &[u8]) -> Result<()> {
-        if at.checked_add(bytes.len()).map_or(true, |end| end > self.len()) {
+        if at.checked_add(bytes.len()).is_none_or(|end| end > self.len()) {
             return Err(Error::NoSpace("write beyond end of packet"));
         }
         let abs = self.offset + at;
@@ -135,7 +135,7 @@ impl PacketBuf {
 
     /// Returns `len` bytes starting at offset `at`.
     pub fn slice(&self, at: usize, len: usize) -> Result<&[u8]> {
-        if at.checked_add(len).map_or(true, |end| end > self.len()) {
+        if at.checked_add(len).is_none_or(|end| end > self.len()) {
             return Err(Error::Truncated { needed: at + len, available: self.len() });
         }
         Ok(&self.data()[at..at + len])

@@ -53,12 +53,7 @@ impl Checksum {
 
 /// Computes the transport checksum of `payload` (a full UDP or TCP segment
 /// with its checksum field set to zero) over the IPv6 pseudo-header.
-pub fn ipv6_transport_checksum(
-    src: &Ipv6Addr,
-    dst: &Ipv6Addr,
-    next_header: u8,
-    payload: &[u8],
-) -> u16 {
+pub fn ipv6_transport_checksum(src: &Ipv6Addr, dst: &Ipv6Addr, next_header: u8, payload: &[u8]) -> u16 {
     let mut csum = Checksum::new();
     csum.add_bytes(&src.octets());
     csum.add_bytes(&dst.octets());

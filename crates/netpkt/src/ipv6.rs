@@ -44,15 +44,7 @@ pub struct Ipv6Header {
 impl Ipv6Header {
     /// Creates a header with a zero traffic class and flow label.
     pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload_length: u16, hop_limit: u8) -> Self {
-        Ipv6Header {
-            traffic_class: 0,
-            flow_label: 0,
-            payload_length,
-            next_header,
-            hop_limit,
-            src,
-            dst,
-        }
+        Ipv6Header { traffic_class: 0, flow_label: 0, payload_length, next_header, hop_limit, src, dst }
     }
 
     /// Parses the first [`IPV6_HEADER_LEN`] bytes of `buf`.

@@ -72,14 +72,7 @@ impl ParsedPacket {
         } else {
             (None, None, next, offset)
         };
-        Ok(ParsedPacket {
-            outer,
-            srh,
-            inner,
-            inner_offset,
-            transport_proto,
-            transport_offset,
-        })
+        Ok(ParsedPacket { outer, srh, inner, inner_offset, transport_proto, transport_offset })
     }
 
     /// Parses the packet held by a [`PacketBuf`].
@@ -125,13 +118,7 @@ pub fn build_srv6_udp_packet(
     let current = srh.current_segment().expect("SRH must have at least one segment");
     let udp = UdpHeader::build_datagram(&src, &current, src_port, dst_port, payload);
     let srh_bytes = srh.to_bytes();
-    let ip = Ipv6Header::new(
-        src,
-        current,
-        proto::ROUTING,
-        (srh_bytes.len() + udp.len()) as u16,
-        hop_limit,
-    );
+    let ip = Ipv6Header::new(src, current, proto::ROUTING, (srh_bytes.len() + udp.len()) as u16, hop_limit);
     let mut pkt = PacketBuf::with_headroom(128);
     pkt.append(&udp);
     pkt.push_header(&srh_bytes);

@@ -34,6 +34,7 @@ impl Ipv6Prefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -72,7 +73,8 @@ impl FromStr for Ipv6Prefix {
     fn from_str(s: &str) -> Result<Self> {
         match s.split_once('/') {
             Some((addr, len)) => {
-                let addr: Ipv6Addr = addr.parse().map_err(|_| Error::Malformed("invalid IPv6 address in prefix"))?;
+                let addr: Ipv6Addr =
+                    addr.parse().map_err(|_| Error::Malformed("invalid IPv6 address in prefix"))?;
                 let len: u8 = len.parse().map_err(|_| Error::Malformed("invalid prefix length"))?;
                 Ipv6Prefix::new(addr, len)
             }

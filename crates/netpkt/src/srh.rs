@@ -123,7 +123,7 @@ impl SrhTlv {
             SrhTlv::PadN { len } => {
                 out.push(TLV_TYPE_PADN);
                 out.push(*len);
-                out.extend(std::iter::repeat(0u8).take(usize::from(*len)));
+                out.extend(std::iter::repeat_n(0u8, usize::from(*len)));
             }
             SrhTlv::DelayMeasurement { tx_timestamp_ns } => {
                 out.push(TLV_TYPE_DM);
@@ -268,7 +268,7 @@ impl SegmentRoutingHeader {
         let unpadded = SRH_FIXED_LEN + 16 * self.segments.len() + tlv_len;
         // The whole extension header must be a multiple of 8 bytes; the
         // serialiser pads the TLV area accordingly.
-        (unpadded + 7) / 8 * 8
+        unpadded.div_ceil(8) * 8
     }
 
     /// Byte offset (from the start of the SRH) where the TLV area begins.
@@ -307,7 +307,7 @@ impl SegmentRoutingHeader {
             n => {
                 out.push(TLV_TYPE_PADN);
                 out.push((n - 2) as u8);
-                out.extend(std::iter::repeat(0u8).take(n - 2));
+                out.extend(std::iter::repeat_n(0u8, n - 2));
             }
         }
         debug_assert_eq!(out.len(), target);
@@ -354,15 +354,7 @@ impl SegmentRoutingHeader {
         if off != total_len {
             return Err(Error::BadTlv("TLV walk overran the SRH"));
         }
-        Ok(SegmentRoutingHeader {
-            next_header,
-            segments_left,
-            last_entry,
-            flags,
-            tag,
-            segments,
-            tlvs,
-        })
+        Ok(SegmentRoutingHeader { next_header, segments_left, last_entry, flags, tag, segments, tlvs })
     }
 
     /// Validates a raw SRH in place, as the kernel does after an `End.BPF`
@@ -448,7 +440,10 @@ mod tests {
         let bytes = srh.to_bytes();
         assert_eq!(bytes.len() % 8, 0);
         let parsed = SegmentRoutingHeader::parse(&bytes).unwrap();
-        assert_eq!(parsed.find_tlv(TlvKind::Opaque(200)), Some(&SrhTlv::Opaque { kind: 200, value: vec![1, 2, 3] }));
+        assert_eq!(
+            parsed.find_tlv(TlvKind::Opaque(200)),
+            Some(&SrhTlv::Opaque { kind: 200, value: vec![1, 2, 3] })
+        );
     }
 
     #[test]

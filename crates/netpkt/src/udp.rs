@@ -23,12 +23,7 @@ pub struct UdpHeader {
 impl UdpHeader {
     /// Creates a header for a datagram carrying `payload_len` bytes.
     pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
-        UdpHeader {
-            src_port,
-            dst_port,
-            length: payload_len + UDP_HEADER_LEN as u16,
-            checksum: 0,
-        }
+        UdpHeader { src_port, dst_port, length: payload_len + UDP_HEADER_LEN as u16, checksum: 0 }
     }
 
     /// Parses a UDP header from the start of `buf`.

@@ -133,7 +133,12 @@ impl EcmpTraceroute {
 
     /// Records a legacy ICMP time-exceeded style answer for hop `ttl`.
     pub fn record_icmp(&mut self, ttl: u8, hop: Option<Ipv6Addr>) {
-        self.hops.entry(ttl).or_insert(TracerouteHop { ttl, hop, ecmp_nexthops: Vec::new(), via_oamp: false });
+        self.hops.entry(ttl).or_insert(TracerouteHop {
+            ttl,
+            hop,
+            ecmp_nexthops: Vec::new(),
+            via_oamp: false,
+        });
     }
 
     /// The hops discovered so far, in TTL order.

@@ -50,7 +50,12 @@ pub fn helper_fib_ecmp_nexthops(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> 
 /// `End.BPF` programs like the other seg6local helpers.
 pub fn oam_helper_registry() -> HelperRegistry {
     let mut registry = seg6_core::seg6_helper_registry();
-    registry.register(HELPER_FIB_ECMP_NEXTHOPS, "bpf_fib_ecmp_nexthops", helper_fib_ecmp_nexthops, Some(SEG6LOCAL_ONLY));
+    registry.register(
+        HELPER_FIB_ECMP_NEXTHOPS,
+        "bpf_fib_ecmp_nexthops",
+        helper_fib_ecmp_nexthops,
+        Some(SEG6LOCAL_ONLY),
+    );
     registry
 }
 
@@ -75,10 +80,7 @@ mod tests {
         let tables = Arc::new(RouterTables::new());
         tables.insert_main(
             "2001:db8::/32".parse().unwrap(),
-            vec![
-                Nexthop::via("fe80::1".parse().unwrap(), 1),
-                Nexthop::via("fe80::2".parse().unwrap(), 2),
-            ],
+            vec![Nexthop::via("fe80::1".parse().unwrap(), 1), Nexthop::via("fe80::2".parse().unwrap(), 2)],
         );
         let mut env = Seg6Env::new("fc00::1".parse().unwrap(), tables, 0);
         let mut state = RunState::new(0);

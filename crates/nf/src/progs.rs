@@ -199,7 +199,12 @@ pub fn owd_encap_program(config: OwdEncapConfig) -> Program {
     b.store_mem(AccessSize::Double, 8, 2, (OWD_CTRL_TLV_OFFSET + 2) as i16);
     b.load_imm64(2, ctrl_hi);
     b.store_mem(AccessSize::Double, 8, 2, (OWD_CTRL_TLV_OFFSET + 10) as i16);
-    b.store_imm(AccessSize::Half, 8, (OWD_CTRL_TLV_OFFSET + 18) as i16, i32::from(config.controller_port.swap_bytes()));
+    b.store_imm(
+        AccessSize::Half,
+        8,
+        (OWD_CTRL_TLV_OFFSET + 18) as i16,
+        i32::from(config.controller_port.swap_bytes()),
+    );
     // PadN (type 4, length 0) to keep the SRH 8-byte aligned.
     b.store_imm(AccessSize::Half, 8, 70, i32::from(u16::from_le_bytes([4, 0])));
     // push_encap(skb, BPF_LWT_ENCAP_SEG6, &srh, 72)
@@ -250,10 +255,13 @@ pub fn end_dm_program(perf_fd: u32) -> Program {
     b.store_mem(AccessSize::Double, 7, 2, 24);
     b.load_mem(AccessSize::Half, 2, R_DATA, ctrl_port);
     b.store_mem(AccessSize::Half, 7, 2, 32);
-    // perf_event_output(skb, perf_map, 0, &event, 40)
+    // perf_event_output(skb, perf_map, BPF_F_CURRENT_CPU, &event, 40):
+    // report on the ring of the worker that saw the probe. The constant
+    // must be the zero-extended 0xffffffff — the kernel rejects flags with
+    // non-zero upper bits, so a sign-extended -1 would fail there.
     b.mov_reg(1, R_CTX_SAVED);
     b.load_map_fd(2, perf_fd);
-    b.mov_imm(3, 0);
+    b.load_imm64(3, 0xffff_ffff);
     b.mov_reg(4, 7);
     b.mov_imm(5, crate::events::DELAY_EVENT_SIZE as i32);
     b.call(ids::PERF_EVENT_OUTPUT);
@@ -298,7 +306,9 @@ pub fn wrr_maps(weight0: u32, weight1: u32, sid0: Ipv6Addr, sid1: Ipv6Addr) -> (
         let srh = SegmentRoutingHeader::new(netpkt::proto::IPV6, vec![sid], 0);
         let bytes = srh.to_bytes();
         assert_eq!(bytes.len(), WRR_TEMPLATE_SIZE);
-        config.update(&key.to_ne_bytes(), &bytes, UpdateFlags::Any).expect("config map sized for two entries");
+        config
+            .update(&key.to_ne_bytes(), &bytes, UpdateFlags::Any)
+            .expect("config map sized for two entries");
     }
     (state, config)
 }
@@ -394,10 +404,11 @@ pub fn end_oamp_program(perf_fd: u32) -> Program {
     b.mov_imm(3, crate::events::OAM_MAX_NEXTHOPS as i32);
     b.call(HELPER_FIB_ECMP_NEXTHOPS);
     b.store_mem(AccessSize::Byte, 7, 0, 34);
-    // perf_event_output(skb, perf_map, 0, &event, OAM_EVENT_SIZE)
+    // perf_event_output(skb, perf_map, BPF_F_CURRENT_CPU, &event,
+    // OAM_EVENT_SIZE) — zero-extended, as above.
     b.mov_reg(1, R_CTX_SAVED);
     b.load_map_fd(2, perf_fd);
-    b.mov_imm(3, 0);
+    b.load_imm64(3, 0xffff_ffff);
     b.mov_reg(4, 7);
     b.mov_imm(5, crate::events::OAM_EVENT_SIZE as i32);
     b.call(ids::PERF_EVENT_OUTPUT);
@@ -535,7 +546,8 @@ mod tests {
             "2001:db8:2::/48".parse().unwrap(),
             LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
         );
-        let mut skb = Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8:2::9"), 1, 2, &[0u8; 32], 64));
+        let mut skb =
+            Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8:2::9"), 1, 2, &[0u8; 32], 64));
         assert!(ingress.process(&mut skb, 1_000).is_forward());
         let parsed = ParsedPacket::parse(skb.packet.data()).unwrap();
         assert_eq!(parsed.outer.dst, addr("fc00::d1"));
@@ -562,7 +574,10 @@ mod tests {
         let mut maps = HashMap::new();
         maps.insert(1u32, perf_handle);
         let dm_prog = load(end_dm_program(1), &maps, &dm_router.helpers).unwrap();
-        dm_router.add_local_sid("fc00::d1".parse().unwrap(), Seg6LocalAction::EndBpf { prog: dm_prog, use_jit: true });
+        dm_router.add_local_sid(
+            "fc00::d1".parse().unwrap(),
+            Seg6LocalAction::EndBpf { prog: dm_prog, use_jit: true },
+        );
 
         // The packet must first be advanced to the DM SID: simulate the
         // in-between forwarding by handing it straight to the DM router (the
@@ -607,8 +622,14 @@ mod tests {
         let mut encapsulated = 0;
         let total = 200;
         for i in 0..total {
-            let mut skb =
-                Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8:2::9"), 1, 2, &[0u8; 32], 64));
+            let mut skb = Skb::new(build_ipv6_udp_packet(
+                addr("2001:db8::1"),
+                addr("2001:db8:2::9"),
+                1,
+                2,
+                &[0u8; 32],
+                64,
+            ));
             assert!(ingress.process(&mut skb, i).is_forward());
             if ParsedPacket::parse(skb.packet.data()).unwrap().srh.is_some() {
                 encapsulated += 1;

@@ -42,13 +42,25 @@ impl LinkConfig {
     /// A 10 Gbps lab link with a 50 µs one-way delay, as in the paper's
     /// setup 1.
     pub fn lab_10g() -> Self {
-        LinkConfig { bandwidth_bps: 10_000_000_000, delay_ns: 50_000, jitter_ns: 0, loss: 0.0, queue_bytes: 1024 * 1024 }
+        LinkConfig {
+            bandwidth_bps: 10_000_000_000,
+            delay_ns: 50_000,
+            jitter_ns: 0,
+            loss: 0.0,
+            queue_bytes: 1024 * 1024,
+        }
     }
 
     /// A 1 Gbps link with a negligible delay, as between the Turris Omnia
     /// and its neighbours in setup 2.
     pub fn gigabit() -> Self {
-        LinkConfig { bandwidth_bps: 1_000_000_000, delay_ns: 100_000, jitter_ns: 0, loss: 0.0, queue_bytes: 512 * 1024 }
+        LinkConfig {
+            bandwidth_bps: 1_000_000_000,
+            delay_ns: 100_000,
+            jitter_ns: 0,
+            loss: 0.0,
+            queue_bytes: 512 * 1024,
+        }
     }
 
     /// Sets the jitter (nanoseconds).
@@ -123,7 +135,14 @@ pub struct Link {
 impl Link {
     /// Creates a symmetric link.
     pub fn symmetric(a: (usize, u32), b: (usize, u32), config: LinkConfig) -> Self {
-        Link { a, b, config_ab: config, config_ba: config, state_ab: Default::default(), state_ba: Default::default() }
+        Link {
+            a,
+            b,
+            config_ab: config,
+            config_ba: config,
+            state_ab: Default::default(),
+            state_ba: Default::default(),
+        }
     }
 
     /// The remote endpoint as seen from `node`, plus whether the direction

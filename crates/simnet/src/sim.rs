@@ -239,7 +239,13 @@ impl Simulator {
         }
     }
 
-    fn flush_app_effects(&mut self, node_id: usize, app_idx: usize, outbox: Vec<(u64, PacketBuf)>, timers: Vec<(u64, u64)>) {
+    fn flush_app_effects(
+        &mut self,
+        node_id: usize,
+        app_idx: usize,
+        outbox: Vec<(u64, PacketBuf)>,
+        timers: Vec<(u64, u64)>,
+    ) {
         for (time_ns, packet) in outbox {
             self.stats.injected += 1;
             self.schedule(time_ns, Event::Inject { node: node_id, packet: packet.data().to_vec() });
@@ -255,7 +261,8 @@ impl Simulator {
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
             {
-                let mut api = AppApi { now_ns: self.now_ns, node_id, outbox: &mut outbox, timers: &mut timers };
+                let mut api =
+                    AppApi { now_ns: self.now_ns, node_id, outbox: &mut outbox, timers: &mut timers };
                 app.on_timer(&mut api, timer_id);
             }
             self.apps[node_id] = apps;
@@ -266,11 +273,13 @@ impl Simulator {
     }
 
     fn handle_packet(&mut self, node_id: usize, _ingress: Option<u32>, packet: Vec<u8>) {
-        // CPU admission: packets are processed serially; if the backlog
-        // exceeds the node's queue limit the packet is dropped.
+        // CPU admission: the packet's flow steers it to one receive queue
+        // (RSS), each queue's core processes serially, and the packet is
+        // dropped if that queue's backlog exceeds the node's limit.
         let (start_ns, verdict, work, packet_after) = {
             let node = &mut self.nodes[node_id];
-            let start_ns = node.cpu_busy_until_ns.max(self.now_ns);
+            let queue = node.rx_queue_for(&packet);
+            let start_ns = node.rx_queue_busy_ns[queue].max(self.now_ns);
             if start_ns - self.now_ns > node.cpu_queue_limit_ns {
                 node.cpu_drops += 1;
                 self.stats.dropped += 1;
@@ -278,6 +287,10 @@ impl Simulator {
             }
             let before = node.datapath.stats.clone();
             let mut skb = Skb::received(PacketBuf::from_slice(&packet), self.now_ns, 0);
+            // The datapath instance runs "on" the queue's core: programs
+            // observe the queue index as their CPU id, so per-CPU map
+            // slots and perf rings shard by queue inside the simulator too.
+            node.datapath.cpu_id = queue as u32;
             let verdict = node.datapath.process(&mut skb, self.now_ns);
             let after = &node.datapath.stats;
             let work = PacketWork {
@@ -286,7 +299,7 @@ impl Simulator {
                 bpf: after.bpf_invocations > before.bpf_invocations,
             };
             let cost = node.cpu.cost_ns(packet.len(), &work);
-            node.cpu_busy_until_ns = start_ns + cost;
+            node.rx_queue_busy_ns[queue] = start_ns + cost;
             (start_ns + cost, verdict, work, skb.packet.data().to_vec())
         };
         let _ = work;
@@ -317,7 +330,8 @@ impl Simulator {
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
             {
-                let mut api = AppApi { now_ns: self.now_ns, node_id, outbox: &mut outbox, timers: &mut timers };
+                let mut api =
+                    AppApi { now_ns: self.now_ns, node_id, outbox: &mut outbox, timers: &mut timers };
                 app.on_packet(&mut api, &buf);
             }
             effects.push((app_idx, outbox, timers));
@@ -407,9 +421,7 @@ mod tests {
         sim.node_mut(r)
             .datapath
             .add_route("fc00::a2/128".parse().unwrap(), vec![Nexthop::direct(r_if_right)]);
-        sim.node_mut(r)
-            .datapath
-            .add_route("fc00::a1/128".parse().unwrap(), vec![Nexthop::direct(r_if_left)]);
+        sim.node_mut(r).datapath.add_route("fc00::a1/128".parse().unwrap(), vec![Nexthop::direct(r_if_left)]);
         (sim, s1, r, s2)
     }
 
@@ -455,6 +467,45 @@ mod tests {
     }
 
     #[test]
+    fn multi_queue_router_scales_with_its_queues() {
+        // Same CPU-bound router as above, but packets come from many flows.
+        // With Q receive queues the node forwards close to Q times more
+        // before its per-queue backlogs fill.
+        let slow = CpuProfile {
+            forward_ns: 10_000,
+            seg6local_ns: 0,
+            encap_ns: 0,
+            bpf_jit_ns: 0,
+            bpf_interp_ns: 0,
+            per_byte_ns_x1000: 0,
+            jit_enabled: true,
+        };
+        let mut received = Vec::new();
+        for queues in [1usize, 4] {
+            let (mut sim, s1, r, s2) = three_node_chain(slow);
+            sim.node_mut(r).set_rx_queues(queues);
+            assert_eq!(sim.node(r).rx_queues(), queues);
+            for i in 0..2000u64 {
+                // 2000 packets over 200 distinct flows, 10x faster than one
+                // core can forward.
+                let pkt = build_ipv6_udp_packet(
+                    addr("fc00::a1"),
+                    addr("fc00::a2"),
+                    1000 + (i % 200) as u16,
+                    5001,
+                    &[0u8; 64],
+                    64,
+                );
+                sim.inject_at(i * 100, s1, pkt);
+            }
+            sim.run_to_completion();
+            received.push(sim.node(s2).sink(5001).packets);
+        }
+        let (one, four) = (received[0], received[1]);
+        assert!(four > one * 3, "1 queue: {one}, 4 queues: {four}");
+    }
+
+    #[test]
     fn link_bandwidth_paces_delivery() {
         // 1500-byte packets over a 12 Mbps link take 1 ms each.
         let mut sim = Simulator::new(2);
@@ -487,7 +538,7 @@ mod tests {
         sim.run_to_completion();
         let received = sim.node(b).sink(5001).packets;
         assert!(received > 20 && received < 80, "received {received}");
-        assert_eq!(sim.stats.dropped as u64 + received, 100);
+        assert_eq!(sim.stats.dropped + received, 100);
     }
 
     #[test]

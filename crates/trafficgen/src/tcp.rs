@@ -30,6 +30,7 @@ pub const MIN_RTO_NS: u64 = 200_000_000;
 /// Maximum retransmission timeout.
 pub const MAX_RTO_NS: u64 = 10_000_000_000;
 
+#[allow(clippy::too_many_arguments)]
 fn build_tcp_packet(
     src: Ipv6Addr,
     dst: Ipv6Addr,
@@ -43,7 +44,7 @@ fn build_tcp_packet(
     let header = TcpHeader::new(src_port, dst_port, seq as u32, ack as u32, flags, u16::MAX);
     let mut segment = Vec::with_capacity(TCP_HEADER_LEN + payload_len);
     segment.extend_from_slice(&header.to_bytes());
-    segment.extend(std::iter::repeat(0u8).take(payload_len));
+    segment.extend(std::iter::repeat_n(0u8, payload_len));
     let ip = Ipv6Header::new(src, dst, proto::TCP, segment.len() as u16, 64);
     let mut pkt = PacketBuf::with_headroom(128);
     pkt.append(&segment);
@@ -113,6 +114,7 @@ pub struct TcpBulkSender {
     ssthresh: f64,
     dup_acks: u32,
     dupack_threshold: u32,
+    dup_ack_since_ns: Option<u64>,
     in_recovery: bool,
     recover: u64,
 
@@ -153,6 +155,7 @@ impl TcpBulkSender {
             ssthresh: f64::MAX / 4.0,
             dup_acks: 0,
             dupack_threshold: 3,
+            dup_ack_since_ns: None,
             in_recovery: false,
             recover: 0,
             srtt_ns: 0.0,
@@ -168,12 +171,26 @@ impl TcpBulkSender {
 
     /// Sets the number of duplicate ACKs that triggers a fast retransmit.
     ///
-    /// Plain Reno uses 3; Linux raises its `tcp_reordering` window (up to
-    /// 300) once it detects persistent reordering on a path, which is the
-    /// situation the hybrid-access experiment creates. Setting a higher
-    /// threshold approximates that adapted state.
+    /// Plain Reno uses 3. Fast retransmit is additionally gated by the
+    /// RACK-style time window of [`Self::reordering_window_ns`], so raising
+    /// this is rarely necessary.
     pub fn set_dupack_threshold(&mut self, threshold: u32) {
         self.dupack_threshold = threshold.max(1);
+    }
+
+    /// RACK-style reordering tolerance (RFC 8985): duplicate ACKs only
+    /// trigger a fast retransmit once the gap has persisted for a quarter
+    /// of the minimum RTT (queueing-free, as RACK specifies). Linux uses
+    /// the same window, which is what lets a real sender ride out the
+    /// small residual reordering left after delay compensation in §4.2
+    /// while still collapsing under the uncompensated multi-millisecond
+    /// path skew.
+    fn reordering_window_ns(&self) -> u64 {
+        if self.min_rtt_ns < f64::MAX {
+            ((self.min_rtt_ns / 4.0) as u64).clamp(1_000_000, 50_000_000)
+        } else {
+            0
+        }
     }
 
     fn mss_u64(&self) -> u64 {
@@ -190,7 +207,16 @@ impl TcpBulkSender {
         if len == 0 {
             return;
         }
-        let pkt = build_tcp_packet(self.src, self.dst, self.src_port, self.dst_port, seq, 0, TcpFlags::default(), len);
+        let pkt = build_tcp_packet(
+            self.src,
+            self.dst,
+            self.src_port,
+            self.dst_port,
+            seq,
+            0,
+            TcpFlags::default(),
+            len,
+        );
         api.send(pkt);
         // Karn's algorithm: only time segments that are not retransmissions,
         // otherwise an ACK for the original transmission inflates the sample.
@@ -251,6 +277,7 @@ impl TcpBulkSender {
                 }
             }
             self.dup_acks = 0;
+            self.dup_ack_since_ns = None;
             if self.in_recovery {
                 if ack >= self.recover {
                     self.in_recovery = false;
@@ -281,7 +308,12 @@ impl TcpBulkSender {
             self.send_window(api);
         } else if ack == self.snd_una && self.flight() > 0 {
             self.dup_acks += 1;
-            if self.dup_acks == self.dupack_threshold && !self.in_recovery {
+            if self.dup_ack_since_ns.is_none() {
+                self.dup_ack_since_ns = Some(now_ns);
+            }
+            let gap_age_ns = now_ns.saturating_sub(self.dup_ack_since_ns.unwrap_or(now_ns));
+            let past_reordering_window = gap_age_ns >= self.reordering_window_ns();
+            if self.dup_acks >= self.dupack_threshold && past_reordering_window && !self.in_recovery {
                 self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_u64() as f64);
                 self.cwnd = self.ssthresh + 3.0 * self.mss_u64() as f64;
                 self.in_recovery = true;
@@ -336,6 +368,7 @@ impl Application for TcpBulkSender {
         self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.mss_u64() as f64);
         self.cwnd = self.mss_u64() as f64;
         self.dup_acks = 0;
+        self.dup_ack_since_ns = None;
         self.in_recovery = false;
         self.snd_nxt = self.snd_una;
         self.rto_ns = (self.rto_ns * 2).min(MAX_RTO_NS);
@@ -436,16 +469,8 @@ impl Application for TcpBulkReceiver {
             }
         }
         // Cumulative ACK (duplicate or not).
-        let ack_pkt = build_tcp_packet(
-            self.addr,
-            ip.src,
-            self.port,
-            tcp.src_port,
-            0,
-            self.rcv_nxt,
-            TcpFlags::ACK,
-            0,
-        );
+        let ack_pkt =
+            build_tcp_packet(self.addr, ip.src, self.port, tcp.src_port, 0, self.rcv_nxt, TcpFlags::ACK, 0);
         api.send(ack_pkt);
     }
 
@@ -476,7 +501,8 @@ mod tests {
     fn bulk_transfer_completes_on_a_clean_link() {
         let (mut sim, a, b) = two_nodes(LinkConfig::new(100_000_000, 5), 1);
         let total = 2_000_000u64;
-        let (sender, sender_stats) = TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_000, 5201, total, 60 * NS_PER_SEC);
+        let (sender, sender_stats) =
+            TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_000, 5201, total, 60 * NS_PER_SEC);
         let (receiver, receiver_stats) = TcpBulkReceiver::new(addr("fc00::2"), 5201);
         sim.add_app(a, Box::new(sender));
         sim.add_app(b, Box::new(receiver));
@@ -495,7 +521,8 @@ mod tests {
     fn loss_triggers_retransmissions_but_the_transfer_still_completes() {
         let (mut sim, a, b) = two_nodes(LinkConfig::new(50_000_000, 5).with_loss(0.01), 2);
         let total = 500_000u64;
-        let (sender, sender_stats) = TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_001, 5201, total, 120 * NS_PER_SEC);
+        let (sender, sender_stats) =
+            TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_001, 5201, total, 120 * NS_PER_SEC);
         let (receiver, receiver_stats) = TcpBulkReceiver::new(addr("fc00::2"), 5201);
         sim.add_app(a, Box::new(sender));
         sim.add_app(b, Box::new(receiver));
@@ -509,7 +536,8 @@ mod tests {
     #[test]
     fn rtt_estimate_reflects_the_path_delay() {
         let (mut sim, a, b) = two_nodes(LinkConfig::new(100_000_000, 20), 3);
-        let (sender, sender_stats) = TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_002, 5201, 400_000, 60 * NS_PER_SEC);
+        let (sender, sender_stats) =
+            TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_002, 5201, 400_000, 60 * NS_PER_SEC);
         let (receiver, _) = TcpBulkReceiver::new(addr("fc00::2"), 5201);
         sim.add_app(a, Box::new(sender));
         sim.add_app(b, Box::new(receiver));
@@ -524,7 +552,8 @@ mod tests {
         // A slower link should yield a proportionally lower goodput.
         let (mut sim, a, b) = two_nodes(LinkConfig::new(10_000_000, 5), 4);
         let total = 2_000_000u64;
-        let (sender, sender_stats) = TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_003, 5201, total, 60 * NS_PER_SEC);
+        let (sender, sender_stats) =
+            TcpBulkSender::new(addr("fc00::1"), addr("fc00::2"), 40_003, 5201, total, 60 * NS_PER_SEC);
         let (receiver, receiver_stats) = TcpBulkReceiver::new(addr("fc00::2"), 5201);
         sim.add_app(a, Box::new(sender));
         sim.add_app(b, Box::new(receiver));
@@ -543,8 +572,9 @@ mod tests {
         let mut outbox = Vec::new();
         let mut timers = Vec::new();
         let mut api = AppApi::detached(0, 0, &mut outbox, &mut timers);
-        let seg =
-            |seq: u64| build_tcp_packet(addr("fc00::1"), addr("fc00::2"), 40_000, 5201, seq, 0, TcpFlags::default(), 100);
+        let seg = |seq: u64| {
+            build_tcp_packet(addr("fc00::1"), addr("fc00::2"), 40_000, 5201, seq, 0, TcpFlags::default(), 100)
+        };
         receiver.on_packet(&mut api, &seg(100)); // out of order
         receiver.on_packet(&mut api, &seg(0)); // fills the gap
         let s = stats.lock();

@@ -117,7 +117,13 @@ impl Application for UdpFlowSource {
 
 /// Schedules a pre-built packet burst into a simulator at a constant packet
 /// rate, as `trafgen` does on S1 (open-loop source).
-pub fn schedule_burst(sim: &mut Simulator, node: usize, packets: Vec<PacketBuf>, start_ns: u64, rate_pps: u64) {
+pub fn schedule_burst(
+    sim: &mut Simulator,
+    node: usize,
+    packets: Vec<PacketBuf>,
+    start_ns: u64,
+    rate_pps: u64,
+) {
     let interval = NS_PER_SEC / rate_pps.max(1);
     for (i, pkt) in packets.into_iter().enumerate() {
         sim.inject_at(start_ns + i as u64 * interval, node, pkt);

@@ -52,12 +52,7 @@ fn main() {
 
     // Ingress: the sampling encapsulation program on the LWT xmit hook
     // (1:10 probing ratio so this short run produces a few reports).
-    let encap = owd_encap_program(OwdEncapConfig {
-        dm_sid,
-        controller,
-        controller_port: 9999,
-        ratio: 10,
-    });
+    let encap = owd_encap_program(OwdEncapConfig { dm_sid, controller, controller_port: 9999, ratio: 10 });
     let encap = {
         let dp = &mut sim.node_mut(ingress).datapath;
         ebpf_vm::program::load(encap, &HashMap::new(), &dp.helpers).expect("encap program verifies")
@@ -97,6 +92,9 @@ fn main() {
         println!("one-way delay: mean = {:.3} ms, max = {:.3} ms", mean as f64 / 1e6, max as f64 / 1e6);
     }
     assert!(parsed > 50, "expected a sampled subset of 2000 packets to be probed");
-    assert!(collector.mean_owd_ns().unwrap() >= 20_000_000, "the 20 ms link must dominate the measured delay");
+    assert!(
+        collector.mean_owd_ns().unwrap() >= 20_000_000,
+        "the 20 ms link must dominate the measured delay"
+    );
     println!("delay_monitoring OK: probes were sampled, measured and decapsulated transparently");
 }

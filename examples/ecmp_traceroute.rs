@@ -28,10 +28,7 @@ fn main() {
     hop2.helpers = oam_helper_registry();
     hop2.add_route(
         "2001:db8:9::/48".parse().unwrap(),
-        vec![
-            Nexthop::via("fe80::31".parse().unwrap(), 1),
-            Nexthop::via("fe80::32".parse().unwrap(), 2),
-        ],
+        vec![Nexthop::via("fe80::31".parse().unwrap(), 1), Nexthop::via("fe80::32".parse().unwrap(), 2)],
     );
     let perf = PerfEventArray::new(64);
     let perf_handle: MapHandle = perf.clone();
@@ -70,5 +67,8 @@ fn main() {
     assert_eq!(hops.len(), 3);
     assert!(hops[1].via_oamp);
     assert_eq!(hops[1].ecmp_nexthops.len(), 2);
-    println!("\necmp_traceroute OK: hop 2 reported {} equal-cost next hops via End.OAMP", hops[1].ecmp_nexthops.len());
+    println!(
+        "\necmp_traceroute OK: hop 2 reported {} equal-cost next hops via End.OAMP",
+        hops[1].ecmp_nexthops.len()
+    );
 }

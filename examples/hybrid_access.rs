@@ -15,9 +15,9 @@ use ebpf_vm::maps::MapHandle;
 use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6LocalAction};
 use simnet::{CpuProfile, LinkConfig, Simulator, NS_PER_SEC};
 use srv6_nf::{compute_compensation, wrr_encap_program, wrr_maps};
-use trafficgen::{TcpBulkReceiver, TcpBulkSender};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
+use trafficgen::{TcpBulkReceiver, TcpBulkSender};
 
 struct Topology {
     sim: Simulator,
@@ -65,8 +65,14 @@ fn build(seed: u64) -> Topology {
         dp.add_route("2001:db8:1::/48".parse().unwrap(), vec![Nexthop::direct(cpe_if_l1)]);
         // The CPE's two decapsulation SIDs — "the SRv6 decapsulation is
         // natively performed by the kernel".
-        dp.add_local_sid("fd00::b1".parse().unwrap(), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
-        dp.add_local_sid("fd00::b2".parse().unwrap(), Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE });
+        dp.add_local_sid(
+            "fd00::b1".parse().unwrap(),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
+        dp.add_local_sid(
+            "fd00::b2".parse().unwrap(),
+            Seg6LocalAction::EndDT6 { table: seg6_core::MAIN_TABLE },
+        );
     }
 
     // The WRR eBPF scheduler on the aggregation box, weights 5:3 matching
@@ -94,7 +100,11 @@ fn run_transfer(compensate: bool) -> f64 {
         // ~13 ms slower one-way; delay the LTE path by the difference.
         let comp = compute_compensation(30_000_000, 5_000_000);
         topo.sim.set_link_extra_delay(topo.links[comp.delay_path], topo.agg, comp.extra_delay_ns);
-        println!("applying {:.1} ms of extra delay on path {}", comp.extra_delay_ns as f64 / 1e6, comp.delay_path);
+        println!(
+            "applying {:.1} ms of extra delay on path {}",
+            comp.extra_delay_ns as f64 / 1e6,
+            comp.delay_path
+        );
     }
     let duration = 8 * NS_PER_SEC;
     let (sender, _) = TcpBulkSender::new(

@@ -32,11 +32,16 @@ fn main() {
     let insns = assemble(source).expect("assembly");
     let program = Program::new("quickstart_counter", ProgramType::LwtSeg6Local, insns);
     let loaded = load(program, &HashMap::new(), &router.helpers).expect("the verifier accepts the program");
-    println!("loaded '{}' ({} instructions, verifier processed {})",
-        loaded.program.name, loaded.program.len(), loaded.verifier_stats.insns_processed);
+    println!(
+        "loaded '{}' ({} instructions, verifier processed {})",
+        loaded.program.name,
+        loaded.program.len(),
+        loaded.verifier_stats.insns_processed
+    );
 
     // Bind it to the SID fc00::1:e as an End.BPF action.
-    router.add_local_sid("fc00::1:e".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+    router
+        .add_local_sid("fc00::1:e".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
 
     // Build an SRv6 packet whose segment list visits that SID first.
     let path: Vec<Ipv6Addr> = vec!["fc00::1:e".parse().unwrap(), "fc00::2:42".parse().unwrap()];

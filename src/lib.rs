@@ -10,6 +10,8 @@
 //!   JIT, maps, helpers, perf events);
 //! * [`seg6_core`] — the SRv6 data plane with the `End.BPF` action and the
 //!   four SRv6 helpers (the paper's contribution);
+//! * [`seg6_runtime`] — the multi-queue batched packet runtime (RSS flow
+//!   steering, worker shards with per-CPU map slots, batch execution);
 //! * [`simnet`] — the discrete-event network simulator standing in for the
 //!   paper's physical lab;
 //! * [`srv6_nf`] — the use-case network functions (delay monitoring, hybrid
@@ -26,6 +28,7 @@
 pub use ebpf_vm;
 pub use netpkt;
 pub use seg6_core;
+pub use seg6_runtime;
 pub use simnet;
 pub use srv6_nf;
 pub use trafficgen;

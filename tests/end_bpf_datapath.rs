@@ -54,9 +54,10 @@ fn end_bpf_filters_packets_inside_the_simulator() {
         let dp = &sim.node_mut(r).datapath;
         load(prog, &HashMap::new(), &dp.helpers).unwrap()
     };
-    sim.node_mut(r)
-        .datapath
-        .add_local_sid("fc00::11/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+    sim.node_mut(r).datapath.add_local_sid(
+        "fc00::11/128".parse().unwrap(),
+        Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
+    );
 
     // Send 10 packets, alternating tag parity.
     for i in 0..10u16 {

@@ -72,7 +72,8 @@ fn delay_monitoring_use_case_end_to_end() {
 
     let total = 500u64;
     for i in 0..total {
-        let pkt = build_ipv6_udp_packet(addr("2001:db8:1::1"), addr("2001:db8:2::9"), 1024, 5001, &[0u8; 128], 64);
+        let pkt =
+            build_ipv6_udp_packet(addr("2001:db8:1::1"), addr("2001:db8:2::9"), 1024, 5001, &[0u8; 128], 64);
         sim.inject_at(i * 50_000, server, pkt);
     }
     sim.run_until(NS_PER_SEC);
@@ -126,9 +127,11 @@ fn ecmp_discovery_use_case_end_to_end() {
         .add_local_sid("fc00::21/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
 
     // The probe: SRv6 packet through the hop's OAMP SID with a reply-to TLV.
-    let mut srh = SegmentRoutingHeader::from_path(netpkt::proto::UDP, &[addr("fc00::21"), addr("2001:db8:9::1")]);
+    let mut srh =
+        SegmentRoutingHeader::from_path(netpkt::proto::UDP, &[addr("fc00::21"), addr("2001:db8:9::1")]);
     srh.tlvs.push(SrhTlv::OamReplyTo { addr: addr("2001:db8::50"), port: 33434 });
-    let probe = netpkt::packet::build_srv6_udp_packet(addr("2001:db8::50"), &srh, 33434, 33434, &[0u8; 8], 64);
+    let probe =
+        netpkt::packet::build_srv6_udp_packet(addr("2001:db8::50"), &srh, 33434, 33434, &[0u8; 8], 64);
     sim.inject_at(0, prober, probe);
     sim.run_to_completion();
 
