@@ -14,6 +14,7 @@ use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
 use netpkt::srh::SegmentRoutingHeader;
 use netpkt::{Ipv6Prefix, PacketBuf};
 use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+use seg6_runtime::{thread_spawn_count, PoolConfig, WorkerPool};
 use seg6_runtime::{Runtime, RuntimeConfig};
 use srv6_nf::{end_program, tag_increment_program, wrr_encap_program, wrr_maps};
 use std::collections::HashMap;
@@ -203,5 +204,56 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_speedup, bench_worker_scaling);
+/// The headline rows of this PR: the same WRR workload through the
+/// spawn-per-run mode (`Runtime::run_threaded`, one `thread::spawn` per
+/// shard per iteration) and through the **persistent** worker pool
+/// (threads spawned once at construction, packets fed over the bounded
+/// channels). The spawn counter proves the pool's steady state performs
+/// zero thread spawns.
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worker_pool");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(POOL as u64));
+
+    let pool = wrr_pool();
+    for workers in [1u32, 2, 4, 8] {
+        // Spawn-per-run: every iteration pays `workers` thread spawns.
+        let config = RuntimeConfig { workers, batch_size: 32, ..Default::default() };
+        let mut rt = Runtime::new(config, wrr_datapath);
+        group.bench_function(format!("wrr/spawn_per_run_{workers}w"), |b| {
+            b.iter(|| {
+                rt.enqueue_all(pool.iter().cloned());
+                rt.run_threaded(0).forwarded
+            })
+        });
+
+        // Persistent pool: the threads exist before the first iteration
+        // and are still the same ones after the last.
+        let pool_config = PoolConfig { workers, batch_size: 32, queue_depth: 2 * POOL, ..Default::default() };
+        let mut wp = WorkerPool::new(pool_config, wrr_datapath);
+        let spawns_at_steady_state = thread_spawn_count();
+        group.bench_function(format!("wrr/persistent_pool_{workers}w"), |b| {
+            b.iter(|| {
+                wp.enqueue_all(pool.iter().cloned());
+                wp.flush().run.forwarded
+            })
+        });
+        assert_eq!(
+            thread_spawn_count(),
+            spawns_at_steady_state,
+            "the persistent pool must not spawn threads after construction"
+        );
+        assert_eq!(wp.rejected(), 0, "the bench never overflows a shard queue");
+        wp.shutdown();
+    }
+    group.finish();
+    println!(
+        "thread spawns this process: {} (spawn-per-run rows keep paying; pool rows paid once)",
+        thread_spawn_count()
+    );
+}
+
+criterion_group!(benches, bench_batch_speedup, bench_worker_scaling, bench_worker_pool);
 criterion_main!(benches);

@@ -221,18 +221,28 @@ mod tests {
 
     #[test]
     fn run_produces_normalised_rows_with_sane_ordering() {
-        let rows = run(2_000);
-        assert_eq!(rows.len(), 8);
-        let get = |v: Fig2Variant| rows.iter().find(|r| r.variant == v).unwrap().normalized;
-        // The reference is 1.0 by construction.
-        assert!((get(Fig2Variant::PlainForwarding) - 1.0).abs() < 1e-9);
-        // BPF End cannot be faster than static End; no-JIT cannot be faster
-        // than JIT (allow a small tolerance for measurement noise).
-        assert!(get(Fig2Variant::EndBpf) <= get(Fig2Variant::EndStatic) * 1.05);
-        assert!(get(Fig2Variant::AddTlvBpfNoJit) <= get(Fig2Variant::AddTlvBpf) * 1.05);
-        // Every normalised value is positive and below ~1.1.
-        for row in &rows {
-            assert!(row.normalized > 0.0 && row.normalized < 1.2, "{row:?}");
-        }
+        crate::assert_eventually(5, || {
+            let rows = run(2_000);
+            assert_eq!(rows.len(), 8);
+            let get = |v: Fig2Variant| rows.iter().find(|r| r.variant == v).unwrap().normalized;
+            // The reference is 1.0 by construction.
+            assert!((get(Fig2Variant::PlainForwarding) - 1.0).abs() < 1e-9);
+            // BPF End cannot be faster than static End; no-JIT cannot be
+            // faster than JIT (allow a small tolerance for measurement
+            // noise; a scheduling hiccup retries the whole measurement).
+            if get(Fig2Variant::EndBpf) > get(Fig2Variant::EndStatic) * 1.05 {
+                return Err(format!("EndBpf outpaced EndStatic: {rows:?}"));
+            }
+            if get(Fig2Variant::AddTlvBpfNoJit) > get(Fig2Variant::AddTlvBpf) * 1.05 {
+                return Err(format!("no-JIT outpaced JIT: {rows:?}"));
+            }
+            // Every normalised value is positive and below ~1.1.
+            for row in &rows {
+                if !(row.normalized > 0.0 && row.normalized < 1.2) {
+                    return Err(format!("normalised rate out of range: {row:?}"));
+                }
+            }
+            Ok(())
+        });
     }
 }

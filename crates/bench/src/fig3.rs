@@ -261,17 +261,25 @@ mod tests {
 
     #[test]
     fn run_reports_small_overheads() {
-        let rows = run(1_500);
-        assert_eq!(rows.len(), 5);
-        for row in &rows {
-            // Unoptimised test builds exaggerate the BPF overhead; the
-            // release-mode figures harness reports the realistic ratios.
-            assert!(row.normalized > 0.05, "{row:?}");
-            assert!(row.normalized < 1.2, "{row:?}");
-        }
-        // The 1:10000 encapsulation cannot be slower than the 1:100 one
-        // (modulo 10% measurement noise).
-        let get = |v: Fig3Variant| rows.iter().find(|r| r.variant == v).unwrap().normalized;
-        assert!(get(Fig3Variant::Encap1In10000) >= get(Fig3Variant::Encap1In100) * 0.9);
+        crate::assert_eventually(5, || {
+            let rows = run(1_500);
+            assert_eq!(rows.len(), 5);
+            for row in &rows {
+                // Unoptimised test builds exaggerate the BPF overhead; the
+                // release-mode figures harness reports the realistic
+                // ratios. A scheduling hiccup inside one measurement
+                // window retries the whole experiment.
+                if !(row.normalized > 0.05 && row.normalized < 1.2) {
+                    return Err(format!("normalised rate out of range: {row:?}"));
+                }
+            }
+            // The 1:10000 encapsulation cannot be slower than the 1:100
+            // one (modulo 10% measurement noise).
+            let get = |v: Fig3Variant| rows.iter().find(|r| r.variant == v).unwrap().normalized;
+            if get(Fig3Variant::Encap1In10000) < get(Fig3Variant::Encap1In100) * 0.9 {
+                return Err(format!("sparser probing measured slower: {rows:?}"));
+            }
+            Ok(())
+        });
     }
 }

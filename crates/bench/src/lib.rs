@@ -19,6 +19,25 @@ pub mod hybrid;
 
 use std::time::Instant;
 
+/// Runs a timing-sensitive check up to `attempts` times, passing if any
+/// attempt returns `Ok`. Relative-rate assertions (fig2/fig3 orderings
+/// with a few-percent tolerance) measure windows of a few milliseconds; a
+/// scheduler preemption landing inside one window flips the ratio on a
+/// loaded single-core host. Retrying the *whole measurement* keeps the
+/// thresholds strict while making a persistent regression — which fails
+/// every attempt — still fail the test.
+#[cfg(test)]
+pub(crate) fn assert_eventually(attempts: usize, check: impl Fn() -> Result<(), String>) {
+    let mut last = String::new();
+    for _ in 0..attempts.max(1) {
+        match check() {
+            Ok(()) => return,
+            Err(err) => last = err,
+        }
+    }
+    panic!("failed {attempts} consecutive measurement attempts: {last}");
+}
+
 /// Measures how many times `iteration` can run per second, by running it
 /// `count` times and timing the whole batch with a monotonic clock. Returns
 /// (rate per second, mean nanoseconds per iteration).

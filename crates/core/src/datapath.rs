@@ -49,6 +49,56 @@ impl DatapathStats {
     pub fn dropped_for(&self, reason: DropReason) -> u64 {
         self.dropped.get(&reason).copied().unwrap_or(0)
     }
+
+    /// Records one processed packet's outcome — the same accounting
+    /// [`Seg6Datapath`] performs internally, exposed for consumers that
+    /// execute packets elsewhere (worker-pool shard forks) but keep an
+    /// aggregate node-level view. Keeping this here means a new counter or
+    /// work class is added in exactly one place.
+    pub fn record(&mut self, verdict: &Verdict, work: &WorkSummary) {
+        self.received += 1;
+        if work.seg6local {
+            self.seg6local_invocations += 1;
+        }
+        if work.bpf {
+            self.bpf_invocations += 1;
+        }
+        if work.transit {
+            self.transit_applied += 1;
+        }
+        match verdict {
+            Verdict::Forward { .. } => self.forwarded += 1,
+            Verdict::LocalDeliver => self.local_delivered += 1,
+            Verdict::Drop(reason) => *self.dropped.entry(*reason).or_insert(0) += 1,
+        }
+    }
+}
+
+/// What the datapath did to one packet of a batch, summarised as the work
+/// classes CPU cost models charge for (the simulator's `CpuProfile` prices
+/// exactly these). Derived per packet from the statistics deltas, so a
+/// batch consumer no longer has to wrap every packet in its own stats
+/// snapshot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkSummary {
+    /// A seg6local action ran.
+    pub seg6local: bool,
+    /// An eBPF program ran (End.BPF or an LWT hook).
+    pub bpf: bool,
+    /// A transit behaviour (SRH insertion/encapsulation) was applied.
+    pub transit: bool,
+}
+
+/// The per-packet result of [`Seg6Datapath::process_batch_verdicts`]: the
+/// forwarding verdict plus the work the packet cost. This is the batch
+/// emit surface the worker-pool runtime and the simulator consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchVerdict {
+    /// The forwarding verdict, identical to what [`Seg6Datapath::process`]
+    /// returns for the same packet.
+    pub verdict: Verdict,
+    /// The work classes this packet exercised.
+    pub work: WorkSummary,
 }
 
 /// How a destination address dispatches inside the datapath. Classification
@@ -134,6 +184,29 @@ impl Seg6Datapath {
         self
     }
 
+    /// Clones this datapath's configuration into a new instance pinned to
+    /// logical CPU `cpu` — what the persistent worker pool does once per
+    /// shard when a node's single configured datapath must run on N
+    /// queues. The FIB tables stay shared (they are behind an `Arc`, and
+    /// internally synchronised), so routes installed later reach every
+    /// fork. SID, transit and LWT tables are snapshots whose loaded
+    /// programs and maps remain shared handles — exactly how kernel CPUs
+    /// share map memory while per-CPU maps give each its own slot.
+    /// Statistics start at zero.
+    pub fn fork_for_cpu(&self, cpu: u32) -> Seg6Datapath {
+        Seg6Datapath {
+            local_addr: self.local_addr,
+            host_addrs: self.host_addrs.clone(),
+            tables: Arc::clone(&self.tables),
+            local_sids: self.local_sids.clone(),
+            transit: self.transit.clone(),
+            lwt_bpf: self.lwt_bpf.clone(),
+            helpers: self.helpers.clone(),
+            stats: DatapathStats::default(),
+            cpu_id: cpu,
+        }
+    }
+
     /// Adds an address the node answers for (local delivery).
     pub fn add_host_addr(&mut self, addr: Ipv6Addr) {
         if !self.host_addrs.contains(&addr) {
@@ -191,11 +264,22 @@ impl Seg6Datapath {
     /// verdicts come back in input order, and each packet's processing is
     /// byte-identical to what [`Seg6Datapath::process`] produces.
     pub fn process_batch(&mut self, skbs: &mut [Skb], now_ns: u64) -> Vec<Verdict> {
+        self.process_batch_verdicts(skbs, now_ns).into_iter().map(|b| b.verdict).collect()
+    }
+
+    /// Like [`Seg6Datapath::process_batch`], but emits a [`BatchVerdict`]
+    /// per packet: the verdict plus a [`WorkSummary`] of what the packet
+    /// cost. Consumers that price CPU work per packet (the simulator, the
+    /// worker pool's accounting) read the summary instead of diffing
+    /// [`DatapathStats`] around every call.
+    pub fn process_batch_verdicts(&mut self, skbs: &mut [Skb], now_ns: u64) -> Vec<BatchVerdict> {
         let mut verdicts = Vec::with_capacity(skbs.len());
         let mut cached: Option<(Ipv6Addr, Dispatch)> = None;
         let mut routes = RouteCache::default();
         for skb in skbs.iter_mut() {
             self.stats.received += 1;
+            let before =
+                (self.stats.seg6local_invocations, self.stats.bpf_invocations, self.stats.transit_applied);
             let verdict = match Ipv6Header::parse(skb.packet.data()) {
                 Err(_) => Verdict::Drop(DropReason::Malformed),
                 Ok(header) => {
@@ -210,7 +294,12 @@ impl Seg6Datapath {
                 }
             };
             self.count_verdict(&verdict);
-            verdicts.push(verdict);
+            let work = WorkSummary {
+                seg6local: self.stats.seg6local_invocations > before.0,
+                bpf: self.stats.bpf_invocations > before.1,
+                transit: self.stats.transit_applied > before.2,
+            };
+            verdicts.push(BatchVerdict { verdict, work });
         }
         verdicts
     }
@@ -623,5 +712,57 @@ mod tests {
     fn on_cpu_sets_the_worker_id() {
         let dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(3);
         assert_eq!(dp.cpu_id, 3);
+    }
+
+    #[test]
+    fn batch_verdicts_report_per_packet_work() {
+        let mut dp = batch_router();
+        let mut batch = vec![
+            srv6_skb(&["fc00::e1", "fc00::22"]),                // seg6local End
+            srv6_skb(&["fc00::e2", "fc00::22"]),                // seg6local End.BPF
+            plain_skb("fc00::42"),                              // plain forwarding
+            plain_skb("2001:db8:1::9"),                         // transit encap
+            Skb::new(netpkt::PacketBuf::from_slice(&[0u8; 6])), // malformed
+        ];
+        let verdicts = dp.process_batch_verdicts(&mut batch, 0);
+        let works: Vec<WorkSummary> = verdicts.iter().map(|b| b.work).collect();
+        assert_eq!(works[0], WorkSummary { seg6local: true, bpf: false, transit: false });
+        assert_eq!(works[1], WorkSummary { seg6local: true, bpf: true, transit: false });
+        assert_eq!(works[2], WorkSummary::default());
+        assert_eq!(works[3], WorkSummary { seg6local: false, bpf: false, transit: true });
+        assert_eq!(works[4], WorkSummary::default());
+        assert_eq!(verdicts[4].verdict, Verdict::Drop(DropReason::Malformed));
+        // The verdicts agree with the plain batch API on a fresh router.
+        let plain = batch_router().process_batch(
+            &mut [
+                srv6_skb(&["fc00::e1", "fc00::22"]),
+                srv6_skb(&["fc00::e2", "fc00::22"]),
+                plain_skb("fc00::42"),
+                plain_skb("2001:db8:1::9"),
+                Skb::new(netpkt::PacketBuf::from_slice(&[0u8; 6])),
+            ],
+            0,
+        );
+        assert_eq!(plain, verdicts.into_iter().map(|b| b.verdict).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_for_cpu_shares_the_fib_and_snapshots_the_rest() {
+        let mut dp = batch_router();
+        let mut fork = dp.fork_for_cpu(5);
+        assert_eq!(fork.cpu_id, 5);
+        assert_eq!(fork.stats.received, 0);
+
+        // A SID configured before the fork works on the fork.
+        let mut skb = srv6_skb(&["fc00::e1", "fc00::22"]);
+        assert!(fork.process(&mut skb, 0).is_forward());
+        assert_eq!(fork.stats.seg6local_invocations, 1);
+        assert_eq!(dp.stats.seg6local_invocations, 0, "fork stats are private");
+
+        // Routes installed on the original *after* forking reach the fork —
+        // the FIB is shared through the Arc.
+        dp.add_route("3001::/16".parse().unwrap(), vec![Nexthop::direct(9)]);
+        let mut skb = plain_skb("3001::1");
+        assert_eq!(fork.process(&mut skb, 0), Verdict::Forward { oif: 9, neighbour: addr("3001::1") });
     }
 }

@@ -74,7 +74,7 @@ pub mod srv6_ops;
 pub mod transit;
 pub mod verdict;
 
-pub use datapath::{DatapathStats, Seg6Datapath};
+pub use datapath::{BatchVerdict, DatapathStats, Seg6Datapath, WorkSummary};
 pub use env::{EnvOutcome, Seg6Env};
 pub use error::{Error, Result};
 pub use fib::{Fib, LookupResult, Nexthop, Route, RouterTables, MAIN_TABLE};

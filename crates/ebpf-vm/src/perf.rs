@@ -102,6 +102,29 @@ impl PerfEventBuffer {
         self.ring(cpu).lock().events.drain(..).collect()
     }
 
+    /// Drains `cpu`'s ring into `out` (appending), returning how many
+    /// events were taken. This is the batch-drain entry point worker-shard
+    /// daemons call after every processed batch: the caller's buffer is
+    /// reused across batches, so the steady state allocates nothing and
+    /// the ring's lock is held only for the copy-out.
+    pub fn take_cpu(&self, cpu: u32, out: &mut Vec<PerfEvent>) -> usize {
+        let mut ring = self.ring(cpu).lock();
+        let taken = ring.events.len();
+        out.extend(ring.events.drain(..));
+        taken
+    }
+
+    /// Number of events dropped because `cpu`'s ring was full.
+    pub fn dropped_cpu(&self, cpu: u32) -> u64 {
+        self.ring(cpu).lock().dropped
+    }
+
+    /// Total number of events ever pushed to `cpu`'s ring (including
+    /// dropped ones).
+    pub fn total_pushed_cpu(&self, cpu: u32) -> u64 {
+        self.ring(cpu).lock().total
+    }
+
     /// Number of events currently queued across all rings.
     pub fn len(&self) -> usize {
         self.rings.iter().map(|ring| ring.lock().events.len()).sum()
@@ -195,6 +218,33 @@ mod tests {
         assert_eq!(buf.dropped(), 2);
         assert_eq!(buf.poll_cpu(0).unwrap().data, vec![42]);
         assert_eq!(buf.poll_cpu(1).unwrap().data, vec![2]);
+    }
+
+    #[test]
+    fn take_cpu_appends_into_a_reused_buffer() {
+        let buf = PerfEventBuffer::with_rings(8, 2);
+        buf.push(PerfEvent { cpu: 0, data: vec![1] });
+        buf.push(PerfEvent { cpu: 1, data: vec![2] });
+        buf.push(PerfEvent { cpu: 1, data: vec![3] });
+        let mut out = Vec::new();
+        assert_eq!(buf.take_cpu(1, &mut out), 2);
+        assert_eq!(buf.take_cpu(1, &mut out), 0);
+        // Ring 0 is untouched; the buffer accumulates across calls.
+        assert_eq!(buf.take_cpu(0, &mut out), 1);
+        assert_eq!(out.iter().map(|e| e.data[0]).collect::<Vec<_>>(), vec![2, 3, 1]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn per_ring_counters_are_scoped_to_their_cpu() {
+        let buf = PerfEventBuffer::with_rings(1, 2);
+        buf.push(PerfEvent { cpu: 0, data: vec![0] });
+        buf.push(PerfEvent { cpu: 1, data: vec![1] });
+        buf.push(PerfEvent { cpu: 1, data: vec![2] });
+        assert_eq!(buf.total_pushed_cpu(0), 1);
+        assert_eq!(buf.total_pushed_cpu(1), 2);
+        assert_eq!(buf.dropped_cpu(0), 0);
+        assert_eq!(buf.dropped_cpu(1), 1);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! perf-event ring buffers the programs write to.
 
 use crate::events::{DelayEvent, OamEvent};
-use ebpf_vm::perf::PerfEventBuffer;
+use ebpf_vm::perf::{PerfEvent, PerfEventBuffer};
+use parking_lot::Mutex;
+use seg6_runtime::BatchDrain;
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
@@ -23,19 +25,36 @@ pub struct DelayCollector {
     buffer: Arc<PerfEventBuffer>,
     reports: Vec<DelayEvent>,
     malformed: u64,
+    scratch: Vec<PerfEvent>,
 }
 
 impl DelayCollector {
     /// Creates a collector reading from `buffer`.
     pub fn new(buffer: Arc<PerfEventBuffer>) -> Self {
-        DelayCollector { buffer, reports: Vec::new(), malformed: 0 }
+        DelayCollector { buffer, reports: Vec::new(), malformed: 0, scratch: Vec::new() }
     }
 
-    /// Drains every pending perf event, returning how many reports were
-    /// parsed.
+    /// Drains every pending perf event (all rings), returning how many
+    /// reports were parsed.
     pub fn poll(&mut self) -> usize {
+        let events = self.buffer.drain();
+        self.ingest(events)
+    }
+
+    /// Drains only logical CPU `cpu`'s ring — the per-worker flavour a
+    /// shard's drain daemon calls after each batch. The internal scratch
+    /// buffer is reused, so the steady state allocates nothing.
+    pub fn poll_cpu(&mut self, cpu: u32) -> usize {
+        let mut events = std::mem::take(&mut self.scratch);
+        self.buffer.take_cpu(cpu, &mut events);
+        let parsed = self.ingest(events.drain(..));
+        self.scratch = events;
+        parsed
+    }
+
+    fn ingest(&mut self, events: impl IntoIterator<Item = PerfEvent>) -> usize {
         let mut parsed = 0;
-        for event in self.buffer.drain() {
+        for event in events {
             match DelayEvent::parse(&event.data) {
                 Some(report) => {
                     self.reports.push(report);
@@ -45,6 +64,19 @@ impl DelayCollector {
             }
         }
         parsed
+    }
+
+    /// Builds the worker-pool drain daemon for `collector`: attached to a
+    /// shard via `ShardSetup::with_drain`, it runs on the worker after
+    /// every processed batch and pulls that shard's per-CPU perf ring into
+    /// the shared collector. Every shard of a pool gets its own daemon
+    /// instance draining only its own ring, so daemons never contend on
+    /// ring locks — only briefly on the collector when a batch actually
+    /// produced events.
+    pub fn shard_drain(collector: Arc<Mutex<DelayCollector>>) -> BatchDrain {
+        Box::new(move |cpu| {
+            collector.lock().poll_cpu(cpu);
+        })
     }
 
     /// All reports collected so far.
@@ -188,6 +220,131 @@ mod tests {
         assert_eq!(collector.max_owd_ns(), Some(1_000));
         // Nothing left to poll.
         assert_eq!(collector.poll(), 0);
+    }
+
+    #[test]
+    fn poll_cpu_drains_only_that_ring() {
+        let buffer = Arc::new(PerfEventBuffer::with_rings(16, 2));
+        let event = DelayEvent {
+            tx_timestamp_ns: 1,
+            rx_timestamp_ns: 2,
+            controller: "2001:db8::c0".parse().unwrap(),
+            controller_port: 9,
+        };
+        buffer.push(PerfEvent { cpu: 0, data: event.to_bytes().to_vec() });
+        buffer.push(PerfEvent { cpu: 1, data: event.to_bytes().to_vec() });
+        let mut collector = DelayCollector::new(Arc::clone(&buffer));
+        assert_eq!(collector.poll_cpu(1), 1);
+        assert_eq!(buffer.len_cpu(0), 1, "cpu 0's ring is untouched");
+        assert_eq!(collector.poll_cpu(0), 1);
+        assert_eq!(collector.reports().len(), 2);
+        assert_eq!(collector.poll_cpu(0), 0);
+    }
+
+    /// Satellite coverage for §4.1 under multi-worker load: `End.DM`
+    /// probes spread over a pool's shards, every report emitted with
+    /// `BPF_F_CURRENT_CPU`, per-shard `DelayCollector` drain daemons
+    /// flushing after each batch — all reports collected exactly once,
+    /// including those of the final partial batches drained at shutdown.
+    #[test]
+    fn pool_delay_daemons_collect_every_report_once() {
+        use crate::progs::{end_dm_program, owd_encap_program, OwdEncapConfig};
+        use ebpf_vm::maps::PerfEventArray;
+        use ebpf_vm::program::load;
+        use ebpf_vm::{Map, MapHandle};
+        use netpkt::packet::build_ipv6_udp_packet;
+        use netpkt::PacketBuf;
+        use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+        use seg6_runtime::{PoolConfig, ShardSetup, WorkerPool};
+        use std::collections::HashMap;
+
+        const WORKERS: u32 = 4;
+        const PROBES: u32 = 203; // not a batch multiple: exercises shutdown drain
+        let addr = |s: &str| s.parse::<std::net::Ipv6Addr>().unwrap();
+        let dm_sid = addr("fc00::d1");
+
+        // Ingress router: encapsulate every downstream packet through the
+        // DM SID, stamping the TX timestamp (sampling ratio 1).
+        let mut ingress = Seg6Datapath::new(addr("fc00::a0"));
+        ingress.add_route("::/0".parse().unwrap(), vec![Nexthop::via(addr("fe80::1"), 1)]);
+        let encap = load(
+            owd_encap_program(OwdEncapConfig {
+                dm_sid,
+                controller: addr("2001:db8::c0"),
+                controller_port: 9999,
+                ratio: 1,
+            }),
+            &HashMap::new(),
+            &ingress.helpers,
+        )
+        .unwrap();
+        ingress.attach_lwt_bpf(
+            "2001:db8:2::/48".parse().unwrap(),
+            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+        );
+
+        // Probe packets: unique TX timestamp per probe, many flows so RSS
+        // spreads them over the shards.
+        let probes: Vec<(u64, PacketBuf)> = (0..PROBES)
+            .map(|i| {
+                let mut skb = Skb::new(build_ipv6_udp_packet(
+                    addr(&format!("2001:db8::{:x}", i + 1)),
+                    addr("2001:db8:2::9"),
+                    (1024 + i) as u16,
+                    5001,
+                    &[0u8; 16],
+                    64,
+                ));
+                let tx_ns = u64::from(i) * 1_000;
+                assert!(ingress.process(&mut skb, tx_ns).is_forward());
+                (tx_ns, skb.packet)
+            })
+            .collect();
+
+        // The DM router runs as a pool: each shard loads its own End.DM
+        // program instance against the shared per-CPU perf array, with a
+        // DelayCollector drain daemon attached.
+        let perf = PerfEventArray::per_cpu(64, WORKERS);
+        let ring = perf.perf_buffer().unwrap();
+        let collector = Arc::new(Mutex::new(DelayCollector::new(Arc::clone(&ring))));
+        let config = PoolConfig { workers: WORKERS, batch_size: 8, ..Default::default() };
+        let mut pool = WorkerPool::new(config, |cpu| {
+            let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+            dp.add_route("2001:db8:2::/48".parse().unwrap(), vec![Nexthop::via(addr("fe80::5"), 5)]);
+            let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+            maps.insert(1, perf.clone());
+            let prog = load(end_dm_program(1), &maps, &dp.helpers).unwrap();
+            dp.add_local_sid(
+                netpkt::Ipv6Prefix::host(dm_sid),
+                Seg6LocalAction::EndBpf { prog, use_jit: true },
+            );
+            ShardSetup::new(dp).with_drain(DelayCollector::shard_drain(Arc::clone(&collector)))
+        });
+
+        // Every probe arrives 40 µs after it was stamped.
+        for (tx_ns, packet) in probes {
+            assert!(pool.enqueue_at(tx_ns + 40_000, packet));
+        }
+        let per_shard: Vec<u64> = pool.shard_stats().iter().map(|s| s.enqueued).collect();
+        assert!(per_shard.iter().all(|&n| n > 0), "steering collapsed: {per_shard:?}");
+        let totals = pool.shutdown();
+        assert_eq!(totals.iter().map(|s| s.forwarded).sum::<u64>(), u64::from(PROBES));
+
+        // The daemons drained everything on the workers: nothing stranded,
+        // nothing dropped, nothing duplicated.
+        assert!(ring.is_empty(), "reports stranded in a per-CPU ring");
+        assert_eq!(ring.dropped(), 0);
+        let collector = collector.lock();
+        assert_eq!(collector.malformed(), 0);
+        assert_eq!(collector.reports().len(), PROBES as usize);
+        let mut tx_seen: Vec<u64> = collector.reports().iter().map(|r| r.tx_timestamp_ns).collect();
+        tx_seen.sort_unstable();
+        let expected: Vec<u64> = (0..u64::from(PROBES)).map(|i| i * 1_000).collect();
+        assert_eq!(tx_seen, expected, "reports lost or duplicated");
+        for report in collector.reports() {
+            assert_eq!(report.one_way_delay_ns(), 40_000);
+            assert_eq!(report.controller, addr("2001:db8::c0"));
+        }
     }
 
     #[test]

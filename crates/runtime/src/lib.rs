@@ -15,7 +15,13 @@
 //!   [`Seg6Datapath::process_batch`], amortising classification;
 //! * [`Runtime::run_once`] drives all shards on the calling thread (the
 //!   deterministic mode benches and the simulator use);
-//!   [`Runtime::run_threaded`] runs every shard on its own OS thread.
+//!   [`Runtime::run_threaded`] runs every shard on its own OS thread,
+//!   spawned per call — the one-shot mode;
+//! * [`WorkerPool`] is the **persistent** flavour: shard threads spawned
+//!   once, fed over bounded channels, with backpressure accounting,
+//!   per-batch perf-drain daemons and graceful shutdown. Steady-state
+//!   traffic belongs there; [`thread_spawn_count`] lets tests prove the
+//!   pool never spawns after construction.
 //!
 //! ```
 //! use seg6_runtime::{Runtime, RuntimeConfig};
@@ -49,10 +55,31 @@
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
 use netpkt::PacketBuf;
 use seg6_core::{Seg6Datapath, Skb, Verdict};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod pool;
+
+pub use pool::{BatchDrain, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, WorkerPool};
 
 /// Hard ceiling on the worker count, matching the CPU slots per-CPU maps
 /// are provisioned for by default.
 pub const MAX_WORKERS: u32 = ebpf_vm::DEFAULT_NUM_CPUS;
+
+/// Every OS thread this crate has ever spawned, process-wide.
+static THREAD_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// Test hook: how many OS threads the runtime has spawned so far in this
+/// process — [`Runtime::run_threaded`] adds one per shard on **every**
+/// call, a [`WorkerPool`] adds one per shard at construction and then
+/// never again. Benchmarks and the acceptance test read it around a
+/// steady-state run to prove the pool amortises spawns.
+pub fn thread_spawn_count() -> u64 {
+    THREAD_SPAWNS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_thread_spawn() {
+    THREAD_SPAWNS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Configuration of a [`Runtime`].
 #[derive(Debug, Clone, Copy)]
@@ -133,7 +160,7 @@ impl Worker {
     }
 }
 
-fn delta(before: WorkerStats, after: WorkerStats) -> WorkerStats {
+pub(crate) fn delta(before: WorkerStats, after: WorkerStats) -> WorkerStats {
     WorkerStats {
         steered: after.steered - before.steered,
         processed: after.processed - before.processed,
@@ -161,7 +188,7 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    fn from_deltas(deltas: &[WorkerStats]) -> Self {
+    pub(crate) fn from_deltas(deltas: &[WorkerStats]) -> Self {
         RunReport {
             processed: deltas.iter().map(|d| d.processed).sum(),
             forwarded: deltas.iter().map(|d| d.forwarded).sum(),
@@ -254,18 +281,28 @@ impl Runtime {
         RunReport::from_deltas(&deltas)
     }
 
-    /// Drains every worker queue with one OS thread per shard. Shards share
-    /// no mutable state (each owns its datapath, queue and counters; maps
-    /// handed to several shards are either internally synchronised or
-    /// per-CPU), so the threads never contend on the hot path.
+    /// Drains every worker queue with one OS thread per shard, **spawned
+    /// on every call** — the one-shot mode [`WorkerPool`] exists to
+    /// replace for steady-state traffic (each spawn is recorded in
+    /// [`thread_spawn_count`]). Shards share no mutable state (each owns
+    /// its datapath, queue and counters; maps handed to several shards are
+    /// either internally synchronised or per-CPU), so the threads never
+    /// contend on the hot path. Shard results are joined and reported in
+    /// shard index order, whatever order the threads finish in, so the
+    /// report is byte-identical to [`Runtime::run_once`] over the same
+    /// queues.
     pub fn run_threaded(&mut self, now_ns: u64) -> RunReport {
         let batch = self.config.batch_size;
         let deltas: Vec<WorkerStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter_mut()
-                .map(|worker| scope.spawn(move || worker.run(batch, now_ns)))
+                .map(|worker| {
+                    count_thread_spawn();
+                    scope.spawn(move || worker.run(batch, now_ns))
+                })
                 .collect();
+            // Joining in spawn order keeps `per_worker[i]` = shard i.
             handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
         });
         RunReport::from_deltas(&deltas)
@@ -472,6 +509,26 @@ mod tests {
             let report = rt.run_once(0);
             assert_eq!(report.processed, 100, "batch_size {batch_size}");
             assert_eq!(report.forwarded, 100, "batch_size {batch_size}");
+        }
+    }
+
+    #[test]
+    fn run_threaded_reports_shards_in_index_order() {
+        // Regression: whatever order shard threads finish in, the report
+        // must list per-worker results by shard index, byte-identical to
+        // the single-threaded deterministic mode.
+        let packets: Vec<PacketBuf> = (0..512).map(flow_packet).collect();
+        let config = RuntimeConfig { workers: 8, batch_size: 8, ..Default::default() };
+        let mut once = Runtime::new(config, forwarding_datapath);
+        once.enqueue_all(packets.iter().cloned());
+        let per_worker_expected: Vec<u64> = once.workers().iter().map(|w| w.backlog() as u64).collect();
+        let report_once = once.run_once(0);
+        assert_eq!(report_once.per_worker, per_worker_expected);
+
+        for _ in 0..3 {
+            let mut threaded = Runtime::new(config, forwarding_datapath);
+            threaded.enqueue_all(packets.iter().cloned());
+            assert_eq!(threaded.run_threaded(0), report_once);
         }
     }
 }

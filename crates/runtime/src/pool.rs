@@ -1,0 +1,782 @@
+//! The persistent worker pool: long-lived shard threads fed over bounded
+//! channels.
+//!
+//! [`Runtime::run_threaded`](crate::Runtime::run_threaded) pays one OS
+//! thread spawn per shard on *every* call — fine for a one-shot benchmark,
+//! fatal for a steady-state datapath. Kernel datapaths (and the paper's
+//! End.BPF deployment) instead keep one long-lived worker per receive
+//! queue: the NIC steers flows to queues with RSS, each queue's CPU runs
+//! forever, and user space only observes counters. This module reproduces
+//! that lifecycle:
+//!
+//! * [`WorkerPool::new`] spawns N shard threads **once**; each thread owns
+//!   its [`Seg6Datapath`] (its program instances, its `cpu_id`) for the
+//!   pool's whole life. The crate-level
+//!   [`thread_spawn_count`](crate::thread_spawn_count) hook lets tests
+//!   assert that the steady state spawns nothing.
+//! * The dispatcher steers packets by RSS flow hash and hands them to the
+//!   shard over a **bounded channel** ([`WorkerPool::enqueue`]). A full
+//!   queue rejects the packet and counts it ([`ShardStats::rejected`]) —
+//!   backpressure behaves like a NIC dropping on a full RX ring, it never
+//!   blocks the dispatcher.
+//! * Workers accumulate packets into batches of
+//!   [`PoolConfig::batch_size`] and run them through
+//!   [`Seg6Datapath::process_batch_verdicts`]; when a channel goes idle
+//!   the partial batch is processed immediately (batching amortises
+//!   bursts, it never delays a lull's packets). After every batch the
+//!   shard's optional **drain daemon** runs ([`BatchDrain`]) — the hook
+//!   per-CPU perf-ring consumers (`DelayCollector` and friends) attach to,
+//!   so events are pulled on the worker, batch by batch, instead of by a
+//!   remote poller racing the producer.
+//! * [`WorkerPool::flush`] is a barrier: every shard finishes what it was
+//!   handed before the barrier message and reports. Results come back **in
+//!   shard index order**, so a flush is as deterministic as
+//!   [`Runtime::run_once`](crate::Runtime::run_once) modulo per-shard
+//!   interleaving — and verdict-identical to it for the same packets.
+//! * Dropping or [`WorkerPool::shutdown`]ting the pool delivers a shutdown
+//!   message, lets every worker finish its backlog, runs the final drain,
+//!   and joins the threads. No packet or perf event is stranded.
+
+use crate::{count_thread_spawn, RunReport, WorkerStats, MAX_WORKERS};
+use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
+use netpkt::PacketBuf;
+use seg6_core::{BatchVerdict, Seg6Datapath, Skb};
+use std::sync::mpsc::{channel, sync_channel};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
+use std::thread::JoinHandle;
+
+/// A per-shard drain daemon: called on the worker thread after every
+/// processed batch (and one final time at shutdown) with the shard's CPU
+/// id. The canonical implementation drains the shard's per-CPU perf ring
+/// into a collector — see `srv6_nf::daemons::DelayCollector::shard_drain`.
+pub type BatchDrain = Box<dyn FnMut(u32) + Send>;
+
+/// What one worker shard is built from: its private datapath and an
+/// optional per-batch drain daemon.
+pub struct ShardSetup {
+    /// The shard's datapath (the pool pins it to the shard's CPU id).
+    pub datapath: Seg6Datapath,
+    /// Drain daemon run after every batch on this shard, if any.
+    pub drain: Option<BatchDrain>,
+}
+
+impl ShardSetup {
+    /// A shard with a datapath and no drain daemon.
+    pub fn new(datapath: Seg6Datapath) -> Self {
+        ShardSetup { datapath, drain: None }
+    }
+
+    /// Attaches a per-batch drain daemon (builder form).
+    pub fn with_drain(mut self, drain: BatchDrain) -> Self {
+        self.drain = Some(drain);
+        self
+    }
+}
+
+impl From<Seg6Datapath> for ShardSetup {
+    fn from(datapath: Seg6Datapath) -> Self {
+        ShardSetup::new(datapath)
+    }
+}
+
+/// Configuration of a [`WorkerPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker shards (receive queues). Clamped to
+    /// `1..=`[`MAX_WORKERS`].
+    pub workers: u32,
+    /// Packets a worker accumulates before running
+    /// [`Seg6Datapath::process_batch_verdicts`]. A flush or shutdown
+    /// message always processes the partial batch first.
+    pub batch_size: usize,
+    /// Capacity of each shard's bounded input channel, in packets. An
+    /// enqueue onto a full channel is rejected and counted — the pool's
+    /// backpressure signal.
+    pub queue_depth: usize,
+    /// Steer with the symmetric flow hash, keeping both directions of a
+    /// flow on one worker.
+    pub symmetric_steering: bool,
+    /// Retain each processed packet and its [`BatchVerdict`] so
+    /// [`WorkerPool::flush`] can return them. Costs one buffered `Skb` per
+    /// packet per flush window; leave off for counter-only workloads.
+    pub collect_outputs: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 1,
+            batch_size: 32,
+            queue_depth: 1024,
+            symmetric_steering: false,
+            collect_outputs: false,
+        }
+    }
+}
+
+/// Counters of one pool shard, as visible to the dispatcher.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Packets accepted into the shard's channel.
+    pub enqueued: u64,
+    /// Packets rejected because the channel was full (backpressure).
+    pub rejected: u64,
+}
+
+/// What one shard reports at a flush barrier: its counter deltas since the
+/// previous flush, plus the processed packets when
+/// [`PoolConfig::collect_outputs`] is on.
+pub struct ShardFlush {
+    /// Verdict/batch counter deltas since the last flush.
+    pub stats: WorkerStats,
+    /// The packets processed since the last flush, with their verdicts, in
+    /// processing order. Empty unless [`PoolConfig::collect_outputs`].
+    pub outputs: Vec<(Skb, BatchVerdict)>,
+}
+
+/// Aggregate result of one [`WorkerPool::flush`] barrier.
+pub struct PoolReport {
+    /// Aggregated verdict counters since the previous flush, with
+    /// `per_worker` in shard index order.
+    pub run: RunReport,
+    /// Per-shard outputs, indexed by shard id. Inner vectors are empty
+    /// unless [`PoolConfig::collect_outputs`] is set.
+    pub outputs: Vec<Vec<(Skb, BatchVerdict)>>,
+}
+
+enum Msg {
+    /// A packet, stamped with the dispatcher's clock at enqueue time.
+    Packet { skb: Skb, now_ns: u64 },
+    /// Barrier: finish everything enqueued before this message and report.
+    Flush(Sender<ShardFlush>),
+    /// Finish the backlog, run the final drain, exit.
+    Shutdown,
+}
+
+/// The persistent worker pool. See the [module docs](self) for the
+/// lifecycle.
+pub struct WorkerPool {
+    config: PoolConfig,
+    senders: Vec<SyncSender<Msg>>,
+    handles: Vec<JoinHandle<WorkerStats>>,
+    stats: Vec<ShardStats>,
+}
+
+impl WorkerPool {
+    /// Spawns the pool. `builder` runs once per shard, on the calling
+    /// thread, with the shard's CPU id; the [`ShardSetup`] it returns (a
+    /// bare [`Seg6Datapath`] converts) is moved onto that shard's thread,
+    /// where it lives until shutdown. These construction-time spawns are
+    /// the only ones the pool ever performs.
+    pub fn new<S: Into<ShardSetup>>(config: PoolConfig, mut builder: impl FnMut(u32) -> S) -> Self {
+        let workers = config.workers.clamp(1, MAX_WORKERS);
+        let config = PoolConfig { workers, ..config };
+        let mut senders = Vec::with_capacity(workers as usize);
+        let mut handles = Vec::with_capacity(workers as usize);
+        for id in 0..workers {
+            let setup: ShardSetup = builder(id).into();
+            let mut datapath = setup.datapath;
+            datapath.cpu_id = id;
+            let drain = setup.drain;
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            count_thread_spawn();
+            let handle = std::thread::Builder::new()
+                .name(format!("seg6-worker-{id}"))
+                .spawn(move || worker_loop(config, rx, datapath, drain))
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { config, senders, handles, stats: vec![ShardStats::default(); workers as usize] }
+    }
+
+    /// Builds a pool whose shard `q` runs [`Seg6Datapath::fork_for_cpu`]
+    /// of `datapath` — the shape simnet uses to put one configured node
+    /// datapath on every receive queue.
+    pub fn from_datapath(config: PoolConfig, datapath: &Seg6Datapath) -> Self {
+        WorkerPool::new(config, |cpu| datapath.fork_for_cpu(cpu))
+    }
+
+    /// The pool's configuration (with the worker count clamped).
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> u32 {
+        self.config.workers
+    }
+
+    /// Dispatcher-side counters, indexed by shard id.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Total packets rejected by full shard channels (backpressure).
+    pub fn rejected(&self) -> u64 {
+        self.stats.iter().map(|s| s.rejected).sum()
+    }
+
+    /// The shard a packet steers to, without enqueueing it. Identical
+    /// steering to [`Runtime`](crate::Runtime) and to simnet's per-node
+    /// RSS model: the Toeplitz hash of the 5-tuple, modulo the shard
+    /// count.
+    pub fn steer_to(&self, packet: &[u8]) -> u32 {
+        let hash = if self.config.symmetric_steering {
+            rss_hash_packet_symmetric(packet)
+        } else {
+            rss_hash_packet(packet)
+        };
+        steer(hash, self.senders.len()) as u32
+    }
+
+    /// Steers `packet` to its shard and enqueues it with clock `now_ns`
+    /// (the packet's RX timestamp, and the time its batch will be
+    /// processed at). Returns `false` — counting the rejection — when the
+    /// shard's channel is full.
+    pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
+        let shard = self.steer_to(packet.data()) as usize;
+        let skb = Skb::received(packet, now_ns, 0);
+        match self.senders[shard].try_send(Msg::Packet { skb, now_ns }) {
+            Ok(()) => {
+                self.stats[shard].enqueued += 1;
+                true
+            }
+            // Disconnected can only mean the worker died (a panic inside a
+            // program); account the packet as rejected rather than
+            // propagating mid-enqueue — the next flush will surface the
+            // dead worker.
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.stats[shard].rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// [`WorkerPool::enqueue_at`] with clock 0 (benchmarks and tests that
+    /// do not model time).
+    pub fn enqueue(&mut self, packet: PacketBuf) -> bool {
+        self.enqueue_at(0, packet)
+    }
+
+    /// Enqueues a collection of packets, returning how many were accepted.
+    pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
+        packets.into_iter().map(|p| usize::from(self.enqueue(p))).sum()
+    }
+
+    /// Barrier: waits until every shard has processed everything enqueued
+    /// before this call, and returns the counter deltas (and outputs, when
+    /// collected) since the previous flush — always in shard index order,
+    /// regardless of which shard finished first.
+    pub fn flush(&mut self) -> PoolReport {
+        // Hand every shard its barrier first, then collect in index order:
+        // the shards drain concurrently, the ordering is imposed only on
+        // the collection side.
+        let replies: Vec<Receiver<ShardFlush>> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = channel();
+                // A blocking send is deliberate: the barrier must get into
+                // the (bounded) channel even when it is briefly full — the
+                // worker is draining it, so space always appears.
+                sender.send(Msg::Flush(tx)).expect("worker alive");
+                rx
+            })
+            .collect();
+        let mut deltas = Vec::with_capacity(replies.len());
+        let mut outputs = Vec::with_capacity(replies.len());
+        for reply in replies {
+            let flush = reply.recv().expect("worker answers the barrier");
+            deltas.push(flush.stats);
+            outputs.push(flush.outputs);
+        }
+        PoolReport { run: RunReport::from_deltas(&deltas), outputs }
+    }
+
+    /// Single-shard barrier: like [`WorkerPool::flush`], but only shard
+    /// `shard` is flushed and reported — one reply channel, one
+    /// round-trip. This is what per-event consumers (the simulator feeds
+    /// one packet to one shard per arrival) use instead of paying a
+    /// whole-pool barrier.
+    pub fn flush_shard(&mut self, shard: u32) -> ShardFlush {
+        let (tx, rx) = channel();
+        self.senders[shard as usize].send(Msg::Flush(tx)).expect("worker alive");
+        rx.recv().expect("worker answers the barrier")
+    }
+
+    /// Graceful shutdown: every worker finishes its backlog, runs its
+    /// final drain, and exits; the threads are joined. Returns each
+    /// shard's lifetime totals, in shard index order. Dropping the pool
+    /// does the same, minus the report.
+    pub fn shutdown(mut self) -> Vec<WorkerStats> {
+        self.stop();
+        self.handles.drain(..).map(|h| h.join().expect("worker thread panicked")).collect()
+    }
+
+    fn stop(&mut self) {
+        for sender in self.senders.drain(..) {
+            // As with flush: block until the shutdown message fits.
+            let _ = sender.send(Msg::Shutdown);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.stop();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard's thread body: receive, batch, process, drain, report.
+fn worker_loop(
+    config: PoolConfig,
+    rx: Receiver<Msg>,
+    mut datapath: Seg6Datapath,
+    mut drain: Option<BatchDrain>,
+) -> WorkerStats {
+    let batch_size = config.batch_size.max(1);
+    let mut stats = WorkerStats::default();
+    let mut reported = WorkerStats::default();
+    let mut batch: Vec<Skb> = Vec::with_capacity(batch_size);
+    let mut clock: u64 = 0;
+    let mut outputs: Vec<(Skb, BatchVerdict)> = Vec::new();
+    loop {
+        // Block for the next message; the worker is otherwise idle.
+        let Ok(msg) = rx.recv() else { break };
+        let mut next = Some(msg);
+        while let Some(msg) = next.take() {
+            match msg {
+                Msg::Packet { skb, now_ns } => {
+                    stats.steered += 1;
+                    clock = clock.max(now_ns);
+                    batch.push(skb);
+                    if batch.len() >= batch_size {
+                        run_batch(
+                            &mut datapath,
+                            &mut batch,
+                            clock,
+                            &mut stats,
+                            &mut outputs,
+                            &config,
+                            &mut drain,
+                        );
+                    }
+                    // Opportunistically pull whatever else is already
+                    // queued. When the channel goes idle, process the
+                    // partial batch instead of holding it while blocked —
+                    // NAPI-style: batching amortises bursts, it never
+                    // delays a lull's packets until the next barrier.
+                    match rx.try_recv() {
+                        Ok(more) => next = Some(more),
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
+                            if !batch.is_empty() {
+                                run_batch(
+                                    &mut datapath,
+                                    &mut batch,
+                                    clock,
+                                    &mut stats,
+                                    &mut outputs,
+                                    &config,
+                                    &mut drain,
+                                );
+                            }
+                        }
+                    }
+                }
+                Msg::Flush(reply) => {
+                    run_batch(
+                        &mut datapath,
+                        &mut batch,
+                        clock,
+                        &mut stats,
+                        &mut outputs,
+                        &config,
+                        &mut drain,
+                    );
+                    let delta = crate::delta(reported, stats);
+                    reported = stats;
+                    let _ = reply.send(ShardFlush { stats: delta, outputs: std::mem::take(&mut outputs) });
+                }
+                Msg::Shutdown => {
+                    // Final partial batch + final drain, so no packet or
+                    // perf event is stranded.
+                    run_batch(
+                        &mut datapath,
+                        &mut batch,
+                        clock,
+                        &mut stats,
+                        &mut outputs,
+                        &config,
+                        &mut drain,
+                    );
+                    return stats;
+                }
+            }
+        }
+    }
+    // Dispatcher vanished without an explicit shutdown (pool dropped
+    // mid-panic): still finish the backlog and the final drain.
+    run_batch(&mut datapath, &mut batch, clock, &mut stats, &mut outputs, &config, &mut drain);
+    stats
+}
+
+/// Processes the accumulated batch (if any) and runs the drain daemon.
+fn run_batch(
+    datapath: &mut Seg6Datapath,
+    batch: &mut Vec<Skb>,
+    clock: u64,
+    stats: &mut WorkerStats,
+    outputs: &mut Vec<(Skb, BatchVerdict)>,
+    config: &PoolConfig,
+    drain: &mut Option<BatchDrain>,
+) {
+    if !batch.is_empty() {
+        let verdicts = datapath.process_batch_verdicts(batch, clock);
+        for bv in &verdicts {
+            stats.processed += 1;
+            match bv.verdict {
+                seg6_core::Verdict::Forward { .. } => stats.forwarded += 1,
+                seg6_core::Verdict::LocalDeliver => stats.local_delivered += 1,
+                seg6_core::Verdict::Drop(_) => stats.dropped += 1,
+            }
+        }
+        stats.batches += 1;
+        if config.collect_outputs {
+            outputs.extend(batch.drain(..).zip(verdicts));
+        } else {
+            batch.clear();
+        }
+    }
+    // The drain daemon runs batch-aware: after the batch's events are in
+    // the ring, on the worker that produced them.
+    if let Some(drain) = drain {
+        drain(datapath.cpu_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{thread_spawn_count, Runtime, RuntimeConfig};
+    use ebpf_vm::helpers::ids;
+    use ebpf_vm::insn::{jmp, AccessSize};
+    use ebpf_vm::maps::{PerCpuArrayMap, PerfEventArray};
+    use ebpf_vm::perf::PerfEvent;
+    use ebpf_vm::program::{load, retcode, ProgramType};
+    use ebpf_vm::{Map, MapHandle, ProgramBuilder};
+    use netpkt::ipv6::proto;
+    use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
+    use netpkt::srh::SegmentRoutingHeader;
+
+    use seg6_core::{Nexthop, Seg6LocalAction, Verdict};
+    use std::collections::HashMap;
+    use std::net::Ipv6Addr;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn forwarding_datapath(cpu: u32) -> Seg6Datapath {
+        let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+        dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+        dp
+    }
+
+    fn flow_packet(flow: u32) -> PacketBuf {
+        build_ipv6_udp_packet(
+            addr(&format!("2001:db8::{:x}", flow + 1)),
+            addr("2001:db8:f::1"),
+            (1024 + flow % 40_000) as u16,
+            5001,
+            &[0u8; 32],
+            64,
+        )
+    }
+
+    /// Satellite regression: the pool must agree with the deterministic
+    /// single-thread mode — same verdicts, and per-shard results reported
+    /// in shard index order no matter which shard finishes first.
+    #[test]
+    fn pool_flush_matches_run_once_in_shard_index_order() {
+        let packets: Vec<PacketBuf> = (0..512).map(flow_packet).collect();
+
+        let rt_config = RuntimeConfig { workers: 4, batch_size: 16, ..Default::default() };
+        let mut once = Runtime::new(rt_config, forwarding_datapath);
+        once.enqueue_all(packets.iter().cloned());
+        let report_once = once.run_once(0);
+
+        let config = PoolConfig { workers: 4, batch_size: 16, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        assert_eq!(pool.enqueue_all(packets.iter().cloned()), 512);
+        for _ in 0..5 {
+            // Repeat to give out-of-order shard completions a chance to
+            // show up; the report must stay identical every time.
+            let report = pool.flush();
+            assert_eq!(report.run, report_once);
+            pool.enqueue_all(packets.iter().cloned());
+        }
+        pool.flush();
+    }
+
+    /// The acceptance-criteria test: a steady-state run through the
+    /// persistent pool performs no thread spawns after construction.
+    #[test]
+    fn pool_spawns_no_threads_after_construction() {
+        let config = PoolConfig { workers: 4, batch_size: 32, ..Default::default() };
+        let before_construction = thread_spawn_count();
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        let after_construction = thread_spawn_count();
+        assert_eq!(after_construction - before_construction, 4);
+
+        // The scaling workload: many enqueue/flush rounds.
+        for _ in 0..10 {
+            pool.enqueue_all((0..256).map(flow_packet));
+            let report = pool.flush();
+            assert_eq!(report.run.processed, 256);
+        }
+        assert_eq!(thread_spawn_count(), after_construction, "steady state must not spawn");
+        pool.shutdown();
+        assert_eq!(thread_spawn_count(), after_construction, "shutdown must not spawn");
+
+        // The spawn-per-run mode the pool replaces *does* keep spawning.
+        let rt_config = RuntimeConfig { workers: 4, batch_size: 32, ..Default::default() };
+        let mut rt = Runtime::new(rt_config, forwarding_datapath);
+        let before = thread_spawn_count();
+        for _ in 0..3 {
+            rt.enqueue_all((0..64).map(flow_packet));
+            rt.run_threaded(0);
+        }
+        assert_eq!(thread_spawn_count() - before, 3 * 4);
+    }
+
+    /// Backpressure: a full shard channel rejects deterministically. The
+    /// drain daemon doubles as a worker-stall handshake so the test
+    /// controls exactly when the worker consumes its queue.
+    #[test]
+    fn full_shard_channel_rejects_and_counts() {
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+        let config = PoolConfig { workers: 1, batch_size: 1, queue_depth: 4, ..Default::default() };
+        let mut pool = WorkerPool::new(config, move |cpu| {
+            let entered_tx = entered_tx.clone();
+            let release_rx = Arc::clone(&release_rx);
+            ShardSetup::new(forwarding_datapath(cpu)).with_drain(Box::new(move |_| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+            }))
+        });
+
+        // First packet: the worker takes it off the channel, processes it
+        // (batch size 1) and blocks inside the drain.
+        assert!(pool.enqueue(flow_packet(0)));
+        entered_rx.recv().expect("worker entered the drain");
+
+        // The channel now holds 0 messages and the worker consumes
+        // nothing: the next `queue_depth` packets fit, everything after
+        // that is backpressure.
+        for flow in 1..=4 {
+            assert!(pool.enqueue(flow_packet(flow)), "packet {flow} fits the queue");
+        }
+        assert!(!pool.enqueue(flow_packet(5)));
+        assert!(!pool.enqueue(flow_packet(6)));
+        assert_eq!(pool.rejected(), 2);
+        assert_eq!(pool.shard_stats()[0], ShardStats { enqueued: 5, rejected: 2 });
+
+        // Unblock every future drain call and let the barrier confirm that
+        // accepted packets — and only those — were processed.
+        drop(release_tx);
+        let report = pool.flush();
+        assert_eq!(report.run.processed, 5);
+        assert_eq!(report.run.forwarded, 5);
+    }
+
+    /// An enqueue-only caller must not strand work: when a shard's channel
+    /// goes idle, the partial batch is processed (and the drain daemon
+    /// runs) without waiting for a flush barrier.
+    #[test]
+    fn idle_worker_processes_partial_batches_without_a_barrier() {
+        let (drained_tx, drained_rx) = mpsc::channel::<()>();
+        let config = PoolConfig { workers: 1, batch_size: 32, ..Default::default() };
+        let mut pool = WorkerPool::new(config, move |cpu| {
+            let drained_tx = drained_tx.clone();
+            ShardSetup::new(forwarding_datapath(cpu)).with_drain(Box::new(move |_| {
+                let _ = drained_tx.send(());
+            }))
+        });
+        // 5 packets — far below batch_size — and no flush call.
+        for flow in 0..5 {
+            assert!(pool.enqueue(flow_packet(flow)));
+        }
+        // The drain daemon only runs after a processed batch; its signal
+        // proves the partial batch did not wait for a barrier.
+        drained_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("idle worker processed its partial batch");
+        let report = pool.flush();
+        assert_eq!(report.run.processed, 5);
+    }
+
+    #[test]
+    fn flush_shard_reports_only_that_shard() {
+        let config = PoolConfig { workers: 2, batch_size: 8, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        pool.enqueue_all((0..64).map(flow_packet));
+        let enqueued: Vec<u64> = pool.shard_stats().iter().map(|s| s.enqueued).collect();
+        assert!(enqueued.iter().all(|&n| n > 0), "steering collapsed: {enqueued:?}");
+
+        let shard0 = pool.flush_shard(0);
+        assert_eq!(shard0.stats.processed, enqueued[0]);
+        // The full barrier afterwards reports only what shard 0 already
+        // reported as zero, plus shard 1's packets.
+        let report = pool.flush();
+        assert_eq!(report.run.per_worker, vec![0, enqueued[1]]);
+    }
+
+    #[test]
+    fn outputs_carry_verdicts_and_rewritten_packets() {
+        let config = PoolConfig { workers: 2, batch_size: 4, collect_outputs: true, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        let packets: Vec<PacketBuf> = (0..32).map(flow_packet).collect();
+        pool.enqueue_all(packets.iter().cloned());
+        let mut report = pool.flush();
+        assert_eq!(report.outputs.len(), 2);
+        let total: usize = report.outputs.iter().map(Vec::len).sum();
+        assert_eq!(total, 32);
+        for (shard, outputs) in report.outputs.iter_mut().enumerate() {
+            for (skb, bv) in outputs.drain(..) {
+                assert_eq!(pool.steer_to(skb.packet.data()) as usize, shard);
+                assert!(matches!(bv.verdict, Verdict::Forward { oif: 1, .. }));
+                assert_eq!(bv.work, seg6_core::WorkSummary::default());
+                // The hop limit was decremented in place.
+                let header = netpkt::Ipv6Header::parse(skb.packet.data()).unwrap();
+                assert_eq!(header.hop_limit, 63);
+            }
+        }
+        // The next flush starts from a clean output buffer.
+        pool.enqueue(flow_packet(0));
+        let report = pool.flush();
+        assert_eq!(report.outputs.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn shutdown_processes_the_backlog_and_reports_in_shard_order() {
+        let config = PoolConfig { workers: 4, batch_size: 32, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        // 100 packets is not a multiple of the batch size, so shards hold
+        // partial batches when the shutdown message lands.
+        pool.enqueue_all((0..100).map(flow_packet));
+        let enqueued: Vec<u64> = pool.shard_stats().iter().map(|s| s.enqueued).collect();
+        let totals = pool.shutdown();
+        assert_eq!(totals.len(), 4);
+        for (shard, (stats, expected)) in totals.iter().zip(enqueued).enumerate() {
+            assert_eq!(stats.steered, expected, "shard {shard} consumed its queue");
+            assert_eq!(stats.processed, expected, "shard {shard} processed its backlog");
+        }
+        assert_eq!(totals.iter().map(|s| s.processed).sum::<u64>(), 100);
+    }
+
+    /// An `End.BPF` program that bumps this CPU's slot of the per-CPU
+    /// array at fd 1, then emits the new count through
+    /// `bpf_perf_event_output(..., BPF_F_CURRENT_CPU, ...)` into the perf
+    /// array at fd 2, then forwards.
+    fn emitting_program() -> ebpf_vm::Program {
+        let mut b = ProgramBuilder::new();
+        b.mov_reg(9, 1); // save ctx
+        b.store_imm(AccessSize::Word, 10, -4, 0);
+        b.load_map_fd(1, 1);
+        b.mov_reg(2, 10);
+        b.add_imm(2, -4);
+        b.call(ids::MAP_LOOKUP_ELEM);
+        b.jmp_imm(jmp::JEQ, 0, 0, "out");
+        b.load_mem(AccessSize::Double, 1, 0, 0);
+        b.add_imm(1, 1);
+        b.store_mem(AccessSize::Double, 0, 1, 0);
+        // Stash the fresh per-CPU sequence number and emit it.
+        b.store_mem(AccessSize::Double, 10, 1, -16);
+        b.mov_reg(1, 9);
+        b.load_map_fd(2, 2);
+        b.load_imm64(3, 0xffff_ffff); // BPF_F_CURRENT_CPU, zero-extended
+        b.mov_reg(4, 10);
+        b.add_imm(4, -16);
+        b.mov_imm(5, 8);
+        b.call(ids::PERF_EVENT_OUTPUT);
+        b.label("out");
+        b.ret(retcode::BPF_OK as i32);
+        b.build_program("emit-seq", ProgramType::LwtSeg6Local).expect("static program")
+    }
+
+    /// Satellite coverage: perf events emitted with `BPF_F_CURRENT_CPU`
+    /// from every shard are all collected by the per-worker drain daemons
+    /// — none lost (including events of the final partial batch, drained
+    /// at shutdown), none duplicated.
+    #[test]
+    fn per_cpu_perf_events_survive_pool_shutdown_exactly_once() {
+        const WORKERS: u32 = 4;
+        const PACKETS: u32 = 403; // deliberately not a batch multiple
+        let sid = addr("fc00::e1");
+        let counter: MapHandle = PerCpuArrayMap::new(8, 1, WORKERS);
+        let perf = PerfEventArray::per_cpu(PACKETS as usize, WORKERS);
+        let ring = perf.perf_buffer().expect("perf array has a buffer");
+        let collected: Arc<std::sync::Mutex<Vec<PerfEvent>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+
+        let config = PoolConfig { workers: WORKERS, batch_size: 8, ..Default::default() };
+        let mut pool = WorkerPool::new(config, |cpu| {
+            let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+            dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::direct(1)]);
+            let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+            maps.insert(1, Arc::clone(&counter));
+            maps.insert(2, perf.clone());
+            let prog = load(emitting_program(), &maps, &dp.helpers).expect("verified program");
+            dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+            let ring = Arc::clone(&ring);
+            let collected = Arc::clone(&collected);
+            ShardSetup::new(dp).with_drain(Box::new(move |cpu| {
+                // Each shard's daemon drains only its own ring.
+                ring.take_cpu(cpu, &mut collected.lock().unwrap());
+            }))
+        });
+
+        for flow in 0..PACKETS {
+            let srh = SegmentRoutingHeader::from_path(proto::UDP, &[sid, addr("fc00::99")]);
+            let pkt = build_srv6_udp_packet(
+                addr(&format!("2001:db8::{:x}", flow + 1)),
+                &srh,
+                (1000 + flow) as u16,
+                5001,
+                &[0u8; 16],
+                64,
+            );
+            assert!(pool.enqueue(pkt));
+        }
+        let per_shard: Vec<u64> = pool.shard_stats().iter().map(|s| s.enqueued).collect();
+        let totals = pool.shutdown();
+        assert_eq!(totals.iter().map(|s| s.processed).sum::<u64>(), u64::from(PACKETS));
+
+        // Every ring is empty — the daemons took everything before exit.
+        assert!(ring.is_empty(), "events stranded in a ring");
+        assert_eq!(ring.dropped(), 0);
+
+        // All events collected, exactly once: per shard, the sequence
+        // numbers are 1..=n with no gap or repeat.
+        let collected = collected.lock().unwrap();
+        assert_eq!(collected.len(), PACKETS as usize);
+        let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); WORKERS as usize];
+        for event in collected.iter() {
+            let seq = u64::from_le_bytes(event.data.as_slice().try_into().expect("8-byte event"));
+            seqs[event.cpu as usize].push(seq);
+        }
+        for (cpu, mut shard_seqs) in seqs.into_iter().enumerate() {
+            shard_seqs.sort_unstable();
+            let expected: Vec<u64> = (1..=per_shard[cpu]).collect();
+            assert_eq!(shard_seqs, expected, "shard {cpu} events lost or duplicated");
+            assert!(!expected.is_empty(), "shard {cpu} saw no traffic — steering collapsed");
+        }
+    }
+}

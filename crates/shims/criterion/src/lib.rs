@@ -8,6 +8,16 @@
 //! macros. Timing is a straightforward warm-up-then-measure loop over a
 //! monotonic clock; results are printed as `group/name  time: [... ns]`
 //! lines (plus a derived rate when a throughput is configured).
+//!
+//! Two environment knobs support `scripts/bench-smoke.sh` (a non-Criterion
+//! extension):
+//!
+//! * `CRITERION_SMOKE_MS=<ms>` overrides every bench's warm-up (to 1/5 of
+//!   the value) and measurement window, so a whole suite runs in seconds
+//!   with tiny iteration counts;
+//! * `CRITERION_JSON=1` additionally emits one machine-readable
+//!   `BENCH_JSON {...}` line per bench, for snapshotting into
+//!   `BENCH_*.json` files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -149,19 +159,32 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&label) {
             return self;
         }
-        let mut bencher =
-            Bencher { warm_up: self.warm_up, measurement: self.measurement, mean_ns: 0.0, iters: 0 };
+        let (warm_up, measurement) = match smoke_window_ms() {
+            Some(ms) => (Duration::from_millis((ms / 5).max(1)), Duration::from_millis(ms.max(1))),
+            None => (self.warm_up, self.measurement),
+        };
+        let mut bencher = Bencher { warm_up, measurement, mean_ns: 0.0, iters: 0 };
         f(&mut bencher);
         let mut line = format!("{label:<55} time: [{:>12.1} ns/iter]", bencher.mean_ns);
+        let mut rate = None;
         if let Some(tp) = self.throughput {
             let (amount, unit) = match tp {
                 Throughput::Elements(n) => (n as f64, "elem/s"),
                 Throughput::Bytes(n) => (n as f64, "B/s"),
             };
-            let rate = amount * 1e9 / bencher.mean_ns.max(f64::MIN_POSITIVE);
-            line.push_str(&format!("  thrpt: [{rate:>14.0} {unit}]"));
+            let per_s = amount * 1e9 / bencher.mean_ns.max(f64::MIN_POSITIVE);
+            line.push_str(&format!("  thrpt: [{per_s:>14.0} {unit}]"));
+            rate = Some((per_s, unit));
         }
         println!("{line}");
+        if std::env::var_os("CRITERION_JSON").is_some() {
+            let (per_s, unit) = rate.unwrap_or((0.0, ""));
+            println!(
+                "BENCH_JSON {{\"name\":\"{label}\",\"ns_per_iter\":{:.1},\"iters\":{},\
+                 \"throughput_per_s\":{per_s:.0},\"throughput_unit\":\"{unit}\"}}",
+                bencher.mean_ns, bencher.iters
+            );
+        }
         self
     }
 
@@ -169,6 +192,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {
         println!();
     }
+}
+
+/// The `CRITERION_SMOKE_MS` override, if set to a valid duration.
+fn smoke_window_ms() -> Option<u64> {
+    std::env::var("CRITERION_SMOKE_MS").ok()?.parse().ok()
 }
 
 /// The top-level harness state, mirroring `criterion::Criterion`.

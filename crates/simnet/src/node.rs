@@ -2,8 +2,9 @@
 //! addresses, a UDP sink and attached applications.
 
 use netpkt::ipv6::proto;
-use netpkt::{ParsedPacket, UdpHeader};
-use seg6_core::Seg6Datapath;
+use netpkt::{PacketBuf, ParsedPacket, UdpHeader};
+use seg6_core::{Seg6Datapath, Verdict};
+use seg6_runtime::{PoolConfig, WorkerPool};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -152,6 +153,12 @@ pub struct Node {
     pub udp_sinks: HashMap<u16, SinkStats>,
     /// Total packets locally delivered (any protocol).
     pub delivered_packets: u64,
+    /// When set, this node's packets are executed by the shared persistent
+    /// worker pool (one shard per receive queue, each running a
+    /// [`Seg6Datapath::fork_for_cpu`] of this node's datapath) instead of
+    /// the simulator-private CPU model. See
+    /// [`Node::enable_pool_ingestion`].
+    pool: Option<WorkerPool>,
 }
 
 impl Node {
@@ -168,6 +175,7 @@ impl Node {
             next_ifindex: 1,
             udp_sinks: HashMap::new(),
             delivered_packets: 0,
+            pool: None,
         }
     }
 
@@ -177,6 +185,69 @@ impl Node {
     /// queues never alias per-CPU map state.
     pub fn set_rx_queues(&mut self, queues: usize) {
         self.rx_queue_busy_ns = vec![0; queues.clamp(1, ebpf_vm::DEFAULT_NUM_CPUS as usize)];
+        if self.pool.is_some() {
+            // Rebuild the pool so its shard count tracks the queue count.
+            self.enable_pool_ingestion();
+        }
+    }
+
+    /// Routes this node's packet execution through the shared persistent
+    /// worker pool: one long-lived shard per receive queue, each owning a
+    /// [`Seg6Datapath::fork_for_cpu`] of this node's datapath (the FIB
+    /// stays shared, SID/transit/LWT tables are snapshots whose programs
+    /// and maps remain shared handles). Call it after setting
+    /// [`Node::set_rx_queues`]; calling `set_rx_queues` afterwards
+    /// rebuilds the pool, and the simulator re-forks every pooled node at
+    /// the start of its first run, so datapath configuration applied any
+    /// time before the first event is captured. Only reconfiguration
+    /// *mid-run* requires calling this again. The simulator keeps
+    /// modelling *time*
+    /// (per-queue busy horizons and admission) — what moves into the pool
+    /// is the packet *execution*, so simulations exercise exactly the
+    /// steering + batch code path the benches measure, with identical
+    /// verdicts to the in-simulator model.
+    pub fn enable_pool_ingestion(&mut self) {
+        let config = PoolConfig {
+            workers: self.rx_queues() as u32,
+            // The simulator hands packets one arrival event at a time.
+            batch_size: 1,
+            queue_depth: 64,
+            collect_outputs: true,
+            ..Default::default()
+        };
+        self.pool = Some(WorkerPool::from_datapath(config, &self.datapath));
+    }
+
+    /// Whether packet execution goes through the worker pool.
+    pub fn pool_ingestion(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Executes one packet on the pool shard serving `queue`, returning
+    /// its verdict, its work summary and the (possibly rewritten) packet
+    /// bytes. `now_ns` becomes the packet's RX timestamp and processing
+    /// clock, as in the in-simulator model. Only the one shard is flushed
+    /// (a single cross-thread round-trip), and the result is mirrored into
+    /// `self.datapath.stats`, so a pooled node's counters stay as
+    /// observable as a legacy node's.
+    pub(crate) fn process_via_pool(
+        &mut self,
+        packet: &[u8],
+        now_ns: u64,
+        queue: usize,
+    ) -> (Verdict, PacketWork, Vec<u8>) {
+        let pool = self.pool.as_mut().expect("pool ingestion enabled");
+        debug_assert_eq!(pool.steer_to(packet) as usize, queue, "pool and node steering agree");
+        let accepted = pool.enqueue_at(now_ns, PacketBuf::from_slice(packet));
+        debug_assert!(accepted, "one packet per flush never overflows the shard queue");
+        let mut flush = pool.flush_shard(queue as u32);
+        let (skb, bv) = flush.outputs.pop().expect("the enqueued packet's output");
+        let work =
+            PacketWork { seg6local: bv.work.seg6local, encap_or_decap: bv.work.transit, bpf: bv.work.bpf };
+        // Keep the node-level statistics live: the node datapath is the
+        // configuration and accounting view, the shard forks execute.
+        self.datapath.stats.record(&bv.verdict, &bv.work);
+        (bv.verdict, work, skb.packet.data().to_vec())
     }
 
     /// Number of receive queues (cores) this node processes packets with.

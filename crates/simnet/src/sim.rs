@@ -195,6 +195,7 @@ impl Simulator {
     pub fn run_until(&mut self, horizon_ns: u64) -> u64 {
         if !self.started {
             self.started = true;
+            self.refresh_pools();
             self.start_apps();
         }
         let mut processed = 0;
@@ -220,6 +221,19 @@ impl Simulator {
     /// keep the queue non-empty forever).
     pub fn run_to_completion(&mut self) -> u64 {
         self.run_until(u64::MAX)
+    }
+
+    /// Re-forks every pooled node's shards from its current datapath
+    /// configuration, so SIDs, transit behaviours and LWT attachments
+    /// installed between `enable_pool_ingestion()` and the first event
+    /// are always captured. Reconfiguring a datapath *mid-run* still
+    /// requires calling `enable_pool_ingestion()` again by hand.
+    fn refresh_pools(&mut self) {
+        for node in &mut self.nodes {
+            if node.pool_ingestion() {
+                node.enable_pool_ingestion();
+            }
+        }
     }
 
     fn start_apps(&mut self) {
@@ -276,7 +290,7 @@ impl Simulator {
         // CPU admission: the packet's flow steers it to one receive queue
         // (RSS), each queue's core processes serially, and the packet is
         // dropped if that queue's backlog exceeds the node's limit.
-        let (start_ns, verdict, work, packet_after) = {
+        let (start_ns, verdict, packet_after) = {
             let node = &mut self.nodes[node_id];
             let queue = node.rx_queue_for(&packet);
             let start_ns = node.rx_queue_busy_ns[queue].max(self.now_ns);
@@ -285,24 +299,33 @@ impl Simulator {
                 self.stats.dropped += 1;
                 return;
             }
-            let before = node.datapath.stats.clone();
-            let mut skb = Skb::received(PacketBuf::from_slice(&packet), self.now_ns, 0);
-            // The datapath instance runs "on" the queue's core: programs
-            // observe the queue index as their CPU id, so per-CPU map
-            // slots and perf rings shard by queue inside the simulator too.
-            node.datapath.cpu_id = queue as u32;
-            let verdict = node.datapath.process(&mut skb, self.now_ns);
-            let after = &node.datapath.stats;
-            let work = PacketWork {
-                seg6local: after.seg6local_invocations > before.seg6local_invocations,
-                encap_or_decap: after.transit_applied > before.transit_applied,
-                bpf: after.bpf_invocations > before.bpf_invocations,
+            let (verdict, work, packet_after) = if node.pool_ingestion() {
+                // Pool ingestion: the queue's persistent worker shard
+                // executes the packet through the same steering + batch
+                // code path the benches measure; only the time model
+                // (busy horizons, admission) stays in the simulator.
+                node.process_via_pool(&packet, self.now_ns, queue)
+            } else {
+                let before = node.datapath.stats.clone();
+                let mut skb = Skb::received(PacketBuf::from_slice(&packet), self.now_ns, 0);
+                // The datapath instance runs "on" the queue's core:
+                // programs observe the queue index as their CPU id, so
+                // per-CPU map slots and perf rings shard by queue inside
+                // the simulator too.
+                node.datapath.cpu_id = queue as u32;
+                let verdict = node.datapath.process(&mut skb, self.now_ns);
+                let after = &node.datapath.stats;
+                let work = PacketWork {
+                    seg6local: after.seg6local_invocations > before.seg6local_invocations,
+                    encap_or_decap: after.transit_applied > before.transit_applied,
+                    bpf: after.bpf_invocations > before.bpf_invocations,
+                };
+                (verdict, work, skb.packet.data().to_vec())
             };
             let cost = node.cpu.cost_ns(packet.len(), &work);
             node.rx_queue_busy_ns[queue] = start_ns + cost;
-            (start_ns + cost, verdict, work, skb.packet.data().to_vec())
+            (start_ns + cost, verdict, packet_after)
         };
-        let _ = work;
         match verdict {
             Verdict::Forward { oif, .. } => {
                 let Some(link_id) = self.nodes[node_id].link_on(oif) else {
@@ -503,6 +526,115 @@ mod tests {
         }
         let (one, four) = (received[0], received[1]);
         assert!(four > one * 3, "1 queue: {one}, 4 queues: {four}");
+    }
+
+    /// The acceptance-criteria test: a multi-queue node whose packets go
+    /// through the shared persistent worker pool produces **identical
+    /// verdicts** — and therefore identical deliveries, drops, and arrival
+    /// timestamps — to the legacy in-simulator multi-queue model, over a
+    /// workload covering forwarding, seg6local, local delivery and
+    /// unroutable drops.
+    #[test]
+    fn pool_ingestion_matches_the_in_simulator_model() {
+        use netpkt::packet::build_srv6_udp_packet;
+        use netpkt::srh::SegmentRoutingHeader;
+        use seg6_core::Seg6LocalAction;
+
+        fn build(pooled: bool) -> (Simulator, usize, usize) {
+            // Non-zero cost for every work class, so a work-flag mismatch
+            // between the models would shift busy horizons and timestamps.
+            let (mut sim, s1, r, s2) = three_node_chain(CpuProfile::xeon());
+            sim.node_mut(r).datapath.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::End);
+            sim.node_mut(r).set_rx_queues(4);
+            if pooled {
+                sim.node_mut(r).enable_pool_ingestion();
+                assert!(sim.node(r).pool_ingestion());
+            }
+            for i in 0..1200u64 {
+                let flow = (1000 + i % 100) as u16;
+                let pkt = match i % 4 {
+                    // Plain forwarding through R towards the S2 sink.
+                    0..=1 => {
+                        build_ipv6_udp_packet(addr("fc00::a1"), addr("fc00::a2"), flow, 5001, &[0u8; 64], 64)
+                    }
+                    // seg6local End at R, then on to S2.
+                    2 => {
+                        let srh = SegmentRoutingHeader::from_path(
+                            netpkt::ipv6::proto::UDP,
+                            &[addr("fc00::e1"), addr("fc00::a2")],
+                        );
+                        build_srv6_udp_packet(addr("fc00::a1"), &srh, flow, 5002, &[0u8; 64], 64)
+                    }
+                    // Local delivery at R itself.
+                    _ => {
+                        build_ipv6_udp_packet(addr("fc00::a1"), addr("fc00::11"), flow, 7001, &[0u8; 32], 64)
+                    }
+                };
+                sim.inject_at(i * 300, s1, pkt);
+            }
+            // Unroutable packets: dropped at R in both models.
+            for i in 0..50u64 {
+                let pkt =
+                    build_ipv6_udp_packet(addr("fc00::a1"), addr("3001::1"), 9000, 9000, &[0u8; 32], 64);
+                sim.inject_at(i * 1_000, s1, pkt);
+            }
+            sim.run_to_completion();
+            (sim, r, s2)
+        }
+
+        let (legacy, lr, ls2) = build(false);
+        let (pooled, pr, ps2) = build(true);
+        // Sink statistics include first/last arrival timestamps, so this
+        // compares verdicts *and* the CPU cost model end to end.
+        assert_eq!(legacy.node(ls2).sink(5001), pooled.node(ps2).sink(5001));
+        assert_eq!(legacy.node(ls2).sink(5002), pooled.node(ps2).sink(5002));
+        assert_eq!(legacy.node(lr).sink(7001), pooled.node(pr).sink(7001));
+        assert_eq!(legacy.node(lr).delivered_packets, pooled.node(pr).delivered_packets);
+        assert_eq!(legacy.node(lr).cpu_drops, pooled.node(pr).cpu_drops);
+        assert_eq!(legacy.stats.delivered, pooled.stats.delivered);
+        assert_eq!(legacy.stats.dropped, pooled.stats.dropped);
+        assert!(legacy.stats.dropped >= 50, "the unroutable packets were dropped");
+        assert_eq!(legacy.node(ls2).sink(5001).packets, 600);
+        // Node-level datapath statistics stay observable through the pool
+        // (per-shard results are mirrored back onto the node's view).
+        let l = &legacy.node(lr).datapath.stats;
+        let p = &pooled.node(pr).datapath.stats;
+        assert_eq!(l.received, p.received);
+        assert_eq!(l.forwarded, p.forwarded);
+        assert_eq!(l.local_delivered, p.local_delivered);
+        assert_eq!(l.seg6local_invocations, p.seg6local_invocations);
+        assert_eq!(l.bpf_invocations, p.bpf_invocations);
+        assert_eq!(l.transit_applied, p.transit_applied);
+        assert_eq!(l.dropped, p.dropped);
+        assert!(p.received > 0, "the pooled node mirrored nothing");
+    }
+
+    /// Regression: configuration added between `enable_pool_ingestion()`
+    /// and the first run must still reach the pool shards (the simulator
+    /// re-forks pools at the start of its first run).
+    #[test]
+    fn pool_refork_captures_config_added_after_enabling() {
+        use netpkt::packet::build_srv6_udp_packet;
+        use netpkt::srh::SegmentRoutingHeader;
+        use seg6_core::Seg6LocalAction;
+
+        let (mut sim, s1, r, _s2) = three_node_chain(CpuProfile::unconstrained());
+        sim.node_mut(r).set_rx_queues(2);
+        sim.node_mut(r).enable_pool_ingestion();
+        // Installed AFTER enabling the pool — the footgun case.
+        sim.node_mut(r).datapath.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::End);
+        let srh =
+            SegmentRoutingHeader::from_path(netpkt::ipv6::proto::UDP, &[addr("fc00::e1"), addr("fc00::a2")]);
+        for i in 0..8u64 {
+            let pkt = build_srv6_udp_packet(addr("fc00::a1"), &srh, 1000 + i as u16, 5002, &[0u8; 16], 64);
+            sim.inject_at(i * 1_000, s1, pkt);
+        }
+        sim.run_to_completion();
+        // The End SID executed on the pool shards (and was mirrored onto
+        // the node's stats); nothing was mis-forwarded or dropped.
+        assert_eq!(sim.node(r).datapath.stats.seg6local_invocations, 8);
+        assert_eq!(sim.stats.delivered, 8);
+        assert_eq!(sim.stats.dropped, 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use netpkt::ipv6::proto;
 use netpkt::packet::build_srv6_udp_packet;
 use netpkt::srh::SegmentRoutingHeader;
 use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction};
-use seg6_runtime::{Runtime, RuntimeConfig};
+use seg6_runtime::{thread_spawn_count, PoolConfig, Runtime, RuntimeConfig, WorkerPool};
 use simnet::{CpuProfile, LinkConfig, Simulator};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
@@ -107,8 +107,59 @@ fn main() {
         assert_eq!(count, worker.stats.steered, "per-CPU slots must be disjoint");
     }
 
-    // The same steering drives the simulator's multi-queue CPU model: a
+    // The persistent worker pool: the same shards as long-lived threads,
+    // fed over bounded channels. Spawn once, then only enqueue + flush —
+    // the spawn counter proves the steady state costs zero thread spawns.
+    println!("\npersistent worker pool: 3 rounds of {PACKETS} packets on {WORKERS} shards");
+    let pool_counters: Arc<PerCpuArrayMap> = PerCpuArrayMap::new(8, 1, WORKERS);
+    let pool_shared: MapHandle = pool_counters.clone();
+    let pool_config =
+        PoolConfig { workers: WORKERS, batch_size: 32, queue_depth: 16_384, ..Default::default() };
+    let mut pool = WorkerPool::new(pool_config, |cpu| {
+        let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+        dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::direct(1)]);
+        let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+        maps.insert(1, Arc::clone(&pool_shared));
+        let prog = load(counting_program(), &maps, &dp.helpers).expect("verified program");
+        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp
+    });
+    let spawns_at_steady_state = thread_spawn_count();
+    for round in 1..=3u32 {
+        for i in 0..PACKETS {
+            let srh = SegmentRoutingHeader::from_path(proto::UDP, &[sid, addr("fc00::99")]);
+            let pkt = build_srv6_udp_packet(
+                addr(&format!("2001:db8::{:x}", i % 500 + 1)),
+                &srh,
+                (1024 + i % 500) as u16,
+                5001,
+                &[0u8; 64],
+                64,
+            );
+            pool.enqueue(pkt);
+        }
+        let report = pool.flush();
+        println!(
+            "  round {round}: processed {} ({} forwarded), per shard {:?}, backpressure drops {}",
+            report.run.processed,
+            report.run.forwarded,
+            report.run.per_worker,
+            pool.rejected()
+        );
+    }
+    assert_eq!(thread_spawn_count(), spawns_at_steady_state, "steady state spawned a thread");
+    println!("  thread spawns during the 3 rounds: 0 (pool threads live across runs)");
+    let totals = pool.shutdown();
+    println!(
+        "  graceful shutdown — lifetime packets per shard: {:?}",
+        totals.iter().map(|s| s.processed).collect::<Vec<_>>()
+    );
+
+    // The same steering drives the simulator's multi-queue model: a
     // CPU-bound router forwards ~4x more once it has four receive queues.
+    // The multi-queue case routes its packets through the persistent pool
+    // (`enable_pool_ingestion`), so the simulation exercises exactly the
+    // code path benched above.
     println!("\nsimnet: saturating a CPU-bound router for 50 ms of simulated time");
     for queues in [1usize, 4] {
         let mut sim = Simulator::new(7);
@@ -124,6 +175,12 @@ fn main() {
         }
         sim.node_mut(router).cpu = CpuProfile::xeon();
         sim.node_mut(router).set_rx_queues(queues);
+        let pooled = queues > 1;
+        if pooled {
+            // End-to-end ingestion: the router's packets are executed by
+            // the persistent worker pool, one shard per receive queue.
+            sim.node_mut(router).enable_pool_ingestion();
+        }
         for i in 0..20_000u64 {
             let pkt = netpkt::packet::build_ipv6_udp_packet(
                 addr("fc00::a1"),
@@ -138,7 +195,8 @@ fn main() {
         sim.run_to_completion();
         let delivered = sim.node(sink).sink(5001).packets;
         println!(
-            "  {queues} rx queue(s): delivered {delivered:6} of 20000 (cpu drops {})",
+            "  {queues} rx queue(s){}: delivered {delivered:6} of 20000 (cpu drops {})",
+            if pooled { " via persistent pool" } else { "" },
             sim.node(router).cpu_drops
         );
     }

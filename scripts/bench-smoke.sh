@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke-runs the runtime scaling bench with tiny iteration counts and
+# snapshots the rows into a BENCH_*.json file at the repo root, so every
+# commit leaves a machine-readable perf data point.
+#
+# Usage:
+#   scripts/bench-smoke.sh [output.json]
+#
+# Environment:
+#   SMOKE_MS  measurement window per bench row, in milliseconds (default 30)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE_MS="${SMOKE_MS:-30}"
+OUT="${1:-BENCH_runtime_scaling.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# The criterion shim reads both variables: CRITERION_SMOKE_MS shrinks every
+# warm-up/measurement window, CRITERION_JSON adds one BENCH_JSON line per
+# bench row.
+CRITERION_SMOKE_MS="$SMOKE_MS" CRITERION_JSON=1 \
+    cargo bench --bench runtime_scaling >"$raw" 2>&1 || {
+    cat "$raw" >&2
+    echo "bench run failed" >&2
+    exit 1
+}
+
+grep -v '^BENCH_JSON ' "$raw"
+
+rows="$(grep '^BENCH_JSON ' "$raw" | sed 's/^BENCH_JSON //' | paste -sd, -)"
+if [ -z "$rows" ]; then
+    echo "no BENCH_JSON rows captured" >&2
+    exit 1
+fi
+
+cores="$(nproc 2>/dev/null || echo 1)"
+cat >"$OUT" <<JSON
+{
+  "bench": "runtime_scaling",
+  "smoke_ms": $SMOKE_MS,
+  "host_parallelism": $cores,
+  "git_rev": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "timestamp": "$(date -u +%FT%TZ)",
+  "rows": [$rows]
+}
+JSON
+
+echo "wrote $OUT ($(grep -o '"name"' "$OUT" | wc -l) rows)"
