@@ -13,7 +13,7 @@ use netpkt::ipv6::proto;
 use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
 use netpkt::srh::SegmentRoutingHeader;
 use netpkt::{Ipv6Prefix, PacketBuf};
-use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
+use seg6_core::{Fib, LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
 use seg6_runtime::{thread_spawn_count, PoolConfig, WorkerPool};
 use seg6_runtime::{Runtime, RuntimeConfig};
 use srv6_nf::{end_program, tag_increment_program, wrr_encap_program, wrr_maps};
@@ -255,5 +255,127 @@ fn bench_worker_pool(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_batch_speedup, bench_worker_scaling, bench_worker_pool);
+/// FIB lookup scaling: the LPM trie against the linear scan it replaced,
+/// at 10 / 1k / 100k routes. The trie rows must stay flat as the route
+/// count grows (O(prefix bits)); the linear rows degrade with O(routes) —
+/// the ≥10× advantage at 100k routes is this PR's acceptance criterion.
+fn bench_fib_scale(c: &mut Criterion) {
+    /// Deterministic xorshift64* so every run builds the same tables.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    const LOOKUPS: usize = 256;
+
+    /// A linear-scan route table: the seed's `Fib` representation.
+    type LinearFib = Vec<(Ipv6Prefix, Vec<Nexthop>)>;
+
+    fn random_prefix(rng: &mut Rng) -> Ipv6Prefix {
+        let len = 16 + (rng.next() % 97) as u8; // /16 ..= /112
+        let addr = std::net::Ipv6Addr::from(((rng.next() as u128) << 64 | rng.next() as u128).to_be_bytes());
+        Ipv6Prefix::new(addr, len).expect("valid length")
+    }
+
+    /// Builds the same route set into a trie and a linear table, plus a
+    /// lookup mix of guaranteed hits (host-bit noise under installed
+    /// prefixes) and default-route traffic.
+    fn build(routes: usize) -> (Fib, LinearFib, Vec<std::net::Ipv6Addr>) {
+        let mut rng = Rng(0xf1b_5ca1e ^ routes as u64);
+        let mut trie = Fib::new();
+        let mut linear: LinearFib = Vec::with_capacity(routes + 1);
+        let insert = |prefix: Ipv6Prefix, nexthops: Vec<Nexthop>, trie: &mut Fib, linear: &mut LinearFib| {
+            trie.insert(prefix, nexthops.clone());
+            match linear.iter_mut().find(|(p, _)| *p == prefix) {
+                Some(slot) => slot.1 = nexthops,
+                None => linear.push((prefix, nexthops)),
+            }
+        };
+        insert("::/0".parse().unwrap(), vec![Nexthop::direct(1)], &mut trie, &mut linear);
+        let mut prefixes = Vec::with_capacity(routes);
+        for i in 0..routes {
+            let prefix = random_prefix(&mut rng);
+            let oif = 1 + (i % 31) as u32;
+            insert(prefix, vec![Nexthop::direct(oif)], &mut trie, &mut linear);
+            prefixes.push(prefix);
+        }
+        let dsts = (0..LOOKUPS)
+            .map(|i| {
+                if i % 4 == 0 {
+                    std::net::Ipv6Addr::from((rng.next() as u128).to_be_bytes())
+                } else {
+                    let base = prefixes[(rng.next() % prefixes.len() as u64) as usize].addr();
+                    std::net::Ipv6Addr::from(
+                        (u128::from_be_bytes(base.octets()) | rng.next() as u128).to_be_bytes(),
+                    )
+                }
+            })
+            .collect();
+        (trie, linear, dsts)
+    }
+
+    /// The seed's `Fib::lookup`, verbatim: linear scan, longest prefix,
+    /// weighted ECMP selection, cloned next hop — the honest "before".
+    fn linear_lookup(
+        linear: &[(Ipv6Prefix, Vec<Nexthop>)],
+        dst: std::net::Ipv6Addr,
+        flow_hash: u64,
+    ) -> Option<(Ipv6Prefix, Nexthop, usize)> {
+        let (prefix, nexthops) =
+            linear.iter().filter(|(p, _)| p.contains(dst)).max_by_key(|(p, _)| p.len())?;
+        let total_weight: u64 = nexthops.iter().map(|n| u64::from(n.weight)).sum();
+        let mut slot = flow_hash % total_weight.max(1);
+        let mut chosen = &nexthops[0];
+        for nexthop in nexthops {
+            if slot < u64::from(nexthop.weight) {
+                chosen = nexthop;
+                break;
+            }
+            slot -= u64::from(nexthop.weight);
+        }
+        Some((*prefix, *chosen, nexthops.len()))
+    }
+
+    let mut group = c.benchmark_group("fib_scale");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(LOOKUPS as u64));
+
+    for (label, routes) in [("10", 10usize), ("1k", 1_000), ("100k", 100_000)] {
+        let (trie, linear, dsts) = build(routes);
+        group.bench_function(format!("trie_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (i, dst) in dsts.iter().enumerate() {
+                    if let Some(hit) = trie.lookup(*dst, i as u64) {
+                        acc += u64::from(hit.nexthop.oif);
+                    }
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("linear_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (i, dst) in dsts.iter().enumerate() {
+                    if let Some((_, nexthop, _)) = linear_lookup(&linear, *dst, i as u64) {
+                        acc += u64::from(nexthop.oif);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_speedup, bench_worker_scaling, bench_worker_pool, bench_fib_scale);
 criterion_main!(benches);

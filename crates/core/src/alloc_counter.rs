@@ -1,0 +1,72 @@
+//! A counting global allocator for zero-allocation regression tests.
+//!
+//! Only compiled under the test-only `alloc-counter` crate feature. A test
+//! binary installs it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: seg6_core::alloc_counter::CountingAllocator =
+//!     seg6_core::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! and then asserts that a hot-path section performed no allocations via
+//! [`thread_allocations`] (this thread only — immune to parallel tests) or
+//! [`global_allocations`] (process-wide — for workloads that span worker
+//! threads).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`]-backed allocator that counts every allocation (including
+/// reallocations that grow a buffer). Frees are not counted — the tests
+/// care about allocation pressure, not balance.
+pub struct CountingAllocator;
+
+fn count() {
+    GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // `try_with` keeps the allocator safe during thread teardown, when the
+    // thread-local may already be gone.
+    let _ = THREAD_ALLOCS.try_with(|n| n.set(n.get() + 1));
+}
+
+// SAFETY: defers all allocation to `System`; the counters touch no
+// allocator state.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocations performed by the current thread since it started.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(|n| n.get())
+}
+
+/// Allocations performed by the whole process since start.
+pub fn global_allocations() -> u64 {
+    GLOBAL_ALLOCS.load(Ordering::Relaxed)
+}

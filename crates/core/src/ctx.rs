@@ -37,15 +37,23 @@ pub mod offsets {
 
 /// Builds the context byte buffer for one program invocation.
 pub fn build_context(skb: &Skb) -> Vec<u8> {
-    let mut ctx = vec![0u8; offsets::SIZE];
-    write_u64(&mut ctx, offsets::DATA, PKT_BASE);
-    write_u64(&mut ctx, offsets::DATA_END, PKT_BASE + skb.len() as u64);
-    write_u32(&mut ctx, offsets::LEN, skb.len() as u32);
-    write_u32(&mut ctx, offsets::PROTOCOL, ETH_P_IPV6);
-    write_u32(&mut ctx, offsets::MARK, skb.mark);
-    write_u32(&mut ctx, offsets::INGRESS_IFINDEX, skb.ingress_ifindex);
-    write_u64(&mut ctx, offsets::TSTAMP, skb.rx_timestamp_ns);
+    let mut ctx = Vec::new();
+    build_context_into(skb, &mut ctx);
     ctx
+}
+
+/// Builds the context into a reusable buffer — the per-packet hot path
+/// keeps one in its scratch state instead of allocating per invocation.
+pub fn build_context_into(skb: &Skb, ctx: &mut Vec<u8>) {
+    ctx.clear();
+    ctx.resize(offsets::SIZE, 0);
+    write_u64(ctx, offsets::DATA, PKT_BASE);
+    write_u64(ctx, offsets::DATA_END, PKT_BASE + skb.len() as u64);
+    write_u32(ctx, offsets::LEN, skb.len() as u32);
+    write_u32(ctx, offsets::PROTOCOL, ETH_P_IPV6);
+    write_u32(ctx, offsets::MARK, skb.mark);
+    write_u32(ctx, offsets::INGRESS_IFINDEX, skb.ingress_ifindex);
+    write_u64(ctx, offsets::TSTAMP, skb.rx_timestamp_ns);
 }
 
 /// Re-synchronises the `data_end` and `len` fields after a helper changed

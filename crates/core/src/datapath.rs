@@ -7,8 +7,9 @@
 //! directly (the lab in §3.2 measures exactly this single-router, single
 //! core forwarding path).
 
-use crate::fib::{flow_hash, LookupResult, Nexthop, RouterTables, MAIN_TABLE};
+use crate::fib::{flow_hash, FibCache, LookupResult, Nexthop, RouterTables, MAIN_TABLE};
 use crate::lwt_bpf::{run_lwt_bpf, LwtBpfAttachment, LwtBpfTable, LwtHook};
+use crate::scratch::RunScratch;
 use crate::seg6local::{apply_action, ActionCtx, LocalSidTable, Seg6LocalAction};
 use crate::skb::{RouteOverride, Skb};
 use crate::srv6_ops;
@@ -50,6 +51,15 @@ impl DatapathStats {
         self.dropped.get(&reason).copied().unwrap_or(0)
     }
 
+    /// Counts one verdict into the forwarded/delivered/dropped counters.
+    fn count_verdict(&mut self, verdict: &Verdict) {
+        match verdict {
+            Verdict::Forward { .. } => self.forwarded += 1,
+            Verdict::LocalDeliver => self.local_delivered += 1,
+            Verdict::Drop(reason) => *self.dropped.entry(*reason).or_insert(0) += 1,
+        }
+    }
+
     /// Records one processed packet's outcome — the same accounting
     /// [`Seg6Datapath`] performs internally, exposed for consumers that
     /// execute packets elsewhere (worker-pool shard forks) but keep an
@@ -66,11 +76,7 @@ impl DatapathStats {
         if work.transit {
             self.transit_applied += 1;
         }
-        match verdict {
-            Verdict::Forward { .. } => self.forwarded += 1,
-            Verdict::LocalDeliver => self.local_delivered += 1,
-            Verdict::Drop(reason) => *self.dropped.entry(*reason).or_insert(0) += 1,
-        }
+        self.count_verdict(verdict);
     }
 }
 
@@ -104,24 +110,55 @@ pub struct BatchVerdict {
 /// How a destination address dispatches inside the datapath. Classification
 /// depends only on the destination and the (batch-constant) tables, which
 /// is what lets [`Seg6Datapath::process_batch`] compute it once per
-/// destination run instead of once per packet.
-#[derive(Clone)]
-enum Dispatch {
+/// destination run instead of once per packet. Every variant **borrows**
+/// from the configuration tables — classifying a packet clones nothing,
+/// however large the attached behaviour (program `Arc`s, SRH templates) is.
+enum Dispatch<'a> {
     /// A local SID matched: run its seg6local behaviour.
     Seg6Local {
         /// The matched SID (source address of pushed encapsulations).
         local_sid: Option<Ipv6Addr>,
         /// The behaviour to execute.
-        action: Seg6LocalAction,
+        action: &'a Seg6LocalAction,
     },
     /// Local delivery, possibly through an lwt_in program.
-    LocalIn(Option<LwtBpfAttachment>),
+    LocalIn(Option<&'a LwtBpfAttachment>),
     /// A BPF LWT xmit program is attached to the route.
-    Xmit(LwtBpfAttachment),
+    Xmit(&'a LwtBpfAttachment),
     /// A static seg6 transit behaviour applies.
-    Transit(TransitBehaviour),
+    Transit(&'a TransitBehaviour),
     /// Plain FIB forwarding.
     Forward,
+}
+
+/// Decides how `dst` dispatches, in the order the IPv6 receive path
+/// consults its tables: seg6local SIDs, local delivery, LWT xmit programs,
+/// seg6 transit behaviours, then the plain FIB. A free function over the
+/// individual tables (rather than a `&self` method) so the returned
+/// borrows stay disjoint from the mutable state (`stats`, `scratch`) the
+/// execution step needs.
+fn classify_dst<'a>(
+    local_sids: &'a LocalSidTable,
+    lwt_bpf: &'a LwtBpfTable,
+    transit: &'a TransitTable,
+    local_addr: Ipv6Addr,
+    host_addrs: &[Ipv6Addr],
+    dst: Ipv6Addr,
+) -> Dispatch<'a> {
+    if let Some((sid_prefix, action)) = local_sids.lookup(dst) {
+        let local_sid = (sid_prefix.len() == 128).then(|| sid_prefix.addr());
+        return Dispatch::Seg6Local { local_sid, action };
+    }
+    if dst == local_addr || host_addrs.contains(&dst) {
+        return Dispatch::LocalIn(lwt_bpf.lookup(dst, LwtHook::In));
+    }
+    if let Some(attachment) = lwt_bpf.lookup(dst, LwtHook::Xmit) {
+        return Dispatch::Xmit(attachment);
+    }
+    if let Some(behaviour) = transit.lookup(dst) {
+        return Dispatch::Transit(behaviour);
+    }
+    Dispatch::Forward
 }
 
 /// A one-entry cache of the last FIB lookup, scoped to one batch (the
@@ -159,6 +196,12 @@ pub struct Seg6Datapath {
     /// what eBPF programs see in `bpf_get_smp_processor_id` and what
     /// per-CPU maps index.
     pub cpu_id: u32,
+    /// Reusable per-packet buffers (VM state, context, packet working
+    /// copy) — the reason the steady state allocates nothing.
+    scratch: RunScratch,
+    /// This instance's lock-free snapshot of the FIB tables, refreshed
+    /// from `tables` only when routes change.
+    fib: FibCache,
 }
 
 impl Seg6Datapath {
@@ -175,6 +218,8 @@ impl Seg6Datapath {
             helpers: crate::helpers::seg6_helper_registry(),
             stats: DatapathStats::default(),
             cpu_id: 0,
+            scratch: RunScratch::new(),
+            fib: FibCache::new(),
         }
     }
 
@@ -204,6 +249,8 @@ impl Seg6Datapath {
             helpers: self.helpers.clone(),
             stats: DatapathStats::default(),
             cpu_id: cpu,
+            scratch: RunScratch::new(),
+            fib: FibCache::new(),
         }
     }
 
@@ -248,9 +295,34 @@ impl Seg6Datapath {
     /// forwarding verdict. `now_ns` is the current time (it drives
     /// `bpf_ktime_get_ns` and the `End.DM` timestamps).
     pub fn process(&mut self, skb: &mut Skb, now_ns: u64) -> Verdict {
+        self.fib.refresh(&self.tables);
         self.stats.received += 1;
-        let verdict = self.process_inner(skb, now_ns);
-        self.count_verdict(&verdict);
+        let verdict = match Ipv6Header::parse(skb.packet.data()) {
+            Err(_) => Verdict::Drop(DropReason::Malformed),
+            Ok(header) => {
+                let dispatch = classify_dst(
+                    &self.local_sids,
+                    &self.lwt_bpf,
+                    &self.transit,
+                    self.local_addr,
+                    &self.host_addrs,
+                    header.dst,
+                );
+                let mut routes = RouteCache::default();
+                Exec {
+                    local_addr: self.local_addr,
+                    host_addrs: &self.host_addrs,
+                    tables: &self.tables,
+                    helpers: &self.helpers,
+                    fib: &self.fib,
+                    stats: &mut self.stats,
+                    scratch: &mut self.scratch,
+                    cpu: self.cpu_id,
+                }
+                .execute(&dispatch, skb, &header, now_ns, &mut routes)
+            }
+        };
+        self.stats.count_verdict(&verdict);
         verdict
     }
 
@@ -274,7 +346,24 @@ impl Seg6Datapath {
     /// [`DatapathStats`] around every call.
     pub fn process_batch_verdicts(&mut self, skbs: &mut [Skb], now_ns: u64) -> Vec<BatchVerdict> {
         let mut verdicts = Vec::with_capacity(skbs.len());
-        let mut cached: Option<(Ipv6Addr, Dispatch)> = None;
+        self.process_batch_verdicts_into(skbs, now_ns, &mut verdicts);
+        verdicts
+    }
+
+    /// The allocation-free form of [`Seg6Datapath::process_batch_verdicts`]:
+    /// verdicts are appended to a caller-owned buffer (the worker pool
+    /// clears and reuses one per shard), so the steady state performs no
+    /// heap allocation per packet **or per batch**. The `alloc-counter`
+    /// test feature asserts exactly that.
+    pub fn process_batch_verdicts_into(
+        &mut self,
+        skbs: &mut [Skb],
+        now_ns: u64,
+        out: &mut Vec<BatchVerdict>,
+    ) {
+        self.fib.refresh(&self.tables);
+        out.reserve(skbs.len());
+        let mut cached: Option<(Ipv6Addr, Dispatch<'_>)> = None;
         let mut routes = RouteCache::default();
         for skb in skbs.iter_mut() {
             self.stats.received += 1;
@@ -285,65 +374,68 @@ impl Seg6Datapath {
                 Ok(header) => {
                     let hit = matches!(&cached, Some((dst, _)) if *dst == header.dst);
                     if !hit {
-                        cached = Some((header.dst, self.classify(header.dst)));
+                        cached = Some((
+                            header.dst,
+                            classify_dst(
+                                &self.local_sids,
+                                &self.lwt_bpf,
+                                &self.transit,
+                                self.local_addr,
+                                &self.host_addrs,
+                                header.dst,
+                            ),
+                        ));
                     }
-                    // The cached dispatch borrows only the local `cached`,
-                    // so executing against `&mut self` needs no clone.
+                    // The cached dispatch borrows the configuration tables
+                    // only; the execution state (stats, scratch) is a
+                    // disjoint set of fields, so no clone is needed.
                     let (_, dispatch) = cached.as_ref().expect("cache filled above");
-                    self.execute(dispatch, skb, &header, now_ns, &mut routes)
+                    Exec {
+                        local_addr: self.local_addr,
+                        host_addrs: &self.host_addrs,
+                        tables: &self.tables,
+                        helpers: &self.helpers,
+                        fib: &self.fib,
+                        stats: &mut self.stats,
+                        scratch: &mut self.scratch,
+                        cpu: self.cpu_id,
+                    }
+                    .execute(dispatch, skb, &header, now_ns, &mut routes)
                 }
             };
-            self.count_verdict(&verdict);
+            self.stats.count_verdict(&verdict);
             let work = WorkSummary {
                 seg6local: self.stats.seg6local_invocations > before.0,
                 bpf: self.stats.bpf_invocations > before.1,
                 transit: self.stats.transit_applied > before.2,
             };
-            verdicts.push(BatchVerdict { verdict, work });
-        }
-        verdicts
-    }
-
-    fn count_verdict(&mut self, verdict: &Verdict) {
-        match verdict {
-            Verdict::Forward { .. } => self.stats.forwarded += 1,
-            Verdict::LocalDeliver => self.stats.local_delivered += 1,
-            Verdict::Drop(reason) => *self.stats.dropped.entry(*reason).or_insert(0) += 1,
+            out.push(BatchVerdict { verdict, work });
         }
     }
+}
 
-    fn process_inner(&mut self, skb: &mut Skb, now_ns: u64) -> Verdict {
-        let header = match Ipv6Header::parse(skb.packet.data()) {
-            Ok(h) => h,
-            Err(_) => return Verdict::Drop(DropReason::Malformed),
-        };
-        let dispatch = self.classify(header.dst);
-        self.execute(&dispatch, skb, &header, now_ns, &mut RouteCache::default())
-    }
+/// The mutable execution state for one packet, split off the configuration
+/// tables the cached [`Dispatch`] borrows. Built per packet from disjoint
+/// `Seg6Datapath` fields — it is all references, constructing it is free.
+struct Exec<'e> {
+    local_addr: Ipv6Addr,
+    host_addrs: &'e [Ipv6Addr],
+    tables: &'e Arc<RouterTables>,
+    helpers: &'e HelperRegistry,
+    fib: &'e FibCache,
+    stats: &'e mut DatapathStats,
+    scratch: &'e mut RunScratch,
+    cpu: u32,
+}
 
-    /// Decides how `dst` dispatches, in the order the IPv6 receive path
-    /// consults its tables: seg6local SIDs, local delivery, LWT xmit
-    /// programs, seg6 transit behaviours, then the plain FIB.
-    fn classify(&self, dst: Ipv6Addr) -> Dispatch {
-        if let Some((sid_prefix, action)) = self.local_sids.lookup(dst) {
-            let local_sid = (sid_prefix.len() == 128).then(|| sid_prefix.addr());
-            return Dispatch::Seg6Local { local_sid, action: action.clone() };
-        }
-        if self.is_local_addr(dst) {
-            return Dispatch::LocalIn(self.lwt_bpf.lookup(dst, LwtHook::In).cloned());
-        }
-        if let Some(attachment) = self.lwt_bpf.lookup(dst, LwtHook::Xmit) {
-            return Dispatch::Xmit(attachment.clone());
-        }
-        if let Some(behaviour) = self.transit.lookup(dst) {
-            return Dispatch::Transit(behaviour.clone());
-        }
-        Dispatch::Forward
+impl Exec<'_> {
+    fn is_local_addr(&self, dst: Ipv6Addr) -> bool {
+        dst == self.local_addr || self.host_addrs.contains(&dst)
     }
 
     fn execute(
         &mut self,
-        dispatch: &Dispatch,
+        dispatch: &Dispatch<'_>,
         skb: &mut Skb,
         header: &Ipv6Header,
         now_ns: u64,
@@ -358,12 +450,12 @@ impl Seg6Datapath {
                 }
                 let actx = ActionCtx {
                     local_sid: local_sid.unwrap_or(header.dst),
-                    tables: &self.tables,
-                    helpers: &self.helpers,
+                    tables: self.tables,
+                    helpers: self.helpers,
                     now_ns,
-                    cpu: self.cpu_id,
+                    cpu: self.cpu,
                 };
-                let outcome = apply_action(action, skb, &actx);
+                let outcome = apply_action(action, skb, &actx, self.scratch);
                 self.resolve_outcome(outcome, skb, fhash, routes)
             }
             Dispatch::LocalIn(attachment) => {
@@ -373,10 +465,11 @@ impl Seg6Datapath {
                         attachment,
                         skb,
                         self.local_addr,
-                        &self.tables,
-                        &self.helpers,
+                        self.tables,
+                        self.helpers,
                         now_ns,
-                        self.cpu_id,
+                        self.cpu,
+                        self.scratch,
                     ) {
                         ActionOutcome::Drop(reason) => return Verdict::Drop(reason),
                         ActionOutcome::LocalDeliver | ActionOutcome::Forward { .. } => {}
@@ -390,10 +483,11 @@ impl Seg6Datapath {
                     attachment,
                     skb,
                     self.local_addr,
-                    &self.tables,
-                    &self.helpers,
+                    self.tables,
+                    self.helpers,
                     now_ns,
-                    self.cpu_id,
+                    self.cpu,
+                    self.scratch,
                 );
                 if matches!(
                     &outcome,
@@ -405,7 +499,7 @@ impl Seg6Datapath {
             }
             Dispatch::Transit(behaviour) => {
                 self.stats.transit_applied += 1;
-                let outcome = apply_transit(behaviour, skb, self.local_addr);
+                let outcome = apply_transit(behaviour, skb, self.local_addr, self.scratch);
                 self.resolve_outcome(outcome, skb, fhash, routes)
             }
             Dispatch::Forward => self.resolve_outcome(
@@ -417,9 +511,10 @@ impl Seg6Datapath {
         }
     }
 
-    /// A FIB lookup through the batch-scoped [`RouteCache`]. Results that
-    /// cannot depend on the flow hash (single next hop, or no route) are
-    /// remembered; ECMP results always re-select.
+    /// A FIB lookup through the batch-scoped [`RouteCache`], against this
+    /// shard's lock-free snapshot. Results that cannot depend on the flow
+    /// hash (single next hop, or no route) are remembered; ECMP results
+    /// always re-select.
     fn lookup_cached(
         &self,
         routes: &mut RouteCache,
@@ -429,12 +524,12 @@ impl Seg6Datapath {
     ) -> Option<LookupResult> {
         if let Some((cached_table, cached_dst, result)) = &routes.entry {
             if *cached_table == table && *cached_dst == dst {
-                return result.clone();
+                return *result;
             }
         }
-        let result = self.tables.lookup(table, dst, fhash);
+        let result = self.fib.lookup(table, dst, fhash);
         if result.as_ref().is_none_or(|r| r.ecmp_width == 1) {
-            routes.entry = Some((table, dst, result.clone()));
+            routes.entry = Some((table, dst, result));
         }
         result
     }

@@ -6,17 +6,34 @@
 //! needed both for normal forwarding and for the paper's `End.OAMP` use
 //! case (§4.3), which queries the ECMP next hops of a destination — plus a
 //! set of numbered tables as used by `End.T` and `End.DT6`.
+//!
+//! ## Hot-path design
+//!
+//! [`Fib`] is a path-compressed binary trie over the destination bits, the
+//! same structure as the kernel's `BPF_MAP_TYPE_LPM_TRIE`: a lookup walks
+//! at most `O(prefix bits)` nodes regardless of how many routes are
+//! installed, where the previous implementation scanned every route.
+//! Lookups return [`LookupHit`] — the chosen next hop is a **borrow** into
+//! the trie, nothing is cloned per packet.
+//!
+//! [`RouterTables`] keeps the authoritative tables behind one lock, but the
+//! datapath never takes it per packet: each worker shard holds a
+//! [`FibCache`] — `Arc` snapshots of the per-table tries, refreshed only
+//! when the write-side generation counter moves. Steady-state lookups on N
+//! shards touch no shared lock at all.
 
 use netpkt::Ipv6Prefix;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of the main routing table (mirrors `RT_TABLE_MAIN`).
 pub const MAIN_TABLE: u32 = 254;
 
 /// A single next hop of a route.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Nexthop {
     /// Layer-3 gateway; `None` for directly connected prefixes.
     pub via: Option<Ipv6Addr>,
@@ -50,7 +67,9 @@ impl Nexthop {
     }
 }
 
-/// A route: a prefix and its (possibly multiple, for ECMP) next hops.
+/// A route: a prefix and its (possibly multiple, for ECMP) next hops. The
+/// trie stores next hops inline; this type is the inspection/export form
+/// returned by [`Fib::routes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// Destination prefix.
@@ -59,8 +78,9 @@ pub struct Route {
     pub nexthops: Vec<Nexthop>,
 }
 
-/// The result of a FIB lookup.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The owned result of a FIB lookup (all fields are `Copy` — carrying it
+/// around costs nothing on the heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupResult {
     /// The matched prefix.
     pub prefix: Ipv6Prefix,
@@ -70,10 +90,82 @@ pub struct LookupResult {
     pub ecmp_width: usize,
 }
 
-/// A single routing table with longest-prefix-match lookup and ECMP.
+/// The borrowing result of a [`Fib::lookup`]: the chosen next hop points
+/// into the trie, so the per-packet path clones nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupHit<'a> {
+    /// The matched prefix.
+    pub prefix: Ipv6Prefix,
+    /// The next hop selected for this flow (a borrow into the table).
+    pub nexthop: &'a Nexthop,
+    /// Number of equal-cost next hops the prefix has.
+    pub ecmp_width: usize,
+}
+
+impl LookupHit<'_> {
+    /// Copies the hit out of the table's lifetime.
+    pub fn to_result(self) -> LookupResult {
+        LookupResult { prefix: self.prefix, nexthop: *self.nexthop, ecmp_width: self.ecmp_width }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The LPM trie
+// ---------------------------------------------------------------------------
+
+fn key_of(addr: Ipv6Addr) -> u128 {
+    u128::from_be_bytes(addr.octets())
+}
+
+fn mask_bits(key: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        key & (u128::MAX << (128 - u32::from(len)))
+    }
+}
+
+/// The value of bit `idx` (0 = most significant) of `key`. `idx < 128`.
+fn bit_at(key: u128, idx: u8) -> usize {
+    ((key >> (127 - u32::from(idx))) & 1) as usize
+}
+
+/// Length of the common prefix of `a` and `b`, capped at `cap` bits.
+fn common_prefix(a: u128, b: u128, cap: u8) -> u8 {
+    (((a ^ b).leading_zeros()) as u8).min(cap)
+}
+
+/// One trie node: a prefix, the route bound to it (`nexthops` empty for
+/// path-compression intermediates), and up to two children whose prefixes
+/// extend this one.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// The node's prefix bits, masked to `plen`.
+    key: u128,
+    /// The node's prefix length.
+    plen: u8,
+    /// The node's prefix in address form, precomputed so lookups return it
+    /// without rebuilding (and re-masking) it per packet.
+    prefix: Ipv6Prefix,
+    /// The route's next hops; empty for intermediate nodes.
+    nexthops: Vec<Nexthop>,
+    /// Children, indexed by the first bit after `plen`.
+    children: [Option<Box<TrieNode>>; 2],
+}
+
+impl TrieNode {
+    fn leaf(key: u128, plen: u8, nexthops: Vec<Nexthop>) -> TrieNode {
+        let prefix = Ipv6Prefix::new(Ipv6Addr::from(key.to_be_bytes()), plen)
+            .expect("trie keys carry valid prefix lengths");
+        TrieNode { key, plen, prefix, nexthops, children: [None, None] }
+    }
+}
+
+/// A single routing table: a kernel-style LPM trie with ECMP next hops.
 #[derive(Debug, Default, Clone)]
 pub struct Fib {
-    routes: Vec<Route>,
+    root: Option<Box<TrieNode>>,
+    len: usize,
 }
 
 impl Fib {
@@ -85,59 +177,164 @@ impl Fib {
     /// Inserts or replaces the route for `prefix`.
     pub fn insert(&mut self, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
         assert!(!nexthops.is_empty(), "a route needs at least one next hop");
-        match self.routes.iter_mut().find(|r| r.prefix == prefix) {
-            Some(route) => route.nexthops = nexthops,
-            None => self.routes.push(Route { prefix, nexthops }),
+        let key = mask_bits(key_of(prefix.addr()), prefix.len());
+        if insert_rec(&mut self.root, key, prefix.len(), nexthops) {
+            self.len += 1;
         }
     }
 
     /// Removes the route for `prefix`, returning whether it existed.
     pub fn remove(&mut self, prefix: &Ipv6Prefix) -> bool {
-        let before = self.routes.len();
-        self.routes.retain(|r| &r.prefix != prefix);
-        self.routes.len() != before
+        let key = mask_bits(key_of(prefix.addr()), prefix.len());
+        let removed = remove_rec(&mut self.root, key, prefix.len());
+        if removed {
+            self.len -= 1;
+        }
+        removed
     }
 
     /// Number of routes installed.
     pub fn len(&self) -> usize {
-        self.routes.len()
+        self.len
     }
 
     /// Whether the table has no routes.
     pub fn is_empty(&self) -> bool {
-        self.routes.is_empty()
+        self.len == 0
     }
 
-    /// All routes, for inspection.
-    pub fn routes(&self) -> &[Route] {
-        &self.routes
+    /// Collects all routes, for inspection and export (walks the trie —
+    /// not a hot-path call).
+    pub fn routes(&self) -> Vec<Route> {
+        let mut out = Vec::with_capacity(self.len);
+        collect_rec(&self.root, &mut out);
+        out
     }
 
-    fn best_match(&self, dst: Ipv6Addr) -> Option<&Route> {
-        self.routes.iter().filter(|r| r.prefix.contains(dst)).max_by_key(|r| r.prefix.len())
+    /// The trie node holding the longest prefix containing `dst`.
+    fn best_match(&self, dst: Ipv6Addr) -> Option<&TrieNode> {
+        let key = key_of(dst);
+        let mut best: Option<&TrieNode> = None;
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if mask_bits(key, n.plen) != n.key {
+                break;
+            }
+            if !n.nexthops.is_empty() {
+                best = Some(n);
+            }
+            if n.plen == 128 {
+                break;
+            }
+            node = n.children[bit_at(key, n.plen)].as_deref();
+        }
+        best
     }
 
     /// Longest-prefix-match lookup. `flow_hash` selects among equal-cost
-    /// next hops (weighted), so packets of one flow stick to one path.
-    pub fn lookup(&self, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
-        let route = self.best_match(dst)?;
-        let total_weight: u64 = route.nexthops.iter().map(|n| u64::from(n.weight)).sum();
-        let mut slot = flow_hash % total_weight.max(1);
-        let mut chosen = &route.nexthops[0];
-        for nexthop in &route.nexthops {
-            if slot < u64::from(nexthop.weight) {
-                chosen = nexthop;
-                break;
+    /// next hops (weighted), so packets of one flow stick to one path. The
+    /// returned hit borrows from the table — the per-packet path performs
+    /// no clone and no allocation.
+    pub fn lookup(&self, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupHit<'_>> {
+        let node = self.best_match(dst)?;
+        // Single-path routes (the overwhelmingly common case) skip the
+        // weighted selection entirely.
+        let chosen = if node.nexthops.len() == 1 {
+            &node.nexthops[0]
+        } else {
+            let total_weight: u64 = node.nexthops.iter().map(|n| u64::from(n.weight)).sum();
+            let mut slot = flow_hash % total_weight.max(1);
+            let mut chosen = &node.nexthops[0];
+            for nexthop in &node.nexthops {
+                if slot < u64::from(nexthop.weight) {
+                    chosen = nexthop;
+                    break;
+                }
+                slot -= u64::from(nexthop.weight);
             }
-            slot -= u64::from(nexthop.weight);
-        }
-        Some(LookupResult { prefix: route.prefix, nexthop: chosen.clone(), ecmp_width: route.nexthops.len() })
+            chosen
+        };
+        Some(LookupHit { prefix: node.prefix, nexthop: chosen, ecmp_width: node.nexthops.len() })
     }
 
-    /// Every equal-cost next hop for `dst`, as `End.OAMP` reports them.
-    pub fn ecmp_nexthops(&self, dst: Ipv6Addr) -> Vec<Nexthop> {
-        self.best_match(dst).map(|r| r.nexthops.clone()).unwrap_or_default()
+    /// Every equal-cost next hop for `dst`, as `End.OAMP` reports them —
+    /// a borrow into the table, empty on a lookup miss.
+    pub fn ecmp_nexthops(&self, dst: Ipv6Addr) -> &[Nexthop] {
+        self.best_match(dst).map(|n| n.nexthops.as_slice()).unwrap_or(&[])
     }
+}
+
+/// Recursive insert; returns `true` when a new route was created (rather
+/// than an existing one replaced).
+fn insert_rec(slot: &mut Option<Box<TrieNode>>, key: u128, plen: u8, nexthops: Vec<Nexthop>) -> bool {
+    let Some(node) = slot else {
+        *slot = Some(Box::new(TrieNode::leaf(key, plen, nexthops)));
+        return true;
+    };
+    let common = common_prefix(node.key, key, node.plen.min(plen));
+    if common == node.plen && common == plen {
+        // Exactly this node's prefix: replace (or fill an intermediate).
+        let was_empty = node.nexthops.is_empty();
+        node.nexthops = nexthops;
+        return was_empty;
+    }
+    if common == node.plen {
+        // The node's prefix covers the new one: descend.
+        return insert_rec(&mut node.children[bit_at(key, node.plen)], key, plen, nexthops);
+    }
+    // The prefixes diverge before the node's length: split here.
+    if common == plen {
+        // The new prefix covers the node: the new node becomes the parent.
+        let old = std::mem::replace(&mut **node, TrieNode::leaf(key, plen, nexthops));
+        let branch = bit_at(old.key, plen);
+        node.children[branch] = Some(Box::new(old));
+    } else {
+        // Neither covers the other: an intermediate node forks the two.
+        let im = TrieNode::leaf(mask_bits(key, common), common, Vec::new());
+        let old = std::mem::replace(&mut **node, im);
+        let old_branch = bit_at(old.key, common);
+        node.children[old_branch] = Some(Box::new(old));
+        node.children[bit_at(key, common)] = Some(Box::new(TrieNode::leaf(key, plen, nexthops)));
+    }
+    true
+}
+
+/// Recursive remove with path compression: emptied nodes with zero or one
+/// child are pruned / collapsed.
+fn remove_rec(slot: &mut Option<Box<TrieNode>>, key: u128, plen: u8) -> bool {
+    let Some(node) = slot else { return false };
+    let removed = if node.plen == plen && node.key == key {
+        if node.nexthops.is_empty() {
+            return false;
+        }
+        node.nexthops = Vec::new();
+        true
+    } else if node.plen < plen && mask_bits(key, node.plen) == node.key {
+        remove_rec(&mut node.children[bit_at(key, node.plen)], key, plen)
+    } else {
+        false
+    };
+    if removed && node.nexthops.is_empty() {
+        let replacement = match (node.children[0].is_some(), node.children[1].is_some()) {
+            (false, false) => Some(None),
+            (true, false) => Some(node.children[0].take()),
+            (false, true) => Some(node.children[1].take()),
+            (true, true) => None,
+        };
+        if let Some(new_slot) = replacement {
+            *slot = new_slot;
+        }
+    }
+    removed
+}
+
+fn collect_rec(slot: &Option<Box<TrieNode>>, out: &mut Vec<Route>) {
+    let Some(node) = slot else { return };
+    if !node.nexthops.is_empty() {
+        out.push(Route { prefix: node.prefix, nexthops: node.nexthops.clone() });
+    }
+    collect_rec(&node.children[0], out);
+    collect_rec(&node.children[1], out);
 }
 
 /// Computes the flow hash used for ECMP next-hop selection, following the
@@ -165,12 +362,22 @@ pub fn flow_hash(src: Ipv6Addr, dst: Ipv6Addr, flow_label: u32) -> u64 {
     hash
 }
 
+// ---------------------------------------------------------------------------
+// RouterTables: authoritative tables + lock-free read snapshots
+// ---------------------------------------------------------------------------
+
 /// The set of numbered routing tables of one router. `End.T` and `End.DT6`
 /// look segments up in specific tables; interior mutability lets the tables
 /// be shared with helper environments during eBPF execution.
+///
+/// Writes go through one lock and bump a generation counter; readers that
+/// hold a [`FibCache`] (every datapath shard does) only re-enter the lock
+/// when the generation moved, so steady-state packet processing on N pool
+/// shards contends on nothing.
 #[derive(Debug, Default)]
 pub struct RouterTables {
-    tables: RwLock<HashMap<u32, Fib>>,
+    tables: RwLock<HashMap<u32, Arc<Fib>>>,
+    generation: AtomicU64,
 }
 
 impl RouterTables {
@@ -180,8 +387,32 @@ impl RouterTables {
     }
 
     /// Inserts a route into table `table`.
+    ///
+    /// Writes are copy-on-write against live reader snapshots: the first
+    /// write after a [`FibCache`] refresh clones the affected table
+    /// (`Arc::make_mut`), further writes before the next refresh mutate in
+    /// place. Route churn under live traffic therefore costs at most one
+    /// table clone per snapshot refresh — for bulk installs, use
+    /// [`RouterTables::insert_all`] so the whole batch pays at most one.
     pub fn insert(&self, table: u32, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
-        self.tables.write().entry(table).or_default().insert(prefix, nexthops);
+        let mut guard = self.tables.write();
+        let fib = guard.entry(table).or_default();
+        Arc::make_mut(fib).insert(prefix, nexthops);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Inserts a batch of routes into table `table` under one lock
+    /// acquisition and (at most) one copy-on-write table clone — the way
+    /// to install a large route set while readers hold snapshots, where
+    /// per-route [`RouterTables::insert`] interleaved with snapshot
+    /// refreshes could clone the table repeatedly.
+    pub fn insert_all(&self, table: u32, routes: impl IntoIterator<Item = (Ipv6Prefix, Vec<Nexthop>)>) {
+        let mut guard = self.tables.write();
+        let fib = Arc::make_mut(guard.entry(table).or_default());
+        for (prefix, nexthops) in routes {
+            fib.insert(prefix, nexthops);
+        }
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Inserts a route into the main table.
@@ -191,12 +422,34 @@ impl RouterTables {
 
     /// Removes a route from table `table`.
     pub fn remove(&self, table: u32, prefix: &Ipv6Prefix) -> bool {
-        self.tables.write().get_mut(&table).is_some_and(|fib| fib.remove(prefix))
+        let mut guard = self.tables.write();
+        let removed = guard.get_mut(&table).is_some_and(|fib| Arc::make_mut(fib).remove(prefix));
+        if removed {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// The write-side generation: moves on every route change. Readers use
+    /// it to keep their snapshots fresh without taking the lock.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Snapshots the current tables (cheap `Arc` clones, one per table)
+    /// into `out`, returning the generation the snapshot corresponds to.
+    pub fn snapshot_into(&self, out: &mut Vec<(u32, Arc<Fib>)>) -> u64 {
+        let guard = self.tables.read();
+        out.clear();
+        out.extend(guard.iter().map(|(id, fib)| (*id, Arc::clone(fib))));
+        // Read under the same lock writers bump it under, so the snapshot
+        // and the generation always agree.
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Looks `dst` up in table `table`.
     pub fn lookup(&self, table: u32, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
-        self.tables.read().get(&table).and_then(|fib| fib.lookup(dst, flow_hash))
+        self.tables.read().get(&table).and_then(|fib| fib.lookup(dst, flow_hash)).map(LookupHit::to_result)
     }
 
     /// Looks `dst` up in the main table.
@@ -204,14 +457,67 @@ impl RouterTables {
         self.lookup(MAIN_TABLE, dst, flow_hash)
     }
 
-    /// ECMP next hops of `dst` in the main table (for `End.OAMP`).
+    /// ECMP next hops of `dst` in the main table (for `End.OAMP`). Owned,
+    /// because the borrow cannot outlive the table lock; per-packet
+    /// consumers should use [`RouterTables::with_ecmp_nexthops`] instead.
     pub fn ecmp_nexthops(&self, dst: Ipv6Addr) -> Vec<Nexthop> {
-        self.tables.read().get(&MAIN_TABLE).map(|fib| fib.ecmp_nexthops(dst)).unwrap_or_default()
+        self.with_ecmp_nexthops(dst, <[Nexthop]>::to_vec)
+    }
+
+    /// Runs `f` over the ECMP next hops of `dst` in the main table while
+    /// the read lock is held — the allocation-free form of
+    /// [`RouterTables::ecmp_nexthops`] for per-packet helpers.
+    pub fn with_ecmp_nexthops<R>(&self, dst: Ipv6Addr, f: impl FnOnce(&[Nexthop]) -> R) -> R {
+        let guard = self.tables.read();
+        let nexthops = guard.get(&MAIN_TABLE).map(|fib| fib.ecmp_nexthops(dst)).unwrap_or(&[]);
+        f(nexthops)
     }
 
     /// Number of routes across all tables.
     pub fn total_routes(&self) -> usize {
-        self.tables.read().values().map(Fib::len).sum()
+        self.tables.read().values().map(|fib| fib.len()).sum()
+    }
+}
+
+/// A reader-side snapshot of a router's tables, held by each datapath
+/// (worker shard). `refresh` is a single relaxed atomic load in the steady
+/// state; lookups then walk the shard's own `Arc` snapshots — no lock, no
+/// contention, and [`LookupResult`]s that are plain `Copy` values.
+#[derive(Debug)]
+pub struct FibCache {
+    generation: u64,
+    tables: Vec<(u32, Arc<Fib>)>,
+}
+
+impl Default for FibCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FibCache {
+    /// An empty cache that will load on first refresh.
+    pub fn new() -> Self {
+        FibCache { generation: u64::MAX, tables: Vec::new() }
+    }
+
+    /// Brings the snapshot up to date if routes changed since the last
+    /// call. Steady state (no route churn) does one atomic load and
+    /// returns.
+    pub fn refresh(&mut self, tables: &RouterTables) {
+        if tables.generation() != self.generation {
+            self.generation = tables.snapshot_into(&mut self.tables);
+        }
+    }
+
+    /// The cached trie of `table`, if the table exists.
+    pub fn table(&self, table: u32) -> Option<&Fib> {
+        self.tables.iter().find(|(id, _)| *id == table).map(|(_, fib)| &**fib)
+    }
+
+    /// Longest-prefix-match lookup in the cached snapshot of `table`.
+    pub fn lookup(&self, table: u32, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+        self.table(table)?.lookup(dst, flow_hash).map(LookupHit::to_result)
     }
 }
 
@@ -235,10 +541,13 @@ mod tests {
         fib.insert(prefix("::/0"), vec![Nexthop::via(addr("fe80::ff"), 9)]);
         let hit = fib.lookup(addr("2001:db8:1::42"), 0).unwrap();
         assert_eq!(hit.nexthop.oif, 2);
+        assert_eq!(hit.prefix, prefix("2001:db8:1::/48"));
         let hit = fib.lookup(addr("2001:db8:2::42"), 0).unwrap();
         assert_eq!(hit.nexthop.oif, 1);
         let hit = fib.lookup(addr("2abc::1"), 0).unwrap();
         assert_eq!(hit.nexthop.oif, 9);
+        assert_eq!(fib.len(), 3);
+        assert_eq!(fib.routes().len(), 3);
     }
 
     #[test]
@@ -305,6 +614,31 @@ mod tests {
     }
 
     #[test]
+    fn intermediate_nodes_do_not_match_and_survive_removal() {
+        // fc00:a::/32 and fc00:b::/32 fork under an intermediate covering
+        // neither; the intermediate must never answer a lookup, and
+        // removing one branch must keep the other reachable.
+        let mut fib = Fib::new();
+        fib.insert(prefix("fc00:a::/32"), vec![Nexthop::direct(1)]);
+        fib.insert(prefix("fc00:b::/32"), vec![Nexthop::direct(2)]);
+        assert!(fib.lookup(addr("fc00:c::1"), 0).is_none());
+        assert_eq!(fib.lookup(addr("fc00:a::1"), 0).unwrap().nexthop.oif, 1);
+        assert!(fib.remove(&prefix("fc00:a::/32")));
+        assert_eq!(fib.len(), 1);
+        assert!(fib.lookup(addr("fc00:a::1"), 0).is_none());
+        assert_eq!(fib.lookup(addr("fc00:b::1"), 0).unwrap().nexthop.oif, 2);
+    }
+
+    #[test]
+    fn host_routes_and_default_route_coexist() {
+        let mut fib = Fib::new();
+        fib.insert(prefix("::/0"), vec![Nexthop::direct(1)]);
+        fib.insert(prefix("fc00::1"), vec![Nexthop::direct(2)]);
+        assert_eq!(fib.lookup(addr("fc00::1"), 0).unwrap().nexthop.oif, 2);
+        assert_eq!(fib.lookup(addr("fc00::2"), 0).unwrap().nexthop.oif, 1);
+    }
+
+    #[test]
     fn flow_hash_is_stable_and_label_sensitive() {
         let a = flow_hash(addr("2001::1"), addr("2001::2"), 5);
         let b = flow_hash(addr("2001::1"), addr("2001::2"), 5);
@@ -332,5 +666,43 @@ mod tests {
         assert_eq!(tables.total_routes(), 2);
         assert!(tables.remove(100, &prefix("fc00::/16")));
         assert_eq!(tables.total_routes(), 1);
+    }
+
+    #[test]
+    fn fib_cache_tracks_route_changes_through_the_generation() {
+        let tables = RouterTables::new();
+        let mut cache = FibCache::new();
+        cache.refresh(&tables);
+        assert!(cache.lookup(MAIN_TABLE, addr("fc00::1"), 0).is_none());
+
+        tables.insert_main(prefix("fc00::/16"), vec![Nexthop::direct(1)]);
+        cache.refresh(&tables);
+        assert_eq!(cache.lookup(MAIN_TABLE, addr("fc00::1"), 0).unwrap().nexthop.oif, 1);
+
+        // Without a refresh the snapshot intentionally stays stale...
+        tables.insert_main(prefix("fc00::/16"), vec![Nexthop::direct(9)]);
+        assert_eq!(cache.lookup(MAIN_TABLE, addr("fc00::1"), 0).unwrap().nexthop.oif, 1);
+        // ...and one refresh catches up.
+        cache.refresh(&tables);
+        assert_eq!(cache.lookup(MAIN_TABLE, addr("fc00::1"), 0).unwrap().nexthop.oif, 9);
+
+        // Unchanged generation: refresh must not reload (same Arc).
+        let before = cache.table(MAIN_TABLE).unwrap() as *const Fib;
+        cache.refresh(&tables);
+        let after = cache.table(MAIN_TABLE).unwrap() as *const Fib;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let tables = RouterTables::new();
+        tables.insert_main(prefix("fc00::/16"), vec![Nexthop::direct(1)]);
+        let mut cache = FibCache::new();
+        cache.refresh(&tables);
+        // A write after the snapshot clones the table (copy-on-write); the
+        // snapshot keeps answering with the old state until refreshed.
+        tables.insert_main(prefix("fc00::/16"), vec![Nexthop::direct(2)]);
+        assert_eq!(cache.lookup(MAIN_TABLE, addr("fc00::1"), 0).unwrap().nexthop.oif, 1);
+        assert_eq!(tables.lookup_main(addr("fc00::1"), 0).unwrap().nexthop.oif, 2);
     }
 }

@@ -19,6 +19,7 @@ use crate::srv6_ops;
 use ebpf_vm::helpers::{ids, HelperRegistry};
 use ebpf_vm::program::ProgramType;
 use ebpf_vm::vm::HelperApi;
+use std::borrow::Cow;
 use std::net::Ipv6Addr;
 
 /// Action codes accepted by `bpf_lwt_seg6_action`, mirroring the kernel's
@@ -81,11 +82,39 @@ fn env_of<'e>(api: &'e mut HelperApi<'_, '_>) -> Option<&'e mut Seg6Env> {
     api.env_any().downcast_mut::<Seg6Env>()
 }
 
-fn read_param(api: &HelperApi<'_, '_>, ptr: u64, len: usize) -> Option<Vec<u8>> {
+/// Stack-buffer size for variable-size parameter reads — re-exported from
+/// the shared `ebpf_vm` implementation so the two layers cannot drift.
+const PARAM_STACK: usize = ebpf_vm::helpers::MAX_STACK_PARAM;
+
+/// Reads a variable-size helper parameter without allocating when it fits
+/// the caller's stack buffer: the SRv6 helpers' length policy (non-empty,
+/// at most 4096 bytes, as the kernel enforces) on top of the shared
+/// [`ebpf_vm::helpers::read_param`] read.
+fn read_param<'b>(
+    api: &HelperApi<'_, '_>,
+    ptr: u64,
+    len: usize,
+    buf: &'b mut [u8; PARAM_STACK],
+) -> Option<Cow<'b, [u8]>> {
     if len == 0 || len > 4096 {
         return None;
     }
-    api.read_bytes(ptr, len).ok()
+    ebpf_vm::helpers::read_param(api, ptr, len, buf)
+}
+
+/// Reads a fixed-size 16-byte IPv6 address parameter into a stack array —
+/// the borrow API means no `Vec` for scalar parameters.
+fn read_addr_param(api: &HelperApi<'_, '_>, ptr: u64) -> Option<Ipv6Addr> {
+    let mut octets = [0u8; 16];
+    api.read_into(ptr, &mut octets).ok()?;
+    Some(Ipv6Addr::from(octets))
+}
+
+/// Reads a fixed-size 4-byte little-endian parameter (table ids).
+fn read_u32_param(api: &HelperApi<'_, '_>, ptr: u64) -> Option<u32> {
+    let mut bytes = [0u8; 4];
+    api.read_into(ptr, &mut bytes).ok()?;
+    Some(u32::from_le_bytes(bytes))
 }
 
 /// `long bpf_lwt_seg6_store_bytes(skb, offset, from, len)`
@@ -98,7 +127,8 @@ fn read_param(api: &HelperApi<'_, '_>, ptr: u64, len: usize) -> Option<Vec<u8>> 
 pub fn helper_seg6_store_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let offset = args[1] as usize;
     let len = args[3] as usize;
-    let Some(bytes) = read_param(api, args[2], len) else { return -1 };
+    let mut pbuf = [0u8; PARAM_STACK];
+    let Some(bytes) = read_param(api, args[2], len, &mut pbuf) else { return -1 };
     let Some(env) = env_of(api) else { return -1 };
     let Some(srh_off) = env.srh_offset else { return -1 };
     let srh_modified_flag = {
@@ -202,8 +232,6 @@ pub fn helper_seg6_adjust_srh(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i6
 pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let action = args[1] as u32;
     let param_len = args[3] as usize;
-    let param = if param_len > 0 { read_param(api, args[2], param_len) } else { Some(Vec::new()) };
-    let Some(param) = param else { return -1 };
 
     // Snapshot what we need from the environment up front to keep borrows
     // short; decisions are written back at the end.
@@ -218,12 +246,10 @@ pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
         let mut over = crate::skb::RouteOverride::default();
         match action {
             action_codes::END_X | action_codes::END_DX6 => {
-                if param.len() != 16 {
+                if param_len != 16 {
                     return Err(());
                 }
-                let mut octets = [0u8; 16];
-                octets.copy_from_slice(&param);
-                let nexthop = Ipv6Addr::from(octets);
+                let nexthop = read_addr_param(api, args[2]).ok_or(())?;
                 if action == action_codes::END_DX6 {
                     srv6_ops::decap_outer(api.packet_mut()).map_err(|_| ())?;
                     decapped = true;
@@ -231,10 +257,10 @@ pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
                 over.nexthop = Some(nexthop);
             }
             action_codes::END_T | action_codes::END_DT6 => {
-                if param.len() != 4 {
+                if param_len != 4 {
                     return Err(());
                 }
-                let table = u32::from_le_bytes([param[0], param[1], param[2], param[3]]);
+                let table = read_u32_param(api, args[2]).ok_or(())?;
                 let table = if table == 0 { MAIN_TABLE } else { table };
                 if action == action_codes::END_DT6 {
                     srv6_ops::decap_outer(api.packet_mut()).map_err(|_| ())?;
@@ -247,6 +273,8 @@ pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
                 over.oif = Some(result.nexthop.oif);
             }
             action_codes::END_B6 => {
+                let mut pbuf = [0u8; PARAM_STACK];
+                let param = read_param(api, args[2], param_len, &mut pbuf).ok_or(())?;
                 let dst = srv6_ops::insert_srh_inline(api.packet_mut(), &param).map_err(|_| ())?;
                 pushed = true;
                 if let Some(result) = tables.lookup(MAIN_TABLE, dst, flow_hash) {
@@ -255,6 +283,8 @@ pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
                 }
             }
             action_codes::END_B6_ENCAP => {
+                let mut pbuf = [0u8; PARAM_STACK];
+                let param = read_param(api, args[2], param_len, &mut pbuf).ok_or(())?;
                 let dst = srv6_ops::push_srh_encap(api.packet_mut(), &param, local_addr).map_err(|_| ())?;
                 pushed = true;
                 if let Some(result) = tables.lookup(MAIN_TABLE, dst, flow_hash) {
@@ -289,7 +319,8 @@ pub fn helper_seg6_action(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
 pub fn helper_lwt_push_encap(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let mode = args[1];
     let len = args[3] as usize;
-    let Some(srh_bytes) = read_param(api, args[2], len) else { return -1 };
+    let mut pbuf = [0u8; PARAM_STACK];
+    let Some(srh_bytes) = read_param(api, args[2], len, &mut pbuf) else { return -1 };
     let Some(env) = env_of(api) else { return -1 };
     let local_addr = env.local_addr;
     let result = match mode {

@@ -59,7 +59,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The test-only `alloc-counter` feature needs one `unsafe impl GlobalAlloc`
+// (and nothing else); every production build keeps the blanket ban.
+#![cfg_attr(not(feature = "alloc-counter"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-counter", deny(unsafe_code))]
 
 pub mod ctx;
 pub mod datapath;
@@ -68,18 +71,23 @@ pub mod error;
 pub mod fib;
 pub mod helpers;
 pub mod lwt_bpf;
+pub mod scratch;
 pub mod seg6local;
 pub mod skb;
 pub mod srv6_ops;
 pub mod transit;
 pub mod verdict;
 
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter;
+
 pub use datapath::{BatchVerdict, DatapathStats, Seg6Datapath, WorkSummary};
 pub use env::{EnvOutcome, Seg6Env};
 pub use error::{Error, Result};
-pub use fib::{Fib, LookupResult, Nexthop, Route, RouterTables, MAIN_TABLE};
+pub use fib::{Fib, FibCache, LookupHit, LookupResult, Nexthop, Route, RouterTables, MAIN_TABLE};
 pub use helpers::{action_codes, encap_modes, seg6_helper_registry};
 pub use lwt_bpf::{LwtBpfAttachment, LwtBpfTable, LwtHook};
+pub use scratch::RunScratch;
 pub use seg6local::{LocalSidTable, Seg6LocalAction};
 pub use skb::{RouteOverride, Skb};
 pub use transit::{TransitBehaviour, TransitMode, TransitTable};

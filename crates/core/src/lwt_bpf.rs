@@ -9,13 +9,14 @@
 use crate::ctx;
 use crate::env::Seg6Env;
 use crate::fib::{flow_hash, RouterTables};
+use crate::scratch::RunScratch;
 use crate::skb::Skb;
 use crate::srv6_ops;
 use crate::verdict::{ActionOutcome, DropReason};
 use ebpf_vm::helpers::HelperRegistry;
 use ebpf_vm::program::{retcode, LoadedProgram};
 use ebpf_vm::vm::RunContext;
-use netpkt::{Ipv6Header, Ipv6Prefix, PacketBuf};
+use netpkt::{Ipv6Header, Ipv6Prefix};
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 
@@ -88,7 +89,9 @@ impl LwtBpfTable {
     }
 }
 
-/// Runs a BPF LWT program on `skb`.
+/// Runs a BPF LWT program on `skb`, reusing the caller's scratch state so
+/// the per-packet path performs no heap allocation.
+#[allow(clippy::too_many_arguments)] // mirrors ActionCtx's fields plus the skb and scratch
 pub fn run_lwt_bpf(
     attachment: &LwtBpfAttachment,
     skb: &mut Skb,
@@ -97,37 +100,38 @@ pub fn run_lwt_bpf(
     helpers: &HelperRegistry,
     now_ns: u64,
     cpu: u32,
+    scratch: &mut RunScratch,
 ) -> ActionOutcome {
-    let mut packet = skb.packet.data().to_vec();
-    let header = match Ipv6Header::parse(&packet) {
+    let RunScratch { state, ctx: ctx_bytes, pkt: packet } = scratch;
+    packet.clear();
+    packet.extend_from_slice(skb.packet.data());
+    let header = match Ipv6Header::parse(packet) {
         Ok(h) => h,
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     };
     let fhash = flow_hash(header.src, header.dst, header.flow_label);
     let mut env = Seg6Env::new(local_addr, Arc::clone(tables), now_ns).with_flow_hash(fhash).with_cpu(cpu);
-    if let Some((off, _)) = srv6_ops::find_srh(&packet) {
+    if let Some((off, _)) = srv6_ops::find_srh(packet) {
         env.srh_offset = Some(off);
     }
-    let mut ctx_bytes = ctx::build_context(skb);
+    ctx::build_context_into(skb, ctx_bytes);
     let result = {
-        let mut rc = RunContext { ctx: &mut ctx_bytes, packet: &mut packet, env: &mut env };
-        ebpf_vm::vm::run_program(&attachment.prog, helpers, &mut rc, attachment.use_jit)
+        let mut rc = RunContext { ctx: ctx_bytes.as_mut_slice(), packet, env: &mut env };
+        ebpf_vm::vm::run_program_with_state(&attachment.prog, helpers, &mut rc, attachment.use_jit, state)
     };
     let code = match result {
         Ok(code) => code,
         Err(_) => return ActionOutcome::Drop(DropReason::BpfError),
     };
-    let dst = match srv6_ops::outer_dst(&packet) {
+    let dst = match srv6_ops::outer_dst(packet) {
         Ok(dst) => dst,
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     };
-    skb.packet = PacketBuf::from_slice(&packet);
-    ctx::read_back(&ctx_bytes, skb);
+    skb.packet.set_data(packet);
+    ctx::read_back(ctx_bytes, skb);
     match code {
         retcode::BPF_OK => ActionOutcome::Forward { dst, route_override: Default::default() },
-        retcode::BPF_REDIRECT => {
-            ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() }
-        }
+        retcode::BPF_REDIRECT => ActionOutcome::Forward { dst, route_override: env.out.route_override },
         retcode::BPF_DROP => ActionOutcome::Drop(DropReason::BpfDrop),
         _ => ActionOutcome::Drop(DropReason::BpfError),
     }
@@ -179,7 +183,16 @@ mod tests {
         let prog = load_xmit("mov64 r0, 0\nexit", &helpers);
         let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
         let mut skb = plain_skb();
-        let outcome = run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0, 0);
+        let outcome = run_lwt_bpf(
+            &attachment,
+            &mut skb,
+            addr("fc00::99"),
+            &tables,
+            &helpers,
+            0,
+            0,
+            &mut RunScratch::new(),
+        );
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("2001:db8::2")),
             other => panic!("unexpected {other:?}"),
@@ -194,7 +207,16 @@ mod tests {
         let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
         let mut skb = plain_skb();
         assert_eq!(
-            run_lwt_bpf(&attachment, &mut skb, addr("fc00::99"), &tables, &helpers, 0, 0),
+            run_lwt_bpf(
+                &attachment,
+                &mut skb,
+                addr("fc00::99"),
+                &tables,
+                &helpers,
+                0,
+                0,
+                &mut RunScratch::new()
+            ),
             ActionOutcome::Drop(DropReason::BpfDrop)
         );
     }

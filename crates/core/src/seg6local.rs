@@ -12,6 +12,7 @@
 use crate::ctx;
 use crate::env::Seg6Env;
 use crate::fib::{flow_hash, RouterTables, MAIN_TABLE};
+use crate::scratch::RunScratch;
 use crate::skb::{RouteOverride, Skb};
 use crate::srv6_ops;
 use crate::verdict::{ActionOutcome, DropReason};
@@ -19,7 +20,7 @@ use ebpf_vm::helpers::HelperRegistry;
 use ebpf_vm::program::{retcode, LoadedProgram};
 use ebpf_vm::vm::RunContext;
 use netpkt::srh::SegmentRoutingHeader;
-use netpkt::{Ipv6Header, Ipv6Prefix, PacketBuf};
+use netpkt::{Ipv6Header, Ipv6Prefix};
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 
@@ -148,8 +149,15 @@ pub struct ActionCtx<'a> {
     pub cpu: u32,
 }
 
-/// Applies a seg6local action to `skb`.
-pub fn apply_action(action: &Seg6LocalAction, skb: &mut Skb, actx: &ActionCtx<'_>) -> ActionOutcome {
+/// Applies a seg6local action to `skb`. `scratch` supplies the reusable VM
+/// state and packet/context buffers; no per-packet allocation happens here
+/// once the buffers are warm.
+pub fn apply_action(
+    action: &Seg6LocalAction,
+    skb: &mut Skb,
+    actx: &ActionCtx<'_>,
+    scratch: &mut RunScratch,
+) -> ActionOutcome {
     match action {
         Seg6LocalAction::End => {
             with_advance(skb, |dst| ActionOutcome::Forward { dst, route_override: RouteOverride::default() })
@@ -162,70 +170,66 @@ pub fn apply_action(action: &Seg6LocalAction, skb: &mut Skb, actx: &ActionCtx<'_
             dst,
             route_override: RouteOverride { table: Some(*table), ..Default::default() },
         }),
-        Seg6LocalAction::EndDX6 { nexthop } => {
-            let mut packet = skb.packet.data().to_vec();
-            match srv6_ops::decap_outer(&mut packet) {
-                Ok(inner_dst) => {
-                    skb.packet = PacketBuf::from_slice(&packet);
-                    ActionOutcome::Forward {
-                        dst: inner_dst,
-                        route_override: RouteOverride { nexthop: Some(*nexthop), ..Default::default() },
-                    }
-                }
-                Err(_) => ActionOutcome::Drop(DropReason::DecapFailed),
-            }
-        }
-        Seg6LocalAction::EndDT6 { table } => {
-            let mut packet = skb.packet.data().to_vec();
-            match srv6_ops::decap_outer(&mut packet) {
-                Ok(inner_dst) => {
-                    skb.packet = PacketBuf::from_slice(&packet);
-                    ActionOutcome::Forward {
-                        dst: inner_dst,
-                        route_override: RouteOverride { table: Some(*table), ..Default::default() },
-                    }
-                }
-                Err(_) => ActionOutcome::Drop(DropReason::DecapFailed),
-            }
-        }
+        Seg6LocalAction::EndDX6 { nexthop } => match decap_in_place(skb) {
+            Ok(inner_dst) => ActionOutcome::Forward {
+                dst: inner_dst,
+                route_override: RouteOverride { nexthop: Some(*nexthop), ..Default::default() },
+            },
+            Err(_) => ActionOutcome::Drop(DropReason::DecapFailed),
+        },
+        Seg6LocalAction::EndDT6 { table } => match decap_in_place(skb) {
+            Ok(inner_dst) => ActionOutcome::Forward {
+                dst: inner_dst,
+                route_override: RouteOverride { table: Some(*table), ..Default::default() },
+            },
+            Err(_) => ActionOutcome::Drop(DropReason::DecapFailed),
+        },
         Seg6LocalAction::EndB6 { srh } => {
-            let mut packet = skb.packet.data().to_vec();
-            match srv6_ops::insert_srh_inline(&mut packet, &srh.to_bytes()) {
+            let pkt = &mut scratch.pkt;
+            pkt.clear();
+            pkt.extend_from_slice(skb.packet.data());
+            match srv6_ops::insert_srh_inline(pkt, &srh.to_bytes()) {
                 Ok(dst) => {
-                    skb.packet = PacketBuf::from_slice(&packet);
+                    skb.packet.set_data(pkt);
                     ActionOutcome::Forward { dst, route_override: RouteOverride::default() }
                 }
                 Err(_) => ActionOutcome::Drop(DropReason::Malformed),
             }
         }
         Seg6LocalAction::EndB6Encaps { srh } => {
-            let mut packet = skb.packet.data().to_vec();
-            match srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), actx.local_sid) {
+            let pkt = &mut scratch.pkt;
+            pkt.clear();
+            pkt.extend_from_slice(skb.packet.data());
+            match srv6_ops::push_srh_encap(pkt, &srh.to_bytes(), actx.local_sid) {
                 Ok(dst) => {
-                    skb.packet = PacketBuf::from_slice(&packet);
+                    skb.packet.set_data(pkt);
                     ActionOutcome::Forward { dst, route_override: RouteOverride::default() }
                 }
                 Err(_) => ActionOutcome::Drop(DropReason::Malformed),
             }
         }
-        Seg6LocalAction::EndBpf { prog, use_jit } => run_end_bpf(skb, prog, *use_jit, actx),
+        Seg6LocalAction::EndBpf { prog, use_jit } => run_end_bpf(skb, prog, *use_jit, actx, scratch),
     }
 }
 
 /// Shared "endpoint" precondition handling: the packet must carry an SRH
-/// with `segments_left > 0`; the SRH is advanced and `then` builds the
-/// outcome from the new destination.
+/// with `segments_left > 0`; the SRH is advanced **in place** (it never
+/// changes size) and `then` builds the outcome from the new destination.
 fn with_advance(skb: &mut Skb, then: impl FnOnce(Ipv6Addr) -> ActionOutcome) -> ActionOutcome {
-    let mut packet = skb.packet.data().to_vec();
-    match srv6_ops::advance_srh(&mut packet) {
-        Ok(dst) => {
-            skb.packet = PacketBuf::from_slice(&packet);
-            then(dst)
-        }
+    match srv6_ops::advance_srh(skb.packet.data_mut()) {
+        Ok(dst) => then(dst),
         Err("packet has no SRH") => ActionOutcome::Drop(DropReason::NoSrh),
         Err("segments_left is zero") => ActionOutcome::Drop(DropReason::SegmentsLeftZero),
         Err(_) => ActionOutcome::Drop(DropReason::Malformed),
     }
+}
+
+/// Decapsulation as an `skb_pull`: validate, then move the packet's start
+/// forward — the headroom absorbs the removed headers, nothing reallocates.
+fn decap_in_place(skb: &mut Skb) -> Result<Ipv6Addr, &'static str> {
+    let inner_off = srv6_ops::decap_offset(skb.packet.data())?;
+    skb.packet.pull(inner_off).map_err(|_| "pull failed")?;
+    srv6_ops::outer_dst(skb.packet.data())
 }
 
 /// The `End.BPF` action (§3 of the paper): advance the SRH, run the
@@ -236,20 +240,25 @@ pub fn run_end_bpf(
     prog: &LoadedProgram,
     use_jit: bool,
     actx: &ActionCtx<'_>,
+    scratch: &mut RunScratch,
 ) -> ActionOutcome {
-    let mut packet = skb.packet.data().to_vec();
+    let RunScratch { state, ctx: ctx_bytes, pkt: packet } = scratch;
+    // Helpers may resize the packet, so the program runs against the
+    // reusable scratch copy and commits back into the skb on success.
+    packet.clear();
+    packet.extend_from_slice(skb.packet.data());
     // 1. Endpoint precondition + SRH advance.
-    match srv6_ops::advance_srh(&mut packet) {
+    match srv6_ops::advance_srh(packet) {
         Ok(_) => {}
         Err("packet has no SRH") => return ActionOutcome::Drop(DropReason::NoSrh),
         Err("segments_left is zero") => return ActionOutcome::Drop(DropReason::SegmentsLeftZero),
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     }
-    let Some((srh_off, _)) = srv6_ops::find_srh(&packet) else {
+    let Some((srh_off, _)) = srv6_ops::find_srh(packet) else {
         return ActionOutcome::Drop(DropReason::NoSrh);
     };
     // 2. Build the program's context and environment.
-    let header = match Ipv6Header::parse(&packet) {
+    let header = match Ipv6Header::parse(packet) {
         Ok(h) => h,
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     };
@@ -258,33 +267,31 @@ pub fn run_end_bpf(
         .with_srh_offset(srh_off)
         .with_flow_hash(fhash)
         .with_cpu(actx.cpu);
-    let mut ctx_bytes = ctx::build_context(skb);
-    ctx::refresh_packet_len(&mut ctx_bytes, packet.len());
-    // 3. Run the program.
+    ctx::build_context_into(skb, ctx_bytes);
+    ctx::refresh_packet_len(ctx_bytes, packet.len());
+    // 3. Run the program on the reused VM state.
     let result = {
-        let mut rc = RunContext { ctx: &mut ctx_bytes, packet: &mut packet, env: &mut env };
-        ebpf_vm::vm::run_program(prog, actx.helpers, &mut rc, use_jit)
+        let mut rc = RunContext { ctx: ctx_bytes.as_mut_slice(), packet, env: &mut env };
+        ebpf_vm::vm::run_program_with_state(prog, actx.helpers, &mut rc, use_jit, state)
     };
     let code = match result {
         Ok(code) => code,
         Err(_) => return ActionOutcome::Drop(DropReason::BpfError),
     };
     // 4. Post-program SRH validation, as the kernel performs it.
-    if env.out.srh_modified && !env.out.decapped && srv6_ops::validate_after_bpf(&packet).is_err() {
+    if env.out.srh_modified && !env.out.decapped && srv6_ops::validate_after_bpf(packet).is_err() {
         return ActionOutcome::Drop(DropReason::SrhValidationFailed);
     }
-    let dst = match srv6_ops::outer_dst(&packet) {
+    let dst = match srv6_ops::outer_dst(packet) {
         Ok(dst) => dst,
         Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
     };
     // 5. Honour the return code.
-    skb.packet = PacketBuf::from_slice(&packet);
-    ctx::read_back(&ctx_bytes, skb);
+    skb.packet.set_data(packet);
+    ctx::read_back(ctx_bytes, skb);
     match code {
         retcode::BPF_OK => ActionOutcome::Forward { dst, route_override: RouteOverride::default() },
-        retcode::BPF_REDIRECT => {
-            ActionOutcome::Forward { dst, route_override: env.out.route_override.clone() }
-        }
+        retcode::BPF_REDIRECT => ActionOutcome::Forward { dst, route_override: env.out.route_override },
         retcode::BPF_DROP => ActionOutcome::Drop(DropReason::BpfDrop),
         _ => ActionOutcome::Drop(DropReason::BpfError),
     }
@@ -325,7 +332,7 @@ mod tests {
         let mut packet = inner;
         let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::11")]);
         srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addr("fc00::99")).unwrap();
-        Skb::new(PacketBuf::from_slice(&packet))
+        Skb::new(netpkt::PacketBuf::from_slice(&packet))
     }
 
     fn actx<'a>(tables: &'a Arc<RouterTables>, helpers: &'a HelperRegistry) -> ActionCtx<'a> {
@@ -358,7 +365,8 @@ mod tests {
         let tables = Arc::new(RouterTables::new());
         let helpers = seg6_helper_registry();
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
-        let outcome = apply_action(&Seg6LocalAction::End, &mut skb, &actx(&tables, &helpers));
+        let outcome =
+            apply_action(&Seg6LocalAction::End, &mut skb, &actx(&tables, &helpers), &mut RunScratch::new());
         match outcome {
             ActionOutcome::Forward { dst, route_override } => {
                 assert_eq!(dst, addr("fc00::22"));
@@ -376,12 +384,12 @@ mod tests {
         let helpers = seg6_helper_registry();
         let mut plain = Skb::new(build_ipv6_udp_packet(addr("::1"), addr("::2"), 1, 2, &[0; 8], 64));
         assert_eq!(
-            apply_action(&Seg6LocalAction::End, &mut plain, &actx(&tables, &helpers)),
+            apply_action(&Seg6LocalAction::End, &mut plain, &actx(&tables, &helpers), &mut RunScratch::new()),
             ActionOutcome::Drop(DropReason::NoSrh)
         );
         let mut last = srv6_skb(&["fc00::11"]);
         assert_eq!(
-            apply_action(&Seg6LocalAction::End, &mut last, &actx(&tables, &helpers)),
+            apply_action(&Seg6LocalAction::End, &mut last, &actx(&tables, &helpers), &mut RunScratch::new()),
             ActionOutcome::Drop(DropReason::SegmentsLeftZero)
         );
     }
@@ -395,6 +403,7 @@ mod tests {
             &Seg6LocalAction::EndX { nexthop: addr("fe80::1") },
             &mut skb,
             &actx(&tables, &helpers),
+            &mut RunScratch::new(),
         );
         match outcome {
             ActionOutcome::Forward { route_override, .. } => {
@@ -403,7 +412,12 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
-        let outcome = apply_action(&Seg6LocalAction::EndT { table: 9 }, &mut skb, &actx(&tables, &helpers));
+        let outcome = apply_action(
+            &Seg6LocalAction::EndT { table: 9 },
+            &mut skb,
+            &actx(&tables, &helpers),
+            &mut RunScratch::new(),
+        );
         match outcome {
             ActionOutcome::Forward { route_override, .. } => assert_eq!(route_override.table, Some(9)),
             other => panic!("unexpected outcome {other:?}"),
@@ -416,8 +430,12 @@ mod tests {
         let helpers = seg6_helper_registry();
         let mut skb = encapsulated_skb();
         let before = skb.len();
-        let outcome =
-            apply_action(&Seg6LocalAction::EndDT6 { table: MAIN_TABLE }, &mut skb, &actx(&tables, &helpers));
+        let outcome = apply_action(
+            &Seg6LocalAction::EndDT6 { table: MAIN_TABLE },
+            &mut skb,
+            &actx(&tables, &helpers),
+            &mut RunScratch::new(),
+        );
         match outcome {
             ActionOutcome::Forward { dst, route_override } => {
                 assert_eq!(dst, addr("2001:db8::2"));
@@ -429,7 +447,12 @@ mod tests {
         // Decapsulating a non-encapsulated packet fails.
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         assert_eq!(
-            apply_action(&Seg6LocalAction::EndDT6 { table: MAIN_TABLE }, &mut skb, &actx(&tables, &helpers)),
+            apply_action(
+                &Seg6LocalAction::EndDT6 { table: MAIN_TABLE },
+                &mut skb,
+                &actx(&tables, &helpers),
+                &mut RunScratch::new()
+            ),
             ActionOutcome::Drop(DropReason::DecapFailed)
         );
     }
@@ -445,6 +468,7 @@ mod tests {
             &Seg6LocalAction::EndB6Encaps { srh: srh.clone() },
             &mut skb,
             &actx(&tables, &helpers),
+            &mut RunScratch::new(),
         );
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("fd00::1")),
@@ -465,6 +489,7 @@ mod tests {
             &Seg6LocalAction::EndBpf { prog, use_jit: true },
             &mut skb,
             &actx(&tables, &helpers),
+            &mut RunScratch::new(),
         );
         match outcome {
             ActionOutcome::Forward { dst, route_override } => {
@@ -485,7 +510,8 @@ mod tests {
             apply_action(
                 &Seg6LocalAction::EndBpf { prog, use_jit: true },
                 &mut skb,
-                &actx(&tables, &helpers)
+                &actx(&tables, &helpers),
+                &mut RunScratch::new(),
             ),
             ActionOutcome::Drop(DropReason::BpfDrop)
         );
@@ -501,7 +527,8 @@ mod tests {
             apply_action(
                 &Seg6LocalAction::EndBpf { prog, use_jit: true },
                 &mut skb,
-                &actx(&tables, &helpers)
+                &actx(&tables, &helpers),
+                &mut RunScratch::new(),
             ),
             ActionOutcome::Drop(DropReason::SegmentsLeftZero)
         );
@@ -517,7 +544,8 @@ mod tests {
             apply_action(
                 &Seg6LocalAction::EndBpf { prog, use_jit: true },
                 &mut skb,
-                &actx(&tables, &helpers)
+                &actx(&tables, &helpers),
+                &mut RunScratch::new(),
             ),
             ActionOutcome::Drop(DropReason::BpfError)
         );
@@ -534,6 +562,7 @@ mod tests {
                 &Seg6LocalAction::EndBpf { prog: prog.clone(), use_jit },
                 &mut skb,
                 &actx(&tables, &helpers),
+                &mut RunScratch::new(),
             );
             assert!(matches!(outcome, ActionOutcome::Forward { .. }));
         }

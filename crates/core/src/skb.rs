@@ -10,7 +10,7 @@ use netpkt::PacketBuf;
 use std::net::Ipv6Addr;
 
 /// Routing decision attached to the packet by a helper or by the datapath.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RouteOverride {
     /// Forward to this layer-3 neighbour instead of looking the destination
     /// up in the FIB (set by `End.X`).

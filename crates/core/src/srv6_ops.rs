@@ -87,9 +87,9 @@ pub fn decrement_hop_limit(packet: &mut [u8]) -> OpResult<u8> {
 
 /// The `End`-style SRH advance: requires an SRH with `segments_left > 0`,
 /// decrements it and rewrites the outer destination to the new current
-/// segment. Returns the new destination.
-#[allow(clippy::ptr_arg)] // sibling ops resize; a uniform signature reads better
-pub fn advance_srh(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
+/// segment. Returns the new destination. Operates in place — the packet
+/// never changes size, so the hot path advances without copying it.
+pub fn advance_srh(packet: &mut [u8]) -> OpResult<Ipv6Addr> {
     let (off, len) = find_srh(packet).ok_or("packet has no SRH")?;
     let segments_left = packet[off + SRH_SEGMENTS_LEFT_OFFSET];
     if segments_left == 0 {
@@ -112,11 +112,12 @@ pub fn advance_srh(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
     Ok(next)
 }
 
-/// Removes the outer IPv6 header (and its SRH, if any), leaving the inner
-/// IPv6 packet. Returns the inner destination. This is the decapsulation
-/// performed by `End.DT6` / `End.DX6` and natively by the kernel on the
-/// hybrid-access CPE (§4.2).
-pub fn decap_outer(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
+/// Validates that the packet is an IPv6-in-IPv6 (possibly via an SRH)
+/// encapsulation and returns the byte offset of the inner IPv6 header —
+/// the amount a decapsulation pulls off the front. Splitting the check
+/// from the removal lets `PacketBuf`-based callers decapsulate with a
+/// headroom adjustment instead of a reallocation.
+pub fn decap_offset(packet: &[u8]) -> OpResult<usize> {
     if packet.len() < IPV6_HEADER_LEN {
         return Err("packet shorter than an IPv6 header");
     }
@@ -133,6 +134,15 @@ pub fn decap_outer(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
     if packet.len() < inner_off + IPV6_HEADER_LEN {
         return Err("inner IPv6 header truncated");
     }
+    Ok(inner_off)
+}
+
+/// Removes the outer IPv6 header (and its SRH, if any), leaving the inner
+/// IPv6 packet. Returns the inner destination. This is the decapsulation
+/// performed by `End.DT6` / `End.DX6` and natively by the kernel on the
+/// hybrid-access CPE (§4.2).
+pub fn decap_outer(packet: &mut Vec<u8>) -> OpResult<Ipv6Addr> {
+    let inner_off = decap_offset(packet)?;
     packet.drain(..inner_off);
     outer_dst(packet)
 }

@@ -7,11 +7,12 @@
 //! does with `bpf_lwt_push_encap`; the Linux implementation the paper builds
 //! on exposes both through the `seg6` lightweight tunnel.
 
+use crate::scratch::RunScratch;
 use crate::skb::Skb;
 use crate::srv6_ops;
 use crate::verdict::{ActionOutcome, DropReason};
 use netpkt::srh::SegmentRoutingHeader;
-use netpkt::{Ipv6Prefix, PacketBuf};
+use netpkt::Ipv6Prefix;
 use std::net::Ipv6Addr;
 
 /// How the SRH is attached to matching traffic.
@@ -98,15 +99,23 @@ impl TransitTable {
 }
 
 /// Applies a transit behaviour to a packet, returning the new destination
-/// the datapath must forward towards.
-pub fn apply_transit(behaviour: &TransitBehaviour, skb: &mut Skb, local_addr: Ipv6Addr) -> ActionOutcome {
-    let mut packet = skb.packet.data().to_vec();
+/// the datapath must forward towards. The packet is rebuilt in the
+/// caller's scratch buffer and committed back without a fresh allocation.
+pub fn apply_transit(
+    behaviour: &TransitBehaviour,
+    skb: &mut Skb,
+    local_addr: Ipv6Addr,
+    scratch: &mut RunScratch,
+) -> ActionOutcome {
+    let packet = &mut scratch.pkt;
+    packet.clear();
+    packet.extend_from_slice(skb.packet.data());
     let result = match behaviour.mode {
-        TransitMode::Encap => srv6_ops::push_srh_encap(&mut packet, &behaviour.srh.to_bytes(), local_addr),
+        TransitMode::Encap => srv6_ops::push_srh_encap(packet, &behaviour.srh.to_bytes(), local_addr),
         TransitMode::Inline => {
             // For inline insertion the original destination becomes the last
             // segment so the packet still reaches it after the detour.
-            let original_dst = match srv6_ops::outer_dst(&packet) {
+            let original_dst = match srv6_ops::outer_dst(packet) {
                 Ok(dst) => dst,
                 Err(_) => return ActionOutcome::Drop(DropReason::Malformed),
             };
@@ -116,12 +125,12 @@ pub fn apply_transit(behaviour: &TransitBehaviour, skb: &mut Skb, local_addr: Ip
                 srh.last_entry = (srh.segments.len() - 1) as u8;
                 srh.segments_left = srh.last_entry;
             }
-            srv6_ops::insert_srh_inline(&mut packet, &srh.to_bytes())
+            srv6_ops::insert_srh_inline(packet, &srh.to_bytes())
         }
     };
     match result {
         Ok(dst) => {
-            skb.packet = PacketBuf::from_slice(&packet);
+            skb.packet.set_data(packet);
             ActionOutcome::Forward { dst, route_override: Default::default() }
         }
         Err(_) => ActionOutcome::Drop(DropReason::Malformed),
@@ -164,7 +173,7 @@ mod tests {
         let mut skb = plain_skb();
         let before = skb.len();
         let behaviour = TransitBehaviour::encap_through(&[addr("fc00::a"), addr("fc00::b")]);
-        let outcome = apply_transit(&behaviour, &mut skb, addr("fc00::99"));
+        let outcome = apply_transit(&behaviour, &mut skb, addr("fc00::99"), &mut RunScratch::new());
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("fc00::a")),
             other => panic!("unexpected {other:?}"),
@@ -179,7 +188,7 @@ mod tests {
     fn inline_mode_keeps_original_destination_reachable() {
         let mut skb = plain_skb();
         let behaviour = TransitBehaviour::inline_through(&[addr("fc00::a")]);
-        let outcome = apply_transit(&behaviour, &mut skb, addr("fc00::99"));
+        let outcome = apply_transit(&behaviour, &mut skb, addr("fc00::99"), &mut RunScratch::new());
         match outcome {
             ActionOutcome::Forward { dst, .. } => assert_eq!(dst, addr("fc00::a")),
             other => panic!("unexpected {other:?}"),

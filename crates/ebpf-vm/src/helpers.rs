@@ -14,7 +14,7 @@ use crate::maps::{MapType, UpdateFlags};
 use crate::perf::PerfEvent;
 use crate::program::ProgramType;
 use crate::vm::HelperApi;
-use std::collections::HashMap;
+use std::borrow::Cow;
 
 /// Numeric ids of the helpers known to this workspace. The values mirror
 /// the upstream `enum bpf_func_id` so that anyone familiar with the kernel
@@ -53,7 +53,7 @@ pub mod ids {
 pub type HelperFn = fn(&mut HelperApi<'_, '_>, [u64; 5]) -> i64;
 
 /// A registered helper.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 pub struct HelperDesc {
     /// Helper name, for diagnostics and the disassembler.
     pub name: &'static str,
@@ -64,9 +64,16 @@ pub struct HelperDesc {
 }
 
 /// The set of helpers available to programs at verification and run time.
+///
+/// Internally a dense table indexed directly by helper id — helper ids are
+/// small (the kernel ABI range plus a handful of local extensions), so a
+/// `call` resolves with one bounds-checked array index instead of hashing,
+/// and the per-program tables resolved at load time
+/// ([`crate::program::LoadedProgram::helper_table`]) copy straight out of
+/// it.
 #[derive(Clone, Default)]
 pub struct HelperRegistry {
-    helpers: HashMap<u32, HelperDesc>,
+    helpers: Vec<Option<HelperDesc>>,
 }
 
 impl HelperRegistry {
@@ -103,17 +110,21 @@ impl HelperRegistry {
         func: HelperFn,
         allowed: Option<&'static [ProgramType]>,
     ) {
-        self.helpers.insert(id, HelperDesc { name, func, allowed });
+        let idx = id as usize;
+        if idx >= self.helpers.len() {
+            self.helpers.resize(idx + 1, None);
+        }
+        self.helpers[idx] = Some(HelperDesc { name, func, allowed });
     }
 
-    /// Looks a helper up by id.
+    /// Looks a helper up by id — a direct table index.
     pub fn get(&self, id: u32) -> Option<&HelperDesc> {
-        self.helpers.get(&id)
+        self.helpers.get(id as usize).and_then(Option::as_ref)
     }
 
     /// Whether `prog_type` may call helper `id`.
     pub fn allowed_for(&self, id: u32, prog_type: ProgramType) -> bool {
-        match self.helpers.get(&id) {
+        match self.get(id) {
             None => false,
             Some(desc) => desc.allowed.is_none_or(|types| types.contains(&prog_type)),
         }
@@ -121,17 +132,17 @@ impl HelperRegistry {
 
     /// Name of a helper, for diagnostics.
     pub fn name_of(&self, id: u32) -> Option<&'static str> {
-        self.helpers.get(&id).map(|d| d.name)
+        self.get(id).map(|d| d.name)
     }
 
     /// Number of registered helpers.
     pub fn len(&self) -> usize {
-        self.helpers.len()
+        self.helpers.iter().filter(|slot| slot.is_some()).count()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.helpers.is_empty()
+        self.len() == 0
     }
 }
 
@@ -146,11 +157,35 @@ fn ok_or_minus_one(result: Result<()>) -> i64 {
     }
 }
 
+/// Largest map key / value read through a stack buffer by [`read_param`].
+/// Every map in this workspace fits; jumbo values fall back to a heap read.
+pub const MAX_STACK_PARAM: usize = 64;
+
+/// Reads `len` program-memory bytes through a caller-provided stack buffer
+/// when they fit, falling back to a heap allocation only for jumbo
+/// parameters — per-packet helper parameter reads stay allocation-free.
+/// Shared by the base helpers here and by embedder helpers (the SRv6 set
+/// in `seg6-core` layers its own length policy on top).
+pub fn read_param<'b>(
+    api: &HelperApi<'_, '_>,
+    addr: u64,
+    len: usize,
+    buf: &'b mut [u8; MAX_STACK_PARAM],
+) -> Option<Cow<'b, [u8]>> {
+    if len <= MAX_STACK_PARAM {
+        api.read_into(addr, &mut buf[..len]).ok()?;
+        Some(Cow::Borrowed(&buf[..len]))
+    } else {
+        api.read_bytes(addr, len).ok().map(Cow::Owned)
+    }
+}
+
 /// `void *bpf_map_lookup_elem(map, key)` — returns a pointer to the value or
 /// NULL. Per-CPU maps resolve to the slot of the CPU the program runs on.
 fn helper_map_lookup_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[0]) else { return 0 };
-    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return 0 };
+    let mut kb = [0u8; MAX_STACK_PARAM];
+    let Some(key) = read_param(api, args[1], map.key_size(), &mut kb) else { return 0 };
     let cpu = api.env().cpu_id();
     match map.lookup_ref_cpu(&key, cpu) {
         Some(value) => api.register_value_region(value) as i64,
@@ -162,8 +197,10 @@ fn helper_map_lookup_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
 /// per-CPU map writes its own CPU's slot, as in the kernel.
 fn helper_map_update_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[0]) else { return -1 };
-    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return -1 };
-    let Ok(value) = api.read_bytes(args[2], map.value_size()) else { return -1 };
+    let mut kb = [0u8; MAX_STACK_PARAM];
+    let Some(key) = read_param(api, args[1], map.key_size(), &mut kb) else { return -1 };
+    let mut vb = [0u8; MAX_STACK_PARAM];
+    let Some(value) = read_param(api, args[2], map.value_size(), &mut vb) else { return -1 };
     let flags = match args[3] {
         0 => UpdateFlags::Any,
         1 => UpdateFlags::NoExist,
@@ -186,7 +223,8 @@ fn helper_map_update_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
 /// `long bpf_map_delete_elem(map, key)`.
 fn helper_map_delete_elem(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let Ok(map) = api.map_by_ptr(args[0]) else { return -1 };
-    let Ok(key) = api.read_bytes(args[1], map.key_size()) else { return -1 };
+    let mut kb = [0u8; MAX_STACK_PARAM];
+    let Some(key) = read_param(api, args[1], map.key_size(), &mut kb) else { return -1 };
     ok_or_minus_one(map.delete(&key))
 }
 
@@ -257,7 +295,7 @@ fn helper_perf_event_output(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 
 }
 
 /// `long bpf_skb_load_bytes(ctx, offset, to, len)` — copies packet bytes to
-/// program memory (typically the stack).
+/// program memory (typically the stack), with no intermediate buffer.
 fn helper_skb_load_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     let offset = args[1] as usize;
     let len = args[3] as usize;
@@ -268,8 +306,7 @@ fn helper_skb_load_bytes(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
     if offset.checked_add(len).is_none_or(|end| end > packet_len) {
         return -1;
     }
-    let data = api.packet()[offset..offset + len].to_vec();
-    match api.write_bytes(args[2], &data) {
+    match api.copy_from_packet(offset, len, args[2]) {
         Ok(()) => 0,
         Err(_) => -1,
     }

@@ -9,9 +9,9 @@
 
 use crate::error::{Error, Result};
 use crate::helpers::HelperRegistry;
-use crate::insn::{encode_program, Insn};
+use crate::insn::{class, encode_program, jmp, Insn};
 use crate::program::LoadedProgram;
-use crate::vm::{execute_insn, Flow, RunContext, RunState};
+use crate::vm::{execute_insn, Flow, HelperApi, RunContext, RunState};
 
 /// A program stored in wire form, ready for interpretation.
 #[derive(Debug, Clone)]
@@ -58,6 +58,12 @@ pub fn run(
 
 /// Runs `image` with a caller-provided state (so callers can inspect the
 /// registers or set a custom instruction budget).
+///
+/// Helper calls dispatch through the program's **load-time** helper table
+/// ([`LoadedProgram::helper_table`]), exactly like the JIT — helpers are
+/// fixed at verification, as in the kernel, so the two engines cannot
+/// diverge when a caller runs a program under a different registry than it
+/// was loaded with.
 pub fn run_with_state(
     image: &InterpreterImage,
     loaded: &LoadedProgram,
@@ -68,6 +74,27 @@ pub fn run_with_state(
     let mut pc = 0usize;
     loop {
         let insn = image.fetch(pc)?;
+        let is_call =
+            (insn.class() == class::JMP || insn.class() == class::JMP32) && insn.opcode & 0xf0 == jmp::CALL;
+        if is_call {
+            state.insn_executed += 1;
+            if state.insn_executed > state.insn_budget {
+                return Err(Error::runtime(pc, "instruction budget exceeded"));
+            }
+            let id = insn.imm as u32;
+            let desc = loaded
+                .helper_index(id)
+                .and_then(|idx| loaded.helper_table().get(idx as usize))
+                .ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
+            let args = [state.regs[1], state.regs[2], state.regs[3], state.regs[4], state.regs[5]];
+            let ret = {
+                let mut api = HelperApi { state, rc, maps: &loaded.maps };
+                (desc.func)(&mut api, args)
+            };
+            state.regs[0] = ret as u64;
+            pc += 1;
+            continue;
+        }
         let next = if insn.is_lddw() { Some(image.fetch(pc + 1)?) } else { None };
         match execute_insn(state, rc, &loaded.maps, helpers, &insn, next.as_ref(), pc)? {
             Flow::Next => pc += 1,

@@ -131,8 +131,13 @@ pub enum MicroOp {
         /// Target index when the condition holds.
         target: u32,
     },
-    /// Helper call (the function pointer is resolved at compile time).
+    /// Helper call, pre-resolved at compile time to an index into the
+    /// program's dense helper table
+    /// ([`LoadedProgram::helper_table`]) — the hot path never looks a
+    /// helper id up again.
     Call {
+        /// Index into the loaded program's helper table.
+        idx: u32,
         /// Helper id, kept for diagnostics.
         id: u32,
     },
@@ -177,7 +182,7 @@ pub fn compile(loaded: &LoadedProgram) -> Result<JitProgram> {
             skip_next = false;
             continue;
         }
-        let op = compile_insn(insn, insns.get(pc + 1), pc, insns.len())?;
+        let op = compile_insn(loaded, insn, insns.get(pc + 1), pc, insns.len())?;
         if matches!(op, MicroOp::LoadImm64 { .. }) {
             skip_next = true;
         }
@@ -186,7 +191,13 @@ pub fn compile(loaded: &LoadedProgram) -> Result<JitProgram> {
     Ok(JitProgram { ops })
 }
 
-fn compile_insn(insn: &Insn, next: Option<&Insn>, pc: usize, len: usize) -> Result<MicroOp> {
+fn compile_insn(
+    loaded: &LoadedProgram,
+    insn: &Insn,
+    next: Option<&Insn>,
+    pc: usize,
+    len: usize,
+) -> Result<MicroOp> {
     let branch_target = |off: i16| -> Result<u32> {
         let target = pc as i64 + 1 + i64::from(off);
         if target < 0 || target as usize >= len {
@@ -237,7 +248,13 @@ fn compile_insn(insn: &Insn, next: Option<&Insn>, pc: usize, len: usize) -> Resu
         class::JMP | class::JMP32 => {
             let is64 = insn.class() == class::JMP;
             match insn.opcode & 0xf0 {
-                jmp::CALL => MicroOp::Call { id: insn.imm as u32 },
+                jmp::CALL => {
+                    let id = insn.imm as u32;
+                    let idx = loaded
+                        .helper_index(id)
+                        .ok_or_else(|| Error::verifier(pc, format!("unknown helper {id}")))?;
+                    MicroOp::Call { idx, id }
+                }
                 jmp::EXIT => MicroOp::Exit,
                 jmp::JA => MicroOp::Jump { target: branch_target(insn.off)? },
                 cond => {
@@ -325,11 +342,14 @@ pub fn run(
     run_with_state(compiled, loaded, helpers, rc, &mut state)
 }
 
-/// Runs a compiled program with a caller-provided state.
+/// Runs a compiled program with a caller-provided state. The registry is
+/// unused here — helper calls dispatch through the program's load-time
+/// table — but kept in the signature so the two engines stay
+/// interchangeable.
 pub fn run_with_state(
     compiled: &JitProgram,
     loaded: &LoadedProgram,
-    helpers: &HelperRegistry,
+    _helpers: &HelperRegistry,
     rc: &mut RunContext<'_>,
     state: &mut RunState,
 ) -> Result<u64> {
@@ -406,9 +426,11 @@ pub fn run_with_state(
                     pc += 1;
                 }
             }
-            MicroOp::Call { id } => {
-                let desc =
-                    helpers.get(*id).ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
+            MicroOp::Call { idx, id } => {
+                let desc = loaded
+                    .helper_table()
+                    .get(*idx as usize)
+                    .ok_or_else(|| Error::runtime(pc, format!("unknown helper {id}")))?;
                 let func: HelperFn = desc.func;
                 let args = [state.regs[1], state.regs[2], state.regs[3], state.regs[4], state.regs[5]];
                 let ret = {

@@ -8,8 +8,8 @@
 //! that the interpreter or the JIT can execute.
 
 use crate::error::{Error, Result};
-use crate::helpers::HelperRegistry;
-use crate::insn::Insn;
+use crate::helpers::{HelperDesc, HelperRegistry};
+use crate::insn::{class, jmp, Insn};
 use crate::maps::MapHandle;
 use crate::verifier::{self, VerifierStats};
 use std::collections::HashMap;
@@ -101,6 +101,14 @@ pub struct LoadedProgram {
     pub maps: HashMap<u32, MapHandle>,
     /// Statistics reported by the verifier.
     pub verifier_stats: VerifierStats,
+    /// The helpers this program calls, resolved from the registry once at
+    /// load time. The JIT's `Call` micro-op carries an index into this
+    /// table, so the per-packet dispatch is a bounds-checked array read of
+    /// a pre-resolved function pointer — no id lookup at all.
+    helper_table: Vec<HelperDesc>,
+    /// Helper ids parallel to `helper_table`, for diagnostics and the
+    /// compile-time id → index resolution.
+    helper_ids: Vec<u32>,
     /// The pre-decoded JIT image, built once on first use — the kernel
     /// compiles at load time, and re-deriving the image per invocation is
     /// pure overhead on the per-packet hot path.
@@ -110,6 +118,15 @@ pub struct LoadedProgram {
 }
 
 impl LoadedProgram {
+    /// The helpers this program calls, resolved at load time.
+    pub fn helper_table(&self) -> &[HelperDesc] {
+        &self.helper_table
+    }
+
+    /// The table index of helper `id`, if the program calls it.
+    pub fn helper_index(&self, id: u32) -> Option<u32> {
+        self.helper_ids.iter().position(|&h| h == id).map(|idx| idx as u32)
+    }
     /// The program's compiled (pre-decoded JIT) image, compiling it on the
     /// first call. Each `LoadedProgram` instance owns its own image, so a
     /// worker shard that loads its own program instance also owns its own
@@ -163,10 +180,32 @@ pub fn load(
         }
     }
     let verifier_stats = verifier::verify(&program, helpers, maps)?;
+    // Resolve every helper the program calls into a dense per-program
+    // table; the verifier has already guaranteed the ids exist and are
+    // allowed for this hook. (`lddw` second slots carry opcode 0, so a
+    // plain scan cannot mistake one for a call.)
+    let mut helper_table = Vec::new();
+    let mut helper_ids: Vec<u32> = Vec::new();
+    for (idx, insn) in program.insns.iter().enumerate() {
+        let is_call =
+            (insn.class() == class::JMP || insn.class() == class::JMP32) && insn.opcode & 0xf0 == jmp::CALL;
+        if !is_call {
+            continue;
+        }
+        let id = insn.imm as u32;
+        if helper_ids.contains(&id) {
+            continue;
+        }
+        let desc = helpers.get(id).ok_or_else(|| Error::verifier(idx, format!("unknown helper {id}")))?;
+        helper_ids.push(id);
+        helper_table.push(*desc);
+    }
     Ok(Arc::new(LoadedProgram {
         program,
         maps: used,
         verifier_stats,
+        helper_table,
+        helper_ids,
         jit_cache: OnceLock::new(),
         interp_cache: OnceLock::new(),
     }))

@@ -118,6 +118,7 @@ pub struct RunContext<'a> {
 }
 
 /// Per-invocation machine state.
+#[derive(Debug)]
 pub struct RunState {
     /// General-purpose registers r0–r10.
     pub regs: [u64; NUM_REGS],
@@ -146,6 +147,20 @@ impl RunState {
             insn_executed: 0,
             insn_budget: DEFAULT_INSN_BUDGET,
         }
+    }
+
+    /// Returns the state to its freshly-created condition without releasing
+    /// any of its buffers, so one `RunState` can be reused across program
+    /// invocations (the per-packet hot path keeps one per datapath instead
+    /// of allocating a 512-byte stack per packet).
+    pub fn reset(&mut self) {
+        self.regs = [0u64; NUM_REGS];
+        self.regs[1] = CTX_BASE;
+        self.regs[10] = STACK_BASE + STACK_SIZE as u64;
+        self.stack.fill(0);
+        self.value_regions.clear();
+        self.insn_executed = 0;
+        self.insn_budget = DEFAULT_INSN_BUDGET;
     }
 
     /// Registers a map value region and returns the synthetic address the
@@ -210,16 +225,71 @@ fn resolve(state: &RunState, rc: &RunContext<'_>, addr: u64, len: usize) -> Resu
     Err(Error::Runtime { insn: 0, message: format!("invalid memory access at 0x{addr:x} len {len}") })
 }
 
-/// Reads `len` bytes at `addr` into a freshly allocated buffer.
-pub fn read_bytes(state: &RunState, rc: &RunContext<'_>, addr: u64, len: usize) -> Result<Vec<u8>> {
+/// Runs `f` over the `len` bytes at `addr` without copying them: the slice
+/// borrows straight from the resolved region (stack, context, packet or a
+/// map value, the latter under its read guard). This is the borrow surface
+/// the allocation-free hot path is built on; [`read_into`] and
+/// [`read_bytes`] are conveniences layered on top of it.
+pub fn with_bytes<R>(
+    state: &RunState,
+    rc: &RunContext<'_>,
+    addr: u64,
+    len: usize,
+    f: impl FnOnce(&[u8]) -> R,
+) -> Result<R> {
     match resolve(state, rc, addr, len)? {
-        Target::Stack(off) => Ok(state.stack[off..off + len].to_vec()),
-        Target::Ctx(off) => Ok(rc.ctx[off..off + len].to_vec()),
-        Target::Packet(off) => Ok(rc.packet[off..off + len].to_vec()),
+        Target::Stack(off) => Ok(f(&state.stack[off..off + len])),
+        Target::Ctx(off) => Ok(f(&rc.ctx[off..off + len])),
+        Target::Packet(off) => Ok(f(&rc.packet[off..off + len])),
         Target::MapValue { region, offset } => {
-            Ok(state.value_regions[region].read()[offset..offset + len].to_vec())
+            let guard = state.value_regions[region].read();
+            Ok(f(&guard[offset..offset + len]))
         }
     }
+}
+
+/// Copies the bytes at `addr` into `buf` — the allocation-free read used for
+/// fixed-size helper parameters (IPv6 addresses, table ids, map keys), which
+/// land in stack arrays instead of fresh `Vec`s.
+pub fn read_into(state: &RunState, rc: &RunContext<'_>, addr: u64, buf: &mut [u8]) -> Result<()> {
+    with_bytes(state, rc, addr, buf.len(), |bytes| buf.copy_from_slice(bytes))
+}
+
+/// Reads `len` bytes at `addr` into a freshly allocated buffer. Prefer
+/// [`with_bytes`] / [`read_into`] anywhere the read happens per packet.
+pub fn read_bytes(state: &RunState, rc: &RunContext<'_>, addr: u64, len: usize) -> Result<Vec<u8>> {
+    with_bytes(state, rc, addr, len, |bytes| bytes.to_vec())
+}
+
+/// Copies `len` packet bytes starting at `pkt_off` directly into program
+/// memory at `dst` — what `bpf_skb_load_bytes` does, without the
+/// intermediate buffer the old `read_bytes`/`write_bytes` pairing required.
+pub fn copy_from_packet(
+    state: &mut RunState,
+    rc: &mut RunContext<'_>,
+    pkt_off: usize,
+    len: usize,
+    dst: u64,
+) -> Result<()> {
+    if pkt_off.checked_add(len).is_none_or(|end| end > rc.packet.len()) {
+        return Err(Error::Runtime { insn: 0, message: "packet read out of bounds".into() });
+    }
+    match resolve(state, rc, dst, len)? {
+        Target::Stack(off) => state.stack[off..off + len].copy_from_slice(&rc.packet[pkt_off..pkt_off + len]),
+        Target::Ctx(off) => {
+            let RunContext { ctx, packet, .. } = rc;
+            ctx[off..off + len].copy_from_slice(&packet[pkt_off..pkt_off + len]);
+        }
+        Target::Packet(_) => {
+            return Err(Error::Runtime {
+                insn: 0,
+                message: "direct packet writes are not allowed; use a seg6 helper".into(),
+            })
+        }
+        Target::MapValue { region, offset } => state.value_regions[region].write()[offset..offset + len]
+            .copy_from_slice(&rc.packet[pkt_off..pkt_off + len]),
+    }
+    Ok(())
 }
 
 /// Writes `bytes` at `addr`. The packet region is rejected: the paper's
@@ -241,11 +311,13 @@ pub fn write_bytes(state: &mut RunState, rc: &mut RunContext<'_>, addr: u64, byt
     Ok(())
 }
 
-/// Loads an unsigned little-endian value of the given width.
+/// Loads an unsigned little-endian value of the given width. Reads borrow
+/// straight from the resolved region — this is the `LDX` hot path and it
+/// performs no heap allocation.
 pub fn load_scalar(state: &RunState, rc: &RunContext<'_>, addr: u64, size: AccessSize) -> Result<u64> {
-    let bytes = read_bytes(state, rc, addr, size.bytes())?;
+    let len = size.bytes();
     let mut buf = [0u8; 8];
-    buf[..bytes.len()].copy_from_slice(&bytes);
+    with_bytes(state, rc, addr, len, |bytes| buf[..len].copy_from_slice(bytes))?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -276,9 +348,28 @@ pub struct HelperApi<'r, 'a> {
 }
 
 impl<'r, 'a> HelperApi<'r, 'a> {
-    /// Reads program-visible memory (stack, ctx, packet or map values).
+    /// Reads program-visible memory (stack, ctx, packet or map values) into
+    /// a fresh allocation. Prefer [`HelperApi::read_into`] /
+    /// [`HelperApi::with_bytes`] for per-packet reads.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
         read_bytes(self.state, self.rc, addr, len)
+    }
+
+    /// Copies program-visible memory into `buf` — the allocation-free read
+    /// for fixed-size parameters (addresses, table ids, map keys).
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        read_into(self.state, self.rc, addr, buf)
+    }
+
+    /// Runs `f` over program-visible memory without copying it.
+    pub fn with_bytes<R>(&self, addr: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        with_bytes(self.state, self.rc, addr, len, f)
+    }
+
+    /// Copies packet bytes straight into program memory (the
+    /// `bpf_skb_load_bytes` primitive), with no intermediate buffer.
+    pub fn copy_from_packet(&mut self, pkt_off: usize, len: usize, dst: u64) -> Result<()> {
+        copy_from_packet(self.state, self.rc, pkt_off, len, dst)
     }
 
     /// Writes program-visible memory (everything but the packet).
@@ -287,7 +378,7 @@ impl<'r, 'a> HelperApi<'r, 'a> {
     }
 
     /// The packet bytes.
-    pub fn packet(&self) -> &Vec<u8> {
+    pub fn packet(&self) -> &[u8] {
         self.rc.packet
     }
 
@@ -554,10 +645,25 @@ pub fn run_program(
     rc: &mut RunContext<'_>,
     use_jit: bool,
 ) -> Result<u64> {
+    let mut state = RunState::new(rc.ctx.len());
+    run_program_with_state(loaded, helpers, rc, use_jit, &mut state)
+}
+
+/// Like [`run_program`], but reuses a caller-owned [`RunState`] (resetting
+/// it first) instead of allocating a fresh one — the per-packet entry point
+/// of the zero-allocation datapath.
+pub fn run_program_with_state(
+    loaded: &LoadedProgram,
+    helpers: &HelperRegistry,
+    rc: &mut RunContext<'_>,
+    use_jit: bool,
+    state: &mut RunState,
+) -> Result<u64> {
+    state.reset();
     if use_jit {
-        crate::jit::run(loaded.jit()?, loaded, helpers, rc)
+        crate::jit::run_with_state(loaded.jit()?, loaded, helpers, rc, state)
     } else {
-        crate::interp::run(loaded.interp_image(), loaded, helpers, rc)
+        crate::interp::run_with_state(loaded.interp_image(), loaded, helpers, rc, state)
     }
 }
 

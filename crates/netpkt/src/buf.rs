@@ -141,6 +141,16 @@ impl PacketBuf {
         Ok(&self.data()[at..at + len])
     }
 
+    /// Replaces the packet bytes with `data`, reusing the buffer's existing
+    /// allocation and keeping its current headroom. This is the
+    /// write-back primitive of the zero-allocation datapath: a worker that
+    /// rebuilt a packet in a scratch buffer commits it without a fresh
+    /// `PacketBuf`.
+    pub fn set_data(&mut self, data: &[u8]) {
+        self.storage.truncate(self.offset);
+        self.storage.extend_from_slice(data);
+    }
+
     /// Truncates the packet to `len` bytes (drops the tail).
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {

@@ -25,22 +25,27 @@ static SEG6LOCAL_ONLY: &[ProgramType] = &[ProgramType::LwtSeg6Local];
 /// bytes each) at `out`. Returns the number written, or a negative value on
 /// error.
 pub fn helper_fib_ecmp_nexthops(api: &mut HelperApi<'_, '_>, args: [u64; 5]) -> i64 {
-    let Ok(dst_bytes) = api.read_bytes(args[0], 16) else { return -1 };
     let mut octets = [0u8; 16];
-    octets.copy_from_slice(&dst_bytes);
+    if api.read_into(args[0], &mut octets).is_err() {
+        return -1;
+    }
     let dst = Ipv6Addr::from(octets);
     let max = (args[2] as usize).min(16);
     let Some(env) = api.env_any().downcast_mut::<Seg6Env>() else { return -1 };
-    let nexthops = env.tables.ecmp_nexthops(dst);
-    let mut written = 0usize;
-    let mut out = Vec::with_capacity(max * 16);
-    for nexthop in nexthops.iter().take(max) {
-        // Report the gateway when there is one, the destination itself for
-        // connected routes (what traceroute would display).
-        out.extend_from_slice(&nexthop.neighbour(dst).octets());
-        written += 1;
-    }
-    if written > 0 && api.write_bytes(args[1], &out).is_err() {
+    // At most 16 next hops of 16 bytes each: a stack buffer filled while
+    // the FIB read lock is held — no allocation per call.
+    let mut out = [0u8; 16 * 16];
+    let written = env.tables.with_ecmp_nexthops(dst, |nexthops| {
+        let mut written = 0usize;
+        for nexthop in nexthops.iter().take(max) {
+            // Report the gateway when there is one, the destination itself
+            // for connected routes (what traceroute would display).
+            out[written * 16..(written + 1) * 16].copy_from_slice(&nexthop.neighbour(dst).octets());
+            written += 1;
+        }
+        written
+    });
+    if written > 0 && api.write_bytes(args[1], &out[..written * 16]).is_err() {
         return -1;
     }
     written as i64

@@ -1,0 +1,94 @@
+//! Worker-pool steady-state allocation regression test.
+//!
+//! Run with `cargo test -p seg6-runtime --features alloc-counter`. The
+//! per-packet path inside each shard (`process_batch_verdicts_into` over
+//! reused batch/verdict buffers, bounded-channel handoff) must not
+//! allocate per packet: with all packets pre-built, whole enqueue+flush
+//! rounds stay within a small per-round constant (flush barrier channels),
+//! independent of the number of packets in the round.
+//!
+//! This file holds a single test on purpose: it reads the **process-wide**
+//! allocation counter (the workers run on their own threads), so no other
+//! test may run concurrently in this binary.
+#![cfg(feature = "alloc-counter")]
+
+use netpkt::packet::build_ipv6_udp_packet;
+use netpkt::PacketBuf;
+use seg6_core::alloc_counter::{global_allocations, CountingAllocator};
+use seg6_core::{Nexthop, Seg6Datapath};
+use seg6_runtime::{PoolConfig, WorkerPool};
+use std::net::Ipv6Addr;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn addr(s: &str) -> Ipv6Addr {
+    s.parse().unwrap()
+}
+
+fn forwarding_datapath(cpu: u32) -> Seg6Datapath {
+    let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+    dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+    dp
+}
+
+fn flow_packet(flow: u32) -> PacketBuf {
+    build_ipv6_udp_packet(
+        addr(&format!("2001:db8::{:x}", flow + 1)),
+        addr("2001:db8:f::1"),
+        (1024 + flow % 40_000) as u16,
+        5001,
+        &[0u8; 32],
+        64,
+    )
+}
+
+#[test]
+fn pool_steady_state_does_not_allocate_per_packet() {
+    const WORKERS: u32 = 4;
+    const PACKETS_PER_ROUND: usize = 1024;
+    const MEASURED_ROUNDS: usize = 8;
+    // Flush barriers create reply channels and report vectors; everything
+    // else must be reuse. The budget is generous per **round** and tiny
+    // per packet — a single stray per-packet allocation would blow through
+    // it 20× over.
+    const ROUND_BUDGET: u64 = 256;
+
+    let config = PoolConfig {
+        workers: WORKERS,
+        batch_size: 32,
+        queue_depth: 2 * PACKETS_PER_ROUND,
+        ..Default::default()
+    };
+    let mut pool = WorkerPool::new(config, forwarding_datapath);
+
+    // Pre-build every measured packet so the measurement sees only the
+    // pool's own work, then warm the pool up (scratch buffers, batch and
+    // verdict capacities, channel parking).
+    let mut rounds: Vec<Vec<PacketBuf>> =
+        (0..MEASURED_ROUNDS).map(|_| (0..PACKETS_PER_ROUND as u32).map(flow_packet).collect()).collect();
+    for _ in 0..3 {
+        let warmup: Vec<PacketBuf> = (0..PACKETS_PER_ROUND as u32).map(flow_packet).collect();
+        assert_eq!(pool.enqueue_all(warmup), PACKETS_PER_ROUND);
+        let report = pool.flush();
+        assert_eq!(report.run.processed as usize, PACKETS_PER_ROUND);
+    }
+
+    let before = global_allocations();
+    let mut processed = 0u64;
+    for round in rounds.drain(..) {
+        assert_eq!(pool.enqueue_all(round), PACKETS_PER_ROUND);
+        processed += pool.flush().run.processed;
+    }
+    let allocations = global_allocations() - before;
+
+    assert_eq!(processed as usize, MEASURED_ROUNDS * PACKETS_PER_ROUND);
+    assert_eq!(pool.rejected(), 0);
+    let budget = MEASURED_ROUNDS as u64 * ROUND_BUDGET;
+    assert!(
+        allocations <= budget,
+        "pool steady state allocated {allocations} times over {MEASURED_ROUNDS} rounds \
+         ({PACKETS_PER_ROUND} packets each); budget {budget} — the per-packet path is allocating"
+    );
+    pool.shutdown();
+}

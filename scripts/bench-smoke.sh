@@ -36,6 +36,15 @@ if [ -z "$rows" ]; then
     exit 1
 fi
 
+# The FIB scaling group is a regression gate: its rows must be present in
+# every snapshot (trie vs. linear scan at 10 / 1k / 100k routes).
+for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k; do
+    if ! printf '%s' "$rows" | grep -q "\"$row\""; then
+        echo "missing bench row $row in snapshot" >&2
+        exit 1
+    fi
+done
+
 cores="$(nproc 2>/dev/null || echo 1)"
 cat >"$OUT" <<JSON
 {
