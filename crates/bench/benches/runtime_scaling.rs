@@ -255,6 +255,130 @@ fn bench_worker_pool(c: &mut Criterion) {
     );
 }
 
+/// The PR-4 headline rows: descriptor handoff cost, transport only. The
+/// "before" is the mpsc shape the pool used to ingest with — one
+/// mutex-guarded, node-allocating `send` per descriptor into per-shard
+/// channels. The "after" is the lock-free SPSC ring with burst publish:
+/// descriptors staged per shard and released with one atomic store per
+/// burst. Rows sweep 1/2/4/8 shards and burst sizes 1/32/256; the
+/// acceptance criterion is ring-burst ≥ 32 beating mpsc per-packet send
+/// at every shard count. Consumers are real threads (spawned per row,
+/// outside the measured iteration) so both transports pay their genuine
+/// cross-thread costs.
+fn bench_ring_ingest(c: &mut Criterion) {
+    use seg6_runtime::ring::spsc_ring;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc};
+
+    let mut group = c.benchmark_group("ring_ingest");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(POOL as u64));
+
+    for shards in [1usize, 2, 4, 8] {
+        // --- mpsc baseline: one sync-channel send per descriptor ---
+        {
+            let processed = Arc::new(AtomicU64::new(0));
+            let mut senders = Vec::with_capacity(shards);
+            let mut consumers = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (tx, rx) = mpsc::sync_channel::<u64>(2 * POOL);
+                let processed = Arc::clone(&processed);
+                consumers.push(std::thread::spawn(move || {
+                    // Blocking recv — the cheapest consumption mpsc offers.
+                    while rx.recv().is_ok() {
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+                senders.push(tx);
+            }
+            group.bench_function(format!("mpsc_send_{shards}w"), |b| {
+                b.iter(|| {
+                    let target = processed.load(Ordering::Relaxed) + POOL as u64;
+                    for i in 0..POOL as u64 {
+                        senders[i as usize % shards].send(i).expect("consumer alive");
+                    }
+                    while processed.load(Ordering::Relaxed) < target {
+                        std::thread::yield_now();
+                    }
+                })
+            });
+            drop(senders);
+            for consumer in consumers {
+                consumer.join().expect("mpsc consumer");
+            }
+        }
+
+        // --- SPSC ring: staged descriptors, one publish per burst ---
+        for burst in [1usize, 32, 256] {
+            let processed = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut producers = Vec::with_capacity(shards);
+            let mut consumers = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (tx, mut rx) = spsc_ring::<u64>(2 * POOL);
+                let processed = Arc::clone(&processed);
+                let stop = Arc::clone(&stop);
+                consumers.push(std::thread::spawn(move || {
+                    let mut out: Vec<u64> = Vec::with_capacity(256);
+                    let mut idle = 0u32;
+                    loop {
+                        out.clear();
+                        let got = rx.dequeue_burst(&mut out, 256);
+                        if got > 0 {
+                            idle = 0;
+                            processed.fetch_add(got as u64, Ordering::Relaxed);
+                        } else if stop.load(Ordering::Relaxed) {
+                            break;
+                        } else {
+                            idle += 1;
+                            if idle.is_multiple_of(64) {
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }));
+                producers.push(tx);
+            }
+            let mut staging: Vec<Vec<u64>> = vec![Vec::with_capacity(burst); shards];
+            group.bench_function(format!("ring_burst_{shards}w_b{burst}"), |b| {
+                b.iter(|| {
+                    let target = processed.load(Ordering::Relaxed) + POOL as u64;
+                    for i in 0..POOL as u64 {
+                        let shard = i as usize % shards;
+                        staging[shard].push(i);
+                        if staging[shard].len() >= burst {
+                            while !staging[shard].is_empty() {
+                                if producers[shard].enqueue_burst(&mut staging[shard]) == 0 {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    for (shard, staged) in staging.iter_mut().enumerate() {
+                        while !staged.is_empty() {
+                            if producers[shard].enqueue_burst(staged) == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    while processed.load(Ordering::Relaxed) < target {
+                        std::thread::yield_now();
+                    }
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            for consumer in consumers {
+                consumer.join().expect("ring consumer");
+            }
+        }
+    }
+    group.finish();
+}
+
 /// FIB lookup scaling: the LPM trie against the linear scan it replaced,
 /// at 10 / 1k / 100k routes. The trie rows must stay flat as the route
 /// count grows (O(prefix bits)); the linear rows degrade with O(routes) —
@@ -377,5 +501,12 @@ fn bench_fib_scale(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_speedup, bench_worker_scaling, bench_worker_pool, bench_fib_scale);
+criterion_group!(
+    benches,
+    bench_batch_speedup,
+    bench_worker_scaling,
+    bench_worker_pool,
+    bench_ring_ingest,
+    bench_fib_scale
+);
 criterion_main!(benches);

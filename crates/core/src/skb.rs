@@ -62,6 +62,16 @@ impl Skb {
         Skb { packet, rx_timestamp_ns, ingress_ifindex, mark: 0, route_override: RouteOverride::default() }
     }
 
+    /// Consumes the skb and hands its packet buffer back — the recycle
+    /// hand-off of the ingestion loop: a worker that has emitted a
+    /// packet's verdict pushes the drained storage into its free-ring (and
+    /// a dispatcher that has copied an output out returns it to the
+    /// `netpkt::BufPool` arena), so the next packet reuses the allocation.
+    /// The metadata (timestamps, overrides) is dropped with the skb.
+    pub fn into_packet(self) -> PacketBuf {
+        self.packet
+    }
+
     /// Packet length in bytes.
     pub fn len(&self) -> usize {
         self.packet.len()

@@ -151,6 +151,23 @@ impl PacketBuf {
         self.storage.extend_from_slice(data);
     }
 
+    /// Resets the buffer to an empty packet with `headroom` bytes of
+    /// headroom, **reusing the existing allocation**. This is the recycle
+    /// primitive of [`BufPool`](crate::BufPool): a drained buffer returns
+    /// to the arena with its storage intact, so refilling it with a
+    /// same-sized packet performs no allocation.
+    pub fn reset(&mut self, headroom: usize) {
+        self.storage.clear();
+        self.storage.resize(headroom, 0);
+        self.offset = headroom;
+    }
+
+    /// Bytes of storage this buffer owns (headroom + data + spare
+    /// capacity): what a recycled buffer can hold without reallocating.
+    pub fn storage_capacity(&self) -> usize {
+        self.storage.capacity()
+    }
+
     /// Truncates the packet to `len` bytes (drops the tail).
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {

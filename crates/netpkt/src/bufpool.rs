@@ -1,0 +1,143 @@
+//! A packet-buffer recycling arena.
+//!
+//! Kernel drivers never allocate an `sk_buff` per packet on the hot path:
+//! RX descriptors are refilled from a per-queue page pool, and a drained
+//! buffer goes back to the pool instead of the allocator. [`BufPool`] is
+//! that arena for [`PacketBuf`]: a free list of reset-but-still-allocated
+//! buffers, so steady-state ingestion (same-sized packets round after
+//! round) performs **zero** heap allocations — the property the
+//! `alloc-counter` gates in `seg6-core` and `seg6-runtime` prove.
+//!
+//! The pool itself is single-threaded by design (one per dispatcher); the
+//! cross-thread leg of the recycle loop — workers handing drained buffers
+//! back — is a lock-free free-ring owned by the runtime crate. The full
+//! descriptor lifecycle is: dispatcher [`take`](BufPool::take) →
+//! descriptor ring → worker (process, drain) → free-ring →
+//! dispatcher [`put`](BufPool::put) → [`take`](BufPool::take) again.
+
+use crate::buf::{PacketBuf, DEFAULT_HEADROOM};
+
+/// A recycling arena of [`PacketBuf`]s. See the [module docs](self).
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<PacketBuf>,
+    headroom: usize,
+    max_retained: usize,
+    allocated: u64,
+    recycled: u64,
+}
+
+impl BufPool {
+    /// Creates an arena retaining at most `max_retained` free buffers
+    /// (excess [`put`](BufPool::put)s fall through to the allocator), with
+    /// [`DEFAULT_HEADROOM`] on every buffer it hands out.
+    pub fn new(max_retained: usize) -> Self {
+        Self::with_headroom(max_retained, DEFAULT_HEADROOM)
+    }
+
+    /// [`BufPool::new`] with an explicit per-buffer headroom.
+    pub fn with_headroom(max_retained: usize, headroom: usize) -> Self {
+        BufPool { free: Vec::new(), headroom, max_retained, allocated: 0, recycled: 0 }
+    }
+
+    /// Takes an empty buffer: recycled storage when the free list has
+    /// any, a fresh allocation otherwise.
+    pub fn take(&mut self) -> PacketBuf {
+        match self.free.pop() {
+            Some(buf) => {
+                self.recycled += 1;
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                PacketBuf::with_headroom(self.headroom)
+            }
+        }
+    }
+
+    /// Takes a buffer and fills it with a copy of `frame`. Allocation-free
+    /// when a recycled buffer with enough storage is available.
+    pub fn take_filled(&mut self, frame: &[u8]) -> PacketBuf {
+        let mut buf = self.take();
+        buf.append(frame);
+        buf
+    }
+
+    /// Returns a drained buffer to the arena: its storage is kept and its
+    /// packet reset (empty, headroom restored). Buffers beyond the
+    /// retention cap are dropped — the arena never grows without bound.
+    pub fn put(&mut self, mut buf: PacketBuf) {
+        if self.free.len() < self.max_retained {
+            buf.reset(self.headroom);
+            self.free.push(buf);
+        }
+    }
+
+    /// Free buffers currently retained.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Buffers handed out that needed a fresh allocation.
+    pub fn allocations(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Buffers handed out from the free list (the recycle hit count).
+    pub fn recycle_hits(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Grows the free list to at least `n` retained buffers (counted as
+    /// allocations), paying the whole mint cost up front — provision the
+    /// arena with its workload's in-flight bound and the steady state
+    /// becomes mint-free *deterministically*, not merely when the
+    /// consumers keep up.
+    pub fn prefill(&mut self, n: usize) {
+        while self.free.len() < n.min(self.max_retained) {
+            self.allocated += 1;
+            self.free.push(PacketBuf::with_headroom(self.headroom));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_put_buffers() {
+        let mut pool = BufPool::new(8);
+        let mut buf = pool.take();
+        assert_eq!(pool.allocations(), 1);
+        buf.append(&[1, 2, 3]);
+        let storage = buf.storage_capacity();
+        pool.put(buf);
+        assert_eq!(pool.available(), 1);
+        let buf = pool.take_filled(&[9, 9]);
+        assert_eq!(pool.recycle_hits(), 1);
+        assert_eq!(pool.allocations(), 1, "no fresh allocation on recycle");
+        assert_eq!(buf.data(), &[9, 9]);
+        assert_eq!(buf.headroom(), DEFAULT_HEADROOM, "recycled buffer headroom restored");
+        assert!(buf.storage_capacity() >= storage.min(DEFAULT_HEADROOM + 2));
+    }
+
+    #[test]
+    fn retention_cap_drops_excess_buffers() {
+        let mut pool = BufPool::new(2);
+        for _ in 0..4 {
+            pool.put(PacketBuf::from_slice(&[0; 16]));
+        }
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn prefill_respects_the_cap() {
+        let mut pool = BufPool::with_headroom(4, 32);
+        pool.prefill(10);
+        assert_eq!(pool.available(), 4);
+        let buf = pool.take();
+        assert_eq!(buf.headroom(), 32);
+        assert_eq!(pool.recycle_hits(), 1);
+    }
+}

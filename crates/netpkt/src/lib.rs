@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod buf;
+pub mod bufpool;
 pub mod checksum;
 pub mod error;
 pub mod flow;
@@ -58,6 +59,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use buf::PacketBuf;
+pub use bufpool::BufPool;
 pub use error::{Error, Result};
 pub use flow::{flow_key, rss_hash, rss_hash_packet, rss_hash_packet_symmetric, steer, FlowKey};
 pub use icmpv6::{Icmpv6Header, Icmpv6Type};

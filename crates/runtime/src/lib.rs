@@ -50,7 +50,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed in exactly one module: the
+// lock-free SPSC ring (`ring`), whose slot accesses cannot be expressed in
+// safe Rust. Its safety argument is documented there and hammered by the
+// two-thread stress test (`tests/ring_stress.rs`).
+#![deny(unsafe_code)]
 
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
 use netpkt::PacketBuf;
@@ -58,8 +62,12 @@ use seg6_core::{Seg6Datapath, Skb, Verdict};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub mod pool;
+#[allow(unsafe_code)]
+pub mod ring;
+pub mod telemetry;
 
 pub use pool::{BatchDrain, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, WorkerPool};
+pub use telemetry::{PoolCounters, PoolSnapshot, ShardSnapshot};
 
 /// Hard ceiling on the worker count, matching the CPU slots per-CPU maps
 /// are provisioned for by default.

@@ -1,5 +1,5 @@
-//! The persistent worker pool: long-lived shard threads fed over bounded
-//! channels.
+//! The persistent worker pool: long-lived shard threads fed over
+//! lock-free SPSC descriptor rings.
 //!
 //! [`Runtime::run_threaded`](crate::Runtime::run_threaded) pays one OS
 //! thread spawn per shard on *every* call — fine for a one-shot benchmark,
@@ -7,27 +7,52 @@
 //! End.BPF deployment) instead keep one long-lived worker per receive
 //! queue: the NIC steers flows to queues with RSS, each queue's CPU runs
 //! forever, and user space only observes counters. This module reproduces
-//! that lifecycle:
+//! that lifecycle, with a DPDK-style descriptor plane underneath:
 //!
 //! * [`WorkerPool::new`] spawns N shard threads **once**; each thread owns
 //!   its [`Seg6Datapath`] (its program instances, its `cpu_id`) for the
 //!   pool's whole life. The crate-level
 //!   [`thread_spawn_count`](crate::thread_spawn_count) hook lets tests
 //!   assert that the steady state spawns nothing.
-//! * The dispatcher steers packets by RSS flow hash and hands them to the
-//!   shard over a **bounded channel** ([`WorkerPool::enqueue`]). A full
-//!   queue rejects the packet and counts it ([`ShardStats::rejected`]) —
-//!   backpressure behaves like a NIC dropping on a full RX ring, it never
-//!   blocks the dispatcher.
-//! * Workers accumulate packets into batches of
+//! * The dispatcher steers packets by RSS flow hash into per-shard
+//!   **lock-free SPSC rings** ([`crate::ring`]) — no per-descriptor
+//!   rendezvous with shared channel state, no blocking paths, wait-free
+//!   on both sides. Batch ingestion APIs ([`WorkerPool::enqueue_all`],
+//!   [`WorkerPool::enqueue_bytes_all`]) stage descriptors per shard and
+//!   publish each shard's burst with a *single* atomic release, so a
+//!   32-packet batch costs one ring publish instead of 32 channel sends.
+//!   A full ring rejects the packet and counts it
+//!   ([`ShardStats::rejected`]) — backpressure behaves like a NIC dropping
+//!   on a full RX ring, it never blocks the dispatcher.
+//!   [`PoolConfig::queue_depth`] rounds **up** to the next power of two
+//!   ([`WorkerPool::queue_capacity`]) and the boundary is exact: exactly
+//!   `queue_capacity` packets fit an idle shard's ring, the next is
+//!   rejected.
+//! * Packet storage is **recycled**: each worker returns drained
+//!   [`PacketBuf`]s through a per-shard free-ring; the dispatcher drains
+//!   free-rings into a [`BufPool`] arena and refills it into the next
+//!   packets ([`WorkerPool::enqueue_bytes_at`] /
+//!   [`WorkerPool::enqueue_bytes_all`] copy external frames into recycled
+//!   storage). Steady-state ingestion therefore performs **zero heap
+//!   allocations end-to-end** — dispatch → ring → worker → free-ring →
+//!   dispatch — proven by the `alloc-counter` gate
+//!   (`tests/pool_zero_alloc.rs`).
+//! * Control traffic (flush barriers, shutdown) moves on a **sideband
+//!   channel** checked between bursts, so the descriptor plane stays pure
+//!   data. Idle workers **park** (and a publish to a sleeping shard's ring
+//!   unparks it), so an idle pool consumes no CPU — there is no busy
+//!   polling.
+//! * Workers accumulate descriptors into batches of
 //!   [`PoolConfig::batch_size`] and run them through
-//!   [`Seg6Datapath::process_batch_verdicts`]; when a channel goes idle
-//!   the partial batch is processed immediately (batching amortises
-//!   bursts, it never delays a lull's packets). After every batch the
-//!   shard's optional **drain daemon** runs ([`BatchDrain`]) — the hook
-//!   per-CPU perf-ring consumers (`DelayCollector` and friends) attach to,
-//!   so events are pulled on the worker, batch by batch, instead of by a
-//!   remote poller racing the producer.
+//!   [`Seg6Datapath::process_batch_verdicts`]; when a ring goes idle the
+//!   partial batch is processed immediately (batching amortises bursts, it
+//!   never delays a lull's packets). After every batch the shard's
+//!   optional **drain daemon** runs ([`BatchDrain`]) — the hook per-CPU
+//!   perf-ring consumers (`DelayCollector` and friends) attach to.
+//! * Live counters: every shard mirrors its enqueue/reject/verdict counts
+//!   into relaxed atomics ([`PoolCounters`], via
+//!   [`WorkerPool::counters`]), readable at any time without a flush
+//!   barrier.
 //! * [`WorkerPool::flush`] is a barrier: every shard finishes what it was
 //!   handed before the barrier message and reports. Results come back **in
 //!   shard index order**, so a flush is as deterministic as
@@ -37,13 +62,17 @@
 //!   message, lets every worker finish its backlog, runs the final drain,
 //!   and joins the threads. No packet or perf event is stranded.
 
+use crate::ring::{self, Consumer, Producer};
+use crate::telemetry::PoolCounters;
 use crate::{count_thread_spawn, RunReport, WorkerStats, MAX_WORKERS};
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
-use netpkt::PacketBuf;
+use netpkt::{BufPool, PacketBuf};
 use seg6_core::{BatchVerdict, Seg6Datapath, Skb};
-use std::sync::mpsc::{channel, sync_channel};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A per-shard drain daemon: called on the worker thread after every
 /// processed batch (and one final time at shutdown) with the shard's CPU
@@ -86,19 +115,24 @@ pub struct PoolConfig {
     /// `1..=`[`MAX_WORKERS`].
     pub workers: u32,
     /// Packets a worker accumulates before running
-    /// [`Seg6Datapath::process_batch_verdicts`]. A flush or shutdown
-    /// message always processes the partial batch first.
+    /// [`Seg6Datapath::process_batch_verdicts`]. Also the dispatcher's
+    /// staging burst: batch ingestion publishes a shard's ring once per
+    /// this many staged packets. A flush or shutdown message always
+    /// processes the partial batch first.
     pub batch_size: usize,
-    /// Capacity of each shard's bounded input channel, in packets. An
-    /// enqueue onto a full channel is rejected and counted — the pool's
-    /// backpressure signal.
+    /// Capacity of each shard's descriptor ring, in packets, **rounded up
+    /// to the next power of two** (see [`WorkerPool::queue_capacity`] for
+    /// the effective value). An enqueue onto a full ring is rejected and
+    /// counted — the pool's backpressure signal.
     pub queue_depth: usize,
     /// Steer with the symmetric flow hash, keeping both directions of a
     /// flow on one worker.
     pub symmetric_steering: bool,
     /// Retain each processed packet and its [`BatchVerdict`] so
     /// [`WorkerPool::flush`] can return them. Costs one buffered `Skb` per
-    /// packet per flush window; leave off for counter-only workloads.
+    /// packet per flush window (those buffers are not recycled through the
+    /// free-ring — hand them back with [`WorkerPool::recycle`] after
+    /// reading them); leave off for counter-only workloads.
     pub collect_outputs: bool,
 }
 
@@ -117,9 +151,9 @@ impl Default for PoolConfig {
 /// Counters of one pool shard, as visible to the dispatcher.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Packets accepted into the shard's channel.
+    /// Packets accepted into the shard's descriptor ring.
     pub enqueued: u64,
-    /// Packets rejected because the channel was full (backpressure).
+    /// Packets rejected because the ring was full (backpressure).
     pub rejected: u64,
 }
 
@@ -144,22 +178,67 @@ pub struct PoolReport {
     pub outputs: Vec<Vec<(Skb, BatchVerdict)>>,
 }
 
-enum Msg {
-    /// A packet, stamped with the dispatcher's clock at enqueue time.
-    Packet { skb: Skb, now_ns: u64 },
-    /// Barrier: finish everything enqueued before this message and report.
+/// Sideband control messages, delivered outside the descriptor ring and
+/// checked by the worker between bursts.
+enum Ctrl {
+    /// Barrier: consume the descriptor ring dry, process everything, and
+    /// report. Everything published before this message was sent is
+    /// covered (the dispatcher publishes before it signals).
     Flush(Sender<ShardFlush>),
     /// Finish the backlog, run the final drain, exit.
     Shutdown,
+}
+
+/// Dispatcher-side handle of one shard: the descriptor-ring producer, the
+/// free-ring consumer, the staging buffer, and the wakeup state.
+struct ShardTx {
+    /// Descriptor ring into the worker.
+    ring: Producer<Skb>,
+    /// Free-ring out of the worker: drained packet buffers coming back.
+    freelist: Consumer<PacketBuf>,
+    /// Sideband control channel.
+    ctrl: Sender<Ctrl>,
+    /// Staged descriptors not yet published (always empty between public
+    /// API calls; batch ingestion fills it up to one burst).
+    staging: Vec<Skb>,
+    /// The worker thread, for unparking.
+    thread: std::thread::Thread,
+    /// Set by the worker just before it parks; cleared (by whoever acts
+    /// on it) before unparking. The dispatcher's publish/control paths
+    /// check it so a sleeping shard always wakes.
+    sleeping: Arc<AtomicBool>,
+}
+
+impl ShardTx {
+    /// Wakes the worker if it is parked (or about to park). Callers must
+    /// make their work visible (ring publish, control send) *before*
+    /// calling this; the SeqCst fence pairs with the worker's pre-park
+    /// fence so either the worker sees the work, or this sees the worker
+    /// sleeping.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping.swap(false, Ordering::SeqCst) {
+            self.thread.unpark();
+        }
+    }
 }
 
 /// The persistent worker pool. See the [module docs](self) for the
 /// lifecycle.
 pub struct WorkerPool {
     config: PoolConfig,
-    senders: Vec<SyncSender<Msg>>,
+    shards: Vec<ShardTx>,
     handles: Vec<JoinHandle<WorkerStats>>,
     stats: Vec<ShardStats>,
+    counters: Arc<PoolCounters>,
+    /// The dispatcher's recycling arena, refilled from the free-rings.
+    bufs: BufPool,
+    /// Reused scratch for draining free-rings.
+    reclaim_scratch: Vec<PacketBuf>,
+    queue_capacity: usize,
+    /// Whether the arena has been provisioned for the byte-slice
+    /// ingestion path (done once, on its first use).
+    bytes_arena_ready: bool,
 }
 
 impl WorkerPool {
@@ -171,23 +250,67 @@ impl WorkerPool {
     pub fn new<S: Into<ShardSetup>>(config: PoolConfig, mut builder: impl FnMut(u32) -> S) -> Self {
         let workers = config.workers.clamp(1, MAX_WORKERS);
         let config = PoolConfig { workers, ..config };
-        let mut senders = Vec::with_capacity(workers as usize);
+        let queue_capacity = config.queue_depth.max(1).next_power_of_two();
+        let counters = Arc::new(PoolCounters::new(workers));
+        let mut shards = Vec::with_capacity(workers as usize);
         let mut handles = Vec::with_capacity(workers as usize);
         for id in 0..workers {
             let setup: ShardSetup = builder(id).into();
             let mut datapath = setup.datapath;
             datapath.cpu_id = id;
-            let drain = setup.drain;
-            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            let (ring_tx, ring_rx) = ring::spsc_ring::<Skb>(queue_capacity);
+            let (free_tx, free_rx) = ring::spsc_ring::<PacketBuf>(queue_capacity);
+            let (ctrl_tx, ctrl_rx) = channel();
+            let sleeping = Arc::new(AtomicBool::new(false));
+            let state = ShardState {
+                id,
+                datapath,
+                batch: Vec::with_capacity(config.batch_size.max(1)),
+                stats: WorkerStats::default(),
+                outputs: Vec::new(),
+                verdicts: Vec::with_capacity(config.batch_size.max(1)),
+                drain: setup.drain,
+                free: free_tx,
+                free_staging: Vec::with_capacity(config.batch_size.max(1)),
+                counters: Arc::clone(&counters),
+                sleeping: Arc::clone(&sleeping),
+            };
             count_thread_spawn();
             let handle = std::thread::Builder::new()
                 .name(format!("seg6-worker-{id}"))
-                .spawn(move || worker_loop(config, rx, datapath, drain))
+                .spawn(move || worker_loop(config, state, ctrl_rx, ring_rx))
                 .expect("spawn worker thread");
-            senders.push(tx);
+            shards.push(ShardTx {
+                ring: ring_tx,
+                freelist: free_rx,
+                ctrl: ctrl_tx,
+                staging: Vec::with_capacity(config.batch_size.max(1)),
+                thread: handle.thread().clone(),
+                sleeping,
+            });
             handles.push(handle);
         }
-        WorkerPool { config, senders, handles, stats: vec![ShardStats::default(); workers as usize] }
+        WorkerPool {
+            config,
+            shards,
+            handles,
+            stats: vec![ShardStats::default(); workers as usize],
+            counters,
+            bufs: BufPool::new(Self::in_flight_bound(&config, queue_capacity)),
+            reclaim_scratch: Vec::new(),
+            queue_capacity,
+            bytes_arena_ready: false,
+        }
+    }
+
+    /// Upper bound on packet buffers that can be in flight and
+    /// *unreclaimable* at once (per shard: a full descriptor ring, the
+    /// worker's current batch, the dispatcher's staging), plus one.
+    /// Free-ring contents are excluded — the dispatcher drains those
+    /// before minting. An arena provisioned to this bound can never run
+    /// dry, whatever the worker scheduling.
+    fn in_flight_bound(config: &PoolConfig, queue_capacity: usize) -> usize {
+        config.workers as usize * (queue_capacity + 2 * config.batch_size.max(1)) + 1
     }
 
     /// Builds a pool whose shard `q` runs [`Seg6Datapath::fork_for_cpu`]
@@ -207,14 +330,43 @@ impl WorkerPool {
         self.config.workers
     }
 
+    /// Effective per-shard descriptor-ring capacity:
+    /// [`PoolConfig::queue_depth`] rounded up to the next power of two.
+    /// Exactly this many packets fit an idle shard's ring before the first
+    /// rejection.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
     /// Dispatcher-side counters, indexed by shard id.
     pub fn shard_stats(&self) -> &[ShardStats] {
         &self.stats
     }
 
-    /// Total packets rejected by full shard channels (backpressure).
+    /// Total packets rejected by full shard rings (backpressure).
     pub fn rejected(&self) -> u64 {
         self.stats.iter().map(|s| s.rejected).sum()
+    }
+
+    /// The pool's live counters: per-shard relaxed-atomic mirrors of the
+    /// enqueue/reject/verdict counts, readable from any thread at any time
+    /// **without** a flush barrier. The `Arc` stays valid after shutdown.
+    pub fn counters(&self) -> Arc<PoolCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The dispatcher's buffer-recycling arena (telemetry: allocation vs
+    /// recycle-hit counts). Buffers flow back into it from the free-rings
+    /// and from [`WorkerPool::recycle`].
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.bufs
+    }
+
+    /// Hands a packet buffer back to the recycling arena — the way to
+    /// return [`PoolConfig::collect_outputs`] buffers after reading them,
+    /// closing the zero-allocation loop for output-collecting callers.
+    pub fn recycle(&mut self, buf: PacketBuf) {
+        self.bufs.put(buf);
     }
 
     /// The shard a packet steers to, without enqueueing it. Identical
@@ -227,30 +379,17 @@ impl WorkerPool {
         } else {
             rss_hash_packet(packet)
         };
-        steer(hash, self.senders.len()) as u32
+        steer(hash, self.shards.len()) as u32
     }
 
     /// Steers `packet` to its shard and enqueues it with clock `now_ns`
     /// (the packet's RX timestamp, and the time its batch will be
     /// processed at). Returns `false` — counting the rejection — when the
-    /// shard's channel is full.
+    /// shard's ring is full.
     pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
         let shard = self.steer_to(packet.data()) as usize;
-        let skb = Skb::received(packet, now_ns, 0);
-        match self.senders[shard].try_send(Msg::Packet { skb, now_ns }) {
-            Ok(()) => {
-                self.stats[shard].enqueued += 1;
-                true
-            }
-            // Disconnected can only mean the worker died (a panic inside a
-            // program); account the packet as rejected rather than
-            // propagating mid-enqueue — the next flush will surface the
-            // dead worker.
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.stats[shard].rejected += 1;
-                false
-            }
-        }
+        self.shards[shard].staging.push(Skb::received(packet, now_ns, 0));
+        self.publish_shard(shard) == 1
     }
 
     /// [`WorkerPool::enqueue_at`] with clock 0 (benchmarks and tests that
@@ -260,8 +399,116 @@ impl WorkerPool {
     }
 
     /// Enqueues a collection of packets, returning how many were accepted.
+    /// Descriptors are staged per shard and published in bursts of
+    /// [`PoolConfig::batch_size`] — one atomic ring publish per burst, the
+    /// amortisation the per-packet [`WorkerPool::enqueue`] cannot have.
     pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
-        packets.into_iter().map(|p| usize::from(self.enqueue(p))).sum()
+        let burst = self.config.batch_size.max(1);
+        let mut accepted = 0;
+        for packet in packets {
+            let shard = self.steer_to(packet.data()) as usize;
+            self.shards[shard].staging.push(Skb::received(packet, 0, 0));
+            if self.shards[shard].staging.len() >= burst {
+                accepted += self.publish_shard(shard);
+            }
+        }
+        accepted + self.publish_all()
+    }
+
+    /// First use of the byte-slice ingestion path: provision the arena
+    /// with the pool's whole in-flight bound up front. From then on the
+    /// bytes path can never run the arena dry — the buffers a lagging
+    /// worker has not returned yet are covered by the bound — so a
+    /// mint-free steady state is a deterministic property, not one that
+    /// depends on worker scheduling.
+    fn ensure_bytes_arena(&mut self) {
+        if !self.bytes_arena_ready {
+            self.bytes_arena_ready = true;
+            self.bufs.prefill(Self::in_flight_bound(&self.config, self.queue_capacity));
+        }
+    }
+
+    /// Copies one external frame into a **recycled** packet buffer (from
+    /// the free-ring-fed arena, provisioned on first use to the pool's
+    /// in-flight bound) and enqueues it with clock `now_ns`. This is the
+    /// ingestion front-end for sources that own their bytes — pcap
+    /// replay, the simulator — and the entry point of the
+    /// zero-allocation loop.
+    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
+        self.ensure_bytes_arena();
+        if self.bufs.available() == 0 {
+            self.reclaim();
+        }
+        let packet = self.bufs.take_filled(frame);
+        self.enqueue_at(now_ns, packet)
+    }
+
+    /// Burst form of [`WorkerPool::enqueue_bytes_at`]: every frame is
+    /// copied into recycled storage, staged per shard, and published in
+    /// single-release bursts. Returns how many frames were accepted.
+    pub fn enqueue_bytes_all<'a>(
+        &mut self,
+        now_ns: u64,
+        frames: impl IntoIterator<Item = &'a [u8]>,
+    ) -> usize {
+        self.ensure_bytes_arena();
+        // Start every burst round by collecting what the workers returned
+        // since the last one, keeping the free-rings far from full (a full
+        // free-ring makes the worker drop storage instead of recycling).
+        self.reclaim();
+        let burst = self.config.batch_size.max(1);
+        let mut accepted = 0;
+        for frame in frames {
+            if self.bufs.available() == 0 {
+                self.reclaim();
+            }
+            let packet = self.bufs.take_filled(frame);
+            let shard = self.steer_to(packet.data()) as usize;
+            self.shards[shard].staging.push(Skb::received(packet, now_ns, 0));
+            if self.shards[shard].staging.len() >= burst {
+                accepted += self.publish_shard(shard);
+            }
+        }
+        accepted + self.publish_all()
+    }
+
+    /// Publishes shard `shard`'s staged descriptors with one atomic
+    /// release, accounts acceptances and rejections exactly (rejected
+    /// packets' buffers go back to the arena), and wakes the worker when
+    /// anything was published. Returns the accepted count.
+    fn publish_shard(&mut self, shard: usize) -> usize {
+        let tx = &mut self.shards[shard];
+        if tx.staging.is_empty() {
+            return 0;
+        }
+        let accepted = tx.ring.enqueue_burst(&mut tx.staging);
+        let rejected = tx.staging.len();
+        for skb in tx.staging.drain(..) {
+            self.bufs.put(skb.into_packet());
+        }
+        self.stats[shard].enqueued += accepted as u64;
+        self.stats[shard].rejected += rejected as u64;
+        self.counters.shard(shard as u32).add_ingress(accepted as u64, rejected as u64);
+        if accepted > 0 {
+            tx.wake();
+        }
+        accepted
+    }
+
+    /// Publishes every shard's remaining staged descriptors.
+    fn publish_all(&mut self) -> usize {
+        (0..self.shards.len()).map(|shard| self.publish_shard(shard)).sum()
+    }
+
+    /// Drains every shard's free-ring into the recycling arena.
+    fn reclaim(&mut self) {
+        for tx in &mut self.shards {
+            while tx.freelist.dequeue_burst(&mut self.reclaim_scratch, 64) > 0 {
+                for buf in self.reclaim_scratch.drain(..) {
+                    self.bufs.put(buf);
+                }
+            }
+        }
     }
 
     /// Barrier: waits until every shard has processed everything enqueued
@@ -269,19 +516,18 @@ impl WorkerPool {
     /// collected) since the previous flush — always in shard index order,
     /// regardless of which shard finished first.
     pub fn flush(&mut self) -> PoolReport {
+        self.publish_all();
         // Hand every shard its barrier first, then collect in index order:
         // the shards drain concurrently, the ordering is imposed only on
         // the collection side.
         let replies: Vec<Receiver<ShardFlush>> = self
-            .senders
+            .shards
             .iter()
-            .map(|sender| {
-                let (tx, rx) = channel();
-                // A blocking send is deliberate: the barrier must get into
-                // the (bounded) channel even when it is briefly full — the
-                // worker is draining it, so space always appears.
-                sender.send(Msg::Flush(tx)).expect("worker alive");
-                rx
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.ctrl.send(Ctrl::Flush(reply_tx)).expect("worker alive");
+                tx.wake();
+                reply_rx
             })
             .collect();
         let mut deltas = Vec::with_capacity(replies.len());
@@ -300,9 +546,12 @@ impl WorkerPool {
     /// one packet to one shard per arrival) use instead of paying a
     /// whole-pool barrier.
     pub fn flush_shard(&mut self, shard: u32) -> ShardFlush {
-        let (tx, rx) = channel();
-        self.senders[shard as usize].send(Msg::Flush(tx)).expect("worker alive");
-        rx.recv().expect("worker answers the barrier")
+        self.publish_shard(shard as usize);
+        let (reply_tx, reply_rx) = channel();
+        let tx = &self.shards[shard as usize];
+        tx.ctrl.send(Ctrl::Flush(reply_tx)).expect("worker alive");
+        tx.wake();
+        reply_rx.recv().expect("worker answers the barrier")
     }
 
     /// Graceful shutdown: every worker finishes its backlog, runs its
@@ -315,9 +564,10 @@ impl WorkerPool {
     }
 
     fn stop(&mut self) {
-        for sender in self.senders.drain(..) {
-            // As with flush: block until the shutdown message fits.
-            let _ = sender.send(Msg::Shutdown);
+        self.publish_all();
+        for tx in self.shards.drain(..) {
+            let _ = tx.ctrl.send(Ctrl::Shutdown);
+            tx.wake();
         }
     }
 }
@@ -331,89 +581,162 @@ impl Drop for WorkerPool {
     }
 }
 
+/// How long a parked worker sleeps before re-checking its inputs on its
+/// own. Wakeups are explicit (publish/control unpark the thread); the
+/// timeout only bounds the damage if the dispatcher vanishes without a
+/// shutdown message.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
 /// The state one shard thread owns for its whole life. The batch, verdict
 /// and output buffers are reused across batches: after the first batch
 /// warms them up, the shard's steady state performs zero heap allocations
 /// per packet (the `alloc-counter` test feature proves it).
 struct ShardState {
+    id: u32,
     datapath: Seg6Datapath,
     batch: Vec<Skb>,
     stats: WorkerStats,
     outputs: Vec<(Skb, BatchVerdict)>,
     verdicts: Vec<BatchVerdict>,
     drain: Option<BatchDrain>,
+    /// Free-ring back to the dispatcher: drained packet buffers.
+    free: Producer<PacketBuf>,
+    /// Staging for the free-ring, so a whole batch's buffers are returned
+    /// with one burst publish (reused across batches).
+    free_staging: Vec<PacketBuf>,
+    /// Live-counter mirrors, updated once per batch.
+    counters: Arc<PoolCounters>,
+    /// Park handshake; see [`ShardTx::sleeping`].
+    sleeping: Arc<AtomicBool>,
 }
 
-/// One shard's thread body: receive, batch, process, drain, report.
+/// One shard's thread body: burst-dequeue, batch, process, recycle,
+/// drain, report. Control messages ride the sideband channel and are
+/// checked between bursts; an idle shard parks.
 fn worker_loop(
     config: PoolConfig,
-    rx: Receiver<Msg>,
-    datapath: Seg6Datapath,
-    drain: Option<BatchDrain>,
+    mut shard: ShardState,
+    ctrl: Receiver<Ctrl>,
+    mut ring: Consumer<Skb>,
 ) -> WorkerStats {
     let batch_size = config.batch_size.max(1);
-    let mut shard = ShardState {
-        datapath,
-        batch: Vec::with_capacity(batch_size),
-        stats: WorkerStats::default(),
-        outputs: Vec::new(),
-        verdicts: Vec::with_capacity(batch_size),
-        drain,
-    };
     let mut reported = WorkerStats::default();
     let mut clock: u64 = 0;
     loop {
-        // Block for the next message; the worker is otherwise idle.
-        let Ok(msg) = rx.recv() else { break };
-        let mut next = Some(msg);
-        while let Some(msg) = next.take() {
-            match msg {
-                Msg::Packet { skb, now_ns } => {
-                    shard.stats.steered += 1;
-                    clock = clock.max(now_ns);
-                    shard.batch.push(skb);
-                    if shard.batch.len() >= batch_size {
-                        run_batch(&mut shard, clock, &config);
-                    }
-                    // Opportunistically pull whatever else is already
-                    // queued. When the channel goes idle, process the
-                    // partial batch instead of holding it while blocked —
-                    // NAPI-style: batching amortises bursts, it never
-                    // delays a lull's packets until the next barrier.
-                    match rx.try_recv() {
-                        Ok(more) => next = Some(more),
-                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
-                            if !shard.batch.is_empty() {
-                                run_batch(&mut shard, clock, &config);
-                            }
-                        }
-                    }
-                }
-                Msg::Flush(reply) => {
-                    run_batch(&mut shard, clock, &config);
-                    let delta = crate::delta(reported, shard.stats);
-                    reported = shard.stats;
-                    let _ =
-                        reply.send(ShardFlush { stats: delta, outputs: std::mem::take(&mut shard.outputs) });
-                }
-                Msg::Shutdown => {
-                    // Final partial batch + final drain, so no packet or
-                    // perf event is stranded.
-                    run_batch(&mut shard, clock, &config);
-                    return shard.stats;
-                }
+        // Sideband control, between bursts: the descriptor plane never
+        // carries anything but packets.
+        match ctrl.try_recv() {
+            Ok(Ctrl::Flush(reply)) => {
+                flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
+                continue;
+            }
+            Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
+                // Finish the backlog and the final drain, so no packet or
+                // perf event is stranded. Disconnection without a shutdown
+                // message means the dispatcher vanished mid-panic — same
+                // exit path.
+                drain_ring(&mut shard, &mut ring, &mut clock, &config);
+                return shard.stats;
+            }
+            Err(TryRecvError::Empty) => {}
+        }
+        // One burst off the descriptor ring, up to the batch's remaining
+        // room (a single acquire, however many descriptors are ready).
+        let room = batch_size - shard.batch.len();
+        let got = ring.dequeue_burst(&mut shard.batch, room);
+        if got > 0 {
+            note_arrivals(&mut shard, got, &mut clock);
+            // NAPI-style: run a full batch, or — when the ring went idle —
+            // the partial one. Batching amortises bursts, it never delays
+            // a lull's packets until the next barrier.
+            if shard.batch.len() >= batch_size || ring.is_empty() {
+                run_batch(&mut shard, clock, &config);
+            }
+            continue;
+        }
+        if !shard.batch.is_empty() {
+            run_batch(&mut shard, clock, &config);
+            continue;
+        }
+        // Idle: park. The pre-park protocol pairs with `ShardTx::wake` —
+        // set the flag, fence, then re-check both inputs; the dispatcher
+        // publishes/sends first, fences, then checks the flag. Whatever
+        // the interleaving, either this sees the work or the dispatcher
+        // sees the flag and unparks.
+        shard.sleeping.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if !ring.is_empty() {
+            shard.sleeping.store(false, Ordering::SeqCst);
+            continue;
+        }
+        match ctrl.try_recv() {
+            Ok(Ctrl::Flush(reply)) => {
+                shard.sleeping.store(false, Ordering::SeqCst);
+                flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
+            }
+            Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
+                shard.sleeping.store(false, Ordering::SeqCst);
+                drain_ring(&mut shard, &mut ring, &mut clock, &config);
+                return shard.stats;
+            }
+            Err(TryRecvError::Empty) => {
+                std::thread::park_timeout(PARK_TIMEOUT);
+                shard.sleeping.store(false, Ordering::SeqCst);
             }
         }
     }
-    // Dispatcher vanished without an explicit shutdown (pool dropped
-    // mid-panic): still finish the backlog and the final drain.
-    run_batch(&mut shard, clock, &config);
-    shard.stats
 }
 
-/// Processes the accumulated batch (if any) and runs the drain daemon.
+/// Accounts `got` freshly dequeued descriptors (appended at the batch
+/// tail) and advances the shard clock to the newest RX timestamp.
+fn note_arrivals(shard: &mut ShardState, got: usize, clock: &mut u64) {
+    shard.stats.steered += got as u64;
+    let start = shard.batch.len() - got;
+    for skb in &shard.batch[start..] {
+        *clock = (*clock).max(skb.rx_timestamp_ns);
+    }
+}
+
+/// Consumes the descriptor ring dry (everything published so far),
+/// processing full batches as they fill and the final partial one.
+fn drain_ring(shard: &mut ShardState, ring: &mut Consumer<Skb>, clock: &mut u64, config: &PoolConfig) {
+    let batch_size = config.batch_size.max(1);
+    loop {
+        let room = batch_size - shard.batch.len();
+        let got = ring.dequeue_burst(&mut shard.batch, room);
+        if got == 0 {
+            break;
+        }
+        note_arrivals(shard, got, clock);
+        if shard.batch.len() >= batch_size {
+            run_batch(shard, *clock, config);
+        }
+    }
+    run_batch(shard, *clock, config);
+}
+
+/// Serves one flush barrier: drain everything published before it, then
+/// report the deltas since the previous barrier.
+fn flush_barrier(
+    shard: &mut ShardState,
+    ring: &mut Consumer<Skb>,
+    clock: &mut u64,
+    config: &PoolConfig,
+    reported: &mut WorkerStats,
+    reply: Sender<ShardFlush>,
+) {
+    drain_ring(shard, ring, clock, config);
+    let delta = crate::delta(*reported, shard.stats);
+    *reported = shard.stats;
+    let _ = reply.send(ShardFlush { stats: delta, outputs: std::mem::take(&mut shard.outputs) });
+}
+
+/// Processes the accumulated batch (if any), recycles the drained packet
+/// buffers through the free-ring, mirrors the deltas into the live
+/// counters, and runs the drain daemon.
 fn run_batch(shard: &mut ShardState, clock: u64, config: &PoolConfig) {
     if !shard.batch.is_empty() {
+        let before = shard.stats;
         // The verdict buffer is shard-owned and reused: no allocation per
         // batch, no allocation per packet.
         shard.verdicts.clear();
@@ -427,11 +750,23 @@ fn run_batch(shard: &mut ShardState, clock: u64, config: &PoolConfig) {
             }
         }
         shard.stats.batches += 1;
+        let mut recycled = 0u64;
         if config.collect_outputs {
             shard.outputs.extend(shard.batch.drain(..).zip(shard.verdicts.drain(..)));
         } else {
-            shard.batch.clear();
+            // Hand the whole batch's drained storage back to the
+            // dispatcher with one burst publish — the return leg costs one
+            // release store per batch, like the ingress leg. Whatever a
+            // full free-ring (dispatcher not reclaiming) leaves behind is
+            // dropped — recycling is an optimisation, never a blocking
+            // edge.
+            for skb in shard.batch.drain(..) {
+                shard.free_staging.push(skb.into_packet());
+            }
+            recycled = shard.free.enqueue_burst(&mut shard.free_staging) as u64;
+            shard.free_staging.clear();
         }
+        shard.counters.shard(shard.id).add_batch(&crate::delta(before, shard.stats), recycled);
     }
     // The drain daemon runs batch-aware: after the batch's events are in
     // the ring, on the worker that produced them.
@@ -537,11 +872,11 @@ mod tests {
         assert_eq!(thread_spawn_count() - before, 3 * 4);
     }
 
-    /// Backpressure: a full shard channel rejects deterministically. The
+    /// Backpressure: a full shard ring rejects deterministically. The
     /// drain daemon doubles as a worker-stall handshake so the test
-    /// controls exactly when the worker consumes its queue.
+    /// controls exactly when the worker consumes its ring.
     #[test]
-    fn full_shard_channel_rejects_and_counts() {
+    fn full_shard_ring_rejects_and_counts() {
         let (entered_tx, entered_rx) = mpsc::channel::<()>();
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
@@ -555,21 +890,25 @@ mod tests {
             }))
         });
 
-        // First packet: the worker takes it off the channel, processes it
+        // First packet: the worker takes it off the ring, processes it
         // (batch size 1) and blocks inside the drain.
         assert!(pool.enqueue(flow_packet(0)));
         entered_rx.recv().expect("worker entered the drain");
 
-        // The channel now holds 0 messages and the worker consumes
-        // nothing: the next `queue_depth` packets fit, everything after
+        // The ring now holds 0 descriptors and the worker consumes
+        // nothing: the next `queue_capacity` packets fit, everything after
         // that is backpressure.
+        assert_eq!(pool.queue_capacity(), 4);
         for flow in 1..=4 {
-            assert!(pool.enqueue(flow_packet(flow)), "packet {flow} fits the queue");
+            assert!(pool.enqueue(flow_packet(flow)), "packet {flow} fits the ring");
         }
         assert!(!pool.enqueue(flow_packet(5)));
         assert!(!pool.enqueue(flow_packet(6)));
         assert_eq!(pool.rejected(), 2);
         assert_eq!(pool.shard_stats()[0], ShardStats { enqueued: 5, rejected: 2 });
+        // The live mirrors agree with the dispatcher's view, mid-run and
+        // without any barrier.
+        assert_eq!(pool.counters().snapshot().shards[0].as_shard_stats(), pool.shard_stats()[0]);
 
         // Unblock every future drain call and let the barrier confirm that
         // accepted packets — and only those — were processed.
@@ -579,7 +918,42 @@ mod tests {
         assert_eq!(report.run.forwarded, 5);
     }
 
-    /// An enqueue-only caller must not strand work: when a shard's channel
+    /// The queue-depth satellite: a non-power-of-two depth rounds **up**,
+    /// the effective capacity is exactly reachable, and the
+    /// enqueued/rejected split stays exact at the boundary.
+    #[test]
+    fn queue_depth_rounds_up_and_boundary_accounting_is_exact() {
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+        let config = PoolConfig { workers: 1, batch_size: 1, queue_depth: 5, ..Default::default() };
+        let mut pool = WorkerPool::new(config, move |cpu| {
+            let entered_tx = entered_tx.clone();
+            let release_rx = Arc::clone(&release_rx);
+            ShardSetup::new(forwarding_datapath(cpu)).with_drain(Box::new(move |_| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+            }))
+        });
+        assert_eq!(pool.queue_capacity(), 8, "queue_depth 5 rounds up to 8");
+
+        // Stall the worker after packet 0, then fill the ring to *exactly*
+        // its capacity: every one of the 8 must fit, the 9th must not.
+        assert!(pool.enqueue(flow_packet(0)));
+        entered_rx.recv().expect("worker entered the drain");
+        for flow in 1..=8 {
+            assert!(pool.enqueue(flow_packet(flow)), "packet {flow} of exactly capacity fits");
+        }
+        assert!(!pool.enqueue(flow_packet(9)), "capacity + 1 is rejected");
+        assert_eq!(pool.shard_stats()[0], ShardStats { enqueued: 9, rejected: 1 });
+
+        drop(release_tx);
+        let report = pool.flush();
+        assert_eq!(report.run.processed, 9, "every accepted packet, none of the rejected");
+        pool.shutdown();
+    }
+
+    /// An enqueue-only caller must not strand work: when a shard's ring
     /// goes idle, the partial batch is processed (and the drain daemon
     /// runs) without waiting for a flush barrier.
     #[test]
@@ -639,8 +1013,11 @@ mod tests {
                 // The hop limit was decremented in place.
                 let header = netpkt::Ipv6Header::parse(skb.packet.data()).unwrap();
                 assert_eq!(header.hop_limit, 63);
+                // Output buffers can be handed back to the arena.
+                pool.recycle(skb.into_packet());
             }
         }
+        assert_eq!(pool.buf_pool().available(), 32);
         // The next flush starts from a clean output buffer.
         pool.enqueue(flow_packet(0));
         let report = pool.flush();
@@ -658,10 +1035,90 @@ mod tests {
         let totals = pool.shutdown();
         assert_eq!(totals.len(), 4);
         for (shard, (stats, expected)) in totals.iter().zip(enqueued).enumerate() {
-            assert_eq!(stats.steered, expected, "shard {shard} consumed its queue");
+            assert_eq!(stats.steered, expected, "shard {shard} consumed its ring");
             assert_eq!(stats.processed, expected, "shard {shard} processed its backlog");
         }
         assert_eq!(totals.iter().map(|s| s.processed).sum::<u64>(), 100);
+    }
+
+    /// Live telemetry satellite: at every quiet point (after a flush
+    /// barrier), the barrier-free counter snapshot agrees exactly with the
+    /// dispatcher's stats and the accumulated flush deltas — and reading
+    /// it mid-run needs no barrier at all.
+    #[test]
+    fn live_counters_agree_with_flush_totals() {
+        let config = PoolConfig { workers: 4, batch_size: 16, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        let counters = pool.counters();
+        let mut flushed = RunReport::default();
+        for round in 1..=3u64 {
+            pool.enqueue_all((0..256).map(flow_packet));
+            // A mid-traffic sample must be readable without a barrier and
+            // never exceed what was enqueued.
+            let live = counters.snapshot();
+            assert!(live.processed() <= live.enqueued());
+            let report = pool.flush();
+            flushed.processed += report.run.processed;
+            flushed.forwarded += report.run.forwarded;
+
+            let quiet = counters.snapshot();
+            assert_eq!(quiet.enqueued(), 256 * round);
+            assert_eq!(quiet.processed(), flushed.processed);
+            assert_eq!(quiet.forwarded(), flushed.forwarded);
+            assert_eq!(quiet.in_flight(), 0);
+            for (shard, sample) in quiet.shards.iter().enumerate() {
+                assert_eq!(sample.as_shard_stats(), pool.shard_stats()[shard], "shard {shard}");
+            }
+        }
+        // Counters survive (and stay exact across) shutdown.
+        let totals = pool.shutdown();
+        let after = counters.snapshot();
+        assert_eq!(after.processed(), totals.iter().map(|s| s.processed).sum::<u64>());
+    }
+
+    /// Recycling satellite: byte-slice ingestion reuses worker-returned
+    /// buffers — after warm-up, whole rounds run without the arena
+    /// allocating a single fresh buffer.
+    #[test]
+    fn bytes_ingestion_recycles_buffers_between_rounds() {
+        let config = PoolConfig { workers: 2, batch_size: 8, queue_depth: 512, ..Default::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        let frames: Vec<PacketBuf> = (0..128).map(flow_packet).collect();
+        let frames: Vec<&[u8]> = frames.iter().map(|p| p.data()).collect();
+
+        // Warm-up: the first rounds mint fresh buffers.
+        for _ in 0..2 {
+            assert_eq!(pool.enqueue_bytes_all(0, frames.iter().copied()), 128);
+            assert_eq!(pool.flush().run.processed, 128);
+        }
+        // The first bytes-path use provisioned the arena to the pool's
+        // in-flight bound, so the mint count is paid once — and staying
+        // flat is deterministic, not scheduling-dependent.
+        let minted = pool.buf_pool().allocations();
+        assert!(minted > 0, "first bytes-path use provisioned the arena");
+
+        // Steady state: every round is served from recycled storage.
+        for round in 0..4 {
+            assert_eq!(pool.enqueue_bytes_all(0, frames.iter().copied()), 128);
+            assert_eq!(pool.flush().run.processed, 128);
+            assert_eq!(
+                pool.buf_pool().allocations(),
+                minted,
+                "round {round} minted fresh buffers instead of recycling"
+            );
+        }
+        assert!(pool.buf_pool().recycle_hits() >= 4 * 128);
+        // The workers' side of the loop is visible in the live counters.
+        assert!(pool.counters().snapshot().recycled() >= 4 * 128);
+        // Verdicts are identical to the owned-buffer path.
+        let mut once = Runtime::new(
+            RuntimeConfig { workers: 2, batch_size: 8, ..Default::default() },
+            forwarding_datapath,
+        );
+        once.enqueue_all((0..128).map(flow_packet));
+        let report_once = once.run_once(0);
+        pool.enqueue_bytes_all(0, frames.iter().copied());
+        assert_eq!(pool.flush().run, report_once);
     }
 
     /// An `End.BPF` program that bumps this CPU's slot of the per-CPU

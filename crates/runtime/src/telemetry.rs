@@ -1,0 +1,249 @@
+//! Pool-wide live counters: barrier-free metrics for a running pool.
+//!
+//! [`WorkerPool::flush`](crate::WorkerPool::flush) is a barrier — it
+//! reports exact deltas, but only by making every shard stop and answer.
+//! A metrics endpoint scraping a production datapath cannot afford that;
+//! it wants the kernel model instead, where `ethtool -S`-style counters
+//! are per-queue cells the datapath updates locally and readers sample at
+//! any time without synchronising with the hot path.
+//!
+//! [`PoolCounters`] reproduces that: one [`ShardCounters`] cell block per
+//! shard, each a set of relaxed atomics. The dispatcher adds its
+//! enqueue/reject accounting at publish time; each worker adds its
+//! processed/verdict/recycle deltas once per batch (batch-local sums, one
+//! `fetch_add` per counter per batch — nothing per packet). Readers call
+//! [`PoolCounters::snapshot`] from any thread, any time, with no barrier
+//! and no effect on the workers.
+//!
+//! Consistency: each individual counter is exact (updated by exactly one
+//! thread); a snapshot taken *while traffic is moving* may straddle a
+//! batch (e.g. `enqueued` already includes packets whose `processed`
+//! increment has not landed yet). At any quiet point — after a
+//! [`flush`](crate::WorkerPool::flush) barrier returns — a snapshot
+//! agrees exactly with the dispatcher's [`ShardStats`] and the sum of all
+//! flushed [`WorkerStats`] deltas (regression-tested in the pool tests).
+
+use crate::{ShardStats, WorkerStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of one shard. All cells are relaxed atomics: written by
+/// exactly one thread each (dispatcher or the shard's worker), readable by
+/// anyone at any time.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Packets accepted into the shard's descriptor ring (dispatcher).
+    enqueued: AtomicU64,
+    /// Packets rejected because the ring was full (dispatcher).
+    rejected: AtomicU64,
+    /// Packets processed by the worker.
+    processed: AtomicU64,
+    /// Forward verdicts.
+    forwarded: AtomicU64,
+    /// Local-delivery verdicts.
+    local_delivered: AtomicU64,
+    /// Drop verdicts.
+    dropped: AtomicU64,
+    /// Batches executed by the worker.
+    batches: AtomicU64,
+    /// Packet buffers handed back to the dispatcher through the free-ring.
+    recycled: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Dispatcher-side accounting: one call per published burst.
+    pub(crate) fn add_ingress(&self, enqueued: u64, rejected: u64) {
+        if enqueued > 0 {
+            self.enqueued.fetch_add(enqueued, Ordering::Relaxed);
+        }
+        if rejected > 0 {
+            self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker-side accounting: one call per processed batch, with the
+    /// batch's verdict deltas and how many buffers went to the free-ring.
+    pub(crate) fn add_batch(&self, delta: &WorkerStats, recycled: u64) {
+        self.processed.fetch_add(delta.processed, Ordering::Relaxed);
+        self.forwarded.fetch_add(delta.forwarded, Ordering::Relaxed);
+        self.local_delivered.fetch_add(delta.local_delivered, Ordering::Relaxed);
+        self.dropped.fetch_add(delta.dropped, Ordering::Relaxed);
+        self.batches.fetch_add(delta.batches, Ordering::Relaxed);
+        if recycled > 0 {
+            self.recycled.fetch_add(recycled, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples this shard's counters.
+    pub fn sample(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            processed: self.processed.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            local_delivered: self.local_delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time sample of one shard's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Packets accepted into the shard's descriptor ring since pool start.
+    pub enqueued: u64,
+    /// Packets rejected by a full ring (backpressure) since pool start.
+    pub rejected: u64,
+    /// Packets processed by the worker.
+    pub processed: u64,
+    /// Forward verdicts.
+    pub forwarded: u64,
+    /// Local-delivery verdicts.
+    pub local_delivered: u64,
+    /// Drop verdicts.
+    pub dropped: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Packet buffers recycled back to the dispatcher's arena.
+    pub recycled: u64,
+}
+
+impl ShardSnapshot {
+    /// The dispatcher-side view of this sample, for comparison with
+    /// [`ShardStats`].
+    pub fn as_shard_stats(&self) -> ShardStats {
+        ShardStats { enqueued: self.enqueued, rejected: self.rejected }
+    }
+}
+
+/// A consistent-at-quiescence sample of the whole pool, in shard index
+/// order. See the [module docs](self) for what "consistent" means while
+/// traffic is moving.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Per-shard samples, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl PoolSnapshot {
+    /// Sums a counter over every shard.
+    fn total(&self, field: impl Fn(&ShardSnapshot) -> u64) -> u64 {
+        self.shards.iter().map(field).sum()
+    }
+
+    /// Total packets accepted across all shards.
+    pub fn enqueued(&self) -> u64 {
+        self.total(|s| s.enqueued)
+    }
+
+    /// Total packets rejected (backpressure) across all shards.
+    pub fn rejected(&self) -> u64 {
+        self.total(|s| s.rejected)
+    }
+
+    /// Total packets processed across all shards.
+    pub fn processed(&self) -> u64 {
+        self.total(|s| s.processed)
+    }
+
+    /// Total forward verdicts across all shards.
+    pub fn forwarded(&self) -> u64 {
+        self.total(|s| s.forwarded)
+    }
+
+    /// Total local deliveries across all shards.
+    pub fn local_delivered(&self) -> u64 {
+        self.total(|s| s.local_delivered)
+    }
+
+    /// Total drop verdicts across all shards.
+    pub fn dropped(&self) -> u64 {
+        self.total(|s| s.dropped)
+    }
+
+    /// Total buffers recycled through the free-rings.
+    pub fn recycled(&self) -> u64 {
+        self.total(|s| s.recycled)
+    }
+
+    /// Packets accepted but not yet processed at sample time — the live
+    /// backlog estimate a load-shedding controller would watch.
+    pub fn in_flight(&self) -> u64 {
+        self.enqueued().saturating_sub(self.processed())
+    }
+}
+
+/// The pool's live counter block: one [`ShardCounters`] per shard. Held
+/// behind an `Arc` by the pool, its workers, and any number of metric
+/// readers ([`WorkerPool::counters`](crate::WorkerPool::counters) hands
+/// out clones).
+#[derive(Debug)]
+pub struct PoolCounters {
+    shards: Box<[ShardCounters]>,
+}
+
+impl PoolCounters {
+    pub(crate) fn new(workers: u32) -> Self {
+        PoolCounters { shards: (0..workers).map(|_| ShardCounters::default()).collect() }
+    }
+
+    /// Number of shards the block covers.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's live counters.
+    pub fn shard(&self, shard: u32) -> &ShardCounters {
+        &self.shards[shard as usize]
+    }
+
+    /// Samples every shard, barrier-free, in shard index order.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot { shards: self.shards.iter().map(ShardCounters::sample).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_both_sides() {
+        let counters = PoolCounters::new(2);
+        counters.shard(0).add_ingress(10, 2);
+        counters.shard(1).add_ingress(5, 0);
+        let batch = WorkerStats {
+            steered: 10,
+            processed: 10,
+            forwarded: 8,
+            local_delivered: 1,
+            dropped: 1,
+            batches: 2,
+        };
+        counters.shard(0).add_batch(&batch, 10);
+        let snap = counters.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].enqueued, 10);
+        assert_eq!(snap.shards[0].rejected, 2);
+        assert_eq!(snap.shards[0].processed, 10);
+        assert_eq!(snap.shards[0].forwarded, 8);
+        assert_eq!(snap.shards[0].recycled, 10);
+        assert_eq!(snap.shards[1].enqueued, 5);
+        assert_eq!(snap.enqueued(), 15);
+        assert_eq!(snap.rejected(), 2);
+        assert_eq!(snap.processed(), 10);
+        assert_eq!(snap.in_flight(), 5);
+        assert_eq!(snap.shards[0].as_shard_stats(), ShardStats { enqueued: 10, rejected: 2 });
+    }
+
+    #[test]
+    fn in_flight_saturates() {
+        let counters = PoolCounters::new(1);
+        let batch = WorkerStats { processed: 3, ..Default::default() };
+        counters.shard(0).add_batch(&batch, 0);
+        // Processed can transiently exceed enqueued in a torn mid-traffic
+        // sample; the backlog estimate must not wrap.
+        assert_eq!(counters.snapshot().in_flight(), 0);
+    }
+}

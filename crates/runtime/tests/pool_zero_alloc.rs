@@ -1,15 +1,20 @@
 //! Worker-pool steady-state allocation regression test.
 //!
-//! Run with `cargo test -p seg6-runtime --features alloc-counter`. The
-//! per-packet path inside each shard (`process_batch_verdicts_into` over
-//! reused batch/verdict buffers, bounded-channel handoff) must not
-//! allocate per packet: with all packets pre-built, whole enqueue+flush
-//! rounds stay within a small per-round constant (flush barrier channels),
-//! independent of the number of packets in the round.
+//! Run with `cargo test -p seg6-runtime --features alloc-counter`. Two
+//! phases share one test (the counter is **process-wide**, so no other
+//! test may run concurrently in this binary):
 //!
-//! This file holds a single test on purpose: it reads the **process-wide**
-//! allocation counter (the workers run on their own threads), so no other
-//! test may run concurrently in this binary.
+//! 1. **Owned-buffer rounds** — pre-built `PacketBuf`s enqueued in bursts
+//!    and flushed: the SPSC descriptor ring, the per-shard staging, the
+//!    reused batch/verdict buffers and the park/unpark wakeups must not
+//!    allocate per packet.
+//! 2. **Recycled-ingestion rounds** — the PR-4 acceptance gate: frames
+//!    enter as *byte slices* through `enqueue_bytes_all`, are copied into
+//!    recycled buffers from the free-ring-fed arena, processed, and their
+//!    storage returned by the workers. A whole steady-state round —
+//!    dispatch → ring → worker → free-ring → dispatch — performs **zero**
+//!    buffer allocations; only the flush barrier's reply channel costs a
+//!    small per-round constant.
 #![cfg(feature = "alloc-counter")]
 
 use netpkt::packet::build_ipv6_udp_packet;
@@ -62,9 +67,11 @@ fn pool_steady_state_does_not_allocate_per_packet() {
     };
     let mut pool = WorkerPool::new(config, forwarding_datapath);
 
+    // --- Phase 1: owned pre-built buffers through the descriptor ring ---
+
     // Pre-build every measured packet so the measurement sees only the
     // pool's own work, then warm the pool up (scratch buffers, batch and
-    // verdict capacities, channel parking).
+    // verdict capacities, staging, the recycling arena).
     let mut rounds: Vec<Vec<PacketBuf>> =
         (0..MEASURED_ROUNDS).map(|_| (0..PACKETS_PER_ROUND as u32).map(flow_packet).collect()).collect();
     for _ in 0..3 {
@@ -89,6 +96,48 @@ fn pool_steady_state_does_not_allocate_per_packet() {
         allocations <= budget,
         "pool steady state allocated {allocations} times over {MEASURED_ROUNDS} rounds \
          ({PACKETS_PER_ROUND} packets each); budget {budget} — the per-packet path is allocating"
+    );
+
+    // --- Phase 2: the zero-allocation ingestion loop (PR-4 gate) ---
+
+    // Frames enter as byte slices: every packet buffer must come out of
+    // the free-ring-fed arena. The first bytes-path call provisions the
+    // arena to the pool's in-flight bound (all minting happens here, in
+    // the unmeasured warm-up), which makes the flat-mint assertion below
+    // deterministic rather than scheduling-dependent. Pre-render the
+    // frames outside the measurement.
+    let frames: Vec<Vec<u8>> =
+        (0..PACKETS_PER_ROUND as u32).map(|f| flow_packet(f).data().to_vec()).collect();
+    for _ in 0..3 {
+        assert_eq!(
+            pool.enqueue_bytes_all(0, frames.iter().map(Vec::as_slice)),
+            PACKETS_PER_ROUND,
+            "warm-up round fits the rings"
+        );
+        pool.flush();
+    }
+    let minted_after_warmup = pool.buf_pool().allocations();
+
+    let before = global_allocations();
+    let mut processed = 0u64;
+    for _ in 0..MEASURED_ROUNDS {
+        assert_eq!(pool.enqueue_bytes_all(0, frames.iter().map(Vec::as_slice)), PACKETS_PER_ROUND);
+        processed += pool.flush().run.processed;
+    }
+    let allocations = global_allocations() - before;
+
+    assert_eq!(processed as usize, MEASURED_ROUNDS * PACKETS_PER_ROUND);
+    assert_eq!(pool.rejected(), 0);
+    assert_eq!(
+        pool.buf_pool().allocations(),
+        minted_after_warmup,
+        "steady-state ingestion minted fresh packet buffers instead of recycling"
+    );
+    assert!(
+        allocations <= budget,
+        "recycled ingestion allocated {allocations} times over {MEASURED_ROUNDS} rounds \
+         ({PACKETS_PER_ROUND} packets each); budget {budget} — the dispatch → ring → worker → \
+         free-ring loop is allocating"
     );
     pool.shutdown();
 }

@@ -2,7 +2,7 @@
 //! addresses, a UDP sink and attached applications.
 
 use netpkt::ipv6::proto;
-use netpkt::{PacketBuf, ParsedPacket, UdpHeader};
+use netpkt::{ParsedPacket, UdpHeader};
 use seg6_core::{Seg6Datapath, Verdict};
 use seg6_runtime::{PoolConfig, WorkerPool};
 use std::collections::HashMap;
@@ -226,8 +226,14 @@ impl Node {
     /// Executes one packet on the pool shard serving `queue`, returning
     /// its verdict, its work summary and the (possibly rewritten) packet
     /// bytes. `now_ns` becomes the packet's RX timestamp and processing
-    /// clock, as in the in-simulator model. Only the one shard is flushed
-    /// (a single cross-thread round-trip), and the result is mirrored into
+    /// clock, as in the in-simulator model. The frame enters through the
+    /// pool's recycled-buffer burst path (`enqueue_bytes_at`: the bytes
+    /// are copied into storage previous packets drained, handed over on
+    /// the lock-free descriptor ring) and the output buffer is recycled
+    /// back once its bytes are copied out — so a long simulation's
+    /// ingestion reuses a handful of buffers instead of allocating one
+    /// per packet. Only the one shard is flushed (a single cross-thread
+    /// round-trip), and the result is mirrored into
     /// `self.datapath.stats`, so a pooled node's counters stay as
     /// observable as a legacy node's.
     pub(crate) fn process_via_pool(
@@ -238,8 +244,8 @@ impl Node {
     ) -> (Verdict, PacketWork, Vec<u8>) {
         let pool = self.pool.as_mut().expect("pool ingestion enabled");
         debug_assert_eq!(pool.steer_to(packet) as usize, queue, "pool and node steering agree");
-        let accepted = pool.enqueue_at(now_ns, PacketBuf::from_slice(packet));
-        debug_assert!(accepted, "one packet per flush never overflows the shard queue");
+        let accepted = pool.enqueue_bytes_at(now_ns, packet);
+        debug_assert!(accepted, "one packet per flush never overflows the shard ring");
         let mut flush = pool.flush_shard(queue as u32);
         let (skb, bv) = flush.outputs.pop().expect("the enqueued packet's output");
         let work =
@@ -247,7 +253,9 @@ impl Node {
         // Keep the node-level statistics live: the node datapath is the
         // configuration and accounting view, the shard forks execute.
         self.datapath.stats.record(&bv.verdict, &bv.work);
-        (bv.verdict, work, skb.packet.data().to_vec())
+        let bytes = skb.packet.data().to_vec();
+        pool.recycle(skb.into_packet());
+        (bv.verdict, work, bytes)
     }
 
     /// Number of receive queues (cores) this node processes packets with.

@@ -125,6 +125,9 @@ fn main() {
         dp
     });
     let spawns_at_steady_state = thread_spawn_count();
+    // The live counter block: per-shard relaxed-atomic mirrors, readable
+    // from any thread at any time — no flush barrier, no pause.
+    let live = pool.counters();
     for round in 1..=3u32 {
         for i in 0..PACKETS {
             let srh = SegmentRoutingHeader::from_path(proto::UDP, &[sid, addr("fc00::99")]);
@@ -138,6 +141,18 @@ fn main() {
             );
             pool.enqueue(pkt);
         }
+        // Mid-run, before any barrier: the workers are still chewing on
+        // this round, yet the snapshot is immediately readable — the
+        // barrier-free metrics a scrape endpoint would serve.
+        let snap = live.snapshot();
+        println!(
+            "  round {round} live (no flush): enqueued {:5}, processed {:5}, in flight {:4}, \
+             per shard {:?}",
+            snap.enqueued(),
+            snap.processed(),
+            snap.in_flight(),
+            snap.shards.iter().map(|s| s.processed).collect::<Vec<_>>()
+        );
         let report = pool.flush();
         println!(
             "  round {round}: processed {} ({} forwarded), per shard {:?}, backpressure drops {}",
@@ -147,6 +162,18 @@ fn main() {
             pool.rejected()
         );
     }
+    // At a quiet point the live counters agree exactly with the flushed
+    // totals.
+    let snap = live.snapshot();
+    assert_eq!(snap.processed(), u64::from(3 * PACKETS));
+    assert_eq!(snap.in_flight(), 0);
+    println!(
+        "  after 3 rounds, live totals: enqueued {}, processed {}, forwarded {}, recycled {}",
+        snap.enqueued(),
+        snap.processed(),
+        snap.forwarded(),
+        snap.recycled()
+    );
     assert_eq!(thread_spawn_count(), spawns_at_steady_state, "steady state spawned a thread");
     println!("  thread spawns during the 3 rounds: 0 (pool threads live across runs)");
     let totals = pool.shutdown();

@@ -36,9 +36,13 @@ if [ -z "$rows" ]; then
     exit 1
 fi
 
-# The FIB scaling group is a regression gate: its rows must be present in
-# every snapshot (trie vs. linear scan at 10 / 1k / 100k routes).
-for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k; do
+# Regression gates: these rows must be present in every snapshot — the
+# FIB scaling group (trie vs. linear scan at 10 / 1k / 100k routes) and
+# the ingestion-transport group (mpsc per-packet send vs. SPSC ring burst
+# enqueue across the shard/burst sweep).
+for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
+    ring_ingest/mpsc_send_1w ring_ingest/ring_burst_1w_b32 \
+    ring_ingest/mpsc_send_8w ring_ingest/ring_burst_8w_b256; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2
         exit 1
