@@ -379,6 +379,82 @@ fn bench_ring_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-5 headline rows: one **shared** pool serving T tenants against
+/// T single-tenant pools ("pool-per-node" — what simnet used to build),
+/// at 1/2/4 tenants × 1/2/4 shards. The workload is fixed (1024 packets
+/// split evenly across the tenants, enqueue + flush), so the comparison
+/// isolates the cost of tenancy itself: descriptor stamping, tenant-run
+/// splitting and per-tenant counters on the shared side, versus T times
+/// the thread/ring/flush-barrier footprint on the pool-per-node side.
+fn bench_tenant_scaling(c: &mut Criterion) {
+    use seg6_runtime::TenantId;
+
+    let mut group = c.benchmark_group("tenant_scaling");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(POOL as u64));
+
+    /// A minimal forwarding datapath; each tenant routes out of its own
+    /// interface so tenancy is observable in the verdicts.
+    fn tenant_datapath(oif: u32, cpu: u32) -> Seg6Datapath {
+        let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+        dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(oif)]);
+        dp
+    }
+
+    let pool_packets = wrr_pool();
+    for workers in [1u32, 2, 4] {
+        for tenants in [1usize, 2, 4] {
+            let per_tenant = POOL / tenants;
+            let config = PoolConfig { workers, batch_size: 32, queue_depth: 2 * POOL, ..Default::default() };
+
+            // Shared pool: T tenants on one set of shards.
+            let mut shared = WorkerPool::new(config, |cpu| tenant_datapath(1, cpu));
+            let mut ids = vec![TenantId::DEFAULT];
+            for t in 1..tenants {
+                ids.push(shared.register_tenant(|cpu| tenant_datapath(1 + t as u32, cpu)));
+            }
+            group.bench_function(format!("shared_{tenants}t_{workers}w"), |b| {
+                b.iter(|| {
+                    let mut forwarded = 0u64;
+                    for (t, id) in ids.iter().enumerate() {
+                        let chunk = &pool_packets[t * per_tenant..(t + 1) * per_tenant];
+                        shared.tenant(*id).enqueue_all(chunk.iter().cloned());
+                    }
+                    forwarded += shared.flush().run.forwarded;
+                    forwarded
+                })
+            });
+            assert_eq!(shared.rejected(), 0, "the bench never overflows a shard queue");
+            shared.shutdown();
+
+            // Pool-per-node: T pools, each with its own shard threads.
+            let mut pools: Vec<WorkerPool> = (0..tenants)
+                .map(|t| WorkerPool::new(config, |cpu| tenant_datapath(1 + t as u32, cpu)))
+                .collect();
+            group.bench_function(format!("per_node_{tenants}t_{workers}w"), |b| {
+                b.iter(|| {
+                    let mut forwarded = 0u64;
+                    for (t, pool) in pools.iter_mut().enumerate() {
+                        let chunk = &pool_packets[t * per_tenant..(t + 1) * per_tenant];
+                        pool.enqueue_all(chunk.iter().cloned());
+                    }
+                    for pool in pools.iter_mut() {
+                        forwarded += pool.flush().run.forwarded;
+                    }
+                    forwarded
+                })
+            });
+            for pool in pools {
+                assert_eq!(pool.rejected(), 0, "the bench never overflows a shard queue");
+                pool.shutdown();
+            }
+        }
+    }
+    group.finish();
+}
+
 /// FIB lookup scaling: the LPM trie against the linear scan it replaced,
 /// at 10 / 1k / 100k routes. The trie rows must stay flat as the route
 /// count grows (O(prefix bits)); the linear rows degrade with O(routes) —
@@ -507,6 +583,7 @@ criterion_group!(
     bench_worker_scaling,
     bench_worker_pool,
     bench_ring_ingest,
+    bench_tenant_scaling,
     bench_fib_scale
 );
 criterion_main!(benches);

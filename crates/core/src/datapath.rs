@@ -7,7 +7,7 @@
 //! directly (the lab in §3.2 measures exactly this single-router, single
 //! core forwarding path).
 
-use crate::fib::{flow_hash, FibCache, LookupResult, Nexthop, RouterTables, MAIN_TABLE};
+use crate::fib::{flow_hash, FibCache, LookupResult, Nexthop, RouterTables, TableId, MAIN_TABLE};
 use crate::lwt_bpf::{run_lwt_bpf, LwtBpfAttachment, LwtBpfTable, LwtHook};
 use crate::scratch::RunScratch;
 use crate::seg6local::{apply_action, ActionCtx, LocalSidTable, Seg6LocalAction};
@@ -267,8 +267,23 @@ impl Seg6Datapath {
     }
 
     /// Installs a route in a specific table.
-    pub fn add_route_in_table(&mut self, table: u32, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+    pub fn add_route_in_table(&mut self, table: TableId, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
         self.tables.insert(table, prefix, nexthops);
+    }
+
+    /// Registers (or looks up) the VRF `name` on this node's tables and
+    /// returns its [`TableId`] — the id to bind `End.T` / `End.DT6`
+    /// behaviours to. Forks made with [`Seg6Datapath::fork_for_cpu`] share
+    /// the tables `Arc`, so a VRF registered on any handle is visible to
+    /// every shard.
+    pub fn register_vrf(&self, name: &str) -> TableId {
+        self.tables.register_vrf(name)
+    }
+
+    /// Installs a route in the VRF `name` (registering it on first use)
+    /// and returns the VRF's table id.
+    pub fn add_route_in_vrf(&mut self, name: &str, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) -> TableId {
+        self.tables.insert_vrf(name, prefix, nexthops)
     }
 
     /// Binds a seg6local action to a SID.
@@ -689,6 +704,60 @@ mod tests {
         dp.add_local_sid("fc00::e4".parse().unwrap(), Seg6LocalAction::EndT { table: 100 });
         let mut skb = srv6_skb(&["fc00::e4", "fc00::22"]);
         assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 9, neighbour: addr("fe80::9") });
+    }
+
+    #[test]
+    fn end_t_routes_via_a_named_vrf_table() {
+        let mut dp = router();
+        let vrf = dp.add_route_in_vrf(
+            "tenant-a",
+            "fc00::/16".parse().unwrap(),
+            vec![Nexthop::via(addr("fe80::a"), 10)],
+        );
+        assert_eq!(dp.register_vrf("tenant-a"), vrf, "registration is stable");
+        dp.add_local_sid("fc00::e5".parse().unwrap(), Seg6LocalAction::end_t(vrf));
+        let mut skb = srv6_skb(&["fc00::e5", "fc00::22"]);
+        // The main table routes fc00::/16 via oif 2; the VRF wins because
+        // End.T forwards through its table, not "the" FIB.
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 10, neighbour: addr("fe80::a") });
+    }
+
+    #[test]
+    fn end_dt6_decaps_and_looks_up_in_the_vrf_table() {
+        let mut dp = router();
+        let vrf = dp.add_route_in_vrf(
+            "tenant-b",
+            "2001:db8::/32".parse().unwrap(),
+            vec![Nexthop::via(addr("fe80::b"), 11)],
+        );
+        dp.add_local_sid("fc00::d6".parse().unwrap(), Seg6LocalAction::end_dt6(vrf));
+        // IPv6-in-IPv6 towards the End.DT6 SID; the inner destination is
+        // routed in the VRF after decapsulation.
+        let inner = build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8::9"), 5, 6, &[0u8; 8], 64)
+            .data()
+            .to_vec();
+        let mut packet = inner;
+        let srh = SegmentRoutingHeader::from_path(proto::IPV6, &[addr("fc00::d6")]);
+        crate::srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addr("fc00::99")).unwrap();
+        let mut skb = Skb::new(netpkt::PacketBuf::from_slice(&packet));
+        // Main would route 2001:db8::/32 via oif 3; the VRF must win.
+        assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 11, neighbour: addr("fe80::b") });
+        // The packet left decapsulated (inner header on the wire).
+        let header = Ipv6Header::parse(skb.packet.data()).unwrap();
+        assert_eq!(header.dst, addr("2001:db8::9"));
+    }
+
+    #[test]
+    fn vrf_registered_on_a_fork_is_visible_to_every_shard() {
+        let dp = router();
+        let fork_a = dp.fork_for_cpu(1);
+        let mut fork_b = dp.fork_for_cpu(2);
+        // Register + populate through one fork; route through another.
+        let vrf = fork_a.register_vrf("shared-vrf");
+        fork_a.tables.insert(vrf, "fc00::/16".parse().unwrap(), vec![Nexthop::direct(9)]);
+        fork_b.add_local_sid("fc00::e6".parse().unwrap(), Seg6LocalAction::end_t(vrf));
+        let mut skb = srv6_skb(&["fc00::e6", "fc00::22"]);
+        assert_eq!(fork_b.process(&mut skb, 0), Verdict::Forward { oif: 9, neighbour: addr("fc00::22") });
     }
 
     #[test]

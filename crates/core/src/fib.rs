@@ -29,8 +29,17 @@ use std::net::Ipv6Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Identifier of one routing table, as `End.T` / `End.DT6` reference it
+/// (mirrors the kernel's numeric `rt_table` ids).
+pub type TableId = u32;
+
 /// Identifier of the main routing table (mirrors `RT_TABLE_MAIN`).
-pub const MAIN_TABLE: u32 = 254;
+pub const MAIN_TABLE: TableId = 254;
+
+/// First table id the VRF registry allocates from. Leaves the kernel's
+/// well-known ids (`RT_TABLE_MAIN`, `RT_TABLE_LOCAL`, ...) and the low
+/// range operators pick numeric table ids from untouched.
+pub const VRF_TABLE_BASE: TableId = 0x1000;
 
 /// A single next hop of a route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -366,6 +375,15 @@ pub fn flow_hash(src: Ipv6Addr, dst: Ipv6Addr, flow_label: u32) -> u64 {
 // RouterTables: authoritative tables + lock-free read snapshots
 // ---------------------------------------------------------------------------
 
+/// The name → table-id registry behind [`RouterTables::register_vrf`].
+/// `next` remembers where the allocator left off so registering N VRFs
+/// stays O(N) even when numeric ids collide with user-chosen tables.
+#[derive(Debug, Default)]
+struct VrfRegistry {
+    names: HashMap<String, TableId>,
+    next: TableId,
+}
+
 /// The set of numbered routing tables of one router. `End.T` and `End.DT6`
 /// look segments up in specific tables; interior mutability lets the tables
 /// be shared with helper environments during eBPF execution.
@@ -374,9 +392,17 @@ pub fn flow_hash(src: Ipv6Addr, dst: Ipv6Addr, flow_label: u32) -> u64 {
 /// hold a [`FibCache`] (every datapath shard does) only re-enter the lock
 /// when the generation moved, so steady-state packet processing on N pool
 /// shards contends on nothing.
+///
+/// Tables can also be **named**: [`RouterTables::register_vrf`] maps a VRF
+/// name to a freshly allocated [`TableId`] whose table rides the same
+/// generation/snapshot machinery as every numeric table — a registered
+/// VRF's routes are visible through [`FibCache`] snapshots exactly like
+/// main-table routes, and `End.T { table }` / `End.DT6 { table }` bound to
+/// the returned id forward through that VRF.
 #[derive(Debug, Default)]
 pub struct RouterTables {
-    tables: RwLock<HashMap<u32, Arc<Fib>>>,
+    tables: RwLock<HashMap<TableId, Arc<Fib>>>,
+    vrfs: RwLock<VrfRegistry>,
     generation: AtomicU64,
 }
 
@@ -394,7 +420,7 @@ impl RouterTables {
     /// place. Route churn under live traffic therefore costs at most one
     /// table clone per snapshot refresh — for bulk installs, use
     /// [`RouterTables::insert_all`] so the whole batch pays at most one.
-    pub fn insert(&self, table: u32, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
+    pub fn insert(&self, table: TableId, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) {
         let mut guard = self.tables.write();
         let fib = guard.entry(table).or_default();
         Arc::make_mut(fib).insert(prefix, nexthops);
@@ -406,7 +432,7 @@ impl RouterTables {
     /// to install a large route set while readers hold snapshots, where
     /// per-route [`RouterTables::insert`] interleaved with snapshot
     /// refreshes could clone the table repeatedly.
-    pub fn insert_all(&self, table: u32, routes: impl IntoIterator<Item = (Ipv6Prefix, Vec<Nexthop>)>) {
+    pub fn insert_all(&self, table: TableId, routes: impl IntoIterator<Item = (Ipv6Prefix, Vec<Nexthop>)>) {
         let mut guard = self.tables.write();
         let fib = Arc::make_mut(guard.entry(table).or_default());
         for (prefix, nexthops) in routes {
@@ -420,8 +446,65 @@ impl RouterTables {
         self.insert(MAIN_TABLE, prefix, nexthops);
     }
 
+    /// Registers (or looks up) the VRF `name`, returning the [`TableId`]
+    /// its routes live in. The first registration allocates a fresh id at
+    /// or above [`VRF_TABLE_BASE`] (skipping numeric ids already in use)
+    /// and creates the — initially empty — table, so it is visible to
+    /// [`FibCache`] snapshots immediately; later registrations of the same
+    /// name return the same id. This is the tenancy hook: one VRF per
+    /// tenant, `End.T` / `End.DT6` bound to the returned id.
+    pub fn register_vrf(&self, name: &str) -> TableId {
+        if let Some(id) = self.vrfs.read().names.get(name) {
+            return *id;
+        }
+        // Lock order: vrfs before tables (the only place both are held).
+        let mut vrfs = self.vrfs.write();
+        if let Some(id) = vrfs.names.get(name) {
+            return *id;
+        }
+        let mut tables = self.tables.write();
+        let mut id = vrfs.next.max(VRF_TABLE_BASE);
+        while tables.contains_key(&id) {
+            id += 1;
+        }
+        vrfs.next = id + 1;
+        vrfs.names.insert(name.to_string(), id);
+        tables.insert(id, Arc::default());
+        drop(tables);
+        self.generation.fetch_add(1, Ordering::Release);
+        id
+    }
+
+    /// The table id of VRF `name`, if it was registered.
+    pub fn vrf(&self, name: &str) -> Option<TableId> {
+        self.vrfs.read().names.get(name).copied()
+    }
+
+    /// Every registered VRF as `(name, table id)`, sorted by id (stable
+    /// output for inspection and export).
+    pub fn vrf_names(&self) -> Vec<(String, TableId)> {
+        let mut out: Vec<(String, TableId)> =
+            self.vrfs.read().names.iter().map(|(name, id)| (name.clone(), *id)).collect();
+        out.sort_by_key(|(_, id)| *id);
+        out
+    }
+
+    /// Inserts a route into the VRF `name` (registering it on first use)
+    /// and returns the VRF's table id.
+    pub fn insert_vrf(&self, name: &str, prefix: Ipv6Prefix, nexthops: Vec<Nexthop>) -> TableId {
+        let table = self.register_vrf(name);
+        self.insert(table, prefix, nexthops);
+        table
+    }
+
+    /// Looks `dst` up in the VRF `name` (`None` on an unregistered VRF or
+    /// a lookup miss).
+    pub fn lookup_vrf(&self, name: &str, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+        self.lookup(self.vrf(name)?, dst, flow_hash)
+    }
+
     /// Removes a route from table `table`.
-    pub fn remove(&self, table: u32, prefix: &Ipv6Prefix) -> bool {
+    pub fn remove(&self, table: TableId, prefix: &Ipv6Prefix) -> bool {
         let mut guard = self.tables.write();
         let removed = guard.get_mut(&table).is_some_and(|fib| Arc::make_mut(fib).remove(prefix));
         if removed {
@@ -438,7 +521,7 @@ impl RouterTables {
 
     /// Snapshots the current tables (cheap `Arc` clones, one per table)
     /// into `out`, returning the generation the snapshot corresponds to.
-    pub fn snapshot_into(&self, out: &mut Vec<(u32, Arc<Fib>)>) -> u64 {
+    pub fn snapshot_into(&self, out: &mut Vec<(TableId, Arc<Fib>)>) -> u64 {
         let guard = self.tables.read();
         out.clear();
         out.extend(guard.iter().map(|(id, fib)| (*id, Arc::clone(fib))));
@@ -448,7 +531,7 @@ impl RouterTables {
     }
 
     /// Looks `dst` up in table `table`.
-    pub fn lookup(&self, table: u32, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+    pub fn lookup(&self, table: TableId, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
         self.tables.read().get(&table).and_then(|fib| fib.lookup(dst, flow_hash)).map(LookupHit::to_result)
     }
 
@@ -486,7 +569,7 @@ impl RouterTables {
 #[derive(Debug)]
 pub struct FibCache {
     generation: u64,
-    tables: Vec<(u32, Arc<Fib>)>,
+    tables: Vec<(TableId, Arc<Fib>)>,
 }
 
 impl Default for FibCache {
@@ -511,12 +594,12 @@ impl FibCache {
     }
 
     /// The cached trie of `table`, if the table exists.
-    pub fn table(&self, table: u32) -> Option<&Fib> {
+    pub fn table(&self, table: TableId) -> Option<&Fib> {
         self.tables.iter().find(|(id, _)| *id == table).map(|(_, fib)| &**fib)
     }
 
     /// Longest-prefix-match lookup in the cached snapshot of `table`.
-    pub fn lookup(&self, table: u32, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
+    pub fn lookup(&self, table: TableId, dst: Ipv6Addr, flow_hash: u64) -> Option<LookupResult> {
         self.table(table)?.lookup(dst, flow_hash).map(LookupHit::to_result)
     }
 }
@@ -666,6 +749,58 @@ mod tests {
         assert_eq!(tables.total_routes(), 2);
         assert!(tables.remove(100, &prefix("fc00::/16")));
         assert_eq!(tables.total_routes(), 1);
+    }
+
+    #[test]
+    fn vrf_registration_is_idempotent_and_allocates_distinct_tables() {
+        let tables = RouterTables::new();
+        let a = tables.register_vrf("tenant-a");
+        let b = tables.register_vrf("tenant-b");
+        assert!(a >= VRF_TABLE_BASE);
+        assert_ne!(a, b);
+        assert_eq!(tables.register_vrf("tenant-a"), a, "re-registration returns the same id");
+        assert_eq!(tables.vrf("tenant-a"), Some(a));
+        assert_eq!(tables.vrf("tenant-c"), None);
+        assert_eq!(tables.vrf_names(), vec![("tenant-a".into(), a), ("tenant-b".into(), b)]);
+
+        // Routes in one VRF are invisible to the other and to main.
+        tables.insert_vrf("tenant-a", prefix("fc00::/16"), vec![Nexthop::direct(1)]);
+        tables.insert_vrf("tenant-b", prefix("fc00::/16"), vec![Nexthop::direct(2)]);
+        assert_eq!(tables.lookup_vrf("tenant-a", addr("fc00::1"), 0).unwrap().nexthop.oif, 1);
+        assert_eq!(tables.lookup_vrf("tenant-b", addr("fc00::1"), 0).unwrap().nexthop.oif, 2);
+        assert!(tables.lookup_main(addr("fc00::1"), 0).is_none());
+        assert!(tables.lookup_vrf("tenant-c", addr("fc00::1"), 0).is_none());
+    }
+
+    #[test]
+    fn vrf_allocator_skips_numeric_ids_already_in_use() {
+        let tables = RouterTables::new();
+        // An operator grabbed the first VRF-range ids numerically.
+        tables.insert(VRF_TABLE_BASE, prefix("fc00::/16"), vec![Nexthop::direct(7)]);
+        tables.insert(VRF_TABLE_BASE + 1, prefix("fc00::/16"), vec![Nexthop::direct(8)]);
+        let a = tables.register_vrf("tenant-a");
+        assert_eq!(a, VRF_TABLE_BASE + 2, "allocation skips occupied ids");
+        assert_eq!(tables.lookup(VRF_TABLE_BASE, addr("fc00::1"), 0).unwrap().nexthop.oif, 7);
+    }
+
+    #[test]
+    fn vrf_tables_ride_the_snapshot_machinery() {
+        let tables = RouterTables::new();
+        let mut cache = FibCache::new();
+        cache.refresh(&tables);
+
+        // Registration alone moves the generation: the empty table shows
+        // up in the next snapshot.
+        let a = tables.register_vrf("tenant-a");
+        cache.refresh(&tables);
+        assert!(cache.table(a).is_some(), "registered VRF visible in the snapshot");
+        assert!(cache.lookup(a, addr("fc00::1"), 0).is_none());
+
+        // Routes added later reach the cache through the same generation
+        // bump numeric tables use.
+        tables.insert_vrf("tenant-a", prefix("fc00::/16"), vec![Nexthop::direct(4)]);
+        cache.refresh(&tables);
+        assert_eq!(cache.lookup(a, addr("fc00::1"), 0).unwrap().nexthop.oif, 4);
     }
 
     #[test]

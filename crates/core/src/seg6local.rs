@@ -11,7 +11,7 @@
 
 use crate::ctx;
 use crate::env::Seg6Env;
-use crate::fib::{flow_hash, RouterTables, MAIN_TABLE};
+use crate::fib::{flow_hash, RouterTables, TableId, MAIN_TABLE};
 use crate::scratch::RunScratch;
 use crate::skb::{RouteOverride, Skb};
 use crate::srv6_ops;
@@ -34,20 +34,24 @@ pub enum Seg6LocalAction {
         /// The next hop to forward to.
         nexthop: Ipv6Addr,
     },
-    /// `End.T`: advance and look the next segment up in a specific table.
+    /// `End.T`: advance and look the next segment up in a specific table
+    /// (a numeric id or a VRF registered with
+    /// [`RouterTables::register_vrf`]).
     EndT {
         /// Routing table id.
-        table: u32,
+        table: TableId,
     },
     /// `End.DX6`: decapsulate and forward the inner packet to a next hop.
     EndDX6 {
         /// The next hop to forward the inner packet to.
         nexthop: Ipv6Addr,
     },
-    /// `End.DT6`: decapsulate and look the inner destination up in a table.
+    /// `End.DT6`: decapsulate and look the inner destination up in a table
+    /// (a numeric id or a VRF registered with
+    /// [`RouterTables::register_vrf`]).
     EndDT6 {
         /// Routing table id.
-        table: u32,
+        table: TableId,
     },
     /// `End.B6`: insert a new SRH on top of the existing one.
     EndB6 {
@@ -70,6 +74,18 @@ pub enum Seg6LocalAction {
 }
 
 impl Seg6LocalAction {
+    /// An `End.T` behaviour forwarding via `table` — pass the id returned
+    /// by [`RouterTables::register_vrf`] to route through a named VRF.
+    pub fn end_t(table: TableId) -> Self {
+        Seg6LocalAction::EndT { table }
+    }
+
+    /// An `End.DT6` behaviour decapsulating and looking the inner
+    /// destination up in `table` (numeric or VRF-registered).
+    pub fn end_dt6(table: TableId) -> Self {
+        Seg6LocalAction::EndDT6 { table }
+    }
+
     /// Short name, as `ip -6 route` would print it.
     pub fn name(&self) -> &'static str {
         match self {
@@ -298,7 +314,7 @@ pub fn run_end_bpf(
 }
 
 /// Looks up `table` falling back to the main table when the id is zero.
-pub fn effective_table(table: Option<u32>) -> u32 {
+pub fn effective_table(table: Option<TableId>) -> TableId {
     match table {
         Some(0) | None => MAIN_TABLE,
         Some(id) => id,

@@ -6,6 +6,7 @@
 //! override that `bpf_lwt_seg6_action` installs so that the default
 //! endpoint lookup is skipped after the program returns.
 
+use crate::fib::TableId;
 use netpkt::PacketBuf;
 use std::net::Ipv6Addr;
 
@@ -19,7 +20,7 @@ pub struct RouteOverride {
     pub oif: Option<u32>,
     /// Table the destination must be looked up in (set by `End.T` /
     /// `End.DT6`).
-    pub table: Option<u32>,
+    pub table: Option<TableId>,
 }
 
 impl RouteOverride {

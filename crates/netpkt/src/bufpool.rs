@@ -88,6 +88,16 @@ impl BufPool {
         self.recycled
     }
 
+    /// Raises (or lowers) the retention cap. The worker pool calls this
+    /// when a tenant registers: the in-flight bound — and therefore the
+    /// number of buffers the arena must be able to retain for the steady
+    /// state to stay mint-free — grows with the tenant count. Lowering the
+    /// cap does not drop already-retained buffers; they drain naturally as
+    /// excess `put`s are refused.
+    pub fn set_max_retained(&mut self, max_retained: usize) {
+        self.max_retained = max_retained;
+    }
+
     /// Grows the free list to at least `n` retained buffers (counted as
     /// allocations), paying the whole mint cost up front — provision the
     /// arena with its workload's in-flight bound and the steady state

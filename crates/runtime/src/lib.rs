@@ -66,8 +66,10 @@ pub mod pool;
 pub mod ring;
 pub mod telemetry;
 
-pub use pool::{BatchDrain, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, WorkerPool};
-pub use telemetry::{PoolCounters, PoolSnapshot, ShardSnapshot};
+pub use pool::{
+    BatchDrain, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, Tenant, TenantId, WorkerPool,
+};
+pub use telemetry::{PoolCounters, PoolSnapshot, ShardSnapshot, TenantCounters, TenantSnapshot};
 
 /// Hard ceiling on the worker count, matching the CPU slots per-CPU maps
 /// are provisioned for by default.

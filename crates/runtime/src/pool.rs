@@ -1,69 +1,86 @@
 //! The persistent worker pool: long-lived shard threads fed over
-//! lock-free SPSC descriptor rings.
+//! lock-free SPSC descriptor rings, shared by any number of **tenants**.
 //!
 //! [`Runtime::run_threaded`](crate::Runtime::run_threaded) pays one OS
 //! thread spawn per shard on *every* call — fine for a one-shot benchmark,
 //! fatal for a steady-state datapath. Kernel datapaths (and the paper's
 //! End.BPF deployment) instead keep one long-lived worker per receive
 //! queue: the NIC steers flows to queues with RSS, each queue's CPU runs
-//! forever, and user space only observes counters. This module reproduces
-//! that lifecycle, with a DPDK-style descriptor plane underneath:
+//! forever, and user space only observes counters. One such host, though,
+//! rarely serves a single routing context: seg6local behaviours like
+//! `End.T` and `End.DT6` forward via *specific* tables (VRFs), and one
+//! Linux box runs many VRFs on the same set of CPUs. This module
+//! reproduces that lifecycle, with a DPDK-style descriptor plane
+//! underneath and tenancy as a first-class concept:
 //!
 //! * [`WorkerPool::new`] spawns N shard threads **once**; each thread owns
-//!   its [`Seg6Datapath`] (its program instances, its `cpu_id`) for the
-//!   pool's whole life. The crate-level
-//!   [`thread_spawn_count`](crate::thread_spawn_count) hook lets tests
-//!   assert that the steady state spawns nothing.
+//!   a dense `Vec<Seg6Datapath>` — one datapath per registered **tenant**,
+//!   each pinned to the shard's CPU id — for the pool's whole life. The
+//!   crate-level [`thread_spawn_count`](crate::thread_spawn_count) hook
+//!   lets tests assert that the steady state (including tenant
+//!   registration) spawns nothing.
+//! * [`WorkerPool::register_tenant`] adds a routing context at runtime:
+//!   the builder runs once per shard on the calling thread (most callers
+//!   use [`WorkerPool::register_tenant_from`], which
+//!   [`Seg6Datapath::fork_for_cpu`]s one configured datapath per shard);
+//!   each fork is shipped to its worker over the sideband control channel
+//!   and acknowledged before `register_tenant` returns — so by the time a
+//!   tenant's first descriptor can be published, every worker has its
+//!   datapath installed. The returned [`TenantId`] stamps descriptors:
+//!   [`WorkerPool::tenant`] hands out a [`Tenant`] guard whose `enqueue*`
+//!   methods tag every packet with the tenant, and workers execute each
+//!   descriptor on that tenant's datapath. The pool's plain `enqueue*`
+//!   methods are the single-tenant shorthand (tenant 0,
+//!   [`TenantId::DEFAULT`]).
 //! * The dispatcher steers packets by RSS flow hash into per-shard
-//!   **lock-free SPSC rings** ([`crate::ring`]) — no per-descriptor
-//!   rendezvous with shared channel state, no blocking paths, wait-free
-//!   on both sides. Batch ingestion APIs ([`WorkerPool::enqueue_all`],
-//!   [`WorkerPool::enqueue_bytes_all`]) stage descriptors per shard and
-//!   publish each shard's burst with a *single* atomic release, so a
-//!   32-packet batch costs one ring publish instead of 32 channel sends.
-//!   A full ring rejects the packet and counts it
-//!   ([`ShardStats::rejected`]) — backpressure behaves like a NIC dropping
-//!   on a full RX ring, it never blocks the dispatcher.
+//!   **lock-free SPSC rings** ([`crate::ring`]) carrying
+//!   `(tenant, packet)` descriptors — no per-descriptor rendezvous with
+//!   shared channel state, no blocking paths, wait-free on both sides.
+//!   Batch ingestion APIs ([`WorkerPool::enqueue_all`],
+//!   [`WorkerPool::enqueue_bytes_all`] and their [`Tenant`] twins) stage
+//!   descriptors per shard and publish each shard's burst with a *single*
+//!   atomic release. A full ring rejects the packet and counts it — per
+//!   shard ([`ShardStats::rejected`]) *and* per tenant
+//!   ([`WorkerPool::tenant_stats`]) — backpressure behaves like a NIC
+//!   dropping on a full RX ring, it never blocks the dispatcher.
 //!   [`PoolConfig::queue_depth`] rounds **up** to the next power of two
-//!   ([`WorkerPool::queue_capacity`]) and the boundary is exact: exactly
-//!   `queue_capacity` packets fit an idle shard's ring, the next is
-//!   rejected.
-//! * Packet storage is **recycled**: each worker returns drained
-//!   [`PacketBuf`]s through a per-shard free-ring; the dispatcher drains
-//!   free-rings into a [`BufPool`] arena and refills it into the next
-//!   packets ([`WorkerPool::enqueue_bytes_at`] /
-//!   [`WorkerPool::enqueue_bytes_all`] copy external frames into recycled
-//!   storage). Steady-state ingestion therefore performs **zero heap
-//!   allocations end-to-end** — dispatch → ring → worker → free-ring →
-//!   dispatch — proven by the `alloc-counter` gate
-//!   (`tests/pool_zero_alloc.rs`).
-//! * Control traffic (flush barriers, shutdown) moves on a **sideband
-//!   channel** checked between bursts, so the descriptor plane stays pure
-//!   data. Idle workers **park** (and a publish to a sleeping shard's ring
-//!   unparks it), so an idle pool consumes no CPU — there is no busy
-//!   polling.
-//! * Workers accumulate descriptors into batches of
-//!   [`PoolConfig::batch_size`] and run them through
-//!   [`Seg6Datapath::process_batch_verdicts`]; when a ring goes idle the
-//!   partial batch is processed immediately (batching amortises bursts, it
-//!   never delays a lull's packets). After every batch the shard's
-//!   optional **drain daemon** runs ([`BatchDrain`]) — the hook per-CPU
-//!   perf-ring consumers (`DelayCollector` and friends) attach to.
-//! * Live counters: every shard mirrors its enqueue/reject/verdict counts
-//!   into relaxed atomics ([`PoolCounters`], via
-//!   [`WorkerPool::counters`]), readable at any time without a flush
-//!   barrier.
+//!   ([`WorkerPool::queue_capacity`]) and the boundary is exact.
+//! * Workers drain their rings **adaptively**, NAPI-style: each poll takes
+//!   one burst sized by the observed ring occupancy, capped at
+//!   [`PoolConfig::napi_budget`] (the budget a kernel NAPI poll gets
+//!   before it must yield), and processes it immediately — a lull's
+//!   packets are never delayed, a burst is amortised, and a saturated
+//!   ring cannot starve the control channel for more than one budget's
+//!   worth of work. Processing stays bounded by
+//!   [`PoolConfig::batch_size`] and split into **tenant runs**:
+//!   consecutive same-tenant descriptors (up to `batch_size` at a time)
+//!   execute as one [`Seg6Datapath::process_batch_verdicts`] call on that
+//!   tenant's datapath, with the drain daemon run after every batch — the
+//!   pre-tenancy perf-drain cadence is preserved exactly.
+//! * Packet storage is **recycled** across tenants: each worker returns
+//!   drained [`PacketBuf`]s through a per-shard free-ring; the dispatcher
+//!   drains free-rings into a [`BufPool`] arena whose in-flight bound is
+//!   sized for the worker count *and* the tenant count, so steady-state
+//!   byte-slice ingestion performs **zero heap allocations end-to-end**
+//!   however many tenants share the pool (proven by the `alloc-counter`
+//!   gate, `tests/pool_zero_alloc.rs`).
+//! * Control traffic (flush barriers, tenant registration, shutdown)
+//!   moves on a **sideband channel** checked between bursts, so the
+//!   descriptor plane stays pure data. Idle workers **park** (and a
+//!   publish to a sleeping shard's ring unparks it).
+//! * Live counters are **per tenant × per shard** ([`PoolCounters`], via
+//!   [`WorkerPool::counters`]): relaxed-atomic cells readable at any time
+//!   without a flush barrier, with the tenant rows summing exactly to the
+//!   aggregated per-shard view.
 //! * [`WorkerPool::flush`] is a barrier: every shard finishes what it was
 //!   handed before the barrier message and reports. Results come back **in
-//!   shard index order**, so a flush is as deterministic as
-//!   [`Runtime::run_once`](crate::Runtime::run_once) modulo per-shard
-//!   interleaving — and verdict-identical to it for the same packets.
+//!   shard index order**; collected outputs carry their [`TenantId`].
 //! * Dropping or [`WorkerPool::shutdown`]ting the pool delivers a shutdown
 //!   message, lets every worker finish its backlog, runs the final drain,
 //!   and joins the threads. No packet or perf event is stranded.
 
 use crate::ring::{self, Consumer, Producer};
-use crate::telemetry::PoolCounters;
+use crate::telemetry::{PoolCounters, TenantCounters};
 use crate::{count_thread_spawn, RunReport, WorkerStats, MAX_WORKERS};
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
 use netpkt::{BufPool, PacketBuf};
@@ -74,16 +91,48 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Identifier of one tenant (routing context) of a [`WorkerPool`]: a dense
+/// index into every shard's datapath vector and into the per-tenant
+/// counter rows. Obtained from [`WorkerPool::register_tenant`];
+/// [`TenantId::DEFAULT`] is the tenant the pool's construction builder
+/// created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u16);
+
+impl TenantId {
+    /// The tenant created by [`WorkerPool::new`]'s builder — what the
+    /// pool's plain (tenant-less) `enqueue*` methods stamp.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The dense index of this tenant (registration order).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    pub(crate) fn from_index(index: usize) -> TenantId {
+        TenantId(u16::try_from(index).expect("tenant count fits a u16"))
+    }
+}
+
+/// One ring descriptor: the packet plus the tenant whose datapath must
+/// execute it.
+struct Desc {
+    tenant: TenantId,
+    skb: Skb,
+}
+
 /// A per-shard drain daemon: called on the worker thread after every
 /// processed batch (and one final time at shutdown) with the shard's CPU
 /// id. The canonical implementation drains the shard's per-CPU perf ring
 /// into a collector — see `srv6_nf::daemons::DelayCollector::shard_drain`.
 pub type BatchDrain = Box<dyn FnMut(u32) + Send>;
 
-/// What one worker shard is built from: its private datapath and an
-/// optional per-batch drain daemon.
+/// What one worker shard is built from: its default tenant's datapath and
+/// an optional per-batch drain daemon (the daemon is per *shard* — it runs
+/// after every batch whatever mix of tenants the batch carried).
 pub struct ShardSetup {
-    /// The shard's datapath (the pool pins it to the shard's CPU id).
+    /// The shard's default-tenant datapath (the pool pins it to the
+    /// shard's CPU id).
     pub datapath: Seg6Datapath,
     /// Drain daemon run after every batch on this shard, if any.
     pub drain: Option<BatchDrain>,
@@ -114,25 +163,37 @@ pub struct PoolConfig {
     /// Number of worker shards (receive queues). Clamped to
     /// `1..=`[`MAX_WORKERS`].
     pub workers: u32,
-    /// Packets a worker accumulates before running
-    /// [`Seg6Datapath::process_batch_verdicts`]. Also the dispatcher's
-    /// staging burst: batch ingestion publishes a shard's ring once per
-    /// this many staged packets. A flush or shutdown message always
-    /// processes the partial batch first.
+    /// The dispatcher's staging burst: batch ingestion
+    /// ([`WorkerPool::enqueue_all`] / [`WorkerPool::enqueue_bytes_all`])
+    /// publishes a shard's ring once per this many staged packets — the
+    /// ingress-side amortisation knob.
     pub batch_size: usize,
     /// Capacity of each shard's descriptor ring, in packets, **rounded up
     /// to the next power of two** (see [`WorkerPool::queue_capacity`] for
     /// the effective value). An enqueue onto a full ring is rejected and
     /// counted — the pool's backpressure signal.
     pub queue_depth: usize,
+    /// Cap on one worker poll, NAPI-style: a worker *dequeues* bursts
+    /// sized by the observed ring occupancy, up to this budget — a lull's
+    /// packets are processed immediately, a backlog is consumed
+    /// `napi_budget` descriptors at a time so control messages (flush,
+    /// tenant registration, shutdown) are serviced at least once per
+    /// budget's worth of work. Mirrors the kernel's NAPI `budget`
+    /// (default 64 there; 256 here, sized for the userspace batch emit
+    /// surface). *Processing* stays bounded by [`PoolConfig::batch_size`]:
+    /// a poll's packets execute in `batch_size`-capped batches with the
+    /// drain daemon run after each, so per-CPU perf rings provisioned
+    /// against `batch_size` keep their guarantee whatever the budget.
+    pub napi_budget: usize,
     /// Steer with the symmetric flow hash, keeping both directions of a
     /// flow on one worker.
     pub symmetric_steering: bool,
     /// Retain each processed packet and its [`BatchVerdict`] so
-    /// [`WorkerPool::flush`] can return them. Costs one buffered `Skb` per
-    /// packet per flush window (those buffers are not recycled through the
-    /// free-ring — hand them back with [`WorkerPool::recycle`] after
-    /// reading them); leave off for counter-only workloads.
+    /// [`WorkerPool::flush`] can return them (tagged with their
+    /// [`TenantId`]). Costs one buffered `Skb` per packet per flush window
+    /// (those buffers are not recycled through the free-ring — hand them
+    /// back with [`WorkerPool::recycle`] after reading them); leave off
+    /// for counter-only workloads.
     pub collect_outputs: bool,
 }
 
@@ -142,16 +203,19 @@ impl Default for PoolConfig {
             workers: 1,
             batch_size: 32,
             queue_depth: 1024,
+            napi_budget: 256,
             symmetric_steering: false,
             collect_outputs: false,
         }
     }
 }
 
-/// Counters of one pool shard, as visible to the dispatcher.
+/// Admission counters, as visible to the dispatcher — kept per shard
+/// ([`WorkerPool::shard_stats`]) and per tenant
+/// ([`WorkerPool::tenant_stats`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Packets accepted into the shard's descriptor ring.
+    /// Packets accepted into a descriptor ring.
     pub enqueued: u64,
     /// Packets rejected because the ring was full (backpressure).
     pub rejected: u64,
@@ -163,9 +227,10 @@ pub struct ShardStats {
 pub struct ShardFlush {
     /// Verdict/batch counter deltas since the last flush.
     pub stats: WorkerStats,
-    /// The packets processed since the last flush, with their verdicts, in
-    /// processing order. Empty unless [`PoolConfig::collect_outputs`].
-    pub outputs: Vec<(Skb, BatchVerdict)>,
+    /// The packets processed since the last flush, with the tenant that
+    /// executed them and their verdicts, in processing order. Empty unless
+    /// [`PoolConfig::collect_outputs`].
+    pub outputs: Vec<(TenantId, Skb, BatchVerdict)>,
 }
 
 /// Aggregate result of one [`WorkerPool::flush`] barrier.
@@ -175,7 +240,7 @@ pub struct PoolReport {
     pub run: RunReport,
     /// Per-shard outputs, indexed by shard id. Inner vectors are empty
     /// unless [`PoolConfig::collect_outputs`] is set.
-    pub outputs: Vec<Vec<(Skb, BatchVerdict)>>,
+    pub outputs: Vec<Vec<(TenantId, Skb, BatchVerdict)>>,
 }
 
 /// Sideband control messages, delivered outside the descriptor ring and
@@ -185,6 +250,12 @@ enum Ctrl {
     /// report. Everything published before this message was sent is
     /// covered (the dispatcher publishes before it signals).
     Flush(Sender<ShardFlush>),
+    /// Install a new tenant's datapath (and its live-counter row) on this
+    /// shard, then acknowledge. The dispatcher waits for every shard's
+    /// acknowledgement before `register_tenant` returns, so no descriptor
+    /// stamped with the new tenant can reach a worker that has not
+    /// installed it.
+    AddTenant { datapath: Box<Seg6Datapath>, cells: Arc<TenantCounters>, done: Sender<()> },
     /// Finish the backlog, run the final drain, exit.
     Shutdown,
 }
@@ -193,14 +264,14 @@ enum Ctrl {
 /// free-ring consumer, the staging buffer, and the wakeup state.
 struct ShardTx {
     /// Descriptor ring into the worker.
-    ring: Producer<Skb>,
+    ring: Producer<Desc>,
     /// Free-ring out of the worker: drained packet buffers coming back.
     freelist: Consumer<PacketBuf>,
     /// Sideband control channel.
     ctrl: Sender<Ctrl>,
     /// Staged descriptors not yet published (always empty between public
     /// API calls; batch ingestion fills it up to one burst).
-    staging: Vec<Skb>,
+    staging: Vec<Desc>,
     /// The worker thread, for unparking.
     thread: std::thread::Thread,
     /// Set by the worker just before it parks; cleared (by whoever acts
@@ -223,56 +294,72 @@ impl ShardTx {
     }
 }
 
-/// The persistent worker pool. See the [module docs](self) for the
-/// lifecycle.
+/// The persistent, multi-tenant worker pool. See the [module docs](self)
+/// for the lifecycle.
 pub struct WorkerPool {
     config: PoolConfig,
     shards: Vec<ShardTx>,
     handles: Vec<JoinHandle<WorkerStats>>,
+    /// Admission counters per shard (summed over tenants).
     stats: Vec<ShardStats>,
+    /// Admission counters per tenant (summed over shards).
+    tenant_stats: Vec<ShardStats>,
     counters: Arc<PoolCounters>,
+    /// Dispatcher-held per-tenant counter rows, indexed by tenant.
+    tenant_cells: Vec<Arc<TenantCounters>>,
     /// The dispatcher's recycling arena, refilled from the free-rings.
     bufs: BufPool,
     /// Reused scratch for draining free-rings.
     reclaim_scratch: Vec<PacketBuf>,
+    /// Reused per-tenant `(staged, rejected)` counts for exact per-tenant
+    /// admission accounting at publish time.
+    ingress_scratch: Vec<(u64, u64)>,
     queue_capacity: usize,
     /// Whether the arena has been provisioned for the byte-slice
-    /// ingestion path (done once, on its first use).
+    /// ingestion path (done once, on its first use; re-provisioned when a
+    /// tenant registers afterwards).
     bytes_arena_ready: bool,
 }
 
 impl WorkerPool {
     /// Spawns the pool. `builder` runs once per shard, on the calling
     /// thread, with the shard's CPU id; the [`ShardSetup`] it returns (a
-    /// bare [`Seg6Datapath`] converts) is moved onto that shard's thread,
-    /// where it lives until shutdown. These construction-time spawns are
-    /// the only ones the pool ever performs.
+    /// bare [`Seg6Datapath`] converts) becomes the **default tenant**
+    /// ([`TenantId::DEFAULT`]) on that shard's thread, where it lives
+    /// until shutdown. These construction-time spawns are the only ones
+    /// the pool ever performs — registering more tenants later reuses the
+    /// same threads.
     pub fn new<S: Into<ShardSetup>>(config: PoolConfig, mut builder: impl FnMut(u32) -> S) -> Self {
         let workers = config.workers.clamp(1, MAX_WORKERS);
         let config = PoolConfig { workers, ..config };
         let queue_capacity = config.queue_depth.max(1).next_power_of_two();
         let counters = Arc::new(PoolCounters::new(workers));
+        let default_cells = counters.tenant(TenantId::DEFAULT);
+        let burst = worker_burst(&config);
         let mut shards = Vec::with_capacity(workers as usize);
         let mut handles = Vec::with_capacity(workers as usize);
         for id in 0..workers {
             let setup: ShardSetup = builder(id).into();
             let mut datapath = setup.datapath;
             datapath.cpu_id = id;
-            let (ring_tx, ring_rx) = ring::spsc_ring::<Skb>(queue_capacity);
+            let (ring_tx, ring_rx) = ring::spsc_ring::<Desc>(queue_capacity);
             let (free_tx, free_rx) = ring::spsc_ring::<PacketBuf>(queue_capacity);
             let (ctrl_tx, ctrl_rx) = channel();
             let sleeping = Arc::new(AtomicBool::new(false));
             let state = ShardState {
                 id,
-                datapath,
-                batch: Vec::with_capacity(config.batch_size.max(1)),
+                datapaths: vec![datapath],
+                batch: Vec::with_capacity(burst),
+                batch_tenants: Vec::with_capacity(burst),
+                rx: Vec::with_capacity(burst),
                 stats: WorkerStats::default(),
                 outputs: Vec::new(),
-                verdicts: Vec::with_capacity(config.batch_size.max(1)),
+                verdicts: Vec::with_capacity(burst),
                 drain: setup.drain,
                 free: free_tx,
-                free_staging: Vec::with_capacity(config.batch_size.max(1)),
-                counters: Arc::clone(&counters),
+                free_staging: Vec::with_capacity(burst),
+                tenant_cells: vec![Arc::clone(&default_cells)],
+                recycled_scratch: vec![0],
                 sleeping: Arc::clone(&sleeping),
             };
             count_thread_spawn();
@@ -295,9 +382,12 @@ impl WorkerPool {
             shards,
             handles,
             stats: vec![ShardStats::default(); workers as usize],
+            tenant_stats: vec![ShardStats::default()],
             counters,
-            bufs: BufPool::new(Self::in_flight_bound(&config, queue_capacity)),
+            tenant_cells: vec![default_cells],
+            bufs: BufPool::new(Self::in_flight_bound(&config, queue_capacity, 1)),
             reclaim_scratch: Vec::new(),
+            ingress_scratch: vec![(0, 0)],
             queue_capacity,
             bytes_arena_ready: false,
         }
@@ -305,19 +395,92 @@ impl WorkerPool {
 
     /// Upper bound on packet buffers that can be in flight and
     /// *unreclaimable* at once (per shard: a full descriptor ring, the
-    /// worker's current batch, the dispatcher's staging), plus one.
-    /// Free-ring contents are excluded — the dispatcher drains those
-    /// before minting. An arena provisioned to this bound can never run
-    /// dry, whatever the worker scheduling.
-    fn in_flight_bound(config: &PoolConfig, queue_capacity: usize) -> usize {
-        config.workers as usize * (queue_capacity + 2 * config.batch_size.max(1)) + 1
+    /// worker's current batch, the dispatcher's staging), plus one slack
+    /// buffer **per tenant** (each tenant's ingestion path can hold one
+    /// buffer in hand mid-enqueue). Free-ring contents are excluded — the
+    /// dispatcher drains those before minting. An arena provisioned to
+    /// this bound can never run dry, whatever the worker scheduling and
+    /// however the tenants interleave.
+    fn in_flight_bound(config: &PoolConfig, queue_capacity: usize, tenants: usize) -> usize {
+        // A worker holds at most one dequeued poll at a time, and a poll
+        // can never exceed the ring's own capacity however large the NAPI
+        // budget is — without the cap, small-ring pools (simnet's
+        // queue_depth 64) would over-provision the arena several-fold.
+        let poll = worker_burst(config).min(queue_capacity);
+        config.workers as usize * (queue_capacity + poll + config.batch_size.max(1)) + tenants
     }
 
     /// Builds a pool whose shard `q` runs [`Seg6Datapath::fork_for_cpu`]
-    /// of `datapath` — the shape simnet uses to put one configured node
-    /// datapath on every receive queue.
+    /// of `datapath` as the default tenant — the shape simnet uses to put
+    /// one configured node datapath on every receive queue. Further nodes
+    /// join the same pool through [`WorkerPool::register_tenant_from`].
     pub fn from_datapath(config: PoolConfig, datapath: &Seg6Datapath) -> Self {
         WorkerPool::new(config, |cpu| datapath.fork_for_cpu(cpu))
+    }
+
+    /// Registers a new tenant: `builder` runs once per shard on the
+    /// calling thread (with the shard's CPU id) to produce that shard's
+    /// datapath for the tenant; each datapath is shipped to its worker
+    /// over the control channel and **acknowledged** before this returns,
+    /// so the returned [`TenantId`] is immediately safe to enqueue with.
+    /// No threads are spawned; the live-counter block grows a per-shard
+    /// row for the tenant, and the byte-ingestion arena's in-flight bound
+    /// is re-provisioned for the new tenant count.
+    pub fn register_tenant(&mut self, mut builder: impl FnMut(u32) -> Seg6Datapath) -> TenantId {
+        let id = TenantId::from_index(self.tenant_cells.len());
+        let cells = self.counters.add_tenant();
+        let acks: Vec<Receiver<()>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(cpu, tx)| {
+                let mut datapath = builder(cpu as u32);
+                datapath.cpu_id = cpu as u32;
+                let (done_tx, done_rx) = channel();
+                tx.ctrl
+                    .send(Ctrl::AddTenant {
+                        datapath: Box::new(datapath),
+                        cells: Arc::clone(&cells),
+                        done: done_tx,
+                    })
+                    .expect("worker alive");
+                tx.wake();
+                done_rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv().expect("worker installed the tenant");
+        }
+        self.tenant_cells.push(cells);
+        self.tenant_stats.push(ShardStats::default());
+        self.ingress_scratch.push((0, 0));
+        let bound = Self::in_flight_bound(&self.config, self.queue_capacity, self.tenant_cells.len());
+        self.bufs.set_max_retained(bound);
+        if self.bytes_arena_ready {
+            self.bufs.prefill(bound);
+        }
+        id
+    }
+
+    /// [`WorkerPool::register_tenant`] from one configured datapath:
+    /// shard `q` gets [`Seg6Datapath::fork_for_cpu`]`(q)` of `datapath`
+    /// (shared-`Arc` FIB/VRF tables, snapshot SID/transit/LWT tables with
+    /// shared program and map handles, fresh statistics) — the "one host,
+    /// many VRFs" shape simnet's shared host pool uses per node.
+    pub fn register_tenant_from(&mut self, datapath: &Seg6Datapath) -> TenantId {
+        self.register_tenant(|cpu| datapath.fork_for_cpu(cpu))
+    }
+
+    /// Number of registered tenants (including the default one).
+    pub fn tenants(&self) -> u32 {
+        self.tenant_cells.len() as u32
+    }
+
+    /// A guard for enqueueing as `tenant`: its `enqueue*` methods stamp
+    /// every descriptor with the tenant id. Panics on an unregistered id.
+    pub fn tenant(&mut self, tenant: TenantId) -> Tenant<'_> {
+        assert!(tenant.index() < self.tenant_cells.len(), "unregistered tenant {tenant:?}");
+        Tenant { pool: self, id: tenant }
     }
 
     /// The pool's configuration (with the worker count clamped).
@@ -338,9 +501,18 @@ impl WorkerPool {
         self.queue_capacity
     }
 
-    /// Dispatcher-side counters, indexed by shard id.
+    /// Dispatcher-side admission counters, indexed by shard id (summed
+    /// over tenants).
     pub fn shard_stats(&self) -> &[ShardStats] {
         &self.stats
+    }
+
+    /// Dispatcher-side admission counters, indexed by tenant id (summed
+    /// over shards). The per-tenant backpressure view: a noisy tenant's
+    /// rejections are visible without a barrier and without decoding the
+    /// per-shard split.
+    pub fn tenant_stats(&self) -> &[ShardStats] {
+        &self.tenant_stats
     }
 
     /// Total packets rejected by full shard rings (backpressure).
@@ -348,16 +520,18 @@ impl WorkerPool {
         self.stats.iter().map(|s| s.rejected).sum()
     }
 
-    /// The pool's live counters: per-shard relaxed-atomic mirrors of the
-    /// enqueue/reject/verdict counts, readable from any thread at any time
-    /// **without** a flush barrier. The `Arc` stays valid after shutdown.
+    /// The pool's live counters: per-tenant × per-shard relaxed-atomic
+    /// mirrors of the enqueue/reject/verdict counts, readable from any
+    /// thread at any time **without** a flush barrier. The `Arc` stays
+    /// valid after shutdown.
     pub fn counters(&self) -> Arc<PoolCounters> {
         Arc::clone(&self.counters)
     }
 
     /// The dispatcher's buffer-recycling arena (telemetry: allocation vs
     /// recycle-hit counts). Buffers flow back into it from the free-rings
-    /// and from [`WorkerPool::recycle`].
+    /// and from [`WorkerPool::recycle`]; every tenant's ingestion draws
+    /// from the same arena.
     pub fn buf_pool(&self) -> &BufPool {
         &self.bufs
     }
@@ -372,7 +546,8 @@ impl WorkerPool {
     /// The shard a packet steers to, without enqueueing it. Identical
     /// steering to [`Runtime`](crate::Runtime) and to simnet's per-node
     /// RSS model: the Toeplitz hash of the 5-tuple, modulo the shard
-    /// count.
+    /// count. Steering is tenant-independent — tenants share the shards,
+    /// like VRFs share a host's CPUs.
     pub fn steer_to(&self, packet: &[u8]) -> u32 {
         let hash = if self.config.symmetric_steering {
             rss_hash_packet_symmetric(packet)
@@ -385,11 +560,10 @@ impl WorkerPool {
     /// Steers `packet` to its shard and enqueues it with clock `now_ns`
     /// (the packet's RX timestamp, and the time its batch will be
     /// processed at). Returns `false` — counting the rejection — when the
-    /// shard's ring is full.
+    /// shard's ring is full. Single-tenant shorthand for
+    /// [`Tenant::enqueue_at`] on [`TenantId::DEFAULT`].
     pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
-        let shard = self.steer_to(packet.data()) as usize;
-        self.shards[shard].staging.push(Skb::received(packet, now_ns, 0));
-        self.publish_shard(shard) == 1
+        self.enqueue_at_as(TenantId::DEFAULT, now_ns, packet)
     }
 
     /// [`WorkerPool::enqueue_at`] with clock 0 (benchmarks and tests that
@@ -398,16 +572,46 @@ impl WorkerPool {
         self.enqueue_at(0, packet)
     }
 
-    /// Enqueues a collection of packets, returning how many were accepted.
-    /// Descriptors are staged per shard and published in bursts of
-    /// [`PoolConfig::batch_size`] — one atomic ring publish per burst, the
-    /// amortisation the per-packet [`WorkerPool::enqueue`] cannot have.
+    /// Enqueues a collection of packets as the default tenant, returning
+    /// how many were accepted. Descriptors are staged per shard and
+    /// published in bursts of [`PoolConfig::batch_size`] — one atomic ring
+    /// publish per burst, the amortisation the per-packet
+    /// [`WorkerPool::enqueue`] cannot have.
     pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
+        self.enqueue_all_as(TenantId::DEFAULT, packets)
+    }
+
+    /// Copies one external frame into a **recycled** packet buffer and
+    /// enqueues it as the default tenant with clock `now_ns` — the
+    /// zero-allocation ingestion front-end for sources that own their
+    /// bytes (capture replay, the simulator).
+    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
+        self.enqueue_bytes_at_as(TenantId::DEFAULT, now_ns, frame)
+    }
+
+    /// Burst form of [`WorkerPool::enqueue_bytes_at`]: every frame is
+    /// copied into recycled storage, staged per shard, and published in
+    /// single-release bursts. Returns how many frames were accepted.
+    pub fn enqueue_bytes_all<'a>(
+        &mut self,
+        now_ns: u64,
+        frames: impl IntoIterator<Item = &'a [u8]>,
+    ) -> usize {
+        self.enqueue_bytes_all_as(TenantId::DEFAULT, now_ns, frames)
+    }
+
+    fn enqueue_at_as(&mut self, tenant: TenantId, now_ns: u64, packet: PacketBuf) -> bool {
+        let shard = self.steer_to(packet.data()) as usize;
+        self.shards[shard].staging.push(Desc { tenant, skb: Skb::received(packet, now_ns, 0) });
+        self.publish_shard(shard) == 1
+    }
+
+    fn enqueue_all_as(&mut self, tenant: TenantId, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
         let burst = self.config.batch_size.max(1);
         let mut accepted = 0;
         for packet in packets {
             let shard = self.steer_to(packet.data()) as usize;
-            self.shards[shard].staging.push(Skb::received(packet, 0, 0));
+            self.shards[shard].staging.push(Desc { tenant, skb: Skb::received(packet, 0, 0) });
             if self.shards[shard].staging.len() >= burst {
                 accepted += self.publish_shard(shard);
             }
@@ -420,34 +624,31 @@ impl WorkerPool {
     /// bytes path can never run the arena dry — the buffers a lagging
     /// worker has not returned yet are covered by the bound — so a
     /// mint-free steady state is a deterministic property, not one that
-    /// depends on worker scheduling.
+    /// depends on worker scheduling. Registering another tenant later
+    /// re-provisions to the larger bound.
     fn ensure_bytes_arena(&mut self) {
         if !self.bytes_arena_ready {
             self.bytes_arena_ready = true;
-            self.bufs.prefill(Self::in_flight_bound(&self.config, self.queue_capacity));
+            self.bufs.prefill(Self::in_flight_bound(
+                &self.config,
+                self.queue_capacity,
+                self.tenant_cells.len(),
+            ));
         }
     }
 
-    /// Copies one external frame into a **recycled** packet buffer (from
-    /// the free-ring-fed arena, provisioned on first use to the pool's
-    /// in-flight bound) and enqueues it with clock `now_ns`. This is the
-    /// ingestion front-end for sources that own their bytes — pcap
-    /// replay, the simulator — and the entry point of the
-    /// zero-allocation loop.
-    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
+    fn enqueue_bytes_at_as(&mut self, tenant: TenantId, now_ns: u64, frame: &[u8]) -> bool {
         self.ensure_bytes_arena();
         if self.bufs.available() == 0 {
             self.reclaim();
         }
         let packet = self.bufs.take_filled(frame);
-        self.enqueue_at(now_ns, packet)
+        self.enqueue_at_as(tenant, now_ns, packet)
     }
 
-    /// Burst form of [`WorkerPool::enqueue_bytes_at`]: every frame is
-    /// copied into recycled storage, staged per shard, and published in
-    /// single-release bursts. Returns how many frames were accepted.
-    pub fn enqueue_bytes_all<'a>(
+    fn enqueue_bytes_all_as<'a>(
         &mut self,
+        tenant: TenantId,
         now_ns: u64,
         frames: impl IntoIterator<Item = &'a [u8]>,
     ) -> usize {
@@ -464,7 +665,7 @@ impl WorkerPool {
             }
             let packet = self.bufs.take_filled(frame);
             let shard = self.steer_to(packet.data()) as usize;
-            self.shards[shard].staging.push(Skb::received(packet, now_ns, 0));
+            self.shards[shard].staging.push(Desc { tenant, skb: Skb::received(packet, now_ns, 0) });
             if self.shards[shard].staging.len() >= burst {
                 accepted += self.publish_shard(shard);
             }
@@ -473,24 +674,43 @@ impl WorkerPool {
     }
 
     /// Publishes shard `shard`'s staged descriptors with one atomic
-    /// release, accounts acceptances and rejections exactly (rejected
-    /// packets' buffers go back to the arena), and wakes the worker when
-    /// anything was published. Returns the accepted count.
+    /// release, accounts acceptances and rejections exactly — per shard
+    /// *and* per tenant (rejected packets' buffers go back to the arena) —
+    /// and wakes the worker when anything was published. Returns the
+    /// accepted count.
     fn publish_shard(&mut self, shard: usize) -> usize {
         let tx = &mut self.shards[shard];
         if tx.staging.is_empty() {
             return 0;
         }
+        // Exact per-tenant accounting: staged counts before the publish,
+        // rejected counts from the returned remainder; both loops run over
+        // at most one staging burst and touch a pre-sized scratch row.
+        for counts in &mut self.ingress_scratch {
+            *counts = (0, 0);
+        }
+        for desc in &tx.staging {
+            self.ingress_scratch[desc.tenant.index()].0 += 1;
+        }
         let accepted = tx.ring.enqueue_burst(&mut tx.staging);
         let rejected = tx.staging.len();
-        for skb in tx.staging.drain(..) {
-            self.bufs.put(skb.into_packet());
+        for desc in tx.staging.drain(..) {
+            self.ingress_scratch[desc.tenant.index()].1 += 1;
+            self.bufs.put(desc.skb.into_packet());
         }
         self.stats[shard].enqueued += accepted as u64;
         self.stats[shard].rejected += rejected as u64;
-        self.counters.shard(shard as u32).add_ingress(accepted as u64, rejected as u64);
+        for (tenant, (staged, tenant_rejected)) in self.ingress_scratch.iter().enumerate() {
+            if *staged == 0 {
+                continue;
+            }
+            let tenant_accepted = staged - tenant_rejected;
+            self.tenant_stats[tenant].enqueued += tenant_accepted;
+            self.tenant_stats[tenant].rejected += tenant_rejected;
+            self.tenant_cells[tenant].shard(shard as u32).add_ingress(tenant_accepted, *tenant_rejected);
+        }
         if accepted > 0 {
-            tx.wake();
+            self.shards[shard].wake();
         }
         accepted
     }
@@ -581,6 +801,61 @@ impl Drop for WorkerPool {
     }
 }
 
+/// An enqueue guard for one tenant of a [`WorkerPool`] (from
+/// [`WorkerPool::tenant`]): every method stamps its descriptors with the
+/// tenant's id, so the worker executes them on that tenant's datapath and
+/// the admission/verdict counters land in the tenant's rows.
+pub struct Tenant<'p> {
+    pool: &'p mut WorkerPool,
+    id: TenantId,
+}
+
+impl Tenant<'_> {
+    /// The tenant this guard enqueues as.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// [`WorkerPool::enqueue_at`] as this tenant.
+    pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
+        self.pool.enqueue_at_as(self.id, now_ns, packet)
+    }
+
+    /// [`WorkerPool::enqueue`] as this tenant.
+    pub fn enqueue(&mut self, packet: PacketBuf) -> bool {
+        self.enqueue_at(0, packet)
+    }
+
+    /// [`WorkerPool::enqueue_all`] as this tenant.
+    pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
+        self.pool.enqueue_all_as(self.id, packets)
+    }
+
+    /// [`WorkerPool::enqueue_bytes_at`] as this tenant.
+    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
+        self.pool.enqueue_bytes_at_as(self.id, now_ns, frame)
+    }
+
+    /// [`WorkerPool::enqueue_bytes_all`] as this tenant.
+    pub fn enqueue_bytes_all<'a>(
+        &mut self,
+        now_ns: u64,
+        frames: impl IntoIterator<Item = &'a [u8]>,
+    ) -> usize {
+        self.pool.enqueue_bytes_all_as(self.id, now_ns, frames)
+    }
+
+    /// This tenant's admission counters (summed over shards).
+    pub fn stats(&self) -> ShardStats {
+        self.pool.tenant_stats[self.id.index()]
+    }
+}
+
+/// The worker-side poll burst: how many descriptors one dequeue may move.
+fn worker_burst(config: &PoolConfig) -> usize {
+    config.napi_budget.max(1)
+}
+
 /// How long a parked worker sleeps before re-checking its inputs on its
 /// own. Wakeups are explicit (publish/control unpark the thread); the
 /// timeout only bounds the damage if the dispatcher vanishes without a
@@ -590,13 +865,22 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(100);
 /// The state one shard thread owns for its whole life. The batch, verdict
 /// and output buffers are reused across batches: after the first batch
 /// warms them up, the shard's steady state performs zero heap allocations
-/// per packet (the `alloc-counter` test feature proves it).
+/// per packet (the `alloc-counter` test feature proves it). `datapaths`
+/// is the shard's tenant vector — index = [`TenantId::index`].
 struct ShardState {
     id: u32,
-    datapath: Seg6Datapath,
+    /// One datapath per tenant, indexed by tenant id. Grown by
+    /// [`Ctrl::AddTenant`]; never shrinks.
+    datapaths: Vec<Seg6Datapath>,
+    /// The current batch's packets, in arrival order...
     batch: Vec<Skb>,
+    /// ...and, index-aligned, the tenant of each packet.
+    batch_tenants: Vec<TenantId>,
+    /// Dequeue scratch: descriptors straight off the ring, before they are
+    /// unzipped into `batch`/`batch_tenants`.
+    rx: Vec<Desc>,
     stats: WorkerStats,
-    outputs: Vec<(Skb, BatchVerdict)>,
+    outputs: Vec<(TenantId, Skb, BatchVerdict)>,
     verdicts: Vec<BatchVerdict>,
     drain: Option<BatchDrain>,
     /// Free-ring back to the dispatcher: drained packet buffers.
@@ -604,22 +888,25 @@ struct ShardState {
     /// Staging for the free-ring, so a whole batch's buffers are returned
     /// with one burst publish (reused across batches).
     free_staging: Vec<PacketBuf>,
-    /// Live-counter mirrors, updated once per batch.
-    counters: Arc<PoolCounters>,
+    /// Live-counter rows, one per tenant, updated once per tenant run.
+    tenant_cells: Vec<Arc<TenantCounters>>,
+    /// Reused per-tenant recycle counts (index = tenant id).
+    recycled_scratch: Vec<u64>,
     /// Park handshake; see [`ShardTx::sleeping`].
     sleeping: Arc<AtomicBool>,
 }
 
-/// One shard's thread body: burst-dequeue, batch, process, recycle,
-/// drain, report. Control messages ride the sideband channel and are
-/// checked between bursts; an idle shard parks.
+/// One shard's thread body: NAPI-style occupancy-sized burst dequeue,
+/// then `batch_size`-bounded batches per tenant run, recycle, drain,
+/// report. Control messages (flush barriers, tenant registration,
+/// shutdown) ride the sideband channel and are checked between bursts; an
+/// idle shard parks.
 fn worker_loop(
     config: PoolConfig,
     mut shard: ShardState,
     ctrl: Receiver<Ctrl>,
-    mut ring: Consumer<Skb>,
+    mut ring: Consumer<Desc>,
 ) -> WorkerStats {
-    let batch_size = config.batch_size.max(1);
     let mut reported = WorkerStats::default();
     let mut clock: u64 = 0;
     loop {
@@ -628,6 +915,10 @@ fn worker_loop(
         match ctrl.try_recv() {
             Ok(Ctrl::Flush(reply)) => {
                 flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
+                continue;
+            }
+            Ok(Ctrl::AddTenant { datapath, cells, done }) => {
+                install_tenant(&mut shard, *datapath, cells, done);
                 continue;
             }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
@@ -640,22 +931,11 @@ fn worker_loop(
             }
             Err(TryRecvError::Empty) => {}
         }
-        // One burst off the descriptor ring, up to the batch's remaining
-        // room (a single acquire, however many descriptors are ready).
-        let room = batch_size - shard.batch.len();
-        let got = ring.dequeue_burst(&mut shard.batch, room);
-        if got > 0 {
-            note_arrivals(&mut shard, got, &mut clock);
-            // NAPI-style: run a full batch, or — when the ring went idle —
-            // the partial one. Batching amortises bursts, it never delays
-            // a lull's packets until the next barrier.
-            if shard.batch.len() >= batch_size || ring.is_empty() {
-                run_batch(&mut shard, clock, &config);
-            }
-            continue;
-        }
-        if !shard.batch.is_empty() {
-            run_batch(&mut shard, clock, &config);
+        // One adaptive poll: a burst sized by the ring's occupancy, capped
+        // at the NAPI budget, processed immediately. Batching amortises
+        // bursts, it never delays a lull's packets; the budget bounds how
+        // long a saturated ring can keep control waiting.
+        if poll_once(&mut shard, &mut ring, &mut clock, &config) {
             continue;
         }
         // Idle: park. The pre-park protocol pairs with `ShardTx::wake` —
@@ -674,6 +954,10 @@ fn worker_loop(
                 shard.sleeping.store(false, Ordering::SeqCst);
                 flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
             }
+            Ok(Ctrl::AddTenant { datapath, cells, done }) => {
+                shard.sleeping.store(false, Ordering::SeqCst);
+                install_tenant(&mut shard, *datapath, cells, done);
+            }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
                 shard.sleeping.store(false, Ordering::SeqCst);
                 drain_ring(&mut shard, &mut ring, &mut clock, &config);
@@ -687,39 +971,59 @@ fn worker_loop(
     }
 }
 
-/// Accounts `got` freshly dequeued descriptors (appended at the batch
-/// tail) and advances the shard clock to the newest RX timestamp.
-fn note_arrivals(shard: &mut ShardState, got: usize, clock: &mut u64) {
-    shard.stats.steered += got as u64;
-    let start = shard.batch.len() - got;
-    for skb in &shard.batch[start..] {
-        *clock = (*clock).max(skb.rx_timestamp_ns);
-    }
+/// Installs a tenant's datapath and counter row on this shard, then
+/// acknowledges to the dispatcher (which blocks until every shard has).
+fn install_tenant(
+    shard: &mut ShardState,
+    datapath: Seg6Datapath,
+    cells: Arc<TenantCounters>,
+    done: Sender<()>,
+) {
+    shard.datapaths.push(datapath);
+    shard.tenant_cells.push(cells);
+    shard.recycled_scratch.push(0);
+    let _ = done.send(());
 }
 
-/// Consumes the descriptor ring dry (everything published so far),
-/// processing full batches as they fill and the final partial one.
-fn drain_ring(shard: &mut ShardState, ring: &mut Consumer<Skb>, clock: &mut u64, config: &PoolConfig) {
-    let batch_size = config.batch_size.max(1);
-    loop {
-        let room = batch_size - shard.batch.len();
-        let got = ring.dequeue_burst(&mut shard.batch, room);
-        if got == 0 {
-            break;
-        }
-        note_arrivals(shard, got, clock);
-        if shard.batch.len() >= batch_size {
-            run_batch(shard, *clock, config);
-        }
+/// One NAPI-style poll: dequeues a burst sized by the observed ring
+/// occupancy (capped at the budget) and processes it. Returns whether any
+/// descriptor moved.
+fn poll_once(
+    shard: &mut ShardState,
+    ring: &mut Consumer<Desc>,
+    clock: &mut u64,
+    config: &PoolConfig,
+) -> bool {
+    let got = ring.dequeue_burst(&mut shard.rx, worker_burst(config));
+    if got == 0 {
+        return false;
     }
-    run_batch(shard, *clock, config);
+    // Unzip descriptors into the index-aligned batch vectors; the shard
+    // clock advances per batch inside `run_batch`, not per poll, so a
+    // large NAPI burst does not time-stamp its first batch with its last
+    // packet's arrival.
+    shard.stats.steered += got as u64;
+    for desc in shard.rx.drain(..) {
+        shard.batch_tenants.push(desc.tenant);
+        shard.batch.push(desc.skb);
+    }
+    run_batch(shard, clock, config);
+    true
+}
+
+/// Consumes the descriptor ring dry (everything published so far) in
+/// budget-capped bursts, then runs one final drain pass so per-CPU perf
+/// consumers see the last batch's events.
+fn drain_ring(shard: &mut ShardState, ring: &mut Consumer<Desc>, clock: &mut u64, config: &PoolConfig) {
+    while poll_once(shard, ring, clock, config) {}
+    run_drain(shard);
 }
 
 /// Serves one flush barrier: drain everything published before it, then
 /// report the deltas since the previous barrier.
 fn flush_barrier(
     shard: &mut ShardState,
-    ring: &mut Consumer<Skb>,
+    ring: &mut Consumer<Desc>,
     clock: &mut u64,
     config: &PoolConfig,
     reported: &mut WorkerStats,
@@ -731,28 +1035,70 @@ fn flush_barrier(
     let _ = reply.send(ShardFlush { stats: delta, outputs: std::mem::take(&mut shard.outputs) });
 }
 
-/// Processes the accumulated batch (if any), recycles the drained packet
-/// buffers through the free-ring, mirrors the deltas into the live
-/// counters, and runs the drain daemon.
-fn run_batch(shard: &mut ShardState, clock: u64, config: &PoolConfig) {
+/// Runs the shard's drain daemon, if any.
+fn run_drain(shard: &mut ShardState) {
+    if let Some(drain) = &mut shard.drain {
+        drain(shard.id);
+    }
+}
+
+/// Processes the accumulated poll's packets as **batches** — bounded by
+/// [`PoolConfig::batch_size`] *and* by tenant runs, so consecutive
+/// same-tenant packets execute as one batch call on that tenant's
+/// datapath and the drain daemon keeps its pre-tenancy cadence (it runs
+/// after every batch, and a batch never exceeds `batch_size` packets —
+/// per-CPU perf rings sized against `batch_size` cannot overflow however
+/// large the NAPI dequeue burst was) — then recycles the drained packet
+/// buffers through the free-ring and mirrors each batch's deltas into the
+/// tenant's live counters.
+fn run_batch(shard: &mut ShardState, clock: &mut u64, config: &PoolConfig) {
     if !shard.batch.is_empty() {
-        let before = shard.stats;
-        // The verdict buffer is shard-owned and reused: no allocation per
-        // batch, no allocation per packet.
+        let limit = config.batch_size.max(1);
+        // The verdict buffer is shard-owned and reused, index-aligned with
+        // the batch: no allocation per batch, no allocation per packet.
         shard.verdicts.clear();
-        shard.datapath.process_batch_verdicts_into(&mut shard.batch, clock, &mut shard.verdicts);
-        for bv in &shard.verdicts {
-            shard.stats.processed += 1;
-            match bv.verdict {
-                seg6_core::Verdict::Forward { .. } => shard.stats.forwarded += 1,
-                seg6_core::Verdict::LocalDeliver => shard.stats.local_delivered += 1,
-                seg6_core::Verdict::Drop(_) => shard.stats.dropped += 1,
+        let mut start = 0;
+        while start < shard.batch.len() {
+            let tenant = shard.batch_tenants[start];
+            let mut end = start + 1;
+            while end < shard.batch.len() && end - start < limit && shard.batch_tenants[end] == tenant {
+                end += 1;
             }
+            // Advance the (monotonic) shard clock to this batch's newest
+            // RX timestamp — the clock a kernel softirq batch would run
+            // under. Bounded by `batch_size`, like the batch itself, so
+            // `bpf_ktime_get_ns`/End.DM never see the timestamp spread of
+            // a whole NAPI burst.
+            for skb in &shard.batch[start..end] {
+                *clock = (*clock).max(skb.rx_timestamp_ns);
+            }
+            let before = shard.stats;
+            shard.datapaths[tenant.index()].process_batch_verdicts_into(
+                &mut shard.batch[start..end],
+                *clock,
+                &mut shard.verdicts,
+            );
+            for bv in &shard.verdicts[start..end] {
+                shard.stats.processed += 1;
+                match bv.verdict {
+                    seg6_core::Verdict::Forward { .. } => shard.stats.forwarded += 1,
+                    seg6_core::Verdict::LocalDeliver => shard.stats.local_delivered += 1,
+                    seg6_core::Verdict::Drop(_) => shard.stats.dropped += 1,
+                }
+            }
+            shard.stats.batches += 1;
+            shard.tenant_cells[tenant.index()].shard(shard.id).add_batch(&crate::delta(before, shard.stats));
+            // The drain daemon runs batch-aware: after every
+            // `batch_size`-bounded batch's events are in the perf ring, on
+            // the worker that produced them.
+            run_drain(shard);
+            start = end;
         }
-        shard.stats.batches += 1;
-        let mut recycled = 0u64;
         if config.collect_outputs {
-            shard.outputs.extend(shard.batch.drain(..).zip(shard.verdicts.drain(..)));
+            let packets = shard.batch_tenants.drain(..).zip(shard.batch.drain(..));
+            shard
+                .outputs
+                .extend(packets.zip(shard.verdicts.drain(..)).map(|((tenant, skb), bv)| (tenant, skb, bv)));
         } else {
             // Hand the whole batch's drained storage back to the
             // dispatcher with one burst publish — the return leg costs one
@@ -763,15 +1109,26 @@ fn run_batch(shard: &mut ShardState, clock: u64, config: &PoolConfig) {
             for skb in shard.batch.drain(..) {
                 shard.free_staging.push(skb.into_packet());
             }
-            recycled = shard.free.enqueue_burst(&mut shard.free_staging) as u64;
+            let recycled = shard.free.enqueue_burst(&mut shard.free_staging);
             shard.free_staging.clear();
+            if recycled > 0 {
+                // The free-ring took the batch-order prefix; attribute the
+                // recycled buffers to their tenants exactly (pre-sized
+                // scratch, one fetch_add per tenant with any).
+                for count in &mut shard.recycled_scratch {
+                    *count = 0;
+                }
+                for tenant in &shard.batch_tenants[..recycled] {
+                    shard.recycled_scratch[tenant.index()] += 1;
+                }
+                for (tenant, count) in shard.recycled_scratch.iter().enumerate() {
+                    if *count > 0 {
+                        shard.tenant_cells[tenant].shard(shard.id).add_recycled(*count);
+                    }
+                }
+            }
+            shard.batch_tenants.clear();
         }
-        shard.counters.shard(shard.id).add_batch(&crate::delta(before, shard.stats), recycled);
-    }
-    // The drain daemon runs batch-aware: after the batch's events are in
-    // the ring, on the worker that produced them.
-    if let Some(drain) = &mut shard.drain {
-        drain(shard.datapath.cpu_id);
     }
 }
 
@@ -803,6 +1160,16 @@ mod tests {
         let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
         dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
         dp
+    }
+
+    /// A datapath routing everything out of `oif` — tenants built from it
+    /// are distinguishable by their verdicts.
+    fn oif_datapath(oif: u32) -> impl Fn(u32) -> Seg6Datapath {
+        move |cpu| {
+            let mut dp = Seg6Datapath::new(addr("fc00::1")).on_cpu(cpu);
+            dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(oif)]);
+            dp
+        }
     }
 
     fn flow_packet(flow: u32) -> PacketBuf {
@@ -842,7 +1209,8 @@ mod tests {
     }
 
     /// The acceptance-criteria test: a steady-state run through the
-    /// persistent pool performs no thread spawns after construction.
+    /// persistent pool performs no thread spawns after construction —
+    /// including tenant registration, which reuses the existing shards.
     #[test]
     fn pool_spawns_no_threads_after_construction() {
         let config = PoolConfig { workers: 4, batch_size: 32, ..Default::default() };
@@ -851,9 +1219,17 @@ mod tests {
         let after_construction = thread_spawn_count();
         assert_eq!(after_construction - before_construction, 4);
 
-        // The scaling workload: many enqueue/flush rounds.
-        for _ in 0..10 {
-            pool.enqueue_all((0..256).map(flow_packet));
+        // Registering a tenant must not spawn either.
+        let tenant = pool.register_tenant(oif_datapath(9));
+        assert_eq!(thread_spawn_count(), after_construction, "register_tenant must not spawn");
+
+        // The scaling workload: many enqueue/flush rounds across tenants.
+        for round in 0..10 {
+            if round % 2 == 0 {
+                pool.enqueue_all((0..256).map(flow_packet));
+            } else {
+                pool.tenant(tenant).enqueue_all((0..256).map(flow_packet));
+            }
             let report = pool.flush();
             assert_eq!(report.run.processed, 256);
         }
@@ -891,7 +1267,7 @@ mod tests {
         });
 
         // First packet: the worker takes it off the ring, processes it
-        // (batch size 1) and blocks inside the drain.
+        // and blocks inside the drain.
         assert!(pool.enqueue(flow_packet(0)));
         entered_rx.recv().expect("worker entered the drain");
 
@@ -906,6 +1282,9 @@ mod tests {
         assert!(!pool.enqueue(flow_packet(6)));
         assert_eq!(pool.rejected(), 2);
         assert_eq!(pool.shard_stats()[0], ShardStats { enqueued: 5, rejected: 2 });
+        // The default tenant carries all of it — per-tenant admission
+        // accounting agrees with the per-shard view.
+        assert_eq!(pool.tenant_stats()[0], ShardStats { enqueued: 5, rejected: 2 });
         // The live mirrors agree with the dispatcher's view, mid-run and
         // without any barrier.
         assert_eq!(pool.counters().snapshot().shards[0].as_shard_stats(), pool.shard_stats()[0]);
@@ -954,7 +1333,7 @@ mod tests {
     }
 
     /// An enqueue-only caller must not strand work: when a shard's ring
-    /// goes idle, the partial batch is processed (and the drain daemon
+    /// goes idle, whatever was dequeued is processed (and the drain daemon
     /// runs) without waiting for a flush barrier.
     #[test]
     fn idle_worker_processes_partial_batches_without_a_barrier() {
@@ -966,17 +1345,129 @@ mod tests {
                 let _ = drained_tx.send(());
             }))
         });
-        // 5 packets — far below batch_size — and no flush call.
+        // 5 packets — far below the staging burst — and no flush call.
         for flow in 0..5 {
             assert!(pool.enqueue(flow_packet(flow)));
         }
         // The drain daemon only runs after a processed batch; its signal
-        // proves the partial batch did not wait for a barrier.
+        // proves the packets did not wait for a barrier.
         drained_rx
             .recv_timeout(std::time::Duration::from_secs(10))
             .expect("idle worker processed its partial batch");
         let report = pool.flush();
         assert_eq!(report.run.processed, 5);
+    }
+
+    /// The adaptive-batching satellite: the worker consumes a backlog in
+    /// occupancy-sized dequeue bursts capped at the NAPI budget, while
+    /// *processing* (and the drain-daemon cadence) stays bounded by
+    /// `batch_size` — so the batch count is exactly
+    /// `ceil(backlog / min(batch_size, napi_budget))`, flush semantics and
+    /// verdict totals are unchanged, and perf rings provisioned against
+    /// `batch_size` can never overflow between drains.
+    #[test]
+    fn adaptive_bursts_respect_the_napi_budget_and_batch_bound() {
+        const BACKLOG: u32 = 512;
+        // (batch_size, napi_budget) → expected batch bound
+        // min(batch_size, budget): the budget caps a poll's dequeue, the
+        // batch size caps each processed (and drained) batch within it.
+        for (batch_size, budget, bound) in [(32usize, 64usize, 32u64), (256, 64, 64)] {
+            let (entered_tx, entered_rx) = mpsc::channel::<()>();
+            let (release_tx, release_rx) = mpsc::channel::<()>();
+            let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+            let config = PoolConfig {
+                workers: 1,
+                batch_size,
+                napi_budget: budget,
+                queue_depth: 2 * BACKLOG as usize,
+                ..Default::default()
+            };
+            let mut pool = WorkerPool::new(config, move |cpu| {
+                let entered_tx = entered_tx.clone();
+                let release_rx = Arc::clone(&release_rx);
+                ShardSetup::new(forwarding_datapath(cpu)).with_drain(Box::new(move |_| {
+                    let _ = entered_tx.send(());
+                    let _ = release_rx.lock().unwrap().recv();
+                }))
+            });
+
+            // One packet puts the worker to work; it blocks in the drain
+            // after that first (1-packet) batch.
+            assert!(pool.enqueue(flow_packet(0)));
+            entered_rx.recv().expect("worker entered the drain");
+            // Build the whole backlog while the worker is stalled, so
+            // every later poll observes full occupancy deterministically.
+            assert_eq!(pool.enqueue_all((1..=BACKLOG).map(flow_packet)), BACKLOG as usize);
+            // Release the worker batch by batch, counting drain entries —
+            // one per processed batch, so the backlog must take exactly
+            // 512 / bound of them.
+            for _ in 0..BACKLOG as u64 / bound {
+                release_tx.send(()).expect("worker waits in the drain");
+                entered_rx.recv_timeout(std::time::Duration::from_secs(10)).expect("one drain per batch");
+            }
+            drop(release_tx);
+            let report = pool.flush();
+            assert_eq!(report.run.processed, u64::from(BACKLOG) + 1, "flush semantics kept");
+            let totals = pool.shutdown();
+            assert_eq!(totals[0].processed, u64::from(BACKLOG) + 1);
+            assert_eq!(
+                totals[0].batches,
+                1 + u64::from(BACKLOG) / bound,
+                "batch_size {batch_size} budget {budget}: batches must be {bound}-bounded"
+            );
+        }
+    }
+
+    /// Tenant plumbing: descriptors stamped by a tenant handle execute on
+    /// that tenant's datapath (distinguishable verdicts), outputs carry
+    /// the tenant id, and the per-tenant counter rows sum to the global
+    /// per-shard view.
+    #[test]
+    fn tenants_route_through_their_own_datapaths() {
+        let config = PoolConfig { workers: 2, batch_size: 8, collect_outputs: true, ..Default::default() };
+        let mut pool = WorkerPool::new(config, oif_datapath(10));
+        let tenant_b = pool.register_tenant(oif_datapath(20));
+        assert_eq!(pool.tenants(), 2);
+
+        let packets: Vec<PacketBuf> = (0..64).map(flow_packet).collect();
+        assert_eq!(pool.enqueue_all(packets.iter().cloned()), 64);
+        assert_eq!(pool.tenant(tenant_b).enqueue_all(packets.iter().cloned()), 64);
+        let mut report = pool.flush();
+        let mut seen = [0u64; 2];
+        for outputs in report.outputs.iter_mut() {
+            for (tenant, skb, bv) in outputs.drain(..) {
+                let expected_oif = if tenant == TenantId::DEFAULT { 10 } else { 20 };
+                assert!(
+                    matches!(bv.verdict, Verdict::Forward { oif, .. } if oif == expected_oif),
+                    "tenant {tenant:?} cross-routed: {:?}",
+                    bv.verdict
+                );
+                seen[tenant.index()] += 1;
+                pool.recycle(skb.into_packet());
+            }
+        }
+        assert_eq!(seen, [64, 64]);
+
+        // Admission accounting: per-tenant and per-shard views agree.
+        assert_eq!(pool.tenant_stats()[0], ShardStats { enqueued: 64, rejected: 0 });
+        assert_eq!(pool.tenant_stats()[1], ShardStats { enqueued: 64, rejected: 0 });
+        let total_enqueued: u64 = pool.shard_stats().iter().map(|s| s.enqueued).sum();
+        assert_eq!(total_enqueued, 128);
+
+        // Live counters: tenant rows sum to the aggregated shard view.
+        let snap = pool.counters().snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0].totals().processed, 64);
+        assert_eq!(snap.tenants[1].totals().processed, 64);
+        assert_eq!(snap.processed(), 128);
+        for shard in 0..2 {
+            let mut summed = crate::telemetry::ShardSnapshot::default();
+            for tenant in &snap.tenants {
+                summed.accumulate(&tenant.shards[shard]);
+            }
+            assert_eq!(summed, snap.shards[shard], "shard {shard}");
+        }
+        pool.shutdown();
     }
 
     #[test]
@@ -1006,7 +1497,8 @@ mod tests {
         let total: usize = report.outputs.iter().map(Vec::len).sum();
         assert_eq!(total, 32);
         for (shard, outputs) in report.outputs.iter_mut().enumerate() {
-            for (skb, bv) in outputs.drain(..) {
+            for (tenant, skb, bv) in outputs.drain(..) {
+                assert_eq!(tenant, TenantId::DEFAULT);
                 assert_eq!(pool.steer_to(skb.packet.data()) as usize, shard);
                 assert!(matches!(bv.verdict, Verdict::Forward { oif: 1, .. }));
                 assert_eq!(bv.work, seg6_core::WorkSummary::default());
@@ -1028,8 +1520,8 @@ mod tests {
     fn shutdown_processes_the_backlog_and_reports_in_shard_order() {
         let config = PoolConfig { workers: 4, batch_size: 32, ..Default::default() };
         let mut pool = WorkerPool::new(config, forwarding_datapath);
-        // 100 packets is not a multiple of the batch size, so shards hold
-        // partial batches when the shutdown message lands.
+        // 100 packets is not a multiple of the staging burst, so shards
+        // hold partial bursts when the shutdown message lands.
         pool.enqueue_all((0..100).map(flow_packet));
         let enqueued: Vec<u64> = pool.shard_stats().iter().map(|s| s.enqueued).collect();
         let totals = pool.shutdown();

@@ -1,4 +1,5 @@
-//! Pool-wide live counters: barrier-free metrics for a running pool.
+//! Pool-wide live counters: barrier-free, per-tenant × per-shard metrics
+//! for a running pool.
 //!
 //! [`WorkerPool::flush`](crate::WorkerPool::flush) is a barrier — it
 //! reports exact deltas, but only by making every shard stop and answer.
@@ -7,13 +8,17 @@
 //! are per-queue cells the datapath updates locally and readers sample at
 //! any time without synchronising with the hot path.
 //!
-//! [`PoolCounters`] reproduces that: one [`ShardCounters`] cell block per
-//! shard, each a set of relaxed atomics. The dispatcher adds its
-//! enqueue/reject accounting at publish time; each worker adds its
-//! processed/verdict/recycle deltas once per batch (batch-local sums, one
-//! `fetch_add` per counter per batch — nothing per packet). Readers call
-//! [`PoolCounters::snapshot`] from any thread, any time, with no barrier
-//! and no effect on the workers.
+//! [`PoolCounters`] reproduces that, with **tenancy** as the outer
+//! dimension: one [`TenantCounters`] block per registered tenant, each a
+//! row of [`ShardCounters`] cells (one per shard), each cell a set of
+//! relaxed atomics. The dispatcher adds its enqueue/reject accounting at
+//! publish time; each worker adds its processed/verdict/recycle deltas
+//! once per tenant run within a batch (batch-local sums, one `fetch_add`
+//! per counter per run — nothing per packet). The hot path never touches
+//! a lock: the dispatcher and every worker hold direct `Arc`s to their
+//! tenants' cell blocks (handed over on the control channel when a tenant
+//! registers); only registration and [`PoolCounters::snapshot`] take the
+//! tenant-list lock.
 //!
 //! Consistency: each individual counter is exact (updated by exactly one
 //! thread); a snapshot taken *while traffic is moving* may straddle a
@@ -21,14 +26,18 @@
 //! increment has not landed yet). At any quiet point — after a
 //! [`flush`](crate::WorkerPool::flush) barrier returns — a snapshot
 //! agrees exactly with the dispatcher's [`ShardStats`] and the sum of all
-//! flushed [`WorkerStats`] deltas (regression-tested in the pool tests).
+//! flushed [`WorkerStats`] deltas, and the per-tenant rows sum exactly to
+//! the aggregated per-shard view (regression-tested in the pool and
+//! tenant-isolation tests).
 
+use crate::pool::TenantId;
 use crate::{ShardStats, WorkerStats};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-/// Live counters of one shard. All cells are relaxed atomics: written by
-/// exactly one thread each (dispatcher or the shard's worker), readable by
-/// anyone at any time.
+/// Live counters of one (tenant, shard) cell. All cells are relaxed
+/// atomics: written by exactly one thread each (dispatcher or the shard's
+/// worker), readable by anyone at any time.
 #[derive(Debug, Default)]
 pub struct ShardCounters {
     /// Packets accepted into the shard's descriptor ring (dispatcher).
@@ -43,7 +52,7 @@ pub struct ShardCounters {
     local_delivered: AtomicU64,
     /// Drop verdicts.
     dropped: AtomicU64,
-    /// Batches executed by the worker.
+    /// Batches (tenant runs) executed by the worker.
     batches: AtomicU64,
     /// Packet buffers handed back to the dispatcher through the free-ring.
     recycled: AtomicU64,
@@ -60,20 +69,25 @@ impl ShardCounters {
         }
     }
 
-    /// Worker-side accounting: one call per processed batch, with the
-    /// batch's verdict deltas and how many buffers went to the free-ring.
-    pub(crate) fn add_batch(&self, delta: &WorkerStats, recycled: u64) {
+    /// Worker-side accounting: one call per processed tenant run, with the
+    /// run's verdict deltas.
+    pub(crate) fn add_batch(&self, delta: &WorkerStats) {
         self.processed.fetch_add(delta.processed, Ordering::Relaxed);
         self.forwarded.fetch_add(delta.forwarded, Ordering::Relaxed);
         self.local_delivered.fetch_add(delta.local_delivered, Ordering::Relaxed);
         self.dropped.fetch_add(delta.dropped, Ordering::Relaxed);
         self.batches.fetch_add(delta.batches, Ordering::Relaxed);
+    }
+
+    /// Worker-side accounting: how many of this tenant's buffers went to
+    /// the free-ring in one batch publish.
+    pub(crate) fn add_recycled(&self, recycled: u64) {
         if recycled > 0 {
             self.recycled.fetch_add(recycled, Ordering::Relaxed);
         }
     }
 
-    /// Samples this shard's counters.
+    /// Samples this cell's counters.
     pub fn sample(&self) -> ShardSnapshot {
         ShardSnapshot {
             enqueued: self.enqueued.load(Ordering::Relaxed),
@@ -88,7 +102,7 @@ impl ShardCounters {
     }
 }
 
-/// A point-in-time sample of one shard's counters.
+/// A point-in-time sample of one counter cell (or a sum of cells).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ShardSnapshot {
     /// Packets accepted into the shard's descriptor ring since pool start.
@@ -103,7 +117,7 @@ pub struct ShardSnapshot {
     pub local_delivered: u64,
     /// Drop verdicts.
     pub dropped: u64,
-    /// Batches executed.
+    /// Batches (tenant runs) executed.
     pub batches: u64,
     /// Packet buffers recycled back to the dispatcher's arena.
     pub recycled: u64,
@@ -115,14 +129,75 @@ impl ShardSnapshot {
     pub fn as_shard_stats(&self) -> ShardStats {
         ShardStats { enqueued: self.enqueued, rejected: self.rejected }
     }
+
+    /// Adds another sample cell-by-cell (summing tenants into the global
+    /// per-shard view, or shards into a tenant total).
+    pub fn accumulate(&mut self, other: &ShardSnapshot) {
+        self.enqueued += other.enqueued;
+        self.rejected += other.rejected;
+        self.processed += other.processed;
+        self.forwarded += other.forwarded;
+        self.local_delivered += other.local_delivered;
+        self.dropped += other.dropped;
+        self.batches += other.batches;
+        self.recycled += other.recycled;
+    }
 }
 
-/// A consistent-at-quiescence sample of the whole pool, in shard index
-/// order. See the [module docs](self) for what "consistent" means while
-/// traffic is moving.
+/// The live counter row of one tenant: one [`ShardCounters`] cell per
+/// shard. The dispatcher and the workers hold direct `Arc`s to the rows of
+/// the tenants they serve — updating a cell never takes a lock.
+#[derive(Debug)]
+pub struct TenantCounters {
+    shards: Box<[ShardCounters]>,
+}
+
+impl TenantCounters {
+    fn new(workers: u32) -> Self {
+        TenantCounters { shards: (0..workers).map(|_| ShardCounters::default()).collect() }
+    }
+
+    /// This tenant's cell on `shard`.
+    pub fn shard(&self, shard: u32) -> &ShardCounters {
+        &self.shards[shard as usize]
+    }
+
+    /// Samples every shard cell of this tenant, in shard index order.
+    pub fn sample(&self) -> TenantSnapshot {
+        TenantSnapshot { shards: self.shards.iter().map(ShardCounters::sample).collect() }
+    }
+}
+
+/// A point-in-time sample of one tenant's row, in shard index order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Per-shard samples, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl TenantSnapshot {
+    /// This tenant's totals across all shards.
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.shards {
+            total.accumulate(shard);
+        }
+        total
+    }
+}
+
+/// A consistent-at-quiescence sample of the whole pool: the per-tenant
+/// rows plus the aggregated per-shard view (each `shards[q]` is the sum of
+/// every tenant's cell on shard `q`, so the tenant rows always sum exactly
+/// to the global view — by construction at sample time, and exactly equal
+/// to the flush/`ShardStats` totals at quiet points). See the
+/// [module docs](self) for what "consistent" means while traffic moves.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct PoolSnapshot {
-    /// Per-shard samples, indexed by shard id.
+    /// Per-tenant rows, indexed by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Aggregated per-shard samples (summed over tenants), indexed by
+    /// shard id.
     pub shards: Vec<ShardSnapshot>,
 }
 
@@ -132,7 +207,16 @@ impl PoolSnapshot {
         self.shards.iter().map(field).sum()
     }
 
-    /// Total packets accepted across all shards.
+    /// Pool-wide totals as one cell.
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.shards {
+            total.accumulate(shard);
+        }
+        total
+    }
+
+    /// Total packets accepted across all shards and tenants.
     pub fn enqueued(&self) -> u64 {
         self.total(|s| s.enqueued)
     }
@@ -174,33 +258,59 @@ impl PoolSnapshot {
     }
 }
 
-/// The pool's live counter block: one [`ShardCounters`] per shard. Held
-/// behind an `Arc` by the pool, its workers, and any number of metric
+/// The pool's live counter block: one [`TenantCounters`] row per tenant.
+/// Held behind an `Arc` by the pool, its workers, and any number of metric
 /// readers ([`WorkerPool::counters`](crate::WorkerPool::counters) hands
-/// out clones).
+/// out clones). The lock guards only the row *list* (taken on tenant
+/// registration and on snapshot); the rows themselves are lock-free.
 #[derive(Debug)]
 pub struct PoolCounters {
-    shards: Box<[ShardCounters]>,
+    workers: u32,
+    tenants: RwLock<Vec<Arc<TenantCounters>>>,
 }
 
 impl PoolCounters {
+    /// A counter block with one (default) tenant row.
     pub(crate) fn new(workers: u32) -> Self {
-        PoolCounters { shards: (0..workers).map(|_| ShardCounters::default()).collect() }
+        PoolCounters { workers, tenants: RwLock::new(vec![Arc::new(TenantCounters::new(workers))]) }
     }
 
-    /// Number of shards the block covers.
+    /// Appends a fresh tenant row and returns it (the pool hands the `Arc`
+    /// to the dispatcher and, over the control channel, to every worker).
+    pub(crate) fn add_tenant(&self) -> Arc<TenantCounters> {
+        let row = Arc::new(TenantCounters::new(self.workers));
+        self.tenants.write().expect("counter registry lock").push(Arc::clone(&row));
+        row
+    }
+
+    /// Number of shards each tenant row covers.
     pub fn workers(&self) -> usize {
-        self.shards.len()
+        self.workers as usize
     }
 
-    /// One shard's live counters.
-    pub fn shard(&self, shard: u32) -> &ShardCounters {
-        &self.shards[shard as usize]
+    /// Number of registered tenant rows.
+    pub fn tenants(&self) -> usize {
+        self.tenants.read().expect("counter registry lock").len()
     }
 
-    /// Samples every shard, barrier-free, in shard index order.
+    /// One tenant's live counter row.
+    pub fn tenant(&self, tenant: TenantId) -> Arc<TenantCounters> {
+        Arc::clone(&self.tenants.read().expect("counter registry lock")[tenant.index()])
+    }
+
+    /// Samples every tenant row, barrier-free, and aggregates the global
+    /// per-shard view. Tenant and shard indices match registration order.
     pub fn snapshot(&self) -> PoolSnapshot {
-        PoolSnapshot { shards: self.shards.iter().map(ShardCounters::sample).collect() }
+        let rows = self.tenants.read().expect("counter registry lock");
+        let tenants: Vec<TenantSnapshot> = rows.iter().map(|row| row.sample()).collect();
+        drop(rows);
+        let mut shards = vec![ShardSnapshot::default(); self.workers as usize];
+        for tenant in &tenants {
+            for (aggregate, cell) in shards.iter_mut().zip(&tenant.shards) {
+                aggregate.accumulate(cell);
+            }
+        }
+        PoolSnapshot { tenants, shards }
     }
 }
 
@@ -211,8 +321,9 @@ mod tests {
     #[test]
     fn snapshot_reflects_both_sides() {
         let counters = PoolCounters::new(2);
-        counters.shard(0).add_ingress(10, 2);
-        counters.shard(1).add_ingress(5, 0);
+        let row = counters.tenant(TenantId::DEFAULT);
+        row.shard(0).add_ingress(10, 2);
+        row.shard(1).add_ingress(5, 0);
         let batch = WorkerStats {
             steered: 10,
             processed: 10,
@@ -221,9 +332,11 @@ mod tests {
             dropped: 1,
             batches: 2,
         };
-        counters.shard(0).add_batch(&batch, 10);
+        row.shard(0).add_batch(&batch);
+        row.shard(0).add_recycled(10);
         let snap = counters.snapshot();
         assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.tenants.len(), 1);
         assert_eq!(snap.shards[0].enqueued, 10);
         assert_eq!(snap.shards[0].rejected, 2);
         assert_eq!(snap.shards[0].processed, 10);
@@ -235,13 +348,35 @@ mod tests {
         assert_eq!(snap.processed(), 10);
         assert_eq!(snap.in_flight(), 5);
         assert_eq!(snap.shards[0].as_shard_stats(), ShardStats { enqueued: 10, rejected: 2 });
+        assert_eq!(snap.tenants[0].totals().enqueued, 15);
+    }
+
+    #[test]
+    fn tenant_rows_sum_to_the_aggregated_shards() {
+        let counters = PoolCounters::new(2);
+        let second = counters.add_tenant();
+        assert_eq!(counters.tenants(), 2);
+        counters.tenant(TenantId::DEFAULT).shard(0).add_ingress(7, 1);
+        second.shard(0).add_ingress(3, 0);
+        second.shard(1).add_ingress(2, 2);
+        let snap = counters.snapshot();
+        for shard in 0..2 {
+            let mut summed = ShardSnapshot::default();
+            for tenant in &snap.tenants {
+                summed.accumulate(&tenant.shards[shard]);
+            }
+            assert_eq!(summed, snap.shards[shard], "shard {shard}");
+        }
+        assert_eq!(snap.enqueued(), 12);
+        assert_eq!(snap.rejected(), 3);
+        assert_eq!(snap.tenants[1].totals().enqueued, 5);
     }
 
     #[test]
     fn in_flight_saturates() {
         let counters = PoolCounters::new(1);
         let batch = WorkerStats { processed: 3, ..Default::default() };
-        counters.shard(0).add_batch(&batch, 0);
+        counters.tenant(TenantId::DEFAULT).shard(0).add_batch(&batch);
         // Processed can transiently exceed enqueued in a torn mid-traffic
         // sample; the backlog estimate must not wrap.
         assert_eq!(counters.snapshot().in_flight(), 0);

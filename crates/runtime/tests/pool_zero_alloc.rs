@@ -1,6 +1,6 @@
 //! Worker-pool steady-state allocation regression test.
 //!
-//! Run with `cargo test -p seg6-runtime --features alloc-counter`. Two
+//! Run with `cargo test -p seg6-runtime --features alloc-counter`. Three
 //! phases share one test (the counter is **process-wide**, so no other
 //! test may run concurrently in this binary):
 //!
@@ -15,6 +15,14 @@
 //!    dispatch → ring → worker → free-ring → dispatch — performs **zero**
 //!    buffer allocations; only the flush barrier's reply channel costs a
 //!    small per-round constant.
+//! 3. **Multi-tenant rounds** — the PR-5 acceptance gate: a second tenant
+//!    registers (its one-time installation cost and the arena's
+//!    re-provision to the larger in-flight bound happen *outside* the
+//!    measurement), then both tenants' byte-slice traffic interleaves
+//!    through the same rings and the same arena. Per-tenant descriptor
+//!    stamping, tenant-run splitting and the per-tenant × per-shard
+//!    counters must all stay allocation-free, and the arena must stay
+//!    mint-flat.
 #![cfg(feature = "alloc-counter")]
 
 use netpkt::packet::build_ipv6_udp_packet;
@@ -139,5 +147,60 @@ fn pool_steady_state_does_not_allocate_per_packet() {
          ({PACKETS_PER_ROUND} packets each); budget {budget} — the dispatch → ring → worker → \
          free-ring loop is allocating"
     );
+
+    // --- Phase 3: the multi-tenant gate (PR-5) ---
+
+    // Registering the tenant allocates (datapath forks, counter row, the
+    // arena's re-provision to the larger in-flight bound) — all of it
+    // one-time cost outside the measurement.
+    let tenant_b = pool.register_tenant(|cpu| {
+        let mut dp = Seg6Datapath::new(addr("fc00::2")).on_cpu(cpu);
+        dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(2)]);
+        dp
+    });
+    let half = PACKETS_PER_ROUND / 2;
+    for _ in 0..3 {
+        // Warm-up: both tenants' paths touch every reused buffer once.
+        assert_eq!(pool.enqueue_bytes_all(0, frames[..half].iter().map(Vec::as_slice)), half);
+        assert_eq!(
+            pool.tenant(tenant_b).enqueue_bytes_all(0, frames[half..].iter().map(Vec::as_slice)),
+            PACKETS_PER_ROUND - half
+        );
+        pool.flush();
+    }
+    let minted_after_tenants = pool.buf_pool().allocations();
+
+    let before = global_allocations();
+    let mut processed = 0u64;
+    for _ in 0..MEASURED_ROUNDS {
+        // Interleave the tenants: tenant runs of both kinds in every
+        // batch, rings and arena shared.
+        assert_eq!(pool.enqueue_bytes_all(0, frames[..half].iter().map(Vec::as_slice)), half);
+        assert_eq!(
+            pool.tenant(tenant_b).enqueue_bytes_all(0, frames[half..].iter().map(Vec::as_slice)),
+            PACKETS_PER_ROUND - half
+        );
+        processed += pool.flush().run.processed;
+    }
+    let allocations = global_allocations() - before;
+
+    assert_eq!(processed as usize, MEASURED_ROUNDS * PACKETS_PER_ROUND);
+    assert_eq!(pool.rejected(), 0);
+    assert_eq!(
+        pool.buf_pool().allocations(),
+        minted_after_tenants,
+        "multi-tenant steady state minted fresh packet buffers instead of recycling"
+    );
+    assert!(
+        allocations <= budget,
+        "multi-tenant ingestion allocated {allocations} times over {MEASURED_ROUNDS} rounds \
+         ({PACKETS_PER_ROUND} packets each, 2 tenants); budget {budget} — tenant stamping, \
+         tenant-run splitting or the per-tenant counters are allocating"
+    );
+
+    // Both tenants really ran: the per-tenant rows carry the split.
+    let snap = pool.counters().snapshot();
+    assert!(snap.tenants[0].totals().processed > 0);
+    assert!(snap.tenants[1].totals().processed > 0);
     pool.shutdown();
 }

@@ -3,8 +3,8 @@
 
 use netpkt::ipv6::proto;
 use netpkt::{ParsedPacket, UdpHeader};
-use seg6_core::{Seg6Datapath, Verdict};
-use seg6_runtime::{PoolConfig, WorkerPool};
+use seg6_core::{BatchVerdict, Seg6Datapath, Verdict};
+use seg6_runtime::{PoolConfig, TenantId, WorkerPool};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -153,12 +153,30 @@ pub struct Node {
     pub udp_sinks: HashMap<u16, SinkStats>,
     /// Total packets locally delivered (any protocol).
     pub delivered_packets: u64,
-    /// When set, this node's packets are executed by the shared persistent
-    /// worker pool (one shard per receive queue, each running a
-    /// [`Seg6Datapath::fork_for_cpu`] of this node's datapath) instead of
-    /// the simulator-private CPU model. See
-    /// [`Node::enable_pool_ingestion`].
-    pool: Option<WorkerPool>,
+    /// How this node's packet *execution* is bound: the simulator-private
+    /// CPU model, a node-private worker pool, or a tenant slot on a host
+    /// pool shared with other nodes. See [`Node::enable_pool_ingestion`]
+    /// and [`crate::Simulator::share_host_pool`].
+    pub(crate) binding: PoolBinding,
+}
+
+/// Where a node's packets execute.
+pub(crate) enum PoolBinding {
+    /// The legacy in-simulator model: the node's own datapath runs inline.
+    None,
+    /// A node-private persistent worker pool (one shard per receive
+    /// queue). Boxed: a pool is an order of magnitude larger than the
+    /// other variants and most nodes never bind one.
+    Private(Box<WorkerPool>),
+    /// A tenant of a host pool owned by the simulator and shared with
+    /// other nodes — the "one host, many VRFs" model. The tenant id is
+    /// assigned when the simulator builds the pool.
+    Shared {
+        /// Index into the simulator's host-pool table.
+        pool: usize,
+        /// This node's tenant on that pool.
+        tenant: TenantId,
+    },
 }
 
 impl Node {
@@ -175,7 +193,7 @@ impl Node {
             next_ifindex: 1,
             udp_sinks: HashMap::new(),
             delivered_packets: 0,
-            pool: None,
+            binding: PoolBinding::None,
         }
     }
 
@@ -185,8 +203,10 @@ impl Node {
     /// queues never alias per-CPU map state.
     pub fn set_rx_queues(&mut self, queues: usize) {
         self.rx_queue_busy_ns = vec![0; queues.clamp(1, ebpf_vm::DEFAULT_NUM_CPUS as usize)];
-        if self.pool.is_some() {
+        if matches!(self.binding, PoolBinding::Private(_)) {
             // Rebuild the pool so its shard count tracks the queue count.
+            // (Shared host pools are rebuilt by the simulator at run
+            // start, which re-reads every member's queue count.)
             self.enable_pool_ingestion();
         }
     }
@@ -207,20 +227,30 @@ impl Node {
     /// steering + batch code path the benches measure, with identical
     /// verdicts to the in-simulator model.
     pub fn enable_pool_ingestion(&mut self) {
-        let config = PoolConfig {
-            workers: self.rx_queues() as u32,
-            // The simulator hands packets one arrival event at a time.
-            batch_size: 1,
-            queue_depth: 64,
-            collect_outputs: true,
-            ..Default::default()
-        };
-        self.pool = Some(WorkerPool::from_datapath(config, &self.datapath));
+        self.binding = PoolBinding::Private(Box::new(WorkerPool::from_datapath(
+            sim_pool_config(self.rx_queues()),
+            &self.datapath,
+        )));
     }
 
-    /// Whether packet execution goes through the worker pool.
+    /// Whether packet execution goes through a worker pool (private or a
+    /// shared host pool).
     pub fn pool_ingestion(&self) -> bool {
-        self.pool.is_some()
+        !matches!(self.binding, PoolBinding::None)
+    }
+
+    /// Marks this node as tenant `tenant` of the simulator-owned host
+    /// pool `pool` (the tenant id is finalised when the pool is built).
+    pub(crate) fn bind_shared_pool(&mut self, pool: usize, tenant: TenantId) {
+        self.binding = PoolBinding::Shared { pool, tenant };
+    }
+
+    /// The `(host pool, tenant)` binding, when this node shares a pool.
+    pub(crate) fn shared_binding(&self) -> Option<(usize, TenantId)> {
+        match self.binding {
+            PoolBinding::Shared { pool, tenant } => Some((pool, tenant)),
+            _ => None,
+        }
     }
 
     /// Executes one packet on the pool shard serving `queue`, returning
@@ -242,20 +272,16 @@ impl Node {
         now_ns: u64,
         queue: usize,
     ) -> (Verdict, PacketWork, Vec<u8>) {
-        let pool = self.pool.as_mut().expect("pool ingestion enabled");
+        let PoolBinding::Private(pool) = &mut self.binding else { panic!("private pool ingestion enabled") };
         debug_assert_eq!(pool.steer_to(packet) as usize, queue, "pool and node steering agree");
-        let accepted = pool.enqueue_bytes_at(now_ns, packet);
-        debug_assert!(accepted, "one packet per flush never overflows the shard ring");
-        let mut flush = pool.flush_shard(queue as u32);
-        let (skb, bv) = flush.outputs.pop().expect("the enqueued packet's output");
-        let work =
-            PacketWork { seg6local: bv.work.seg6local, encap_or_decap: bv.work.transit, bpf: bv.work.bpf };
+        let (bv, bytes) = execute_on_pool(pool, TenantId::DEFAULT, packet, now_ns, queue as u32);
         // Keep the node-level statistics live: the node datapath is the
         // configuration and accounting view, the shard forks execute.
         self.datapath.stats.record(&bv.verdict, &bv.work);
-        let bytes = skb.packet.data().to_vec();
-        pool.recycle(skb.into_packet());
-        (bv.verdict, work, bytes)
+        {
+            let work = work_of(&bv);
+            (bv.verdict, work, bytes)
+        }
     }
 
     /// Number of receive queues (cores) this node processes packets with.
@@ -309,6 +335,49 @@ impl Node {
     pub fn sink(&self, port: u16) -> SinkStats {
         self.udp_sinks.get(&port).copied().unwrap_or_default()
     }
+}
+
+/// The pool shape simnet ingestion uses: one shard per receive queue, one
+/// packet per flush (the simulator hands packets one arrival event at a
+/// time), outputs collected so verdicts and rewritten bytes come back.
+pub(crate) fn sim_pool_config(rx_queues: usize) -> PoolConfig {
+    PoolConfig {
+        workers: rx_queues as u32,
+        batch_size: 1,
+        queue_depth: 64,
+        collect_outputs: true,
+        ..Default::default()
+    }
+}
+
+/// Executes one packet on pool shard `shard` as `tenant`, returning its
+/// [`BatchVerdict`] and the (possibly rewritten) packet bytes. `now_ns`
+/// becomes the packet's RX timestamp and processing clock. The frame
+/// enters through the pool's recycled-buffer path (`enqueue_bytes_at`) and
+/// the output buffer is recycled back once its bytes are copied out, so a
+/// long simulation's ingestion reuses a handful of buffers instead of
+/// allocating one per packet. Only the one shard is flushed — a single
+/// cross-thread round-trip per packet.
+pub(crate) fn execute_on_pool(
+    pool: &mut WorkerPool,
+    tenant: TenantId,
+    packet: &[u8],
+    now_ns: u64,
+    shard: u32,
+) -> (BatchVerdict, Vec<u8>) {
+    let accepted = pool.tenant(tenant).enqueue_bytes_at(now_ns, packet);
+    debug_assert!(accepted, "one packet per flush never overflows the shard ring");
+    let mut flush = pool.flush_shard(shard);
+    let (out_tenant, skb, bv) = flush.outputs.pop().expect("the enqueued packet's output");
+    debug_assert_eq!(out_tenant, tenant, "the output belongs to the enqueuing tenant");
+    let bytes = skb.packet.data().to_vec();
+    pool.recycle(skb.into_packet());
+    (bv, bytes)
+}
+
+/// The CPU cost model's view of a [`BatchVerdict`]'s work flags.
+pub(crate) fn work_of(bv: &BatchVerdict) -> PacketWork {
+    PacketWork { seg6local: bv.work.seg6local, encap_or_decap: bv.work.transit, bpf: bv.work.bpf }
 }
 
 #[cfg(test)]

@@ -10,14 +10,26 @@
 
 use crate::app::{AppApi, Application};
 use crate::link::{Link, LinkConfig};
-use crate::node::{Node, PacketWork};
+use crate::node::{execute_on_pool, sim_pool_config, work_of, Node, PacketWork};
 use netpkt::PacketBuf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seg6_core::{Skb, Verdict};
+use seg6_runtime::WorkerPool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::Ipv6Addr;
+
+/// One shared host pool: a persistent [`WorkerPool`] serving several
+/// nodes, each as its own tenant — the "one Linux host running several
+/// VRFs" model. Built (and rebuilt, capturing late datapath
+/// configuration) at the start of the first run.
+struct HostPool {
+    /// The pool; `None` until the simulator builds it.
+    pool: Option<WorkerPool>,
+    /// Member node ids, in tenant order (member `i` is tenant `i`).
+    members: Vec<usize>,
+}
 
 /// One scheduled event.
 #[derive(Debug)]
@@ -72,6 +84,8 @@ pub struct Simulator {
     nodes: Vec<Node>,
     links: Vec<Link>,
     apps: Vec<Vec<Box<dyn Application>>>,
+    /// Shared host pools ([`Simulator::share_host_pool`]).
+    host_pools: Vec<HostPool>,
     queue: BinaryHeap<Reverse<Scheduled>>,
     now_ns: u64,
     seq: u64,
@@ -89,6 +103,7 @@ impl Simulator {
             nodes: Vec::new(),
             links: Vec::new(),
             apps: Vec::new(),
+            host_pools: Vec::new(),
             queue: BinaryHeap::new(),
             now_ns: 0,
             seq: 0,
@@ -197,6 +212,8 @@ impl Simulator {
             self.started = true;
             self.refresh_pools();
             self.start_apps();
+        } else {
+            self.sync_host_pools();
         }
         let mut processed = 0;
         while let Some(Reverse(next)) = self.queue.peek() {
@@ -223,15 +240,114 @@ impl Simulator {
         self.run_until(u64::MAX)
     }
 
+    /// Attaches `members` to one **shared host pool**: a single persistent
+    /// [`WorkerPool`] whose shard count is the largest member's receive
+    /// queue count, with every member node registered as its own tenant
+    /// (member `i` = tenant `i`, each shard running
+    /// `fork_for_cpu` forks of that node's datapath). This models one
+    /// Linux host serving several routing contexts — VRFs — on one set of
+    /// CPUs, instead of the pool-per-node shape
+    /// [`Node::enable_pool_ingestion`] builds. Verdicts and timestamps
+    /// are identical to pool-per-node when the members' queue counts
+    /// match the pool's shard count (regression-tested).
+    ///
+    /// The pool is built — capturing each member's current datapath
+    /// configuration — at the start of the first run (or immediately,
+    /// when the simulation already started). As with private pools,
+    /// reconfiguring a member's datapath *mid-run* requires calling this
+    /// again by hand. Returns the host pool's id.
+    pub fn share_host_pool(&mut self, members: &[usize]) -> usize {
+        assert!(!members.is_empty(), "a host pool needs at least one member node");
+        let id = self.host_pools.len();
+        self.host_pools.push(HostPool { pool: None, members: members.to_vec() });
+        for &member in members {
+            // Tenant ids are finalised when the pool is built.
+            self.nodes[member].bind_shared_pool(id, seg6_runtime::TenantId::DEFAULT);
+        }
+        if self.started {
+            self.build_host_pool(id);
+        }
+        id
+    }
+
+    /// (Re)builds host pool `id` from its members' current datapaths:
+    /// member 0 becomes the default tenant, the rest register in member
+    /// order, and each node's binding records its actual tenant id. A
+    /// member whose binding has since been pointed elsewhere — a private
+    /// pool via [`Node::enable_pool_ingestion`], or a newer
+    /// [`Simulator::share_host_pool`] call — has *left* this pool: the
+    /// later explicit binding wins and the member is dropped, instead of
+    /// being silently re-captured.
+    fn build_host_pool(&mut self, id: usize) {
+        let members: Vec<usize> = self.host_pools[id]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.nodes[m].shared_binding().is_some_and(|(pool, _)| pool == id))
+            .collect();
+        self.host_pools[id].members = members.clone();
+        let Some(workers) = members.iter().map(|&m| self.nodes[m].rx_queues()).max() else {
+            self.host_pools[id].pool = None;
+            return;
+        };
+        let mut pool = WorkerPool::from_datapath(sim_pool_config(workers), &self.nodes[members[0]].datapath);
+        self.nodes[members[0]].bind_shared_pool(id, seg6_runtime::TenantId::DEFAULT);
+        for &member in &members[1..] {
+            let tenant = pool.register_tenant_from(&self.nodes[member].datapath);
+            self.nodes[member].bind_shared_pool(id, tenant);
+        }
+        self.host_pools[id].pool = Some(pool);
+    }
+
+    /// The shared host pool `id` (for counter/telemetry inspection);
+    /// `None` until the first run builds it.
+    pub fn host_pool(&self, id: usize) -> Option<&WorkerPool> {
+        self.host_pools[id].pool.as_ref()
+    }
+
     /// Re-forks every pooled node's shards from its current datapath
-    /// configuration, so SIDs, transit behaviours and LWT attachments
-    /// installed between `enable_pool_ingestion()` and the first event
-    /// are always captured. Reconfiguring a datapath *mid-run* still
-    /// requires calling `enable_pool_ingestion()` again by hand.
+    /// configuration — private pools per node, shared host pools per
+    /// member — so SIDs, VRFs, transit behaviours and LWT attachments
+    /// installed between pool setup and the first event are always
+    /// captured. Reconfiguring a datapath *mid-run* still requires
+    /// re-enabling by hand.
     fn refresh_pools(&mut self) {
         for node in &mut self.nodes {
-            if node.pool_ingestion() {
+            if node.shared_binding().is_none() && node.pool_ingestion() {
                 node.enable_pool_ingestion();
+            }
+        }
+        for id in 0..self.host_pools.len() {
+            self.build_host_pool(id);
+        }
+    }
+
+    /// Rebuilds any shared host pool whose shard count no longer matches
+    /// its members' receive queues — the shared-pool counterpart of the
+    /// immediate rebuild `set_rx_queues` performs on a private pool, so
+    /// the two bindings do not diverge when queues change between runs.
+    /// (A private-style *datapath* reconfiguration mid-run still requires
+    /// calling [`Simulator::share_host_pool`] again, as documented there.)
+    fn sync_host_pools(&mut self) {
+        for id in 0..self.host_pools.len() {
+            let current: Vec<usize> = self.host_pools[id]
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| self.nodes[m].shared_binding().is_some_and(|(pool, _)| pool == id))
+                .collect();
+            if current.is_empty() {
+                // Every member left (re-bound privately or to a newer
+                // pool); nothing to serve.
+                self.host_pools[id].members.clear();
+                self.host_pools[id].pool = None;
+                continue;
+            }
+            let workers = current.iter().map(|&m| self.nodes[m].rx_queues()).max().expect("non-empty");
+            let stale = current != self.host_pools[id].members
+                || self.host_pools[id].pool.as_ref().is_none_or(|pool| pool.workers() as usize != workers);
+            if stale {
+                self.build_host_pool(id);
             }
         }
     }
@@ -290,7 +406,7 @@ impl Simulator {
         // CPU admission: the packet's flow steers it to one receive queue
         // (RSS), each queue's core processes serially, and the packet is
         // dropped if that queue's backlog exceeds the node's limit.
-        let (start_ns, verdict, packet_after) = {
+        let (queue, queue_start_ns) = {
             let node = &mut self.nodes[node_id];
             let queue = node.rx_queue_for(&packet);
             let start_ns = node.rx_queue_busy_ns[queue].max(self.now_ns);
@@ -299,32 +415,54 @@ impl Simulator {
                 self.stats.dropped += 1;
                 return;
             }
-            let (verdict, work, packet_after) = if node.pool_ingestion() {
-                // Pool ingestion: the queue's persistent worker shard
-                // executes the packet through the same steering + batch
-                // code path the benches measure; only the time model
-                // (busy horizons, admission) stays in the simulator.
-                node.process_via_pool(&packet, self.now_ns, queue)
+            (queue, start_ns)
+        };
+        let (verdict, work, packet_after) =
+            if let Some((pool_id, tenant)) = self.nodes[node_id].shared_binding() {
+                // Shared host pool: the node is one tenant of a pool owned by
+                // the simulator — the shard's worker executes the packet on
+                // the node's forked datapath (same steering, same batch code
+                // path); only the time model stays per node.
+                let pool = self.host_pools[pool_id].pool.as_mut().expect("host pool built at run start");
+                let shard = pool.steer_to(&packet);
+                let (bv, bytes) = execute_on_pool(pool, tenant, &packet, self.now_ns, shard);
+                // Keep the node-level statistics live, as private pools do.
+                self.nodes[node_id].datapath.stats.record(&bv.verdict, &bv.work);
+                {
+                    let work = work_of(&bv);
+                    (bv.verdict, work, bytes)
+                }
             } else {
-                let before = node.datapath.stats.clone();
-                let mut skb = Skb::received(PacketBuf::from_slice(&packet), self.now_ns, 0);
-                // The datapath instance runs "on" the queue's core:
-                // programs observe the queue index as their CPU id, so
-                // per-CPU map slots and perf rings shard by queue inside
-                // the simulator too.
-                node.datapath.cpu_id = queue as u32;
-                let verdict = node.datapath.process(&mut skb, self.now_ns);
-                let after = &node.datapath.stats;
-                let work = PacketWork {
-                    seg6local: after.seg6local_invocations > before.seg6local_invocations,
-                    encap_or_decap: after.transit_applied > before.transit_applied,
-                    bpf: after.bpf_invocations > before.bpf_invocations,
-                };
-                (verdict, work, skb.packet.data().to_vec())
+                let node = &mut self.nodes[node_id];
+                if node.pool_ingestion() {
+                    // Private pool ingestion: the queue's persistent worker
+                    // shard executes the packet through the same steering +
+                    // batch code path the benches measure; only the time model
+                    // (busy horizons, admission) stays in the simulator.
+                    node.process_via_pool(&packet, self.now_ns, queue)
+                } else {
+                    let before = node.datapath.stats.clone();
+                    let mut skb = Skb::received(PacketBuf::from_slice(&packet), self.now_ns, 0);
+                    // The datapath instance runs "on" the queue's core:
+                    // programs observe the queue index as their CPU id, so
+                    // per-CPU map slots and perf rings shard by queue inside
+                    // the simulator too.
+                    node.datapath.cpu_id = queue as u32;
+                    let verdict = node.datapath.process(&mut skb, self.now_ns);
+                    let after = &node.datapath.stats;
+                    let work = PacketWork {
+                        seg6local: after.seg6local_invocations > before.seg6local_invocations,
+                        encap_or_decap: after.transit_applied > before.transit_applied,
+                        bpf: after.bpf_invocations > before.bpf_invocations,
+                    };
+                    (verdict, work, skb.packet.data().to_vec())
+                }
             };
+        let start_ns = {
+            let node = &mut self.nodes[node_id];
             let cost = node.cpu.cost_ns(packet.len(), &work);
-            node.rx_queue_busy_ns[queue] = start_ns + cost;
-            (start_ns + cost, verdict, packet_after)
+            node.rx_queue_busy_ns[queue] = queue_start_ns + cost;
+            queue_start_ns + cost
         };
         match verdict {
             Verdict::Forward { oif, .. } => {
@@ -607,6 +745,276 @@ mod tests {
         assert_eq!(l.transit_applied, p.transit_applied);
         assert_eq!(l.dropped, p.dropped);
         assert!(p.received > 0, "the pooled node mirrored nothing");
+    }
+
+    /// The PR-5 acceptance test: two multi-queue routers sharing **one**
+    /// host pool (each as its own tenant) produce verdicts, deliveries,
+    /// drops and arrival timestamps identical to the pool-per-node model
+    /// — and to the legacy in-simulator model — over a workload covering
+    /// forwarding, seg6local and unroutable drops on both routers.
+    #[test]
+    fn shared_host_pool_matches_pool_per_node() {
+        use netpkt::packet::build_srv6_udp_packet;
+        use netpkt::srh::SegmentRoutingHeader;
+        use seg6_core::Seg6LocalAction;
+
+        #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+        enum Mode {
+            Legacy,
+            PoolPerNode,
+            SharedHostPool,
+        }
+
+        fn build(mode: Mode) -> (Simulator, usize, usize, usize) {
+            // S1 — R1 — R2 — S2: two multi-queue routers, non-zero CPU
+            // costs so any work-flag or verdict mismatch shifts busy
+            // horizons and timestamps.
+            let mut sim = Simulator::new(11);
+            let s1 = sim.add_node("S1", addr("fc00::a1"));
+            let r1 = sim.add_node("R1", addr("fc00::11"));
+            let r2 = sim.add_node("R2", addr("fc00::12"));
+            let s2 = sim.add_node("S2", addr("fc00::a2"));
+            sim.connect(s1, r1, LinkConfig::lab_10g());
+            let (_, r1_right, r2_left) = sim.connect(r1, r2, LinkConfig::lab_10g());
+            let (_, r2_right, _) = sim.connect(r2, s2, LinkConfig::lab_10g());
+            sim.node_mut(s1).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+            sim.node_mut(r1).cpu = CpuProfile::xeon();
+            sim.node_mut(r2).cpu = CpuProfile::xeon();
+            sim.node_mut(r1).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(r1_right)]);
+            sim.node_mut(r1).datapath.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::End);
+            sim.node_mut(r2)
+                .datapath
+                .add_route("fc00::a2/128".parse().unwrap(), vec![Nexthop::direct(r2_right)]);
+            sim.node_mut(r2)
+                .datapath
+                .add_route("fc00::a1/128".parse().unwrap(), vec![Nexthop::direct(r2_left)]);
+            sim.node_mut(r2).datapath.add_local_sid("fc00::e2/128".parse().unwrap(), Seg6LocalAction::End);
+            sim.node_mut(r1).set_rx_queues(4);
+            sim.node_mut(r2).set_rx_queues(4);
+            match mode {
+                Mode::Legacy => {}
+                Mode::PoolPerNode => {
+                    sim.node_mut(r1).enable_pool_ingestion();
+                    sim.node_mut(r2).enable_pool_ingestion();
+                }
+                Mode::SharedHostPool => {
+                    sim.share_host_pool(&[r1, r2]);
+                    assert!(sim.node(r1).pool_ingestion());
+                    assert!(sim.node(r2).pool_ingestion());
+                }
+            }
+            for i in 0..1200u64 {
+                let flow = (1000 + i % 100) as u16;
+                let pkt = match i % 3 {
+                    // Plain forwarding through both routers to the sink.
+                    0 => {
+                        build_ipv6_udp_packet(addr("fc00::a1"), addr("fc00::a2"), flow, 5001, &[0u8; 64], 64)
+                    }
+                    // seg6local End at R1 *and* R2, then on to S2.
+                    1 => {
+                        let srh = SegmentRoutingHeader::from_path(
+                            netpkt::ipv6::proto::UDP,
+                            &[addr("fc00::e1"), addr("fc00::e2"), addr("fc00::a2")],
+                        );
+                        build_srv6_udp_packet(addr("fc00::a1"), &srh, flow, 5002, &[0u8; 64], 64)
+                    }
+                    // Unroutable at R2 (no default route there): dropped.
+                    _ => build_ipv6_udp_packet(addr("fc00::a1"), addr("3001::1"), flow, 9000, &[0u8; 32], 64),
+                };
+                sim.inject_at(i * 400, s1, pkt);
+            }
+            sim.run_to_completion();
+            (sim, r1, r2, s2)
+        }
+
+        let (legacy, _, _, _) = build(Mode::Legacy);
+        let (per_node, pn_r1, pn_r2, pn_s2) = build(Mode::PoolPerNode);
+        let (shared, sh_r1, sh_r2, sh_s2) = build(Mode::SharedHostPool);
+
+        // Sink statistics carry first/last arrival timestamps, so these
+        // compare verdicts *and* the CPU cost model end to end.
+        assert_eq!(per_node.node(pn_s2).sink(5001), shared.node(sh_s2).sink(5001));
+        assert_eq!(per_node.node(pn_s2).sink(5002), shared.node(sh_s2).sink(5002));
+        assert_eq!(legacy.node(pn_s2).sink(5001), shared.node(sh_s2).sink(5001));
+        assert_eq!(legacy.node(pn_s2).sink(5002), shared.node(sh_s2).sink(5002));
+        assert_eq!(per_node.stats.delivered, shared.stats.delivered);
+        assert_eq!(per_node.stats.dropped, shared.stats.dropped);
+        assert_eq!(legacy.stats.dropped, shared.stats.dropped);
+        assert!(shared.stats.dropped >= 400, "the unroutable packets were dropped");
+        assert_eq!(shared.node(sh_s2).sink(5001).packets, 400);
+
+        // Per-node datapath statistics stay observable through the shared
+        // pool, identical to the per-node pools.
+        for (pn_r, sh_r) in [(pn_r1, sh_r1), (pn_r2, sh_r2)] {
+            let p = &per_node.node(pn_r).datapath.stats;
+            let s = &shared.node(sh_r).datapath.stats;
+            assert_eq!(p.received, s.received);
+            assert_eq!(p.forwarded, s.forwarded);
+            assert_eq!(p.seg6local_invocations, s.seg6local_invocations);
+            assert_eq!(p.dropped, s.dropped);
+            assert!(s.received > 0, "the shared pool mirrored nothing");
+        }
+
+        // The host pool's live counters: one row per member node (tenant),
+        // rows summing to the aggregated per-shard view, totals matching
+        // the two routers' mirrored stats.
+        let pool = shared.host_pool(0).expect("host pool built at run start");
+        assert_eq!(pool.tenants(), 2);
+        let snap = pool.counters().snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        let r1_stats = &shared.node(sh_r1).datapath.stats;
+        let r2_stats = &shared.node(sh_r2).datapath.stats;
+        assert_eq!(snap.tenants[0].totals().processed, r1_stats.received);
+        assert_eq!(snap.tenants[1].totals().processed, r2_stats.received);
+        assert_eq!(snap.processed(), r1_stats.received + r2_stats.received);
+    }
+
+    /// Tenancy end-to-end: two routers share a host pool, and each routes
+    /// through its own **VRF** via `End.T` / `End.DT6` — the same SID and
+    /// the same inner destination forward differently per tenant, proving
+    /// per-tenant FIBs never cross-route inside the shared pool.
+    #[test]
+    fn shared_pool_tenants_route_via_their_own_vrf_tables() {
+        use netpkt::srh::SegmentRoutingHeader;
+        use seg6_core::Seg6LocalAction;
+
+        let mut sim = Simulator::new(3);
+        let s1 = sim.add_node("S1", addr("fc00::a1"));
+        let r1 = sim.add_node("R1", addr("fc00::11"));
+        let r2 = sim.add_node("R2", addr("fc00::12"));
+        let s2 = sim.add_node("S2", addr("fc00::a2"));
+        sim.connect(s1, r1, LinkConfig::lab_10g());
+        let (_, r1_right, _) = sim.connect(r1, r2, LinkConfig::lab_10g());
+        let (_, r2_right, _) = sim.connect(r2, s2, LinkConfig::lab_10g());
+        sim.node_mut(s1).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+
+        // R1: End.T via its own VRF — the *main* table routes the next
+        // segment to a dead interface (would be dropped), the VRF routes
+        // it onward to R2. Delivery therefore proves the VRF was used.
+        {
+            let dp = &mut sim.node_mut(r1).datapath;
+            dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::direct(99)]);
+            let vrf = dp.add_route_in_vrf(
+                "r1-tenant",
+                "fc00::/16".parse().unwrap(),
+                vec![Nexthop::direct(r1_right)],
+            );
+            dp.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::end_t(vrf));
+        }
+        // R2: End.DT6 via its own VRF — decapsulates and looks the inner
+        // destination up in the VRF (main has no route for it at all).
+        {
+            let dp = &mut sim.node_mut(r2).datapath;
+            let vrf = dp.add_route_in_vrf(
+                "r2-tenant",
+                "fc00::a2/128".parse().unwrap(),
+                vec![Nexthop::direct(r2_right)],
+            );
+            dp.add_local_sid("fc00::d6/128".parse().unwrap(), Seg6LocalAction::end_dt6(vrf));
+        }
+        sim.node_mut(r1).set_rx_queues(2);
+        sim.node_mut(r2).set_rx_queues(2);
+        sim.share_host_pool(&[r1, r2]);
+
+        // IPv6-in-IPv6: outer SRH visits R1's End.T SID then R2's End.DT6
+        // SID; the decapsulated inner packet is a UDP datagram to S2.
+        for i in 0..32u64 {
+            let inner = build_ipv6_udp_packet(
+                addr("fc00::a1"),
+                addr("fc00::a2"),
+                (1000 + i) as u16,
+                5003,
+                &[0u8; 48],
+                64,
+            );
+            let mut packet = inner.data().to_vec();
+            let srh = SegmentRoutingHeader::from_path(
+                netpkt::ipv6::proto::IPV6,
+                &[addr("fc00::e1"), addr("fc00::d6")],
+            );
+            seg6_core::srv6_ops::push_srh_encap(&mut packet, &srh.to_bytes(), addr("fc00::a1")).unwrap();
+            sim.inject_at(i * 2_000, s1, PacketBuf::from_slice(&packet));
+        }
+        sim.run_to_completion();
+
+        // Every packet crossed both VRF lookups and was delivered,
+        // decapsulated, at the sink.
+        assert_eq!(sim.node(s2).sink(5003).packets, 32);
+        assert_eq!(sim.stats.dropped, 0);
+        assert_eq!(sim.node(r1).datapath.stats.seg6local_invocations, 32);
+        assert_eq!(sim.node(r2).datapath.stats.seg6local_invocations, 32);
+    }
+
+    /// A member that explicitly re-binds after `share_host_pool` — e.g.
+    /// enabling a private pool — leaves the shared pool: the later
+    /// binding wins, the host pool is built without it, and both nodes
+    /// keep forwarding.
+    #[test]
+    fn later_private_binding_wins_over_shared_membership() {
+        let (mut sim, s1, r, s2) = three_node_chain(CpuProfile::unconstrained());
+        let helper = sim.add_node("H", addr("fc00::99"));
+        sim.connect(helper, r, LinkConfig::lab_10g());
+        sim.node_mut(helper).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+        sim.share_host_pool(&[r, helper]);
+        // The user changes their mind before the first run: R gets its own
+        // private pool. That explicit request must not be silently
+        // overridden back to the shared binding at run start.
+        sim.node_mut(r).enable_pool_ingestion();
+        for i in 0..20u64 {
+            let pkt = build_ipv6_udp_packet(addr("fc00::a1"), addr("fc00::a2"), 1000, 5001, &[0u8; 32], 64);
+            sim.inject_at(i * 1_000, s1, pkt);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.node(s2).sink(5001).packets, 20);
+        assert_eq!(sim.stats.dropped, 0);
+        // The host pool was built with the remaining member only.
+        assert_eq!(sim.host_pool(0).expect("pool built").tenants(), 1);
+        assert!(sim.node(r).pool_ingestion(), "R still executes on its private pool");
+        assert!(sim.node(r).shared_binding().is_none(), "R left the shared pool");
+        assert_eq!(sim.node(helper).shared_binding(), Some((0, seg6_runtime::TenantId::DEFAULT)));
+    }
+
+    /// Changing a shared-pool member's queue count *between runs* must
+    /// rebuild the host pool, exactly as `set_rx_queues` rebuilds a
+    /// private pool immediately — the two bindings may not diverge.
+    #[test]
+    fn shared_pool_tracks_queue_changes_between_runs() {
+        let mut sim = Simulator::new(9);
+        let s1 = sim.add_node("S1", addr("fc00::a1"));
+        let r = sim.add_node("R", addr("fc00::11"));
+        let s2 = sim.add_node("S2", addr("fc00::a2"));
+        sim.connect(s1, r, LinkConfig::lab_10g());
+        let (_, r_right, _) = sim.connect(r, s2, LinkConfig::lab_10g());
+        sim.node_mut(s1).datapath.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(1)]);
+        sim.node_mut(r).datapath.add_route("fc00::a2/128".parse().unwrap(), vec![Nexthop::direct(r_right)]);
+        sim.node_mut(r).set_rx_queues(2);
+        sim.share_host_pool(&[r]);
+
+        let inject = |sim: &mut Simulator, base: u64, n: u64| {
+            for i in 0..n {
+                let pkt = build_ipv6_udp_packet(
+                    addr("fc00::a1"),
+                    addr("fc00::a2"),
+                    1000 + (i % 64) as u16,
+                    5001,
+                    &[0u8; 32],
+                    64,
+                );
+                sim.inject_at(base + i * 1_000, s1, pkt);
+            }
+        };
+        inject(&mut sim, 0, 100);
+        sim.run_until(1_000_000);
+        assert_eq!(sim.host_pool(0).unwrap().workers(), 2);
+
+        // Grow the node's queues between runs: the next run must rebuild
+        // the host pool to the new shard count and keep forwarding.
+        sim.node_mut(r).set_rx_queues(4);
+        inject(&mut sim, 2_000_000, 100);
+        sim.run_until(10_000_000);
+        assert_eq!(sim.host_pool(0).unwrap().workers(), 4, "host pool tracked the queue change");
+        assert_eq!(sim.node(s2).sink(5001).packets, 200);
+        assert_eq!(sim.stats.dropped, 0);
     }
 
     /// Regression: configuration added between `enable_pool_ingestion()`

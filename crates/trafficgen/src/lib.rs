@@ -8,13 +8,18 @@
 //! * [`udp`] — packet-batch builders and a constant-rate UDP source;
 //! * [`tcp`] — a compact Reno-style bulk sender/receiver pair whose
 //!   behaviour under packet reordering reproduces the hybrid-access TCP
-//!   results.
+//!   results;
+//! * [`capture`] — a length-prefixed frame capture format
+//!   (`tcpreplay`-style), written by the generators and replayed into the
+//!   worker pool's ring front-end (`examples/replay.rs`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod tcp;
 pub mod udp;
 
+pub use capture::{read_capture, write_capture, CaptureReader, CaptureWriter, CAPTURE_MAGIC};
 pub use tcp::{TcpBulkReceiver, TcpBulkSender, TcpReceiverStats, TcpSenderStats, DEFAULT_MSS};
 pub use udp::{pktgen_ipv6_udp, schedule_burst, trafgen_srv6_udp, UdpFlowSource};

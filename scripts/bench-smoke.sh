@@ -37,12 +37,16 @@ if [ -z "$rows" ]; then
 fi
 
 # Regression gates: these rows must be present in every snapshot — the
-# FIB scaling group (trie vs. linear scan at 10 / 1k / 100k routes) and
-# the ingestion-transport group (mpsc per-packet send vs. SPSC ring burst
-# enqueue across the shard/burst sweep).
+# FIB scaling group (trie vs. linear scan at 10 / 1k / 100k routes), the
+# ingestion-transport group (mpsc per-packet send vs. SPSC ring burst
+# enqueue across the shard/burst sweep), and the tenancy group (one
+# shared multi-tenant pool vs. pool-per-node across the tenant/shard
+# sweep).
 for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     ring_ingest/mpsc_send_1w ring_ingest/ring_burst_1w_b32 \
-    ring_ingest/mpsc_send_8w ring_ingest/ring_burst_8w_b256; do
+    ring_ingest/mpsc_send_8w ring_ingest/ring_burst_8w_b256 \
+    tenant_scaling/shared_1t_1w tenant_scaling/per_node_1t_1w \
+    tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2
         exit 1
