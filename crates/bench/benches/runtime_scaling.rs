@@ -577,6 +577,112 @@ fn bench_fib_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// The srv6d rows: a full daemon service cycle — socket fill →
+/// `FrameBatch` → `enqueue_bytes_all` → rings → workers → flush → TX emit
+/// → buffer recycle — through the in-memory backend (transport cost
+/// excluded: the daemon path itself) and through real UDP sockets over
+/// loopback (the deployable configuration, kernel socket costs included).
+fn bench_srv6d_io(c: &mut Criterion) {
+    use netpkt::sockio::FrameBatch;
+    use srv6d::{Config, MemBackend, Srv6Daemon, UdpBackend};
+
+    /// Frames pushed through the daemon per measured iteration.
+    const BURST: usize = 256;
+    /// Loopback in-flight cap: small UDP datagrams cost ~768 B of socket
+    /// buffer each, so keep well under the default rmem (~212 KB).
+    const WINDOW: usize = 64;
+
+    let mut group = c.benchmark_group("srv6d_io");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(BURST as u64));
+
+    let frames: Vec<Vec<u8>> = (0..BURST as u32)
+        .map(|flow| {
+            build_ipv6_udp_packet(
+                addr(&format!("2001:db8::{:x}", flow + 1)),
+                addr("2001:db8:f::1"),
+                (1024 + flow % 40_000) as u16,
+                5001,
+                &[0u8; 64],
+                64,
+            )
+            .data()
+            .to_vec()
+        })
+        .collect();
+
+    // --- In-memory backend: the daemon path without kernel sockets ------
+    {
+        let config = Config::parse(
+            "[daemon]\nworkers = 1\nbatch-size = 32\nqueue-depth = 1024\nrx-burst = 64\n\
+             [tenant edge]\nlocal = fc00::1\nlisten = [::1]:47000\npeer = 1 [::1]:47100\n\
+             route = ::/0 dev 1",
+        )
+        .expect("valid config");
+        let mem = MemBackend::new(4 * BURST);
+        let mut daemon = Srv6Daemon::start(config, Box::new(mem.clone())).expect("daemon starts");
+        let mut drain_batch = FrameBatch::new(BURST, 2048);
+        group.bench_function("mem_ingest_1w", |b| {
+            b.iter(|| {
+                for frame in &frames {
+                    assert!(mem.inject("edge", 0, frame), "mem link backpressured");
+                }
+                let mut read = 0;
+                while read < BURST {
+                    read += daemon.service().rx_frames;
+                }
+                let mut drained = 0;
+                while drained < BURST {
+                    drain_batch.clear();
+                    drained += mem.drain_egress("edge", 1, &mut drain_batch);
+                }
+                read
+            })
+        });
+        let report = daemon.drain();
+        assert_eq!(report.drain.counters.in_flight(), 0);
+    }
+
+    // --- UDP loopback: the deployable configuration ---------------------
+    {
+        let config = Config::parse(
+            "[daemon]\nworkers = 1\nbatch-size = 32\nqueue-depth = 1024\nrx-burst = 64\n\
+             [tenant edge]\nlocal = fc00::1\nlisten = [::1]:47010\npeer = 1 [::1]:47110\n\
+             route = ::/0 dev 1",
+        )
+        .expect("valid config");
+        // The capture socket must exist before the daemon connects its TX.
+        let capture = std::net::UdpSocket::bind("[::1]:47110").expect("bind capture");
+        capture.set_nonblocking(true).expect("nonblocking capture");
+        let mut daemon = Srv6Daemon::start(config, Box::new(UdpBackend)).expect("daemon starts");
+        let sender = std::net::UdpSocket::bind("[::1]:0").expect("bind sender");
+        sender.connect("[::1]:47010").expect("connect sender");
+        let mut buf = vec![0u8; 2048];
+        group.bench_function("udp_loopback_1w", |b| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                let mut captured = 0usize;
+                while captured < BURST {
+                    while sent < BURST && sent - captured < WINDOW {
+                        sender.send(&frames[sent]).expect("loopback send");
+                        sent += 1;
+                    }
+                    daemon.service();
+                    while capture.recv(&mut buf).is_ok() {
+                        captured += 1;
+                    }
+                }
+                captured
+            })
+        });
+        let report = daemon.drain();
+        assert_eq!(report.drain.counters.in_flight(), 0);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_speedup,
@@ -584,6 +690,7 @@ criterion_group!(
     bench_worker_pool,
     bench_ring_ingest,
     bench_tenant_scaling,
-    bench_fib_scale
+    bench_fib_scale,
+    bench_srv6d_io
 );
 criterion_main!(benches);

@@ -6,9 +6,11 @@
 //! supports pushing and pulling headers the way the Linux kernel does when
 //! encapsulating and decapsulating SRv6 traffic.
 //!
-//! Everything here is plain, allocation-friendly Rust with no I/O: packets
-//! are built and parsed in memory and handed to the `seg6-core` data plane
-//! or to the `simnet` simulator.
+//! Everything here is plain, allocation-friendly Rust: packets are built
+//! and parsed in memory and handed to the `seg6-core` data plane or to the
+//! `simnet` simulator. The one I/O-touching module is [`sockio`], the
+//! batched socket front-end (`recvmmsg`-shaped burst reads behind a small
+//! trait seam) that the `srv6d` daemon feeds the worker pool from.
 //!
 //! ## Quick example
 //!
@@ -54,6 +56,7 @@ pub mod icmpv6;
 pub mod ipv6;
 pub mod packet;
 pub mod prefix;
+pub mod sockio;
 pub mod srh;
 pub mod tcp;
 pub mod udp;
@@ -66,6 +69,7 @@ pub use icmpv6::{Icmpv6Header, Icmpv6Type};
 pub use ipv6::{proto, Ipv6Header, IPV6_HEADER_LEN};
 pub use packet::ParsedPacket;
 pub use prefix::Ipv6Prefix;
+pub use sockio::{FrameBatch, MemRx, MemTx, PacketRx, PacketTx, UdpRx, UdpTx};
 pub use srh::{SegmentRoutingHeader, SrhTlv, TlvKind, SRH_FIXED_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

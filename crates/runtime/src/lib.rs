@@ -67,7 +67,8 @@ pub mod ring;
 pub mod telemetry;
 
 pub use pool::{
-    BatchDrain, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, Tenant, TenantId, WorkerPool,
+    BatchDrain, DrainReport, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, Tenant, TenantId,
+    WorkerPool,
 };
 pub use telemetry::{PoolCounters, PoolSnapshot, ShardSnapshot, TenantCounters, TenantSnapshot};
 

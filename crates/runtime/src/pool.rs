@@ -243,6 +243,20 @@ pub struct PoolReport {
     pub outputs: Vec<Vec<(TenantId, Skb, BatchVerdict)>>,
 }
 
+/// Result of a [`WorkerPool::drain`]: the pool's terminal state, produced
+/// after the final flush barrier and before the worker threads exit.
+pub struct DrainReport {
+    /// The final [`WorkerPool::flush`] barrier's report — the last window
+    /// of verdicts (and collected outputs) before shutdown.
+    pub last_flush: PoolReport,
+    /// The per-tenant × per-shard counters at quiescence. Final by
+    /// construction: the drain consumed the pool, so no enqueue can
+    /// follow the snapshot.
+    pub counters: crate::telemetry::PoolSnapshot,
+    /// Each shard's lifetime totals, in shard index order.
+    pub worker_totals: Vec<WorkerStats>,
+}
+
 /// Sideband control messages, delivered outside the descriptor ring and
 /// checked by the worker between bursts.
 enum Ctrl {
@@ -781,6 +795,19 @@ impl WorkerPool {
     pub fn shutdown(mut self) -> Vec<WorkerStats> {
         self.stop();
         self.handles.drain(..).map(|h| h.join().expect("worker thread panicked")).collect()
+    }
+
+    /// Graceful drain, the daemon's shutdown sequence in one call: run a
+    /// [`WorkerPool::flush`] barrier so every packet enqueued before this
+    /// point is processed (and its outputs collected), snapshot the live
+    /// counters at that quiesced moment — the **final** per-tenant
+    /// accounting, since intake has stopped by construction (`self` is
+    /// consumed) — then shut the workers down and join them.
+    pub fn drain(mut self) -> DrainReport {
+        let last_flush = self.flush();
+        let counters = self.counters.snapshot();
+        let worker_totals = self.shutdown();
+        DrainReport { last_flush, counters, worker_totals }
     }
 
     fn stop(&mut self) {

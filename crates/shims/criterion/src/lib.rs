@@ -179,9 +179,16 @@ impl BenchmarkGroup<'_> {
         println!("{line}");
         if std::env::var_os("CRITERION_JSON").is_some() {
             let (per_s, unit) = rate.unwrap_or((0.0, ""));
+            // Provenance stamped by the bench process itself, not the
+            // wrapper script: the parallelism actually available to the
+            // run, and the harness-supplied wall-clock tag (BENCH_UTC) so
+            // all rows of one invocation share a timestamp.
+            let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let utc = std::env::var("BENCH_UTC").unwrap_or_default();
             println!(
                 "BENCH_JSON {{\"name\":\"{label}\",\"ns_per_iter\":{:.1},\"iters\":{},\
-                 \"throughput_per_s\":{per_s:.0},\"throughput_unit\":\"{unit}\"}}",
+                 \"throughput_per_s\":{per_s:.0},\"throughput_unit\":\"{unit}\",\
+                 \"host_parallelism\":{parallelism},\"utc\":\"{utc}\"}}",
                 bencher.mean_ns, bencher.iters
             );
         }

@@ -1,0 +1,635 @@
+//! The daemon's declarative configuration: tenants, VRFs, routes, local
+//! SIDs, and queue/shard counts, parsed from a small INI-shaped text file
+//! with load-time validation.
+//!
+//! ## Format
+//!
+//! ```text
+//! # srv6d.conf — one [daemon] section, then one [tenant NAME] per tenant.
+//! [daemon]
+//! workers = 2              # worker shards = RX queues per tenant
+//! batch-size = 32          # packets per processing batch
+//! queue-depth = 1024       # descriptor ring slots per shard
+//! rx-burst = 64            # frames pulled per socket read burst
+//! stats-socket = /tmp/srv6d.sock
+//!
+//! [tenant edge]
+//! local = fc00::1          # the node address SIDs hang off
+//! listen = [::1]:9000      # RX queue q binds port 9000+q
+//! peer = 1 [::1]:9100      # egress: oif 1 emits to this address
+//! vrf = customer           # declare a VRF (routes/SIDs may reference it)
+//! route = 2001:db8::/32 dev 1
+//! route = @customer ::/0 via fc00::ff dev 1
+//! sid = fc00::1:e0 end
+//! sid = fc00::1:e1 end.t customer
+//! sid = fc00::1:e2 end.dt6 customer
+//! ```
+//!
+//! `key = value` lines, `#` comments, repeatable keys (`peer`, `vrf`,
+//! `route`, `sid`). Parsing is strict: unknown keys, malformed values and
+//! cross-references to undeclared VRFs or peerless interfaces are
+//! load-time errors carrying the offending line number — a daemon must
+//! refuse a bad config at start (and at reload) rather than forward with
+//! half of it applied.
+
+use netpkt::Ipv6Prefix;
+use seg6_runtime::MAX_WORKERS;
+use std::fmt;
+use std::net::{Ipv6Addr, SocketAddr};
+use std::path::{Path, PathBuf};
+
+/// A configuration error, with the 1-based line it was found on when the
+/// problem is attributable to one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number, when the error points at a specific line.
+    pub line: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl ConfigError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ConfigError { line: Some(line), message: message.into() }
+    }
+
+    fn global(message: impl Into<String>) -> Self {
+        ConfigError { line: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "config line {line}: {}", self.message),
+            None => write!(f, "config: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// `[daemon]` section: pool sizing and the operational endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Worker shards — and RX queues per tenant (one socket per queue).
+    pub workers: u32,
+    /// Packets per processing batch inside the pool.
+    pub batch_size: usize,
+    /// Descriptor ring slots per shard.
+    pub queue_depth: usize,
+    /// Frames pulled from a socket per read burst.
+    pub rx_burst: usize,
+    /// Unix socket path for the stats/control endpoint (optional).
+    pub stats_socket: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig { workers: 1, batch_size: 32, queue_depth: 1024, rx_burst: 64, stats_socket: None }
+    }
+}
+
+/// One route statement inside a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSpec {
+    /// Target VRF (`@name` prefix in the statement); main table if absent.
+    pub vrf: Option<String>,
+    /// Destination prefix.
+    pub prefix: Ipv6Prefix,
+    /// Gateway (`via` clause); direct attachment if absent.
+    pub gateway: Option<Ipv6Addr>,
+    /// Egress interface index (`dev` clause).
+    pub oif: u32,
+}
+
+/// The behaviour bound to a local SID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SidBehaviour {
+    /// `End`: advance to the next segment.
+    End,
+    /// `End.T`: advance, then look up in the named VRF.
+    EndT(String),
+    /// `End.DT6`: decapsulate, then look up in the named VRF.
+    EndDt6(String),
+}
+
+/// One `sid =` statement inside a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SidSpec {
+    /// The SID address (installed as a /128).
+    pub addr: Ipv6Addr,
+    /// The endpoint behaviour bound to it.
+    pub behaviour: SidBehaviour,
+}
+
+/// One `[tenant NAME]` section: a routing context with its own sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Tenant name (unique across the config).
+    pub name: String,
+    /// The node's own address (SIDs and local delivery hang off it).
+    pub local: Ipv6Addr,
+    /// Base RX address: queue `q` binds `listen.port() + q`.
+    pub listen: SocketAddr,
+    /// Egress map: interface index → peer address frames to it are sent to.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// Declared VRF names, in declaration order.
+    pub vrfs: Vec<String>,
+    /// Route statements, in declaration order.
+    pub routes: Vec<RouteSpec>,
+    /// Local SID bindings, in declaration order.
+    pub sids: Vec<SidSpec>,
+}
+
+impl TenantConfig {
+    /// The RX socket address of queue `queue`.
+    pub fn listen_addr(&self, queue: u32) -> SocketAddr {
+        let mut addr = self.listen;
+        addr.set_port(self.listen.port() + queue as u16);
+        addr
+    }
+
+    /// The peer address of interface `oif`, when one is configured.
+    pub fn peer(&self, oif: u32) -> Option<SocketAddr> {
+        self.peers.iter().find(|(i, _)| *i == oif).map(|(_, a)| *a)
+    }
+
+    /// Whether `other` differs from `self` **only** in its route list —
+    /// the live-applicable reload case, since routes propagate through the
+    /// shared `RouterTables` without re-registering the tenant.
+    pub fn differs_only_in_routes(&self, other: &TenantConfig) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.routes.clear();
+        b.routes.clear();
+        a == b && self.routes != other.routes
+    }
+}
+
+/// A full parsed and validated daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Config {
+    /// `[daemon]` settings.
+    pub daemon: DaemonConfig,
+    /// Tenant sections, in file order.
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl Config {
+    /// Parses and validates a configuration from its text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut parser = Parser::default();
+        for (index, raw) in text.lines().enumerate() {
+            parser.line(index + 1, raw)?;
+        }
+        parser.finish()
+    }
+
+    /// Loads and validates the configuration file at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Config, ConfigError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::global(format!("cannot read {}: {e}", path.display())))?;
+        Config::parse(&text)
+    }
+
+    /// The tenant named `name`, if present.
+    pub fn tenant(&self, name: &str) -> Option<&TenantConfig> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Whether `other` can be applied to a daemon running `self` without a
+    /// restart: the pool-shaping `[daemon]` settings must be unchanged
+    /// (worker threads, ring depths and the stats socket are built once).
+    pub fn reloadable_from(&self, other: &Config) -> Result<(), ConfigError> {
+        if self.daemon != other.daemon {
+            return Err(ConfigError::global(
+                "[daemon] settings (workers / batch-size / queue-depth / rx-burst / stats-socket) \
+                 cannot change across a live reload — restart the daemon",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which section the parser is inside.
+enum Section {
+    Daemon,
+    Tenant(TenantDraft),
+}
+
+/// A `[tenant]` section under construction (validated at section end).
+struct TenantDraft {
+    line: usize,
+    name: String,
+    local: Option<Ipv6Addr>,
+    listen: Option<SocketAddr>,
+    peers: Vec<(u32, SocketAddr)>,
+    vrfs: Vec<String>,
+    routes: Vec<RouteSpec>,
+    sids: Vec<SidSpec>,
+}
+
+#[derive(Default)]
+struct Parser {
+    daemon: DaemonConfig,
+    seen_daemon: bool,
+    tenants: Vec<TenantConfig>,
+    section: Option<Section>,
+}
+
+impl Parser {
+    fn line(&mut self, num: usize, raw: &str) -> Result<(), ConfigError> {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| ConfigError::at(num, "unterminated section header"))?
+                .trim();
+            self.close_section(num)?;
+            self.section = Some(match header {
+                "daemon" => {
+                    if self.seen_daemon {
+                        return Err(ConfigError::at(num, "duplicate [daemon] section"));
+                    }
+                    self.seen_daemon = true;
+                    Section::Daemon
+                }
+                other => match other.strip_prefix("tenant") {
+                    Some(name) if !name.trim().is_empty() => Section::Tenant(TenantDraft {
+                        line: num,
+                        name: name.trim().to_string(),
+                        local: None,
+                        listen: None,
+                        peers: Vec::new(),
+                        vrfs: Vec::new(),
+                        routes: Vec::new(),
+                        sids: Vec::new(),
+                    }),
+                    Some(_) => return Err(ConfigError::at(num, "[tenant] needs a name: [tenant NAME]")),
+                    None => return Err(ConfigError::at(num, format!("unknown section [{other}]"))),
+                },
+            });
+            return Ok(());
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| ConfigError::at(num, "expected `key = value`"))?;
+        if value.is_empty() {
+            return Err(ConfigError::at(num, format!("`{key}` has no value")));
+        }
+        match &mut self.section {
+            None => {
+                Err(ConfigError::at(num, "settings must live inside a [daemon] or [tenant NAME] section"))
+            }
+            Some(Section::Daemon) => daemon_key(&mut self.daemon, num, key, value),
+            Some(Section::Tenant(draft)) => tenant_key(draft, num, key, value),
+        }
+    }
+
+    fn close_section(&mut self, num: usize) -> Result<(), ConfigError> {
+        if let Some(Section::Tenant(draft)) = self.section.take() {
+            self.tenants.push(validate_tenant(draft, self.daemon.workers)?);
+        }
+        let _ = num;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Config, ConfigError> {
+        self.close_section(0)?;
+        let config = Config { daemon: self.daemon, tenants: self.tenants };
+        validate_config(&config)?;
+        Ok(config)
+    }
+}
+
+fn daemon_key(daemon: &mut DaemonConfig, num: usize, key: &str, value: &str) -> Result<(), ConfigError> {
+    let parse_num = |what: &str| -> Result<usize, ConfigError> {
+        value.parse::<usize>().map_err(|_| ConfigError::at(num, format!("`{what}` must be a number")))
+    };
+    match key {
+        "workers" => {
+            let workers = parse_num("workers")? as u32;
+            if workers == 0 || workers > MAX_WORKERS {
+                return Err(ConfigError::at(num, format!("`workers` must be 1..={MAX_WORKERS}")));
+            }
+            daemon.workers = workers;
+        }
+        "batch-size" => daemon.batch_size = parse_num("batch-size")?.max(1),
+        "queue-depth" => daemon.queue_depth = parse_num("queue-depth")?.max(1),
+        "rx-burst" => daemon.rx_burst = parse_num("rx-burst")?.max(1),
+        "stats-socket" => daemon.stats_socket = Some(PathBuf::from(value)),
+        other => return Err(ConfigError::at(num, format!("unknown [daemon] key `{other}`"))),
+    }
+    Ok(())
+}
+
+fn tenant_key(draft: &mut TenantDraft, num: usize, key: &str, value: &str) -> Result<(), ConfigError> {
+    match key {
+        "local" => {
+            draft.local = Some(
+                value
+                    .parse::<Ipv6Addr>()
+                    .map_err(|_| ConfigError::at(num, "`local` must be an IPv6 address"))?,
+            )
+        }
+        "listen" => {
+            draft.listen = Some(parse_sockaddr(value).ok_or_else(|| {
+                ConfigError::at(num, "`listen` must be an IPv6 socket address like [::1]:9000")
+            })?)
+        }
+        "peer" => {
+            let (oif, addr) = value
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| ConfigError::at(num, "`peer` is `peer = <oif> <addr>:<port>`"))?;
+            let oif = oif
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| ConfigError::at(num, "`peer` interface index must be a number"))?;
+            let addr = parse_sockaddr(addr.trim())
+                .ok_or_else(|| ConfigError::at(num, "`peer` address must be like [::1]:9100"))?;
+            if draft.peers.iter().any(|(i, _)| *i == oif) {
+                return Err(ConfigError::at(num, format!("duplicate peer for interface {oif}")));
+            }
+            draft.peers.push((oif, addr));
+        }
+        "vrf" => {
+            if draft.vrfs.iter().any(|v| v == value) {
+                return Err(ConfigError::at(num, format!("duplicate vrf `{value}`")));
+            }
+            draft.vrfs.push(value.to_string());
+        }
+        "route" => draft.routes.push(parse_route(draft, num, value)?),
+        "sid" => draft.sids.push(parse_sid(draft, num, value)?),
+        other => return Err(ConfigError::at(num, format!("unknown [tenant] key `{other}`"))),
+    }
+    Ok(())
+}
+
+/// `route = [@vrf] <prefix> [via <gw>] dev <oif>`
+fn parse_route(draft: &TenantDraft, num: usize, value: &str) -> Result<RouteSpec, ConfigError> {
+    let mut words = value.split_whitespace().peekable();
+    let vrf = match words.peek() {
+        Some(word) if word.starts_with('@') => {
+            let name = words.next().unwrap()[1..].to_string();
+            if !draft.vrfs.contains(&name) {
+                return Err(ConfigError::at(num, format!("route references undeclared vrf `{name}`")));
+            }
+            Some(name)
+        }
+        _ => None,
+    };
+    let prefix = words
+        .next()
+        .and_then(|p| p.parse::<Ipv6Prefix>().ok())
+        .ok_or_else(|| ConfigError::at(num, "route needs a destination prefix like 2001:db8::/32"))?;
+    let mut gateway = None;
+    let mut oif = None;
+    while let Some(word) = words.next() {
+        match word {
+            "via" => {
+                let gw = words
+                    .next()
+                    .and_then(|g| g.parse::<Ipv6Addr>().ok())
+                    .ok_or_else(|| ConfigError::at(num, "`via` needs an IPv6 gateway address"))?;
+                gateway = Some(gw);
+            }
+            "dev" => {
+                let dev = words
+                    .next()
+                    .and_then(|d| d.parse::<u32>().ok())
+                    .ok_or_else(|| ConfigError::at(num, "`dev` needs an interface index"))?;
+                oif = Some(dev);
+            }
+            other => return Err(ConfigError::at(num, format!("unknown route clause `{other}`"))),
+        }
+    }
+    let oif = oif.ok_or_else(|| ConfigError::at(num, "route needs a `dev <oif>` clause"))?;
+    Ok(RouteSpec { vrf, prefix, gateway, oif })
+}
+
+/// `sid = <addr> end | end.t <vrf> | end.dt6 <vrf>`
+fn parse_sid(draft: &TenantDraft, num: usize, value: &str) -> Result<SidSpec, ConfigError> {
+    let mut words = value.split_whitespace();
+    let addr = words
+        .next()
+        .and_then(|a| a.parse::<Ipv6Addr>().ok())
+        .ok_or_else(|| ConfigError::at(num, "sid needs an IPv6 address"))?;
+    let behaviour = words.next().unwrap_or("").to_ascii_lowercase();
+    let needs_vrf = |words: &mut std::str::SplitWhitespace<'_>| -> Result<String, ConfigError> {
+        let name = words
+            .next()
+            .ok_or_else(|| ConfigError::at(num, format!("`{behaviour}` needs a vrf name")))?
+            .to_string();
+        if !draft.vrfs.contains(&name) {
+            return Err(ConfigError::at(num, format!("sid references undeclared vrf `{name}`")));
+        }
+        Ok(name)
+    };
+    let behaviour = match behaviour.as_str() {
+        "end" => SidBehaviour::End,
+        "end.t" => SidBehaviour::EndT(needs_vrf(&mut words)?),
+        "end.dt6" => SidBehaviour::EndDt6(needs_vrf(&mut words)?),
+        "" => return Err(ConfigError::at(num, "sid needs a behaviour: end | end.t <vrf> | end.dt6 <vrf>")),
+        other => return Err(ConfigError::at(num, format!("unknown sid behaviour `{other}`"))),
+    };
+    if let Some(extra) = words.next() {
+        return Err(ConfigError::at(num, format!("unexpected `{extra}` after sid behaviour")));
+    }
+    Ok(SidSpec { addr, behaviour })
+}
+
+fn parse_sockaddr(s: &str) -> Option<SocketAddr> {
+    let addr: SocketAddr = s.parse().ok()?;
+    addr.is_ipv6().then_some(addr)
+}
+
+fn validate_tenant(draft: TenantDraft, workers: u32) -> Result<TenantConfig, ConfigError> {
+    let line = draft.line;
+    let local = draft
+        .local
+        .ok_or_else(|| ConfigError::at(line, format!("tenant `{}` needs `local = <addr>`", draft.name)))?;
+    let listen = draft.listen.ok_or_else(|| {
+        ConfigError::at(line, format!("tenant `{}` needs `listen = [addr]:port`", draft.name))
+    })?;
+    // Queue q binds port+q: the whole range must stay a valid port.
+    if u32::from(listen.port()) + workers > u32::from(u16::MAX) {
+        return Err(ConfigError::at(
+            line,
+            format!("tenant `{}` listen port range overflows a u16 with {workers} queues", draft.name),
+        ));
+    }
+    for route in &draft.routes {
+        if draft.peers.iter().all(|(oif, _)| *oif != route.oif) {
+            return Err(ConfigError::at(
+                line,
+                format!(
+                    "tenant `{}` routes out of interface {} but declares no `peer = {} <addr>`",
+                    draft.name, route.oif, route.oif
+                ),
+            ));
+        }
+    }
+    Ok(TenantConfig {
+        name: draft.name,
+        local,
+        listen,
+        peers: draft.peers,
+        vrfs: draft.vrfs,
+        routes: draft.routes,
+        sids: draft.sids,
+    })
+}
+
+fn validate_config(config: &Config) -> Result<(), ConfigError> {
+    if config.tenants.is_empty() {
+        return Err(ConfigError::global("at least one [tenant NAME] section is required"));
+    }
+    for (i, tenant) in config.tenants.iter().enumerate() {
+        for other in &config.tenants[i + 1..] {
+            if tenant.name == other.name {
+                return Err(ConfigError::global(format!("duplicate tenant `{}`", tenant.name)));
+            }
+            // Each tenant owns the port window [port, port+workers); two
+            // tenants on the same IP must not overlap.
+            let same_ip = tenant.listen.ip() == other.listen.ip();
+            let (a, b) = (u32::from(tenant.listen.port()), u32::from(other.listen.port()));
+            let overlap = a < b + config.daemon.workers && b < a + config.daemon.workers;
+            if same_ip && overlap {
+                return Err(ConfigError::global(format!(
+                    "tenants `{}` and `{}` have overlapping listen port ranges ({} queues each)",
+                    tenant.name, other.name, config.daemon.workers
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a two-tenant edge daemon
+[daemon]
+workers = 2
+batch-size = 16
+queue-depth = 256
+rx-burst = 32
+stats-socket = /tmp/srv6d-test.sock
+
+[tenant edge]
+local = fc00::1
+listen = [::1]:9000
+peer = 1 [::1]:9100
+vrf = customer
+route = 2001:db8::/32 dev 1
+route = @customer ::/0 via fc00::ff dev 1
+sid = fc00::1:e1 end.t customer
+sid = fc00::1:e2 end.dt6 customer
+sid = fc00::1:e0 end
+
+[tenant lab]
+local = fc00::2
+listen = [::1]:9010
+peer = 7 [::1]:9110
+route = ::/0 dev 7
+"#;
+
+    #[test]
+    fn parses_a_full_config() {
+        let config = Config::parse(GOOD).expect("valid config");
+        assert_eq!(config.daemon.workers, 2);
+        assert_eq!(config.daemon.batch_size, 16);
+        assert_eq!(config.daemon.stats_socket.as_deref(), Some(Path::new("/tmp/srv6d-test.sock")));
+        assert_eq!(config.tenants.len(), 2);
+
+        let edge = config.tenant("edge").unwrap();
+        assert_eq!(edge.local, "fc00::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(edge.listen_addr(0).port(), 9000);
+        assert_eq!(edge.listen_addr(1).port(), 9001);
+        assert_eq!(edge.peer(1), Some("[::1]:9100".parse().unwrap()));
+        assert_eq!(edge.vrfs, vec!["customer".to_string()]);
+        assert_eq!(edge.routes.len(), 2);
+        assert_eq!(edge.routes[1].vrf.as_deref(), Some("customer"));
+        assert_eq!(edge.routes[1].gateway, Some("fc00::ff".parse().unwrap()));
+        assert_eq!(edge.sids.len(), 3);
+        assert_eq!(edge.sids[0].behaviour, SidBehaviour::EndT("customer".into()));
+        assert_eq!(edge.sids[2].behaviour, SidBehaviour::End);
+
+        let lab = config.tenant("lab").unwrap();
+        assert_eq!(lab.routes[0].oif, 7);
+    }
+
+    fn err_line(text: &str) -> Option<usize> {
+        Config::parse(text).expect_err("must be rejected").line
+    }
+
+    #[test]
+    fn rejects_malformed_configs_with_line_numbers() {
+        // Unknown key, bad value, missing section, bad reference — each
+        // error names the offending line.
+        assert_eq!(err_line("[daemon]\nbogus = 1"), Some(2));
+        assert_eq!(err_line("[daemon]\nworkers = many"), Some(2));
+        assert_eq!(err_line("workers = 1"), Some(1));
+        assert_eq!(err_line("[daemon]\nworkers = 0"), Some(2));
+        assert_eq!(
+            err_line("[tenant a]\nlocal = fc00::1\nlisten = [::1]:9000\nroute = ::/0 dev 1"),
+            Some(1),
+            "route without a matching peer points at the tenant header"
+        );
+        assert_eq!(
+            err_line("[tenant a]\nlocal = fc00::1\nlisten = [::1]:9000\nsid = fc00::1 end.t nope"),
+            Some(4)
+        );
+        assert_eq!(
+            err_line("[tenant a]\nlocal = fc00::1\nlisten = [::1]:9000\nroute = @nope ::/0 dev 1"),
+            Some(4)
+        );
+        // IPv4 listen addresses are refused: this is an SRv6 daemon.
+        assert_eq!(err_line("[tenant a]\nlocal = fc00::1\nlisten = 127.0.0.1:9000"), Some(3));
+        // Global validation errors carry no line.
+        assert_eq!(err_line("[daemon]\nworkers = 1"), None, "no tenants");
+        let dup = "[tenant a]\nlocal = ::1\nlisten = [::1]:1\n[tenant a]\nlocal = ::1\nlisten = [::1]:5";
+        assert_eq!(err_line(dup), None);
+    }
+
+    #[test]
+    fn rejects_overlapping_listen_ranges() {
+        let text = "[daemon]\nworkers = 4\n\
+                    [tenant a]\nlocal = ::1\nlisten = [::1]:9000\n\
+                    [tenant b]\nlocal = ::1\nlisten = [::1]:9003";
+        assert!(Config::parse(text).expect_err("overlap").message.contains("overlapping"));
+        let ok = "[daemon]\nworkers = 4\n\
+                  [tenant a]\nlocal = ::1\nlisten = [::1]:9000\n\
+                  [tenant b]\nlocal = ::1\nlisten = [::1]:9004";
+        assert!(Config::parse(ok).is_ok());
+    }
+
+    #[test]
+    fn route_only_diffs_are_detected() {
+        let base = Config::parse(GOOD).unwrap();
+        let mut routed = base.clone();
+        routed.tenants[0].routes.pop();
+        assert!(base.tenants[0].differs_only_in_routes(&routed.tenants[0]));
+        let mut moved = base.clone();
+        moved.tenants[0].listen.set_port(12_000);
+        assert!(!base.tenants[0].differs_only_in_routes(&moved.tenants[0]));
+        assert!(!base.tenants[0].differs_only_in_routes(&base.tenants[0]), "identical is not a diff");
+    }
+
+    #[test]
+    fn reload_guard_rejects_daemon_shape_changes() {
+        let base = Config::parse(GOOD).unwrap();
+        assert!(base.reloadable_from(&base).is_ok());
+        let mut reshaped = base.clone();
+        reshaped.daemon.workers = 1;
+        assert!(base.reloadable_from(&reshaped).is_err());
+    }
+}

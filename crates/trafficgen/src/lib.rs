@@ -11,15 +11,19 @@
 //!   results;
 //! * [`capture`] — a length-prefixed frame capture format
 //!   (`tcpreplay`-style), written by the generators and replayed into the
-//!   worker pool's ring front-end (`examples/replay.rs`).
+//!   worker pool's ring front-end (`examples/replay.rs`);
+//! * [`pace`] — wall-clock pacing of replays by capture inter-frame
+//!   timestamps (with a `tcpreplay --topspeed`-style escape hatch).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod capture;
+pub mod pace;
 pub mod tcp;
 pub mod udp;
 
 pub use capture::{read_capture, write_capture, CaptureReader, CaptureWriter, CAPTURE_MAGIC};
+pub use pace::Pacer;
 pub use tcp::{TcpBulkReceiver, TcpBulkSender, TcpReceiverStats, TcpSenderStats, DEFAULT_MSS};
 pub use udp::{pktgen_ipv6_udp, schedule_burst, trafgen_srv6_udp, UdpFlowSource};

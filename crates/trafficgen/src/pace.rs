@@ -1,0 +1,120 @@
+//! Replay pacing: honouring a capture's inter-frame timestamps.
+//!
+//! `tcpreplay` replays a pcap at its recorded timing unless told
+//! `--topspeed`; a replay that ignores timestamps models a different
+//! arrival process than the one captured (bursts flatten queues, gaps
+//! disappear). [`Pacer`] reproduces that behaviour for the capture format
+//! in [`crate::capture`]: feed it each frame's capture timestamp and it
+//! sleeps until the frame's wall-clock due time, keeping the replay's
+//! arrival process aligned with the recording. The escape hatch
+//! ([`Pacer::as_fast_as_possible`]) replays back-to-back for throughput
+//! runs.
+
+use std::time::{Duration, Instant};
+
+/// Schedules replay frames against the wall clock by their capture
+/// timestamps. The first paced frame anchors the two clocks; every later
+/// frame is due at `anchor + (timestamp - first_timestamp)`. A replay
+/// that falls behind (the sink is slower than the capture clock) never
+/// sleeps and never tries to catch up by bursting faster than the sink
+/// drains.
+#[derive(Debug)]
+pub struct Pacer {
+    mode: Mode,
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// Honour inter-frame gaps; anchor set on the first frame.
+    Timestamps { anchor: Option<(Instant, u64)> },
+    /// Replay back-to-back.
+    Topspeed,
+}
+
+impl Pacer {
+    /// A pacer honouring capture inter-frame timestamps.
+    pub fn by_timestamps() -> Self {
+        Pacer { mode: Mode::Timestamps { anchor: None } }
+    }
+
+    /// The `--as-fast-as-possible` escape hatch: never sleeps.
+    pub fn as_fast_as_possible() -> Self {
+        Pacer { mode: Mode::Topspeed }
+    }
+
+    /// Whether this pacer honours timestamps (false for topspeed).
+    pub fn is_paced(&self) -> bool {
+        matches!(self.mode, Mode::Timestamps { .. })
+    }
+
+    /// Blocks until the frame stamped `timestamp_ns` is due, then returns
+    /// how far behind schedule the replay is (zero when on time — the
+    /// lag is what a replay report surfaces as "couldn't keep up").
+    pub fn pace(&mut self, timestamp_ns: u64) -> Duration {
+        match &mut self.mode {
+            Mode::Topspeed => Duration::ZERO,
+            Mode::Timestamps { anchor } => {
+                let (start, first_ns) = *anchor.get_or_insert_with(|| (Instant::now(), timestamp_ns));
+                let due = Duration::from_nanos(timestamp_ns.saturating_sub(first_ns));
+                let elapsed = start.elapsed();
+                if elapsed < due {
+                    std::thread::sleep(due - elapsed);
+                    Duration::ZERO
+                } else {
+                    elapsed - due
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_stretch_the_replay_to_the_capture_clock() {
+        let mut pacer = Pacer::by_timestamps();
+        assert!(pacer.is_paced());
+        let start = Instant::now();
+        // 5 frames, 4 ms apart on the capture clock — the replay must take
+        // at least the 16 ms the capture spans.
+        for i in 0..5u64 {
+            pacer.pace(i * 4_000_000);
+        }
+        assert!(start.elapsed() >= Duration::from_millis(16), "paced replay ran faster than the capture");
+    }
+
+    #[test]
+    fn topspeed_never_sleeps() {
+        let mut pacer = Pacer::as_fast_as_possible();
+        assert!(!pacer.is_paced());
+        let start = Instant::now();
+        for i in 0..1000u64 {
+            assert_eq!(pacer.pace(i * 1_000_000_000), Duration::ZERO);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100), "topspeed replay slept");
+    }
+
+    #[test]
+    fn late_frames_report_lag_instead_of_sleeping() {
+        let mut pacer = Pacer::by_timestamps();
+        pacer.pace(0);
+        std::thread::sleep(Duration::from_millis(5));
+        // The next frame was due ~1 µs after the first — we are ~5 ms late
+        // and must be told so without sleeping.
+        let lag = pacer.pace(1_000);
+        assert!(lag >= Duration::from_millis(4), "lag {lag:?} not reported");
+    }
+
+    #[test]
+    fn first_frame_timestamp_anchors_relative_time() {
+        // A capture whose clock starts at a huge offset must not sleep for
+        // that offset — only inter-frame gaps matter.
+        let mut pacer = Pacer::by_timestamps();
+        let start = Instant::now();
+        pacer.pace(u64::MAX / 2);
+        pacer.pace(u64::MAX / 2 + 1_000);
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

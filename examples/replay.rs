@@ -10,14 +10,21 @@
 //! shows per-tenant descriptor stamping and the per-tenant × per-shard
 //! live counters.
 //!
+//! By default the replay is paced by the capture's inter-frame timestamps
+//! (`trafficgen::pace::Pacer`), so the rings see the recorded arrival
+//! process rather than one giant burst. Pass `--as-fast-as-possible` to
+//! replay back-to-back (`tcpreplay --topspeed` style) for throughput runs.
+//!
 //! ```text
-//! cargo run --release --example replay
+//! cargo run --release --example replay [-- --as-fast-as-possible]
 //! ```
 
 use seg6_core::{Nexthop, Seg6Datapath};
 use seg6_runtime::{PoolConfig, TenantId, WorkerPool};
 use std::net::Ipv6Addr;
+use std::time::Instant;
 use trafficgen::capture::{CaptureReader, CaptureWriter};
+use trafficgen::pace::Pacer;
 
 fn addr(s: &str) -> Ipv6Addr {
     s.parse().unwrap()
@@ -36,6 +43,9 @@ fn main() {
     const FRAMES: usize = 8_192;
     const CHUNK: usize = 256;
     const WORKERS: u32 = 4;
+
+    let topspeed = std::env::args().any(|a| a == "--as-fast-as-possible");
+    let mut pacer = if topspeed { Pacer::as_fast_as_possible() } else { Pacer::by_timestamps() };
 
     // --- Record: trafficgen writes the capture file -----------------------
     let path = std::env::temp_dir().join("srv6_replay_example.cap");
@@ -80,7 +90,12 @@ fn main() {
         let tenant = if index.is_multiple_of(2) { TenantId::DEFAULT } else { tenant_b };
         pool.tenant(tenant).enqueue_bytes_all(now_ns, chunk.iter().map(Vec::as_slice))
     };
+    let replay_start = Instant::now();
+    let mut max_lag = std::time::Duration::ZERO;
     while let Some(timestamp_ns) = reader.next_frame(&mut frame).expect("read frame") {
+        // Hold each frame until its capture due time (no-op at topspeed),
+        // so the rings see the recorded 2 Mpps arrival process.
+        max_lag = max_lag.max(pacer.pace(timestamp_ns));
         chunk[filled].clear();
         chunk[filled].extend_from_slice(&frame);
         chunk_clock_ns = timestamp_ns;
@@ -92,7 +107,14 @@ fn main() {
         }
     }
     accepted += replay(&mut pool, &chunk[..filled], chunk_index, chunk_clock_ns);
-    println!("replayed {} frames, {} accepted by the rings", reader.frames(), accepted);
+    let mode = if pacer.is_paced() { "paced by capture timestamps" } else { "as fast as possible" };
+    println!(
+        "replayed {} frames ({mode}) in {:.3} ms, {} accepted by the rings, max lag {:?}",
+        reader.frames(),
+        replay_start.elapsed().as_secs_f64() * 1e3,
+        accepted,
+        max_lag
+    );
 
     // --- Observe: live per-tenant rows, then the flush barrier ------------
     let live = pool.counters().snapshot();

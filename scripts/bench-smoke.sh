@@ -18,10 +18,15 @@ OUT="${1:-BENCH_runtime_scaling.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# The criterion shim reads both variables: CRITERION_SMOKE_MS shrinks every
-# warm-up/measurement window, CRITERION_JSON adds one BENCH_JSON line per
-# bench row.
-CRITERION_SMOKE_MS="$SMOKE_MS" CRITERION_JSON=1 \
+# One timestamp for the whole invocation, stamped into every row by the
+# criterion shim (BENCH_UTC) and into the snapshot header below.
+BENCH_UTC="$(date -u +%FT%TZ)"
+
+# The criterion shim reads three variables: CRITERION_SMOKE_MS shrinks
+# every warm-up/measurement window, CRITERION_JSON adds one BENCH_JSON
+# line per bench row, and BENCH_UTC tags each row with this run's
+# wall-clock time.
+CRITERION_SMOKE_MS="$SMOKE_MS" CRITERION_JSON=1 BENCH_UTC="$BENCH_UTC" \
     cargo bench --bench runtime_scaling >"$raw" 2>&1 || {
     cat "$raw" >&2
     echo "bench run failed" >&2
@@ -46,21 +51,26 @@ for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     ring_ingest/mpsc_send_1w ring_ingest/ring_burst_1w_b32 \
     ring_ingest/mpsc_send_8w ring_ingest/ring_burst_8w_b256 \
     tenant_scaling/shared_1t_1w tenant_scaling/per_node_1t_1w \
-    tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w; do
+    tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w \
+    srv6d_io/mem_ingest_1w srv6d_io/udp_loopback_1w; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2
         exit 1
     fi
 done
 
-cores="$(nproc 2>/dev/null || echo 1)"
+# Provenance comes from the bench process itself: every row carries the
+# parallelism it actually saw; surface the first row's value in the
+# header (nproc is only the fallback for old rows without the field).
+cores="$(printf '%s' "$rows" | grep -o '"host_parallelism":[0-9]*' | head -n1 | cut -d: -f2)"
+[ -n "$cores" ] || cores="$(nproc 2>/dev/null || echo 1)"
 cat >"$OUT" <<JSON
 {
   "bench": "runtime_scaling",
   "smoke_ms": $SMOKE_MS,
   "host_parallelism": $cores,
   "git_rev": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
-  "timestamp": "$(date -u +%FT%TZ)",
+  "timestamp": "$BENCH_UTC",
   "rows": [$rows]
 }
 JSON

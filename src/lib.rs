@@ -16,7 +16,9 @@
 //!   paper's physical lab;
 //! * [`srv6_nf`] — the use-case network functions (delay monitoring, hybrid
 //!   access WRR, ECMP discovery) written as eBPF bytecode;
-//! * [`trafficgen`] — workload generators and the Reno TCP model.
+//! * [`trafficgen`] — workload generators and the Reno TCP model;
+//! * [`srv6d`] — the deployable daemon: batched socket I/O feeding the
+//!   multi-tenant worker pool, with config reload and graceful drain.
 //!
 //! See the `examples/` directory for runnable walkthroughs of each use case
 //! and the `bench` crate for the harness regenerating every figure of the
@@ -31,4 +33,5 @@ pub use seg6_core;
 pub use seg6_runtime;
 pub use simnet;
 pub use srv6_nf;
+pub use srv6d;
 pub use trafficgen;
