@@ -14,7 +14,7 @@ use netpkt::packet::{build_ipv6_udp_packet, build_srv6_udp_packet};
 use netpkt::srh::SegmentRoutingHeader;
 use netpkt::{Ipv6Prefix, PacketBuf};
 use seg6_core::{Fib, LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
-use seg6_runtime::{thread_spawn_count, PoolConfig, WorkerPool};
+use seg6_runtime::{thread_spawn_count, Ingress, PoolConfig, WorkerPool};
 use seg6_runtime::{Runtime, RuntimeConfig};
 use srv6_nf::{end_program, tag_increment_program, wrr_encap_program, wrr_maps};
 use std::collections::HashMap;
@@ -387,7 +387,7 @@ fn bench_ring_ingest(c: &mut Criterion) {
 /// splitting and per-tenant counters on the shared side, versus T times
 /// the thread/ring/flush-barrier footprint on the pool-per-node side.
 fn bench_tenant_scaling(c: &mut Criterion) {
-    use seg6_runtime::TenantId;
+    use seg6_runtime::{TenantId, TenantQos, TenantSpec};
 
     let mut group = c.benchmark_group("tenant_scaling");
     group.sample_size(20);
@@ -413,7 +413,7 @@ fn bench_tenant_scaling(c: &mut Criterion) {
             let mut shared = WorkerPool::new(config, |cpu| tenant_datapath(1, cpu));
             let mut ids = vec![TenantId::DEFAULT];
             for t in 1..tenants {
-                ids.push(shared.register_tenant(|cpu| tenant_datapath(1 + t as u32, cpu)));
+                ids.push(shared.add_tenant(TenantSpec::build_with(|cpu| tenant_datapath(1 + t as u32, cpu))));
             }
             group.bench_function(format!("shared_{tenants}t_{workers}w"), |b| {
                 b.iter(|| {
@@ -451,6 +451,37 @@ fn bench_tenant_scaling(c: &mut Criterion) {
                 pool.shutdown();
             }
         }
+    }
+
+    // Noisy-neighbor rows (PR-7): one flooding tenant (3/4 of the pool's
+    // packets) against one quiet tenant (1/4) on a single shard.
+    // `noisy_fifo_1w` runs pre-QoS defaults (weight 1, no quota, arrival
+    // order = the FIFO baseline); `noisy_qos_1w` caps the flooder at half
+    // the ring and gives the quiet tenant a 4× DRR weight — the same
+    // packet count flows through both rows, so the delta is the price of
+    // quota accounting and deficit-round-robin selection under contention.
+    let flood = POOL * 3 / 4;
+    for (row, flooder_spec, quiet_weight) in [
+        ("noisy_fifo_1w", TenantQos::default(), 1u32),
+        ("noisy_qos_1w", TenantQos { weight: 1, ring_quota: Some(0.5), cost_budget: None }, 4),
+    ] {
+        let config = PoolConfig { workers: 1, batch_size: 32, queue_depth: 2 * POOL, ..Default::default() };
+        let mut pool = WorkerPool::new(config, |cpu| tenant_datapath(1, cpu));
+        pool.update_tenant_qos(TenantId::DEFAULT, flooder_spec);
+        let quiet =
+            pool.add_tenant(TenantSpec::build_with(|cpu| tenant_datapath(2, cpu)).weight(quiet_weight));
+        group.bench_function(row, |b| {
+            b.iter(|| {
+                pool.enqueue_all(pool_packets[..flood].iter().cloned());
+                pool.tenant(quiet).enqueue_all(pool_packets[flood..].iter().cloned());
+                pool.flush().run.forwarded
+            })
+        });
+        // The rings are sized so neither quota nor backpressure sheds in
+        // this workload — both rows move the full packet pool.
+        assert_eq!(pool.rejected(), 0, "the noisy rows never shed");
+        assert_eq!(pool.rejected_over_budget(), 0);
+        pool.shutdown();
     }
     group.finish();
 }

@@ -255,7 +255,7 @@ mod tests {
         use netpkt::packet::build_ipv6_udp_packet;
         use netpkt::PacketBuf;
         use seg6_core::{LwtBpfAttachment, LwtHook, Nexthop, Seg6Datapath, Seg6LocalAction, Skb};
-        use seg6_runtime::{PoolConfig, ShardSetup, WorkerPool};
+        use seg6_runtime::{Ingress, PoolConfig, ShardSetup, WorkerPool};
         use std::collections::HashMap;
 
         const WORKERS: u32 = 4;

@@ -67,8 +67,8 @@ pub mod ring;
 pub mod telemetry;
 
 pub use pool::{
-    BatchDrain, DrainReport, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats, Tenant, TenantId,
-    WorkerPool,
+    work_cost, BatchDrain, DrainReport, Ingress, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats,
+    Tenant, TenantId, TenantQos, TenantSpec, WorkerPool, COST_BASE, COST_BPF, COST_SEG6LOCAL, COST_TRANSIT,
 };
 pub use telemetry::{PoolCounters, PoolSnapshot, ShardSnapshot, TenantCounters, TenantSnapshot};
 

@@ -19,19 +19,33 @@
 //!   crate-level [`thread_spawn_count`](crate::thread_spawn_count) hook
 //!   lets tests assert that the steady state (including tenant
 //!   registration) spawns nothing.
-//! * [`WorkerPool::register_tenant`] adds a routing context at runtime:
-//!   the builder runs once per shard on the calling thread (most callers
-//!   use [`WorkerPool::register_tenant_from`], which
-//!   [`Seg6Datapath::fork_for_cpu`]s one configured datapath per shard);
-//!   each fork is shipped to its worker over the sideband control channel
-//!   and acknowledged before `register_tenant` returns — so by the time a
-//!   tenant's first descriptor can be published, every worker has its
-//!   datapath installed. The returned [`TenantId`] stamps descriptors:
-//!   [`WorkerPool::tenant`] hands out a [`Tenant`] guard whose `enqueue*`
+//! * [`WorkerPool::add_tenant`] adds a routing context at runtime from a
+//!   [`TenantSpec`]: a datapath source (a per-shard builder closure, or a
+//!   configured template the pool [`Seg6Datapath::fork_for_cpu`]s per
+//!   shard) plus the tenant's QoS knobs ([`TenantQos`]). Each fork is
+//!   shipped to its worker over the sideband control channel and
+//!   acknowledged before `add_tenant` returns — so by the time a tenant's
+//!   first descriptor can be published, every worker has its datapath
+//!   installed. The returned [`TenantId`] stamps descriptors:
+//!   [`WorkerPool::tenant`] hands out a [`Tenant`] guard whose [`Ingress`]
 //!   methods tag every packet with the tenant, and workers execute each
-//!   descriptor on that tenant's datapath. The pool's plain `enqueue*`
-//!   methods are the single-tenant shorthand (tenant 0,
+//!   descriptor on that tenant's datapath. The pool itself implements
+//!   [`Ingress`] as the single-tenant shorthand (tenant 0,
 //!   [`TenantId::DEFAULT`]).
+//! * **Per-tenant QoS** rides the same descriptor plane with no extra
+//!   locks. At admission, a tenant with a [`TenantQos::ring_quota`] can
+//!   never hold more than its share of a shard's descriptor ring in
+//!   flight (the dispatcher compares its cumulative admitted count with
+//!   the worker's relaxed-atomic processed counter — an estimate that only
+//!   ever errs towards admitting *less*), and a tenant with a
+//!   [`TenantQos::cost_budget`] spends from a token bucket (tokens/sec,
+//!   refilled on the shard clock carried by the packets' RX timestamps)
+//!   priced by the [`work_cost`] model; over-budget packets are shed at
+//!   admission and counted exactly as `rejected_over_budget`. Inside a
+//!   worker's poll, tenant runs are selected by **deficit round-robin**
+//!   (quantum ∝ [`TenantQos::weight`]), each run charged its actual
+//!   [`WorkSummary`](seg6_core::WorkSummary)-priced cost — a flooding
+//!   tenant burns its own deficit, not its neighbours' latency.
 //! * The dispatcher steers packets by RSS flow hash into per-shard
 //!   **lock-free SPSC rings** ([`crate::ring`]) carrying
 //!   `(tenant, packet)` descriptors — no per-descriptor rendezvous with
@@ -52,10 +66,11 @@
 //!   packets are never delayed, a burst is amortised, and a saturated
 //!   ring cannot starve the control channel for more than one budget's
 //!   worth of work. Processing stays bounded by
-//!   [`PoolConfig::batch_size`] and split into **tenant runs**:
-//!   consecutive same-tenant descriptors (up to `batch_size` at a time)
-//!   execute as one [`Seg6Datapath::process_batch_verdicts`] call on that
-//!   tenant's datapath, with the drain daemon run after every batch — the
+//!   [`PoolConfig::batch_size`] and split into **tenant runs** selected
+//!   by deficit round-robin (see above): up to `batch_size` of one
+//!   tenant's queued packets execute as one
+//!   [`Seg6Datapath::process_batch_verdicts`] call on that tenant's
+//!   datapath, with the drain daemon run after every run — the
 //!   pre-tenancy perf-drain cadence is preserved exactly.
 //! * Packet storage is **recycled** across tenants: each worker returns
 //!   drained [`PacketBuf`]s through a per-shard free-ring; the dispatcher
@@ -84,8 +99,9 @@ use crate::telemetry::{PoolCounters, TenantCounters};
 use crate::{count_thread_spawn, RunReport, WorkerStats, MAX_WORKERS};
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
 use netpkt::{BufPool, PacketBuf};
-use seg6_core::{BatchVerdict, Seg6Datapath, Skb};
-use std::sync::atomic::{fence, AtomicBool, Ordering};
+use seg6_core::{BatchVerdict, Seg6Datapath, Skb, WorkSummary};
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -93,7 +109,7 @@ use std::time::Duration;
 
 /// Identifier of one tenant (routing context) of a [`WorkerPool`]: a dense
 /// index into every shard's datapath vector and into the per-tenant
-/// counter rows. Obtained from [`WorkerPool::register_tenant`];
+/// counter rows. Obtained from [`WorkerPool::add_tenant`];
 /// [`TenantId::DEFAULT`] is the tenant the pool's construction builder
 /// created.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,6 +128,255 @@ impl TenantId {
     pub(crate) fn from_index(index: usize) -> TenantId {
         TenantId(u16::try_from(index).expect("tenant count fits a u16"))
     }
+}
+
+/// Cost-model token every packet is charged, whatever work it ends up
+/// doing — the admission estimate a [`TenantQos::cost_budget`] spends per
+/// packet (the work surcharges below are unknown before execution and are
+/// debited from the bucket afterwards, from the worker's live counters).
+pub const COST_BASE: u64 = 1;
+/// Cost-model surcharge for a packet whose seg6local behaviour ran.
+pub const COST_SEG6LOCAL: u64 = 2;
+/// Cost-model surcharge for a packet that executed an eBPF program
+/// (End.BPF or an LWT hook) — the expensive work class.
+pub const COST_BPF: u64 = 4;
+/// Cost-model surcharge for a packet a transit behaviour (SRH
+/// insertion/encapsulation) was applied to.
+pub const COST_TRANSIT: u64 = 2;
+
+/// Prices one processed packet from the work classes the datapath already
+/// emits ([`seg6_core::WorkSummary`]): the base token plus a surcharge per
+/// exercised class. This is the unit [`TenantQos::cost_budget`] buckets
+/// are denominated in and the charge deficit round-robin subtracts from a
+/// tenant's deficit after every run.
+pub fn work_cost(work: &WorkSummary) -> u64 {
+    COST_BASE
+        + if work.seg6local { COST_SEG6LOCAL } else { 0 }
+        + if work.bpf { COST_BPF } else { 0 }
+        + if work.transit { COST_TRANSIT } else { 0 }
+}
+
+/// A tenant's QoS knobs. The default is exactly the pre-QoS behaviour:
+/// weight 1, no ring quota, no cost budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQos {
+    /// Deficit-round-robin weight: each scheduling round credits the
+    /// tenant `weight × batch_size ×` [`COST_BASE`] deficit tokens, so a
+    /// weight-4 tenant's backlog gets four times the worker time of a
+    /// weight-1 tenant's. Clamped to at least 1.
+    pub weight: u32,
+    /// Share of each shard's descriptor ring this tenant may hold in
+    /// flight, as a fraction in `(0, 1]`. `None` (default) means the
+    /// tenant competes for the whole ring, exactly as before QoS existed.
+    pub ring_quota: Option<f64>,
+    /// Cost-budget rate in [`work_cost`] tokens per second, refilled on
+    /// the shard clock (the RX timestamps packets are enqueued with) with
+    /// a one-second burst allowance. Packets arriving with the bucket
+    /// empty are shed at admission and counted as `rejected_over_budget`.
+    /// `None` (default) means unmetered.
+    pub cost_budget: Option<u64>,
+}
+
+impl Default for TenantQos {
+    fn default() -> Self {
+        TenantQos { weight: 1, ring_quota: None, cost_budget: None }
+    }
+}
+
+/// Where a new tenant's per-shard datapaths come from.
+enum TenantSource<'a> {
+    /// Fork one configured template per shard
+    /// ([`Seg6Datapath::fork_for_cpu`]).
+    Template(&'a Seg6Datapath),
+    /// Run a builder once per shard with the shard's CPU id.
+    Builder(Box<dyn FnMut(u32) -> Seg6Datapath + 'a>),
+}
+
+/// Everything [`WorkerPool::add_tenant`] needs: the datapath source plus
+/// the tenant's [`TenantQos`]. Built with [`TenantSpec::from_datapath`]
+/// or [`TenantSpec::build_with`], then refined with the builder methods —
+/// the defaults reproduce the pre-QoS positional `register_tenant` calls
+/// exactly.
+pub struct TenantSpec<'a> {
+    source: TenantSource<'a>,
+    qos: TenantQos,
+}
+
+impl<'a> TenantSpec<'a> {
+    /// A tenant whose shard datapaths are
+    /// [`Seg6Datapath::fork_for_cpu`] forks of `template` — the "one
+    /// host, many VRFs" shape simnet's shared host pool and srv6d use.
+    pub fn from_datapath(template: &'a Seg6Datapath) -> Self {
+        TenantSpec { source: TenantSource::Template(template), qos: TenantQos::default() }
+    }
+
+    /// A tenant whose shard datapaths come from `builder`, run once per
+    /// shard on the registering thread with the shard's CPU id.
+    pub fn build_with(builder: impl FnMut(u32) -> Seg6Datapath + 'a) -> Self {
+        TenantSpec { source: TenantSource::Builder(Box::new(builder)), qos: TenantQos::default() }
+    }
+
+    /// Sets the deficit-round-robin weight (clamped to at least 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.qos.weight = weight.max(1);
+        self
+    }
+
+    /// Caps the tenant's in-flight share of each shard's descriptor ring.
+    /// `share` must be in `(0, 1]`.
+    pub fn ring_quota(mut self, share: f64) -> Self {
+        assert!(share > 0.0 && share <= 1.0, "ring quota must be a fraction in (0, 1], got {share}");
+        self.qos.ring_quota = Some(share);
+        self
+    }
+
+    /// Meters the tenant at `tokens_per_sec` [`work_cost`] tokens per
+    /// second (see [`TenantQos::cost_budget`]).
+    pub fn cost_budget(mut self, tokens_per_sec: u64) -> Self {
+        self.qos.cost_budget = Some(tokens_per_sec);
+        self
+    }
+
+    /// Replaces the whole QoS block at once — the form config-driven
+    /// callers (srv6d) use after validating their own knob syntax.
+    pub fn qos(mut self, qos: TenantQos) -> Self {
+        self.qos = qos;
+        self
+    }
+}
+
+/// Live QoS state shared between the dispatcher and every shard: the DRR
+/// weight, read (relaxed) by workers each scheduling round and written in
+/// place by [`WorkerPool::update_tenant_qos`] — a weight change needs no
+/// control-channel round-trip, which is what lets srv6d's reload treat it
+/// as a live patch rather than a slot rebuild.
+struct QosCell {
+    weight: AtomicU32,
+}
+
+impl QosCell {
+    fn new(weight: u32) -> Self {
+        QosCell { weight: AtomicU32::new(weight.max(1)) }
+    }
+}
+
+/// A tenant's cost-budget bucket, owned by the dispatcher and refilled on
+/// the shard clock the packets themselves carry (their RX timestamps). The
+/// capacity is one second's rate — a tenant idle for longer than a second
+/// gets at most one second of burst. Admission charges [`COST_BASE`] per
+/// packet (the work is unknown before execution); the surcharge the
+/// workers actually measured is debited afterwards from their live `cost`
+/// counters, so the budget genuinely meters [`work_cost`] tokens.
+struct TokenBucket {
+    /// Tokens per second, and the bucket capacity.
+    rate: u64,
+    /// Current level.
+    tokens: u64,
+    /// Shard-clock instant `tokens` was computed at.
+    clock_ns: u64,
+    /// Worker-measured surcharge (actual cost minus the per-packet base)
+    /// already debited from the bucket.
+    surcharge_seen: u64,
+}
+
+impl TokenBucket {
+    fn new(rate: u64) -> Self {
+        TokenBucket { rate, tokens: rate, clock_ns: 0, surcharge_seen: 0 }
+    }
+
+    /// Advances the bucket to shard-clock `now_ns`, granting whole tokens
+    /// and keeping the fractional remainder as un-advanced clock.
+    fn refill(&mut self, now_ns: u64) {
+        if self.rate == 0 || now_ns <= self.clock_ns {
+            return;
+        }
+        let dt = now_ns - self.clock_ns;
+        let add = ((u128::from(self.rate) * u128::from(dt)) / 1_000_000_000) as u64;
+        if add == 0 {
+            return;
+        }
+        self.tokens = self.tokens.saturating_add(add).min(self.rate);
+        if self.tokens == self.rate {
+            self.clock_ns = now_ns;
+        } else {
+            self.clock_ns += ((u128::from(add) * 1_000_000_000) / u128::from(self.rate)) as u64;
+        }
+    }
+
+    fn try_spend(&mut self, cost: u64) -> bool {
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debits the work surcharge the workers measured since the last
+    /// true-up: total actual cost minus `COST_BASE ×` processed, read from
+    /// the tenant's relaxed live counters. Monotone by construction
+    /// (`surcharge_seen` only grows), so a racy read can at worst debit a
+    /// batch early — never twice.
+    fn debit_surcharge(&mut self, cells: &TenantCounters, workers: u32) {
+        let mut cost = 0u64;
+        let mut processed = 0u64;
+        for shard in 0..workers {
+            let row = cells.shard(shard);
+            cost += row.cost_relaxed();
+            processed += row.processed_relaxed();
+        }
+        let surcharge = cost.saturating_sub(processed.saturating_mul(COST_BASE));
+        let delta = surcharge.saturating_sub(self.surcharge_seen);
+        self.surcharge_seen = self.surcharge_seen.max(surcharge);
+        self.tokens = self.tokens.saturating_sub(delta);
+    }
+}
+
+/// Dispatcher-side admission state of one tenant.
+struct TenantAdmission {
+    /// Per-shard descriptor-ring slot cap derived from
+    /// [`TenantQos::ring_quota`]; `None` means uncapped (the tenant is
+    /// admitted on ring capacity alone, the pre-QoS behaviour, with no
+    /// occupancy estimation on its hot path).
+    quota_slots: Option<u64>,
+    /// The cost-budget bucket, if the tenant is metered.
+    bucket: Option<TokenBucket>,
+    /// Lifetime packets shed over budget (dispatcher aggregate; the
+    /// per-shard split lives in the tenant's atomic counter rows).
+    over_budget: u64,
+}
+
+impl TenantAdmission {
+    fn from_qos(qos: &TenantQos, queue_capacity: usize) -> Self {
+        TenantAdmission {
+            quota_slots: qos.ring_quota.map(|share| quota_slots(queue_capacity, share)),
+            bucket: qos.cost_budget.map(TokenBucket::new),
+            over_budget: 0,
+        }
+    }
+}
+
+/// Converts a ring-share fraction into a per-shard slot cap: at least one
+/// slot (a quota'd tenant can always make progress), at most the ring.
+fn quota_slots(queue_capacity: usize, share: f64) -> u64 {
+    let cap = queue_capacity as u64;
+    ((queue_capacity as f64 * share) as u64).clamp(1, cap)
+}
+
+/// One tenant's reused per-publish admission accounting row.
+#[derive(Debug, Default, Clone, Copy)]
+struct IngressRow {
+    /// Descriptors staged for this publish.
+    staged: u64,
+    /// Shed at admission: the tenant was at its ring-quota slot cap.
+    shed_quota: u64,
+    /// Shed at admission: the tenant's cost-budget bucket was empty.
+    shed_budget: u64,
+    /// Admitted past QoS but refused by the full ring itself.
+    ring_rejected: u64,
+    /// Remaining admissions this publish may grant the tenant
+    /// (`u64::MAX` when unquota'd).
+    allowance: u64,
 }
 
 /// One ring descriptor: the packet plus the tenant whose datapath must
@@ -264,12 +529,12 @@ enum Ctrl {
     /// report. Everything published before this message was sent is
     /// covered (the dispatcher publishes before it signals).
     Flush(Sender<ShardFlush>),
-    /// Install a new tenant's datapath (and its live-counter row) on this
-    /// shard, then acknowledge. The dispatcher waits for every shard's
-    /// acknowledgement before `register_tenant` returns, so no descriptor
-    /// stamped with the new tenant can reach a worker that has not
-    /// installed it.
-    AddTenant { datapath: Box<Seg6Datapath>, cells: Arc<TenantCounters>, done: Sender<()> },
+    /// Install a new tenant's datapath (plus its live-counter row and its
+    /// shared QoS cell) on this shard, then acknowledge. The dispatcher
+    /// waits for every shard's acknowledgement before `add_tenant`
+    /// returns, so no descriptor stamped with the new tenant can reach a
+    /// worker that has not installed it.
+    AddTenant { datapath: Box<Seg6Datapath>, cells: Arc<TenantCounters>, qos: Arc<QosCell>, done: Sender<()> },
     /// Finish the backlog, run the final drain, exit.
     Shutdown,
 }
@@ -325,9 +590,19 @@ pub struct WorkerPool {
     bufs: BufPool,
     /// Reused scratch for draining free-rings.
     reclaim_scratch: Vec<PacketBuf>,
-    /// Reused per-tenant `(staged, rejected)` counts for exact per-tenant
-    /// admission accounting at publish time.
-    ingress_scratch: Vec<(u64, u64)>,
+    /// Reused per-tenant admission rows for exact per-tenant accounting
+    /// at publish time.
+    ingress_scratch: Vec<IngressRow>,
+    /// Per-tenant admission state: ring-quota slot caps and cost-budget
+    /// buckets, indexed by tenant.
+    admission: Vec<TenantAdmission>,
+    /// Per-tenant QoS cells shared with every shard (DRR weights),
+    /// indexed by tenant.
+    qos_cells: Vec<Arc<QosCell>>,
+    /// Cumulative per-tenant × per-shard admitted counts (tenant-major
+    /// flat layout), compared against the workers' processed counters to
+    /// estimate a quota'd tenant's ring occupancy without any lock.
+    admitted: Vec<u64>,
     queue_capacity: usize,
     /// Whether the arena has been provisioned for the byte-slice
     /// ingestion path (done once, on its first use; re-provisioned when a
@@ -349,6 +624,7 @@ impl WorkerPool {
         let queue_capacity = config.queue_depth.max(1).next_power_of_two();
         let counters = Arc::new(PoolCounters::new(workers));
         let default_cells = counters.tenant(TenantId::DEFAULT);
+        let default_qos = Arc::new(QosCell::new(1));
         let burst = worker_burst(&config);
         let mut shards = Vec::with_capacity(workers as usize);
         let mut handles = Vec::with_capacity(workers as usize);
@@ -363,8 +639,10 @@ impl WorkerPool {
             let state = ShardState {
                 id,
                 datapaths: vec![datapath],
-                batch: Vec::with_capacity(burst),
-                batch_tenants: Vec::with_capacity(burst),
+                queues: vec![VecDeque::with_capacity(burst)],
+                deficit: vec![0],
+                qos: vec![Arc::clone(&default_qos)],
+                drr_next: 0,
                 rx: Vec::with_capacity(burst),
                 stats: WorkerStats::default(),
                 outputs: Vec::new(),
@@ -372,6 +650,7 @@ impl WorkerPool {
                 drain: setup.drain,
                 free: free_tx,
                 free_staging: Vec::with_capacity(burst),
+                free_tenants: Vec::with_capacity(burst),
                 tenant_cells: vec![Arc::clone(&default_cells)],
                 recycled_scratch: vec![0],
                 sleeping: Arc::clone(&sleeping),
@@ -401,7 +680,10 @@ impl WorkerPool {
             tenant_cells: vec![default_cells],
             bufs: BufPool::new(Self::in_flight_bound(&config, queue_capacity, 1)),
             reclaim_scratch: Vec::new(),
-            ingress_scratch: vec![(0, 0)],
+            ingress_scratch: vec![IngressRow::default()],
+            admission: vec![TenantAdmission::from_qos(&TenantQos::default(), queue_capacity)],
+            qos_cells: vec![default_qos],
+            admitted: vec![0; workers as usize],
             queue_capacity,
             bytes_arena_ready: false,
         }
@@ -427,22 +709,33 @@ impl WorkerPool {
     /// Builds a pool whose shard `q` runs [`Seg6Datapath::fork_for_cpu`]
     /// of `datapath` as the default tenant — the shape simnet uses to put
     /// one configured node datapath on every receive queue. Further nodes
-    /// join the same pool through [`WorkerPool::register_tenant_from`].
+    /// join the same pool through [`WorkerPool::add_tenant`] with a
+    /// [`TenantSpec::from_datapath`] spec.
     pub fn from_datapath(config: PoolConfig, datapath: &Seg6Datapath) -> Self {
         WorkerPool::new(config, |cpu| datapath.fork_for_cpu(cpu))
     }
 
-    /// Registers a new tenant: `builder` runs once per shard on the
-    /// calling thread (with the shard's CPU id) to produce that shard's
-    /// datapath for the tenant; each datapath is shipped to its worker
-    /// over the control channel and **acknowledged** before this returns,
-    /// so the returned [`TenantId`] is immediately safe to enqueue with.
-    /// No threads are spawned; the live-counter block grows a per-shard
-    /// row for the tenant, and the byte-ingestion arena's in-flight bound
-    /// is re-provisioned for the new tenant count.
-    pub fn register_tenant(&mut self, mut builder: impl FnMut(u32) -> Seg6Datapath) -> TenantId {
+    /// Registers a new tenant from a [`TenantSpec`]: the spec's datapath
+    /// source runs once per shard on the calling thread (builders get the
+    /// shard's CPU id; a template is [`Seg6Datapath::fork_for_cpu`]'d per
+    /// shard — shared-`Arc` FIB/VRF tables, snapshot SID/transit/LWT
+    /// tables with shared program and map handles, fresh statistics);
+    /// each datapath is shipped to its worker over the control channel
+    /// and **acknowledged** before this returns, so the returned
+    /// [`TenantId`] is immediately safe to enqueue with. No threads are
+    /// spawned; the live-counter block grows a per-shard row for the
+    /// tenant, the dispatcher installs the spec's [`TenantQos`], and the
+    /// byte-ingestion arena's in-flight bound is re-provisioned for the
+    /// new tenant count.
+    pub fn add_tenant(&mut self, spec: TenantSpec<'_>) -> TenantId {
+        let TenantSpec { source, qos } = spec;
+        let mut builder: Box<dyn FnMut(u32) -> Seg6Datapath + '_> = match source {
+            TenantSource::Template(template) => Box::new(move |cpu| template.fork_for_cpu(cpu)),
+            TenantSource::Builder(builder) => builder,
+        };
         let id = TenantId::from_index(self.tenant_cells.len());
         let cells = self.counters.add_tenant();
+        let qos_cell = Arc::new(QosCell::new(qos.weight));
         let acks: Vec<Receiver<()>> = self
             .shards
             .iter()
@@ -455,6 +748,7 @@ impl WorkerPool {
                     .send(Ctrl::AddTenant {
                         datapath: Box::new(datapath),
                         cells: Arc::clone(&cells),
+                        qos: Arc::clone(&qos_cell),
                         done: done_tx,
                     })
                     .expect("worker alive");
@@ -467,7 +761,10 @@ impl WorkerPool {
         }
         self.tenant_cells.push(cells);
         self.tenant_stats.push(ShardStats::default());
-        self.ingress_scratch.push((0, 0));
+        self.ingress_scratch.push(IngressRow::default());
+        self.admission.push(TenantAdmission::from_qos(&qos, self.queue_capacity));
+        self.qos_cells.push(qos_cell);
+        self.admitted.extend(std::iter::repeat_n(0, self.config.workers as usize));
         let bound = Self::in_flight_bound(&self.config, self.queue_capacity, self.tenant_cells.len());
         self.bufs.set_max_retained(bound);
         if self.bytes_arena_ready {
@@ -476,13 +773,40 @@ impl WorkerPool {
         id
     }
 
-    /// [`WorkerPool::register_tenant`] from one configured datapath:
-    /// shard `q` gets [`Seg6Datapath::fork_for_cpu`]`(q)` of `datapath`
-    /// (shared-`Arc` FIB/VRF tables, snapshot SID/transit/LWT tables with
-    /// shared program and map handles, fresh statistics) — the "one host,
-    /// many VRFs" shape simnet's shared host pool uses per node.
+    /// Re-tunes a registered tenant's QoS in place — no control-channel
+    /// round-trip, no slot rebuild, safe while traffic flows. The weight
+    /// lands in the shared atomic cell the workers' DRR reads; the ring
+    /// quota and cost budget are dispatcher state swapped directly (a
+    /// budget rate change keeps the bucket's current level, capped at the
+    /// new rate, and its refill clock). This is what srv6d's live reload
+    /// uses for weight-/quota-/budget-only config diffs.
+    pub fn update_tenant_qos(&mut self, tenant: TenantId, qos: TenantQos) {
+        let t = tenant.index();
+        assert!(t < self.tenant_cells.len(), "unregistered tenant {tenant:?}");
+        self.qos_cells[t].weight.store(qos.weight.max(1), Ordering::Relaxed);
+        let admission = &mut self.admission[t];
+        admission.quota_slots = qos.ring_quota.map(|share| quota_slots(self.queue_capacity, share));
+        admission.bucket = match (admission.bucket.take(), qos.cost_budget) {
+            (Some(mut bucket), Some(rate)) => {
+                bucket.rate = rate;
+                bucket.tokens = bucket.tokens.min(rate);
+                Some(bucket)
+            }
+            (None, Some(rate)) => Some(TokenBucket::new(rate)),
+            (_, None) => None,
+        };
+    }
+
+    /// Deprecated positional form of [`WorkerPool::add_tenant`].
+    #[deprecated(note = "use `WorkerPool::add_tenant` with `TenantSpec::build_with`")]
+    pub fn register_tenant(&mut self, builder: impl FnMut(u32) -> Seg6Datapath) -> TenantId {
+        self.add_tenant(TenantSpec::build_with(builder))
+    }
+
+    /// Deprecated positional form of [`WorkerPool::add_tenant`].
+    #[deprecated(note = "use `WorkerPool::add_tenant` with `TenantSpec::from_datapath`")]
     pub fn register_tenant_from(&mut self, datapath: &Seg6Datapath) -> TenantId {
-        self.register_tenant(|cpu| datapath.fork_for_cpu(cpu))
+        self.add_tenant(TenantSpec::from_datapath(datapath))
     }
 
     /// Number of registered tenants (including the default one).
@@ -529,9 +853,22 @@ impl WorkerPool {
         &self.tenant_stats
     }
 
-    /// Total packets rejected by full shard rings (backpressure).
+    /// Total packets rejected by full shard rings (backpressure),
+    /// including ring-quota sheds — a quota'd tenant hitting its share of
+    /// a ring is backpressure scoped to that tenant. Cost-budget sheds
+    /// are counted separately ([`WorkerPool::rejected_over_budget`]).
     pub fn rejected(&self) -> u64 {
         self.stats.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Total packets shed at admission by tenants' cost budgets.
+    pub fn rejected_over_budget(&self) -> u64 {
+        self.admission.iter().map(|a| a.over_budget).sum()
+    }
+
+    /// Packets of `tenant` shed at admission by its cost budget.
+    pub fn tenant_over_budget(&self, tenant: TenantId) -> u64 {
+        self.admission[tenant.index()].over_budget
     }
 
     /// The pool's live counters: per-tenant × per-shard relaxed-atomic
@@ -569,49 +906,6 @@ impl WorkerPool {
             rss_hash_packet(packet)
         };
         steer(hash, self.shards.len()) as u32
-    }
-
-    /// Steers `packet` to its shard and enqueues it with clock `now_ns`
-    /// (the packet's RX timestamp, and the time its batch will be
-    /// processed at). Returns `false` — counting the rejection — when the
-    /// shard's ring is full. Single-tenant shorthand for
-    /// [`Tenant::enqueue_at`] on [`TenantId::DEFAULT`].
-    pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
-        self.enqueue_at_as(TenantId::DEFAULT, now_ns, packet)
-    }
-
-    /// [`WorkerPool::enqueue_at`] with clock 0 (benchmarks and tests that
-    /// do not model time).
-    pub fn enqueue(&mut self, packet: PacketBuf) -> bool {
-        self.enqueue_at(0, packet)
-    }
-
-    /// Enqueues a collection of packets as the default tenant, returning
-    /// how many were accepted. Descriptors are staged per shard and
-    /// published in bursts of [`PoolConfig::batch_size`] — one atomic ring
-    /// publish per burst, the amortisation the per-packet
-    /// [`WorkerPool::enqueue`] cannot have.
-    pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
-        self.enqueue_all_as(TenantId::DEFAULT, packets)
-    }
-
-    /// Copies one external frame into a **recycled** packet buffer and
-    /// enqueues it as the default tenant with clock `now_ns` — the
-    /// zero-allocation ingestion front-end for sources that own their
-    /// bytes (capture replay, the simulator).
-    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
-        self.enqueue_bytes_at_as(TenantId::DEFAULT, now_ns, frame)
-    }
-
-    /// Burst form of [`WorkerPool::enqueue_bytes_at`]: every frame is
-    /// copied into recycled storage, staged per shard, and published in
-    /// single-release bursts. Returns how many frames were accepted.
-    pub fn enqueue_bytes_all<'a>(
-        &mut self,
-        now_ns: u64,
-        frames: impl IntoIterator<Item = &'a [u8]>,
-    ) -> usize {
-        self.enqueue_bytes_all_as(TenantId::DEFAULT, now_ns, frames)
     }
 
     fn enqueue_at_as(&mut self, tenant: TenantId, now_ns: u64, packet: PacketBuf) -> bool {
@@ -688,40 +982,108 @@ impl WorkerPool {
     }
 
     /// Publishes shard `shard`'s staged descriptors with one atomic
-    /// release, accounts acceptances and rejections exactly — per shard
-    /// *and* per tenant (rejected packets' buffers go back to the arena) —
-    /// and wakes the worker when anything was published. Returns the
-    /// accepted count.
+    /// release, after the per-tenant QoS admission pass: ring-quota'd
+    /// tenants are capped at their slot share of this shard's ring
+    /// (occupancy estimated lock-free from the dispatcher's admitted
+    /// count minus the worker's relaxed processed counter — the estimate
+    /// lags towards *under*-admission, never over), budgeted tenants
+    /// spend [`COST_BASE`] per packet from their token bucket (refilled
+    /// on the packets' own RX clocks, trued-up with the workers' measured
+    /// surcharges). Everything shed or ring-rejected is accounted exactly
+    /// — per shard *and* per tenant, budget sheds on their own counter —
+    /// and its buffer goes back to the arena. Wakes the worker when
+    /// anything was published; returns the accepted count. No locks, no
+    /// allocation: every structure touched is pre-sized per tenant.
     fn publish_shard(&mut self, shard: usize) -> usize {
         let tx = &mut self.shards[shard];
         if tx.staging.is_empty() {
             return 0;
         }
-        // Exact per-tenant accounting: staged counts before the publish,
-        // rejected counts from the returned remainder; both loops run over
-        // at most one staging burst and touch a pre-sized scratch row.
-        for counts in &mut self.ingress_scratch {
-            *counts = (0, 0);
+        let workers = self.config.workers as usize;
+        for row in &mut self.ingress_scratch {
+            *row = IngressRow::default();
         }
         for desc in &tx.staging {
-            self.ingress_scratch[desc.tenant.index()].0 += 1;
+            self.ingress_scratch[desc.tenant.index()].staged += 1;
+        }
+        // Per-tenant allowances for this publish: remaining quota slots
+        // (for quota'd tenants only — unquota'd tenants skip the atomic
+        // reads entirely) and the budget true-up of worker-measured work
+        // surcharges.
+        for (tenant, row) in self.ingress_scratch.iter_mut().enumerate() {
+            if row.staged == 0 {
+                continue;
+            }
+            let admission = &mut self.admission[tenant];
+            row.allowance = match admission.quota_slots {
+                None => u64::MAX,
+                Some(slots) => {
+                    let processed = self.tenant_cells[tenant].shard(shard as u32).processed_relaxed();
+                    let occupancy = self.admitted[tenant * workers + shard].saturating_sub(processed);
+                    slots.saturating_sub(occupancy)
+                }
+            };
+            if let Some(bucket) = &mut admission.bucket {
+                bucket.debit_surcharge(&self.tenant_cells[tenant], self.config.workers);
+            }
+        }
+        // In-place admission filter: admitted descriptors compact to the
+        // front (their relative order — and each tenant's FIFO order — is
+        // preserved; only shed descriptors scramble in the tail).
+        let mut kept = 0;
+        for i in 0..tx.staging.len() {
+            let tenant = tx.staging[i].tenant.index();
+            let row = &mut self.ingress_scratch[tenant];
+            let admit = if row.allowance == 0 {
+                row.shed_quota += 1;
+                false
+            } else {
+                match &mut self.admission[tenant].bucket {
+                    None => true,
+                    Some(bucket) => {
+                        bucket.refill(tx.staging[i].skb.rx_timestamp_ns);
+                        if bucket.try_spend(COST_BASE) {
+                            true
+                        } else {
+                            row.shed_budget += 1;
+                            false
+                        }
+                    }
+                }
+            };
+            if admit {
+                if row.allowance != u64::MAX {
+                    row.allowance -= 1;
+                }
+                tx.staging.swap(kept, i);
+                kept += 1;
+            }
+        }
+        for desc in tx.staging.drain(kept..) {
+            self.bufs.put(desc.skb.into_packet());
         }
         let accepted = tx.ring.enqueue_burst(&mut tx.staging);
-        let rejected = tx.staging.len();
         for desc in tx.staging.drain(..) {
-            self.ingress_scratch[desc.tenant.index()].1 += 1;
+            self.ingress_scratch[desc.tenant.index()].ring_rejected += 1;
             self.bufs.put(desc.skb.into_packet());
         }
         self.stats[shard].enqueued += accepted as u64;
-        self.stats[shard].rejected += rejected as u64;
-        for (tenant, (staged, tenant_rejected)) in self.ingress_scratch.iter().enumerate() {
-            if *staged == 0 {
+        for (tenant, row) in self.ingress_scratch.iter().enumerate() {
+            if row.staged == 0 {
                 continue;
             }
-            let tenant_accepted = staged - tenant_rejected;
+            let tenant_accepted = row.staged - row.shed_quota - row.shed_budget - row.ring_rejected;
+            let tenant_rejected = row.shed_quota + row.ring_rejected;
+            self.admitted[tenant * workers + shard] += tenant_accepted;
+            self.stats[shard].rejected += tenant_rejected;
             self.tenant_stats[tenant].enqueued += tenant_accepted;
             self.tenant_stats[tenant].rejected += tenant_rejected;
-            self.tenant_cells[tenant].shard(shard as u32).add_ingress(tenant_accepted, *tenant_rejected);
+            self.admission[tenant].over_budget += row.shed_budget;
+            let cell = self.tenant_cells[tenant].shard(shard as u32);
+            cell.add_ingress(tenant_accepted, tenant_rejected);
+            if row.shed_budget > 0 {
+                cell.add_over_budget(row.shed_budget);
+            }
         }
         if accepted > 0 {
             self.shards[shard].wake();
@@ -829,9 +1191,10 @@ impl Drop for WorkerPool {
 }
 
 /// An enqueue guard for one tenant of a [`WorkerPool`] (from
-/// [`WorkerPool::tenant`]): every method stamps its descriptors with the
-/// tenant's id, so the worker executes them on that tenant's datapath and
-/// the admission/verdict counters land in the tenant's rows.
+/// [`WorkerPool::tenant`]): its [`Ingress`] methods stamp every
+/// descriptor with the tenant's id, so the worker executes them on that
+/// tenant's datapath and the admission/verdict counters land in the
+/// tenant's rows.
 pub struct Tenant<'p> {
     pool: &'p mut WorkerPool,
     id: TenantId,
@@ -843,38 +1206,85 @@ impl Tenant<'_> {
         self.id
     }
 
-    /// [`WorkerPool::enqueue_at`] as this tenant.
-    pub fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
-        self.pool.enqueue_at_as(self.id, now_ns, packet)
-    }
-
-    /// [`WorkerPool::enqueue`] as this tenant.
-    pub fn enqueue(&mut self, packet: PacketBuf) -> bool {
-        self.enqueue_at(0, packet)
-    }
-
-    /// [`WorkerPool::enqueue_all`] as this tenant.
-    pub fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
-        self.pool.enqueue_all_as(self.id, packets)
-    }
-
-    /// [`WorkerPool::enqueue_bytes_at`] as this tenant.
-    pub fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
-        self.pool.enqueue_bytes_at_as(self.id, now_ns, frame)
-    }
-
-    /// [`WorkerPool::enqueue_bytes_all`] as this tenant.
-    pub fn enqueue_bytes_all<'a>(
-        &mut self,
-        now_ns: u64,
-        frames: impl IntoIterator<Item = &'a [u8]>,
-    ) -> usize {
-        self.pool.enqueue_bytes_all_as(self.id, now_ns, frames)
-    }
-
     /// This tenant's admission counters (summed over shards).
     pub fn stats(&self) -> ShardStats {
         self.pool.tenant_stats[self.id.index()]
+    }
+
+    /// Packets of this tenant shed at admission by its cost budget.
+    pub fn over_budget(&self) -> u64 {
+        self.pool.tenant_over_budget(self.id)
+    }
+}
+
+/// The pool's ingress surface: everything that feeds packets into a
+/// [`WorkerPool`] on behalf of some tenant. Implemented by the pool
+/// itself (as [`TenantId::DEFAULT`] — the single-tenant shorthand) and by
+/// the [`Tenant`] guard; every method body lives here, as a provided
+/// method over [`Ingress::target`], so the two implementations cannot
+/// drift apart. Consumers that only feed packets (srv6d's service loop,
+/// simnet's pool ingestion, capture replay) take `impl Ingress` and work
+/// identically against either.
+///
+/// The trait has generic methods, so it is deliberately not object-safe —
+/// take `&mut impl Ingress` (static dispatch on the hot path), not
+/// `&mut dyn Ingress`.
+pub trait Ingress {
+    /// The pool this handle feeds and the tenant its packets are stamped
+    /// with.
+    fn target(&mut self) -> (&mut WorkerPool, TenantId);
+
+    /// Steers `packet` to its shard and enqueues it with clock `now_ns`
+    /// (the packet's RX timestamp, and the time its batch will be
+    /// processed at). Returns `false` — counting the rejection or QoS
+    /// shed — when the packet was not admitted.
+    fn enqueue_at(&mut self, now_ns: u64, packet: PacketBuf) -> bool {
+        let (pool, tenant) = self.target();
+        pool.enqueue_at_as(tenant, now_ns, packet)
+    }
+
+    /// [`Ingress::enqueue_at`] with clock 0 (benchmarks and tests that do
+    /// not model time).
+    fn enqueue(&mut self, packet: PacketBuf) -> bool {
+        self.enqueue_at(0, packet)
+    }
+
+    /// Enqueues a collection of packets, returning how many were
+    /// admitted. Descriptors are staged per shard and published in bursts
+    /// of [`PoolConfig::batch_size`] — one atomic ring publish per burst,
+    /// the amortisation the per-packet [`Ingress::enqueue`] cannot have.
+    fn enqueue_all(&mut self, packets: impl IntoIterator<Item = PacketBuf>) -> usize {
+        let (pool, tenant) = self.target();
+        pool.enqueue_all_as(tenant, packets)
+    }
+
+    /// Copies one external frame into a **recycled** packet buffer and
+    /// enqueues it with clock `now_ns` — the zero-allocation ingestion
+    /// front-end for sources that own their bytes (capture replay, the
+    /// simulator, srv6d's socket reads).
+    fn enqueue_bytes_at(&mut self, now_ns: u64, frame: &[u8]) -> bool {
+        let (pool, tenant) = self.target();
+        pool.enqueue_bytes_at_as(tenant, now_ns, frame)
+    }
+
+    /// Burst form of [`Ingress::enqueue_bytes_at`]: every frame is copied
+    /// into recycled storage, staged per shard, and published in
+    /// single-release bursts. Returns how many frames were admitted.
+    fn enqueue_bytes_all<'a>(&mut self, now_ns: u64, frames: impl IntoIterator<Item = &'a [u8]>) -> usize {
+        let (pool, tenant) = self.target();
+        pool.enqueue_bytes_all_as(tenant, now_ns, frames)
+    }
+}
+
+impl Ingress for WorkerPool {
+    fn target(&mut self) -> (&mut WorkerPool, TenantId) {
+        (self, TenantId::DEFAULT)
+    }
+}
+
+impl Ingress for Tenant<'_> {
+    fn target(&mut self) -> (&mut WorkerPool, TenantId) {
+        (self.pool, self.id)
     }
 }
 
@@ -899,12 +1309,25 @@ struct ShardState {
     /// One datapath per tenant, indexed by tenant id. Grown by
     /// [`Ctrl::AddTenant`]; never shrinks.
     datapaths: Vec<Seg6Datapath>,
-    /// The current batch's packets, in arrival order...
-    batch: Vec<Skb>,
-    /// ...and, index-aligned, the tenant of each packet.
-    batch_tenants: Vec<TenantId>,
-    /// Dequeue scratch: descriptors straight off the ring, before they are
-    /// unzipped into `batch`/`batch_tenants`.
+    /// Per-tenant run queues the current poll's packets are sorted into
+    /// (arrival order preserved within a tenant), indexed by tenant id.
+    /// Ring buffers reused across polls — pre-sized to the poll burst at
+    /// tenant install, so the steady state never grows them. The DRR
+    /// scheduler takes `batch_size`-capped runs off their fronts.
+    queues: Vec<VecDeque<Skb>>,
+    /// Per-tenant DRR deficit, in [`work_cost`] tokens. Signed: a run's
+    /// actual cost is only known after it executed, so a tenant may
+    /// overdraw by at most one run and pays the debt out of its next
+    /// quantum. Reset to (at most) zero when the tenant's queue empties —
+    /// an idle tenant hoards no credit.
+    deficit: Vec<i64>,
+    /// Per-tenant shared QoS cells (DRR weights), indexed by tenant id.
+    qos: Vec<Arc<QosCell>>,
+    /// Round-robin cursor of the DRR scheduler: the next tenant to
+    /// credit. Persists across polls so the rotation is fair over time.
+    drr_next: usize,
+    /// Dequeue scratch: descriptors straight off the ring, before they
+    /// are sorted into the per-tenant `queues`.
     rx: Vec<Desc>,
     stats: WorkerStats,
     outputs: Vec<(TenantId, Skb, BatchVerdict)>,
@@ -912,9 +1335,13 @@ struct ShardState {
     drain: Option<BatchDrain>,
     /// Free-ring back to the dispatcher: drained packet buffers.
     free: Producer<PacketBuf>,
-    /// Staging for the free-ring, so a whole batch's buffers are returned
-    /// with one burst publish (reused across batches).
+    /// Staging for the free-ring, so a whole poll's buffers are returned
+    /// with one burst publish (reused across polls)...
     free_staging: Vec<PacketBuf>,
+    /// ...and, index-aligned with it, the tenant each buffer belonged to
+    /// (the free-ring takes a prefix; recycle counts are attributed to
+    /// tenants exactly from this).
+    free_tenants: Vec<TenantId>,
     /// Live-counter rows, one per tenant, updated once per tenant run.
     tenant_cells: Vec<Arc<TenantCounters>>,
     /// Reused per-tenant recycle counts (index = tenant id).
@@ -944,8 +1371,8 @@ fn worker_loop(
                 flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
                 continue;
             }
-            Ok(Ctrl::AddTenant { datapath, cells, done }) => {
-                install_tenant(&mut shard, *datapath, cells, done);
+            Ok(Ctrl::AddTenant { datapath, cells, qos, done }) => {
+                install_tenant(&mut shard, *datapath, cells, qos, done, worker_burst(&config));
                 continue;
             }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
@@ -981,9 +1408,9 @@ fn worker_loop(
                 shard.sleeping.store(false, Ordering::SeqCst);
                 flush_barrier(&mut shard, &mut ring, &mut clock, &config, &mut reported, reply);
             }
-            Ok(Ctrl::AddTenant { datapath, cells, done }) => {
+            Ok(Ctrl::AddTenant { datapath, cells, qos, done }) => {
                 shard.sleeping.store(false, Ordering::SeqCst);
-                install_tenant(&mut shard, *datapath, cells, done);
+                install_tenant(&mut shard, *datapath, cells, qos, done, worker_burst(&config));
             }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
                 shard.sleeping.store(false, Ordering::SeqCst);
@@ -998,17 +1425,24 @@ fn worker_loop(
     }
 }
 
-/// Installs a tenant's datapath and counter row on this shard, then
-/// acknowledges to the dispatcher (which blocks until every shard has).
+/// Installs a tenant's datapath, counter row, QoS cell and scheduler
+/// state on this shard, then acknowledges to the dispatcher (which blocks
+/// until every shard has). The run queue is pre-sized to the poll burst
+/// here, at install time, so the data plane never grows it.
 fn install_tenant(
     shard: &mut ShardState,
     datapath: Seg6Datapath,
     cells: Arc<TenantCounters>,
+    qos: Arc<QosCell>,
     done: Sender<()>,
+    burst: usize,
 ) {
     shard.datapaths.push(datapath);
     shard.tenant_cells.push(cells);
     shard.recycled_scratch.push(0);
+    shard.queues.push(VecDeque::with_capacity(burst));
+    shard.deficit.push(0);
+    shard.qos.push(qos);
     let _ = done.send(());
 }
 
@@ -1025,16 +1459,15 @@ fn poll_once(
     if got == 0 {
         return false;
     }
-    // Unzip descriptors into the index-aligned batch vectors; the shard
-    // clock advances per batch inside `run_batch`, not per poll, so a
-    // large NAPI burst does not time-stamp its first batch with its last
-    // packet's arrival.
+    // Sort descriptors into the per-tenant run queues (arrival order
+    // preserved within a tenant); the shard clock advances per run inside
+    // `run_scheduler`, not per poll, so a large NAPI burst does not
+    // time-stamp its first run with its last packet's arrival.
     shard.stats.steered += got as u64;
     for desc in shard.rx.drain(..) {
-        shard.batch_tenants.push(desc.tenant);
-        shard.batch.push(desc.skb);
+        shard.queues[desc.tenant.index()].push_back(desc.skb);
     }
-    run_batch(shard, clock, config);
+    run_scheduler(shard, clock, config);
     true
 }
 
@@ -1069,94 +1502,134 @@ fn run_drain(shard: &mut ShardState) {
     }
 }
 
-/// Processes the accumulated poll's packets as **batches** — bounded by
-/// [`PoolConfig::batch_size`] *and* by tenant runs, so consecutive
-/// same-tenant packets execute as one batch call on that tenant's
-/// datapath and the drain daemon keeps its pre-tenancy cadence (it runs
-/// after every batch, and a batch never exceeds `batch_size` packets —
-/// per-CPU perf rings sized against `batch_size` cannot overflow however
-/// large the NAPI dequeue burst was) — then recycles the drained packet
-/// buffers through the free-ring and mirrors each batch's deltas into the
-/// tenant's live counters.
-fn run_batch(shard: &mut ShardState, clock: &mut u64, config: &PoolConfig) {
-    if !shard.batch.is_empty() {
-        let limit = config.batch_size.max(1);
-        // The verdict buffer is shard-owned and reused, index-aligned with
-        // the batch: no allocation per batch, no allocation per packet.
-        shard.verdicts.clear();
-        let mut start = 0;
-        while start < shard.batch.len() {
-            let tenant = shard.batch_tenants[start];
-            let mut end = start + 1;
-            while end < shard.batch.len() && end - start < limit && shard.batch_tenants[end] == tenant {
-                end += 1;
-            }
-            // Advance the (monotonic) shard clock to this batch's newest
-            // RX timestamp — the clock a kernel softirq batch would run
-            // under. Bounded by `batch_size`, like the batch itself, so
-            // `bpf_ktime_get_ns`/End.DM never see the timestamp spread of
-            // a whole NAPI burst.
-            for skb in &shard.batch[start..end] {
-                *clock = (*clock).max(skb.rx_timestamp_ns);
-            }
-            let before = shard.stats;
-            shard.datapaths[tenant.index()].process_batch_verdicts_into(
-                &mut shard.batch[start..end],
-                *clock,
-                &mut shard.verdicts,
-            );
-            for bv in &shard.verdicts[start..end] {
-                shard.stats.processed += 1;
-                match bv.verdict {
-                    seg6_core::Verdict::Forward { .. } => shard.stats.forwarded += 1,
-                    seg6_core::Verdict::LocalDeliver => shard.stats.local_delivered += 1,
-                    seg6_core::Verdict::Drop(_) => shard.stats.dropped += 1,
-                }
-            }
-            shard.stats.batches += 1;
-            shard.tenant_cells[tenant.index()].shard(shard.id).add_batch(&crate::delta(before, shard.stats));
-            // The drain daemon runs batch-aware: after every
-            // `batch_size`-bounded batch's events are in the perf ring, on
-            // the worker that produced them.
-            run_drain(shard);
-            start = end;
+/// Schedules the accumulated poll's packets as **deficit-round-robin
+/// tenant runs**, replacing strict arrival order: each round the cursor
+/// visits a backlogged tenant and credits its deficit with `weight ×
+/// batch_size ×` [`COST_BASE`] tokens; while the deficit is positive the
+/// tenant executes runs — up to [`PoolConfig::batch_size`] of its queued
+/// packets as one batch call on its datapath — and each run's **actual**
+/// [`work_cost`] (priced from the emitted
+/// [`WorkSummary`](seg6_core::WorkSummary) flags) is subtracted. A tenant
+/// whose packets run expensive behaviours exhausts its deficit in fewer
+/// packets; a higher weight buys proportionally more of the worker. The
+/// drain daemon keeps its pre-tenancy cadence (after every run, and a run
+/// never exceeds `batch_size` packets — per-CPU perf rings sized against
+/// `batch_size` cannot overflow however large the NAPI dequeue burst
+/// was). The poll's drained packet buffers are returned through the
+/// free-ring with one burst publish at the end.
+fn run_scheduler(shard: &mut ShardState, clock: &mut u64, config: &PoolConfig) {
+    let limit = config.batch_size.max(1);
+    let tenants = shard.queues.len();
+    let quantum_unit = limit as i64 * COST_BASE as i64;
+    let mut remaining: usize = shard.queues.iter().map(VecDeque::len).sum();
+    while remaining > 0 {
+        let tenant = shard.drr_next;
+        shard.drr_next = (shard.drr_next + 1) % tenants;
+        if shard.queues[tenant].is_empty() {
+            continue;
         }
-        if config.collect_outputs {
-            let packets = shard.batch_tenants.drain(..).zip(shard.batch.drain(..));
-            shard
-                .outputs
-                .extend(packets.zip(shard.verdicts.drain(..)).map(|((tenant, skb), bv)| (tenant, skb, bv)));
-        } else {
-            // Hand the whole batch's drained storage back to the
-            // dispatcher with one burst publish — the return leg costs one
-            // release store per batch, like the ingress leg. Whatever a
-            // full free-ring (dispatcher not reclaiming) leaves behind is
-            // dropped — recycling is an optimisation, never a blocking
-            // edge.
-            for skb in shard.batch.drain(..) {
-                shard.free_staging.push(skb.into_packet());
-            }
-            let recycled = shard.free.enqueue_burst(&mut shard.free_staging);
-            shard.free_staging.clear();
-            if recycled > 0 {
-                // The free-ring took the batch-order prefix; attribute the
-                // recycled buffers to their tenants exactly (pre-sized
-                // scratch, one fetch_add per tenant with any).
-                for count in &mut shard.recycled_scratch {
-                    *count = 0;
-                }
-                for tenant in &shard.batch_tenants[..recycled] {
-                    shard.recycled_scratch[tenant.index()] += 1;
-                }
-                for (tenant, count) in shard.recycled_scratch.iter().enumerate() {
-                    if *count > 0 {
-                        shard.tenant_cells[tenant].shard(shard.id).add_recycled(*count);
-                    }
-                }
-            }
-            shard.batch_tenants.clear();
+        let weight = i64::from(shard.qos[tenant].weight.load(Ordering::Relaxed).max(1));
+        shard.deficit[tenant] += weight * quantum_unit;
+        while shard.deficit[tenant] > 0 && !shard.queues[tenant].is_empty() {
+            let run = limit.min(shard.queues[tenant].len());
+            let cost = process_run(shard, TenantId::from_index(tenant), run, clock, config);
+            shard.deficit[tenant] -= cost as i64;
+            remaining -= run;
+        }
+        if shard.queues[tenant].is_empty() {
+            // The queue drained: surrender leftover credit (an idle tenant
+            // hoards nothing) but keep any debt for the next quantum.
+            shard.deficit[tenant] = shard.deficit[tenant].min(0);
         }
     }
+    if !config.collect_outputs && !shard.free_staging.is_empty() {
+        // Hand the whole poll's drained storage back to the dispatcher
+        // with one burst publish — the return leg costs one release store
+        // per poll, like the ingress leg. Whatever a full free-ring
+        // (dispatcher not reclaiming) leaves behind is dropped — recycling
+        // is an optimisation, never a blocking edge.
+        let recycled = shard.free.enqueue_burst(&mut shard.free_staging);
+        shard.free_staging.clear();
+        if recycled > 0 {
+            // The free-ring took the emission-order prefix; attribute the
+            // recycled buffers to their tenants exactly (pre-sized
+            // scratch, one fetch_add per tenant with any).
+            for count in &mut shard.recycled_scratch {
+                *count = 0;
+            }
+            for tenant in &shard.free_tenants[..recycled] {
+                shard.recycled_scratch[tenant.index()] += 1;
+            }
+            for (tenant, count) in shard.recycled_scratch.iter().enumerate() {
+                if *count > 0 {
+                    shard.tenant_cells[tenant].shard(shard.id).add_recycled(*count);
+                }
+            }
+        }
+        shard.free_tenants.clear();
+    }
+}
+
+/// Executes one tenant run: the next `run` packets off the tenant's queue
+/// as a single batch call on its datapath, with the shard clock advanced
+/// to the run's newest RX timestamp first (the clock a kernel softirq
+/// batch would run under — bounded by `batch_size`, like the run itself,
+/// so `bpf_ktime_get_ns`/End.DM never see the timestamp spread of a whole
+/// NAPI burst). Mirrors the run's deltas and its priced cost into the
+/// tenant's live counters, runs the drain daemon, and emits the processed
+/// packets — into the collected outputs (processing order, tagged with
+/// the tenant) or onto the free-ring staging. Returns the run's total
+/// [`work_cost`], which the DRR loop charges against the tenant's
+/// deficit.
+fn process_run(
+    shard: &mut ShardState,
+    tenant: TenantId,
+    run: usize,
+    clock: &mut u64,
+    config: &PoolConfig,
+) -> u64 {
+    let t = tenant.index();
+    let queue = &mut shard.queues[t];
+    if queue.as_slices().0.len() < run {
+        queue.make_contiguous();
+    }
+    let batch = &mut queue.as_mut_slices().0[..run];
+    for skb in batch.iter() {
+        *clock = (*clock).max(skb.rx_timestamp_ns);
+    }
+    let before = shard.stats;
+    // The verdict buffer is shard-owned and reused, index-aligned with
+    // the run: no allocation per run, no allocation per packet.
+    shard.verdicts.clear();
+    shard.datapaths[t].process_batch_verdicts_into(batch, *clock, &mut shard.verdicts);
+    let mut cost = 0u64;
+    for bv in &shard.verdicts {
+        shard.stats.processed += 1;
+        match bv.verdict {
+            seg6_core::Verdict::Forward { .. } => shard.stats.forwarded += 1,
+            seg6_core::Verdict::LocalDeliver => shard.stats.local_delivered += 1,
+            seg6_core::Verdict::Drop(_) => shard.stats.dropped += 1,
+        }
+        cost += work_cost(&bv.work);
+    }
+    shard.stats.batches += 1;
+    let cells = shard.tenant_cells[t].shard(shard.id);
+    cells.add_batch(&crate::delta(before, shard.stats));
+    cells.add_cost(cost);
+    // The drain daemon runs batch-aware: after every `batch_size`-bounded
+    // run's events are in the perf ring, on the worker that produced
+    // them.
+    run_drain(shard);
+    if config.collect_outputs {
+        let packets = shard.queues[t].drain(..run).zip(shard.verdicts.drain(..));
+        shard.outputs.extend(packets.map(|(skb, bv)| (tenant, skb, bv)));
+    } else {
+        for skb in shard.queues[t].drain(..run) {
+            shard.free_staging.push(skb.into_packet());
+            shard.free_tenants.push(tenant);
+        }
+    }
+    cost
 }
 
 #[cfg(test)]
@@ -1247,8 +1720,8 @@ mod tests {
         assert_eq!(after_construction - before_construction, 4);
 
         // Registering a tenant must not spawn either.
-        let tenant = pool.register_tenant(oif_datapath(9));
-        assert_eq!(thread_spawn_count(), after_construction, "register_tenant must not spawn");
+        let tenant = pool.add_tenant(TenantSpec::build_with(oif_datapath(9)));
+        assert_eq!(thread_spawn_count(), after_construction, "add_tenant must not spawn");
 
         // The scaling workload: many enqueue/flush rounds across tenants.
         for round in 0..10 {
@@ -1453,7 +1926,7 @@ mod tests {
     fn tenants_route_through_their_own_datapaths() {
         let config = PoolConfig { workers: 2, batch_size: 8, collect_outputs: true, ..Default::default() };
         let mut pool = WorkerPool::new(config, oif_datapath(10));
-        let tenant_b = pool.register_tenant(oif_datapath(20));
+        let tenant_b = pool.add_tenant(TenantSpec::build_with(oif_datapath(20)));
         assert_eq!(pool.tenants(), 2);
 
         let packets: Vec<PacketBuf> = (0..64).map(flow_packet).collect();

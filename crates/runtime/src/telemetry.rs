@@ -56,6 +56,12 @@ pub struct ShardCounters {
     batches: AtomicU64,
     /// Packet buffers handed back to the dispatcher through the free-ring.
     recycled: AtomicU64,
+    /// Packets shed at admission because the tenant's cost budget was
+    /// exhausted (dispatcher). Not included in `rejected`.
+    rejected_over_budget: AtomicU64,
+    /// Cost-model units charged for processed work (worker), priced by
+    /// [`work_cost`](crate::work_cost) from the emitted `WorkSummary`s.
+    cost: AtomicU64,
 }
 
 impl ShardCounters {
@@ -87,6 +93,34 @@ impl ShardCounters {
         }
     }
 
+    /// Dispatcher-side accounting: packets shed because the tenant's cost
+    /// budget was exhausted.
+    pub(crate) fn add_over_budget(&self, shed: u64) {
+        if shed > 0 {
+            self.rejected_over_budget.fetch_add(shed, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker-side accounting: cost-model units charged for one tenant run.
+    pub(crate) fn add_cost(&self, cost: u64) {
+        if cost > 0 {
+            self.cost.fetch_add(cost, Ordering::Relaxed);
+        }
+    }
+
+    /// Relaxed read of the processed counter — the dispatcher's ring
+    /// occupancy estimate subtracts this from its own admitted count.
+    pub(crate) fn processed_relaxed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed read of the charged cost — the dispatcher's budget true-up
+    /// debits the surcharge (cost beyond the base already charged at
+    /// admission) against the tenant's token bucket.
+    pub(crate) fn cost_relaxed(&self) -> u64 {
+        self.cost.load(Ordering::Relaxed)
+    }
+
     /// Samples this cell's counters.
     pub fn sample(&self) -> ShardSnapshot {
         ShardSnapshot {
@@ -98,6 +132,8 @@ impl ShardCounters {
             dropped: self.dropped.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
+            rejected_over_budget: self.rejected_over_budget.load(Ordering::Relaxed),
+            cost: self.cost.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +157,11 @@ pub struct ShardSnapshot {
     pub batches: u64,
     /// Packet buffers recycled back to the dispatcher's arena.
     pub recycled: u64,
+    /// Packets shed at admission by an exhausted cost budget (distinct
+    /// from `rejected`, which counts ring-full and quota sheds).
+    pub rejected_over_budget: u64,
+    /// Cost-model units charged for processed work.
+    pub cost: u64,
 }
 
 impl ShardSnapshot {
@@ -141,6 +182,8 @@ impl ShardSnapshot {
         self.dropped += other.dropped;
         self.batches += other.batches;
         self.recycled += other.recycled;
+        self.rejected_over_budget += other.rejected_over_budget;
+        self.cost += other.cost;
     }
 }
 
@@ -249,6 +292,16 @@ impl PoolSnapshot {
     /// Total buffers recycled through the free-rings.
     pub fn recycled(&self) -> u64 {
         self.total(|s| s.recycled)
+    }
+
+    /// Total packets shed at admission by exhausted cost budgets.
+    pub fn rejected_over_budget(&self) -> u64 {
+        self.total(|s| s.rejected_over_budget)
+    }
+
+    /// Total cost-model units charged across all shards.
+    pub fn cost(&self) -> u64 {
+        self.total(|s| s.cost)
     }
 
     /// Packets accepted but not yet processed at sample time — the live

@@ -20,8 +20,10 @@ use netpkt::PacketBuf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction, Verdict};
-use seg6_runtime::{PoolConfig, ShardStats, TenantId, WorkerPool};
+use seg6_runtime::{Ingress, PoolConfig, ShardStats, TenantId, TenantQos, TenantSpec, WorkerPool};
 use std::net::Ipv6Addr;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 fn addr(s: &str) -> Ipv6Addr {
     s.parse().unwrap()
@@ -120,7 +122,7 @@ fn randomized_two_tenant_run_never_cross_routes() {
         ..Default::default()
     };
     let mut pool = WorkerPool::new(config, tenant_a);
-    let tenant_b_id = pool.register_tenant(tenant_b);
+    let tenant_b_id = pool.add_tenant(TenantSpec::build_with(tenant_b));
     let counters = pool.counters();
 
     let mut enqueued = [0u64; 2]; // per tenant
@@ -187,18 +189,18 @@ fn randomized_two_tenant_run_never_cross_routes() {
     assert_eq!(lifetime, processed[0] + processed[1]);
 }
 
-/// The per-tenant backpressure split is exact: when a ring fills, each
-/// tenant's rejected count matches exactly what it failed to enqueue.
-#[test]
-fn per_tenant_rejection_accounting_is_exact() {
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
-
+/// A one-worker pool over `tenant_a` whose drain hook parks the worker
+/// until released: the first returned channel fires when the worker enters
+/// the hook, dropping the returned sender releases it (later entries pass
+/// straight through). Priming one packet and waiting for the `entered`
+/// signal leaves the worker stalled with the ring *empty* — the primed
+/// packet already counted as processed — so subsequent enqueues fill the
+/// ring deterministically, with no race against the consumer.
+fn stallable_pool(config: PoolConfig) -> (WorkerPool, mpsc::Receiver<()>, mpsc::Sender<()>) {
     let (entered_tx, entered_rx) = mpsc::channel::<()>();
     let (release_tx, release_rx) = mpsc::channel::<()>();
     let release_rx = Arc::new(Mutex::new(release_rx));
-    let config = PoolConfig { workers: 1, batch_size: 1, queue_depth: 8, ..Default::default() };
-    let mut pool = WorkerPool::new(config, move |cpu| {
+    let pool = WorkerPool::new(config, move |cpu| {
         let entered_tx = entered_tx.clone();
         let release_rx = Arc::clone(&release_rx);
         seg6_runtime::ShardSetup::new(tenant_a(cpu)).with_drain(Box::new(move |_| {
@@ -206,7 +208,16 @@ fn per_tenant_rejection_accounting_is_exact() {
             let _ = release_rx.lock().unwrap().recv();
         }))
     });
-    let b = pool.register_tenant(tenant_b);
+    (pool, entered_rx, release_tx)
+}
+
+/// The per-tenant backpressure split is exact: when a ring fills, each
+/// tenant's rejected count matches exactly what it failed to enqueue.
+#[test]
+fn per_tenant_rejection_accounting_is_exact() {
+    let config = PoolConfig { workers: 1, batch_size: 1, queue_depth: 8, ..Default::default() };
+    let (mut pool, entered_rx, release_tx) = stallable_pool(config);
+    let b = pool.add_tenant(TenantSpec::build_with(tenant_b));
 
     // Stall the worker, then alternate tenants into the 8-slot ring: 4 A
     // + 4 B fit, the next 3 A and 2 B are rejected.
@@ -233,4 +244,155 @@ fn per_tenant_rejection_accounting_is_exact() {
     drop(release_tx);
     let report = pool.flush();
     assert_eq!(report.run.processed, 9, "exactly the accepted packets were processed");
+}
+
+/// The adversarial noisy-neighbor run the QoS redesign exists for: a
+/// flooding tenant held to half the ring by its quota, against a quiet
+/// weight-4 tenant, cannot push the quiet tenant's admitted throughput or
+/// flush position outside a 2× envelope of its run-alone baseline — even
+/// when every quiet packet arrives *behind* the whole admitted flood.
+#[test]
+fn qos_bounds_the_quiet_tenant_under_a_noisy_neighbor() {
+    const RING: usize = 256;
+    const FLOOD: u32 = 512;
+    const QUIET: usize = 64;
+    let config = || PoolConfig {
+        workers: 1,
+        batch_size: 32,
+        queue_depth: RING,
+        collect_outputs: true,
+        ..Default::default()
+    };
+
+    // Run-alone baseline: the quiet tenant with the worker to itself.
+    let (baseline_accepted, baseline_last) = {
+        let mut pool = WorkerPool::new(config(), tenant_a);
+        let quiet = pool.add_tenant(TenantSpec::build_with(tenant_b).weight(4));
+        let accepted = pool.tenant(quiet).enqueue_all((0..QUIET as u32).map(plain_packet));
+        let report = pool.flush();
+        let last = report.outputs[0].iter().rposition(|(t, _, _)| *t == quiet).map_or(0, |i| i + 1);
+        pool.shutdown();
+        (accepted, last)
+    };
+    assert_eq!(baseline_accepted, QUIET);
+    assert_eq!(baseline_last, QUIET);
+
+    // Contended: the default tenant floods 8× the quiet tenant's load
+    // into a stalled worker's ring. The flooder is quota'd to half the
+    // ring; the quiet tenant is unquota'd (its admission path stays the
+    // pre-QoS one) and outweighed 4:1 in the scheduler.
+    let (mut pool, entered_rx, release_tx) = stallable_pool(config());
+    pool.update_tenant_qos(
+        TenantId::DEFAULT,
+        TenantQos { weight: 1, ring_quota: Some(0.5), cost_budget: None },
+    );
+    let quiet = pool.add_tenant(TenantSpec::build_with(tenant_b).weight(4));
+
+    assert!(pool.enqueue(plain_packet(0)));
+    entered_rx.recv().expect("worker stalled in the drain");
+    assert_eq!(pool.enqueue_all((0..FLOOD).map(plain_packet)), RING / 2, "quota caps the flood");
+    let accepted = pool.tenant(quiet).enqueue_all((0..QUIET as u32).map(plain_packet));
+
+    // Admission envelope: the flood cannot displace a single quiet
+    // packet, and every shed lands on the flooder's `rejected` row — the
+    // budget counter is untouched (nobody here is cost-metered).
+    assert_eq!(accepted, QUIET, "quota'd flooder cannot displace the quiet tenant");
+    assert_eq!(
+        pool.tenant_stats()[0],
+        ShardStats { enqueued: 1 + RING as u64 / 2, rejected: u64::from(FLOOD) - RING as u64 / 2 }
+    );
+    assert_eq!(pool.tenant_stats()[1], ShardStats { enqueued: QUIET as u64, rejected: 0 });
+    assert_eq!(pool.rejected_over_budget(), 0);
+
+    drop(release_tx);
+    let report = pool.flush();
+    assert_eq!(report.run.processed as usize, 1 + RING / 2 + QUIET);
+
+    // Scheduling envelope: deficit-round-robin with weight 4 drains the
+    // whole quiet backlog within 2× its run-alone flush position. The
+    // pre-QoS arrival-order scheduler would emit the last quiet packet
+    // dead last, at position 193 — behind the primed packet and all 128
+    // admitted flood packets.
+    let outputs = &report.outputs[0];
+    assert_eq!(outputs.iter().filter(|(t, _, _)| *t == quiet).count(), QUIET);
+    let last = outputs.iter().rposition(|(t, _, _)| *t == quiet).map_or(0, |i| i + 1);
+    assert!(
+        last <= 2 * baseline_last,
+        "quiet tenant's last packet flushed at position {last}, beyond 2×{baseline_last}"
+    );
+    pool.shutdown();
+}
+
+/// The companion failure mode the envelope test above forbids: with the
+/// default knobs (no quota, weight 1 — exactly the pre-QoS configuration)
+/// the same flood owns the whole ring and the quiet tenant is starved
+/// outright. If QoS admission ever regresses to this, the envelope test
+/// fails; this test pins the unprotected behaviour so the contrast stays
+/// observable.
+#[test]
+fn default_knobs_let_the_flood_starve_the_quiet_tenant() {
+    const RING: usize = 256;
+    let config = PoolConfig { workers: 1, batch_size: 32, queue_depth: RING, ..Default::default() };
+    let (mut pool, entered_rx, release_tx) = stallable_pool(config);
+    let quiet = pool.add_tenant(TenantSpec::build_with(tenant_b));
+
+    assert!(pool.enqueue(plain_packet(0)));
+    entered_rx.recv().expect("worker stalled in the drain");
+    assert_eq!(pool.enqueue_all((0..512u32).map(plain_packet)), RING);
+    let accepted = pool.tenant(quiet).enqueue_all((0..64u32).map(plain_packet));
+    assert_eq!(accepted, 0, "an unquota'd flood owns the whole ring");
+    assert_eq!(pool.tenant_stats()[1], ShardStats { enqueued: 0, rejected: 64 });
+
+    drop(release_tx);
+    let report = pool.flush();
+    assert_eq!(report.run.processed as usize, 1 + RING);
+    pool.shutdown();
+}
+
+/// Cost-budget admission is exact and meters *measured* work: base tokens
+/// are spent per packet at admission, the workers' surcharge (here End
+/// behaviours at `COST_SEG6LOCAL` over base) is trued up at the next
+/// publish, sheds land only on the over-budget counters, and one
+/// shard-clock second refills one second's rate.
+#[test]
+fn cost_budget_sheds_exactly_and_refills_on_the_shard_clock() {
+    let config = PoolConfig { workers: 1, batch_size: 32, queue_depth: 1024, ..Default::default() };
+    let mut pool = WorkerPool::new(config, tenant_a);
+    let b = pool.add_tenant(TenantSpec::build_with(tenant_b).cost_budget(30));
+
+    // Shard clock 0: ten End-SID packets spend 10 base tokens at
+    // admission, leaving 20 of the 30-token burst.
+    assert_eq!(pool.tenant(b).enqueue_all((0..10).map(srv6_packet)), 10);
+    let report = pool.flush();
+    assert_eq!(report.run.processed, 10);
+
+    // Each End packet's measured work_cost is COST_BASE + COST_SEG6LOCAL
+    // = 3 tokens: the workers charged 30 for work admission priced at 10.
+    // The 20-token surcharge is debited at the next publish, emptying the
+    // bucket — all 25 plain packets shed over budget, none as `rejected`.
+    assert_eq!(pool.tenant(b).enqueue_all((0..25).map(plain_packet)), 0);
+    assert_eq!(pool.tenant_over_budget(b), 25);
+    assert_eq!(pool.rejected_over_budget(), 25);
+    assert_eq!(pool.rejected(), 0, "budget sheds are not backpressure");
+    assert_eq!(pool.tenant_stats()[1], ShardStats { enqueued: 10, rejected: 0 });
+
+    // The unmetered default tenant is untouched by b's empty bucket.
+    assert!(pool.enqueue(plain_packet(7)));
+
+    // One shard-clock second later the bucket holds one second's rate
+    // again: 25 plain packets admit (spending 25 of the 30 tokens).
+    for flow in 0..25 {
+        assert!(pool.tenant(b).enqueue_at(1_000_000_000, plain_packet(flow)));
+    }
+    assert_eq!(pool.tenant_over_budget(b), 25, "no further sheds after the refill");
+    let report = pool.flush();
+    assert_eq!(report.run.processed, 26);
+
+    // The live rows carry the same exact split: 25 over-budget sheds, and
+    // 3×10 + 1×25 = 55 cost units charged for the processed work.
+    let snap = pool.counters().snapshot();
+    assert_eq!(snap.tenants[1].totals().rejected_over_budget, 25);
+    assert_eq!(snap.tenants[1].totals().cost, 55);
+    assert_eq!(snap.rejected_over_budget(), 25);
+    pool.shutdown();
 }

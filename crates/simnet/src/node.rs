@@ -4,7 +4,7 @@
 use netpkt::ipv6::proto;
 use netpkt::{ParsedPacket, UdpHeader};
 use seg6_core::{BatchVerdict, Seg6Datapath, Verdict};
-use seg6_runtime::{PoolConfig, TenantId, WorkerPool};
+use seg6_runtime::{Ingress, PoolConfig, TenantId, TenantQos, WorkerPool};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
@@ -158,6 +158,13 @@ pub struct Node {
     /// pool shared with other nodes. See [`Node::enable_pool_ingestion`]
     /// and [`crate::Simulator::share_host_pool`].
     pub(crate) binding: PoolBinding,
+    /// QoS parameters this node carries onto a shared host pool: its DRR
+    /// weight and optional ring quota / cost budget (tenant slots are
+    /// installed with these when the simulator builds the pool). The
+    /// default — weight 1, no quota, no budget — reproduces the pre-QoS
+    /// shared-pool behaviour. Ignored by private pools, which the node
+    /// has to itself.
+    pub qos: TenantQos,
 }
 
 /// Where a node's packets execute.
@@ -194,6 +201,7 @@ impl Node {
             udp_sinks: HashMap::new(),
             delivered_packets: 0,
             binding: PoolBinding::None,
+            qos: TenantQos::default(),
         }
     }
 

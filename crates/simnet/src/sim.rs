@@ -291,9 +291,12 @@ impl Simulator {
             return;
         };
         let mut pool = WorkerPool::from_datapath(sim_pool_config(workers), &self.nodes[members[0]].datapath);
+        pool.update_tenant_qos(seg6_runtime::TenantId::DEFAULT, self.nodes[members[0]].qos);
         self.nodes[members[0]].bind_shared_pool(id, seg6_runtime::TenantId::DEFAULT);
         for &member in &members[1..] {
-            let tenant = pool.register_tenant_from(&self.nodes[member].datapath);
+            let spec = seg6_runtime::TenantSpec::from_datapath(&self.nodes[member].datapath)
+                .qos(self.nodes[member].qos);
+            let tenant = pool.add_tenant(spec);
             self.nodes[member].bind_shared_pool(id, tenant);
         }
         self.host_pools[id].pool = Some(pool);

@@ -18,6 +18,9 @@
 //! listen = [::1]:9000      # RX queue q binds port 9000+q
 //! peer = 1 [::1]:9100      # egress: oif 1 emits to this address
 //! vrf = customer           # declare a VRF (routes/SIDs may reference it)
+//! weight = 4               # DRR scheduling weight (default 1)
+//! quota = 50               # max % of each shard ring (default: unlimited)
+//! budget = 500000          # cost tokens per second (default: unlimited)
 //! route = 2001:db8::/32 dev 1
 //! route = @customer ::/0 via fc00::ff dev 1
 //! sid = fc00::1:e0 end
@@ -123,6 +126,61 @@ pub struct SidSpec {
     pub behaviour: SidBehaviour,
 }
 
+/// A tenant's QoS keys (`weight =` / `quota =` / `budget =`), applied to
+/// its pool slot as a [`seg6_runtime::TenantQos`]. The quota is stored as
+/// an integer percentage (1..=100) so tenant configs stay `Eq`-comparable
+/// for reload diffing. The default reproduces the pre-QoS behaviour:
+/// weight 1, no quota, no budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQosConfig {
+    /// Deficit-round-robin scheduling weight (≥ 1).
+    pub weight: u32,
+    /// Maximum share of each shard's descriptor ring, in percent
+    /// (1..=100); `None` = no cap.
+    pub quota_percent: Option<u32>,
+    /// Cost budget in tokens per second; `None` = unlimited.
+    pub budget: Option<u64>,
+}
+
+impl Default for TenantQosConfig {
+    fn default() -> Self {
+        TenantQosConfig { weight: 1, quota_percent: None, budget: None }
+    }
+}
+
+impl TenantQosConfig {
+    /// The runtime QoS parameters these keys translate to.
+    pub fn runtime(&self) -> seg6_runtime::TenantQos {
+        seg6_runtime::TenantQos {
+            weight: self.weight,
+            ring_quota: self.quota_percent.map(|p| f64::from(p) / 100.0),
+            cost_budget: self.budget,
+        }
+    }
+}
+
+/// How a tenant's new config relates to its running one, deciding the
+/// reload path: nothing to do, live-tunable (routes and/or QoS patched
+/// without touching the slot), or structural (retire + re-register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantDiff {
+    /// Byte-identical — untouched.
+    Identical,
+    /// Only live-patchable settings changed: the route list (propagates
+    /// through the shared tables) and/or the QoS keys (a lock-free
+    /// dispatcher update). The slot, its sockets and its per-shard forks
+    /// stay as they are.
+    Tunable {
+        /// The route list changed.
+        routes_changed: bool,
+        /// The `weight`/`quota`/`budget` keys changed.
+        qos_changed: bool,
+    },
+    /// Something per-fork or socket-shaped changed (local address,
+    /// listen/peers, VRFs, SIDs) — the slot must be rebuilt.
+    Structural,
+}
+
 /// One `[tenant NAME]` section: a routing context with its own sockets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantConfig {
@@ -140,6 +198,8 @@ pub struct TenantConfig {
     pub routes: Vec<RouteSpec>,
     /// Local SID bindings, in declaration order.
     pub sids: Vec<SidSpec>,
+    /// The tenant's QoS keys (weight / quota / budget).
+    pub qos: TenantQosConfig,
 }
 
 impl TenantConfig {
@@ -155,15 +215,34 @@ impl TenantConfig {
         self.peers.iter().find(|(i, _)| *i == oif).map(|(_, a)| *a)
     }
 
-    /// Whether `other` differs from `self` **only** in its route list —
-    /// the live-applicable reload case, since routes propagate through the
-    /// shared `RouterTables` without re-registering the tenant.
-    pub fn differs_only_in_routes(&self, other: &TenantConfig) -> bool {
+    /// Classifies how `other` differs from `self` for reload purposes:
+    /// routes and QoS keys are live-tunable (routes propagate through the
+    /// shared `RouterTables`, QoS through a lock-free dispatcher update);
+    /// anything else is structural and forces a slot rebuild.
+    pub fn diff(&self, other: &TenantConfig) -> TenantDiff {
         let mut a = self.clone();
         let mut b = other.clone();
         a.routes.clear();
         b.routes.clear();
-        a == b && self.routes != other.routes
+        a.qos = TenantQosConfig::default();
+        b.qos = TenantQosConfig::default();
+        if a != b {
+            return TenantDiff::Structural;
+        }
+        let routes_changed = self.routes != other.routes;
+        let qos_changed = self.qos != other.qos;
+        if routes_changed || qos_changed {
+            TenantDiff::Tunable { routes_changed, qos_changed }
+        } else {
+            TenantDiff::Identical
+        }
+    }
+
+    /// Whether `other` differs from `self` **only** in its route list —
+    /// the narrow pre-QoS reload predicate, kept for callers that do not
+    /// care about the QoS keys. See [`TenantConfig::diff`].
+    pub fn differs_only_in_routes(&self, other: &TenantConfig) -> bool {
+        self.diff(other) == TenantDiff::Tunable { routes_changed: true, qos_changed: false }
     }
 }
 
@@ -216,7 +295,7 @@ impl Config {
 /// Which section the parser is inside.
 enum Section {
     Daemon,
-    Tenant(TenantDraft),
+    Tenant(Box<TenantDraft>),
 }
 
 /// A `[tenant]` section under construction (validated at section end).
@@ -229,6 +308,7 @@ struct TenantDraft {
     vrfs: Vec<String>,
     routes: Vec<RouteSpec>,
     sids: Vec<SidSpec>,
+    qos: TenantQosConfig,
 }
 
 #[derive(Default)]
@@ -260,7 +340,7 @@ impl Parser {
                     Section::Daemon
                 }
                 other => match other.strip_prefix("tenant") {
-                    Some(name) if !name.trim().is_empty() => Section::Tenant(TenantDraft {
+                    Some(name) if !name.trim().is_empty() => Section::Tenant(Box::new(TenantDraft {
                         line: num,
                         name: name.trim().to_string(),
                         local: None,
@@ -269,7 +349,8 @@ impl Parser {
                         vrfs: Vec::new(),
                         routes: Vec::new(),
                         sids: Vec::new(),
-                    }),
+                        qos: TenantQosConfig::default(),
+                    })),
                     Some(_) => return Err(ConfigError::at(num, "[tenant] needs a name: [tenant NAME]")),
                     None => return Err(ConfigError::at(num, format!("unknown section [{other}]"))),
                 },
@@ -294,7 +375,7 @@ impl Parser {
 
     fn close_section(&mut self, num: usize) -> Result<(), ConfigError> {
         if let Some(Section::Tenant(draft)) = self.section.take() {
-            self.tenants.push(validate_tenant(draft, self.daemon.workers)?);
+            self.tenants.push(validate_tenant(*draft, self.daemon.workers)?);
         }
         let _ = num;
         Ok(())
@@ -366,6 +447,35 @@ fn tenant_key(draft: &mut TenantDraft, num: usize, key: &str, value: &str) -> Re
         }
         "route" => draft.routes.push(parse_route(draft, num, value)?),
         "sid" => draft.sids.push(parse_sid(draft, num, value)?),
+        "weight" => {
+            let weight =
+                value.parse::<u32>().map_err(|_| ConfigError::at(num, "`weight` must be a number"))?;
+            if weight == 0 {
+                return Err(ConfigError::at(num, "`weight` must be at least 1"));
+            }
+            draft.qos.weight = weight;
+        }
+        "quota" => {
+            // `quota = 50` or `quota = 50%`: a share of each shard ring.
+            let percent = value
+                .trim_end_matches('%')
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| ConfigError::at(num, "`quota` must be a percentage like 50 or 50%"))?;
+            if percent == 0 || percent > 100 {
+                return Err(ConfigError::at(num, "`quota` must be 1..=100 percent"));
+            }
+            draft.qos.quota_percent = Some(percent);
+        }
+        "budget" => {
+            let budget = value
+                .parse::<u64>()
+                .map_err(|_| ConfigError::at(num, "`budget` must be a number of cost tokens/sec"))?;
+            if budget == 0 {
+                return Err(ConfigError::at(num, "`budget` must be at least 1 token/sec"));
+            }
+            draft.qos.budget = Some(budget);
+        }
         other => return Err(ConfigError::at(num, format!("unknown [tenant] key `{other}`"))),
     }
     Ok(())
@@ -483,6 +593,7 @@ fn validate_tenant(draft: TenantDraft, workers: u32) -> Result<TenantConfig, Con
         vrfs: draft.vrfs,
         routes: draft.routes,
         sids: draft.sids,
+        qos: draft.qos,
     })
 }
 
@@ -529,6 +640,9 @@ local = fc00::1
 listen = [::1]:9000
 peer = 1 [::1]:9100
 vrf = customer
+weight = 4
+quota = 50%
+budget = 500000
 route = 2001:db8::/32 dev 1
 route = @customer ::/0 via fc00::ff dev 1
 sid = fc00::1:e1 end.t customer
@@ -565,6 +679,14 @@ route = ::/0 dev 7
 
         let lab = config.tenant("lab").unwrap();
         assert_eq!(lab.routes[0].oif, 7);
+
+        // QoS keys: explicit on `edge`, defaults on `lab`.
+        assert_eq!(edge.qos, TenantQosConfig { weight: 4, quota_percent: Some(50), budget: Some(500_000) });
+        assert_eq!(lab.qos, TenantQosConfig::default());
+        let qos = edge.qos.runtime();
+        assert_eq!(qos.weight, 4);
+        assert_eq!(qos.ring_quota, Some(0.5));
+        assert_eq!(qos.cost_budget, Some(500_000));
     }
 
     fn err_line(text: &str) -> Option<usize> {
@@ -610,6 +732,45 @@ route = ::/0 dev 7
                   [tenant a]\nlocal = ::1\nlisten = [::1]:9000\n\
                   [tenant b]\nlocal = ::1\nlisten = [::1]:9004";
         assert!(Config::parse(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_qos_values_with_line_numbers() {
+        let tenant = "[tenant a]\nlocal = fc00::1\nlisten = [::1]:9000\n";
+        assert_eq!(err_line(&format!("{tenant}weight = 0")), Some(4));
+        assert_eq!(err_line(&format!("{tenant}weight = heavy")), Some(4));
+        assert_eq!(err_line(&format!("{tenant}quota = 0")), Some(4));
+        assert_eq!(err_line(&format!("{tenant}quota = 101")), Some(4));
+        assert_eq!(err_line(&format!("{tenant}quota = half")), Some(4));
+        assert_eq!(err_line(&format!("{tenant}budget = 0")), Some(4));
+    }
+
+    #[test]
+    fn diff_classifies_reload_paths() {
+        let base = Config::parse(GOOD).unwrap();
+        let edge = &base.tenants[0];
+        assert_eq!(edge.diff(edge), TenantDiff::Identical);
+
+        let mut weight_only = edge.clone();
+        weight_only.qos.weight = 9;
+        assert_eq!(
+            edge.diff(&weight_only),
+            TenantDiff::Tunable { routes_changed: false, qos_changed: true },
+            "a weight-only change must take the live-tune fast path"
+        );
+        assert!(!edge.differs_only_in_routes(&weight_only));
+
+        let mut both = edge.clone();
+        both.qos.budget = None;
+        both.routes.pop();
+        assert_eq!(edge.diff(&both), TenantDiff::Tunable { routes_changed: true, qos_changed: true });
+
+        let mut structural = edge.clone();
+        structural.listen.set_port(12_000);
+        assert_eq!(edge.diff(&structural), TenantDiff::Structural);
+        let mut structural_plus_qos = structural.clone();
+        structural_plus_qos.qos.weight = 2;
+        assert_eq!(edge.diff(&structural_plus_qos), TenantDiff::Structural);
     }
 
     #[test]

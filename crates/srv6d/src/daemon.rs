@@ -21,13 +21,13 @@
 //! flush barrier runs, the last window's forwarded packets are emitted,
 //! and the terminal per-tenant counters are reported.
 
-use crate::config::{Config, ConfigError, RouteSpec, SidBehaviour, TenantConfig};
+use crate::config::{Config, ConfigError, RouteSpec, SidBehaviour, TenantConfig, TenantDiff};
 use crate::io::IoBackend;
 use crate::stats::{DaemonShared, StatsServer, TenantIo, TenantMeta};
 use netpkt::sockio::{FrameBatch, PacketRx, PacketTx};
 use netpkt::Ipv6Prefix;
 use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction, Verdict, MAIN_TABLE};
-use seg6_runtime::{DrainReport, PoolConfig, ShardSnapshot, TenantId, WorkerPool};
+use seg6_runtime::{DrainReport, Ingress, PoolConfig, ShardSnapshot, TenantId, TenantSpec, WorkerPool};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -90,6 +90,10 @@ pub struct ReloadReport {
     /// Tenants whose route set was patched live through the shared
     /// tables, without touching their sockets or pool slot.
     pub routes_changed: Vec<String>,
+    /// Tenants whose QoS keys (weight/quota/budget) were retuned live
+    /// through the dispatcher, without touching their sockets or pool
+    /// slot. A tenant changing both routes and QoS appears in both lists.
+    pub retuned: Vec<String>,
     /// Tenants whose config is byte-identical — untouched.
     pub unchanged: usize,
 }
@@ -98,11 +102,12 @@ impl fmt::Display for ReloadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reload: {} added, {} removed, {} rebuilt, {} route-patched, {} unchanged",
+            "reload: {} added, {} removed, {} rebuilt, {} route-patched, {} retuned, {} unchanged",
             self.added.len(),
             self.removed.len(),
             self.rebuilt.len(),
             self.routes_changed.len(),
+            self.retuned.len(),
             self.unchanged
         )
     }
@@ -226,12 +231,13 @@ impl Srv6Daemon {
         };
         let template = build_datapath(first);
         let mut pool = WorkerPool::from_datapath(pool_config, &template);
+        pool.update_tenant_qos(TenantId::DEFAULT, first.qos.runtime());
 
         let mut tenants = Vec::with_capacity(cfg.tenants.len());
         tenants.push(open_tenant(&mut *backend, &cfg, first.clone(), TenantId::DEFAULT, template)?);
         for tenant_cfg in &cfg.tenants[1..] {
             let template = build_datapath(tenant_cfg);
-            let id = pool.register_tenant_from(&template);
+            let id = pool.add_tenant(TenantSpec::from_datapath(&template).qos(tenant_cfg.qos.runtime()));
             tenants.push(open_tenant(&mut *backend, &cfg, tenant_cfg.clone(), id, template)?);
         }
 
@@ -289,9 +295,10 @@ impl Srv6Daemon {
                     continue;
                 }
                 // One copy: socket bytes → recycled BufPool storage →
-                // descriptor ring. Rejected frames (full ring) are
-                // counted by the pool's per-tenant counters.
-                self.pool.tenant(tenant.id).enqueue_bytes_all(now_ns, self.batch.frames());
+                // descriptor ring. Rejected frames (full ring, quota or
+                // budget sheds) are counted by the pool's per-tenant
+                // counters.
+                ingest_burst(&mut self.pool.tenant(tenant.id), now_ns, self.batch.frames());
                 tenant.io.rx_frames.fetch_add(got as u64, Ordering::Relaxed);
                 pass.rx_frames += got;
             }
@@ -343,35 +350,48 @@ impl Srv6Daemon {
         for tenant_cfg in &new.tenants {
             let slot = self.tenants.iter().position(|t| t.active && t.cfg.name == tenant_cfg.name);
             match slot {
-                Some(slot) if self.tenants[slot].cfg == *tenant_cfg => report.unchanged += 1,
-                Some(slot) if self.tenants[slot].cfg.differs_only_in_routes(tenant_cfg) => {
-                    let tenant = &mut self.tenants[slot];
-                    // Removals first, then inserts: a changed next hop is
-                    // remove+insert of the same prefix.
-                    for route in &tenant.cfg.routes {
-                        if !tenant_cfg.routes.contains(route) {
-                            remove_route(&tenant.template, route);
+                Some(slot) => match self.tenants[slot].cfg.diff(tenant_cfg) {
+                    TenantDiff::Identical => report.unchanged += 1,
+                    TenantDiff::Tunable { routes_changed, qos_changed } => {
+                        let tenant = &mut self.tenants[slot];
+                        if routes_changed {
+                            // Removals first, then inserts: a changed next
+                            // hop is remove+insert of the same prefix.
+                            for route in &tenant.cfg.routes {
+                                if !tenant_cfg.routes.contains(route) {
+                                    remove_route(&tenant.template, route);
+                                }
+                            }
+                            for route in &tenant_cfg.routes {
+                                if !tenant.cfg.routes.contains(route) {
+                                    apply_route(&mut tenant.template, route);
+                                }
+                            }
+                            report.routes_changed.push(tenant_cfg.name.clone());
                         }
-                    }
-                    for route in &tenant_cfg.routes {
-                        if !tenant.cfg.routes.contains(route) {
-                            apply_route(&mut tenant.template, route);
+                        if qos_changed {
+                            // Weight/quota/budget land through the
+                            // dispatcher's lock-free QoS cells — the slot,
+                            // its sockets and its per-shard forks are
+                            // untouched.
+                            self.pool.update_tenant_qos(tenant.id, tenant_cfg.qos.runtime());
+                            report.retuned.push(tenant_cfg.name.clone());
                         }
+                        tenant.cfg = tenant_cfg.clone();
                     }
-                    tenant.cfg = tenant_cfg.clone();
-                    report.routes_changed.push(tenant_cfg.name.clone());
-                }
-                Some(slot) => {
-                    // Structural change: SIDs/VRFs/sockets live in per-fork
-                    // snapshots the pool cannot patch — retire the slot and
-                    // bring the tenant up fresh under a new pool id.
-                    let tenant = &mut self.tenants[slot];
-                    tenant.active = false;
-                    tenant.rx.clear();
-                    tenant.tx.clear();
-                    self.spawn_tenant(&new, tenant_cfg)?;
-                    report.rebuilt.push(tenant_cfg.name.clone());
-                }
+                    TenantDiff::Structural => {
+                        // Structural change: SIDs/VRFs/sockets live in
+                        // per-fork snapshots the pool cannot patch — retire
+                        // the slot and bring the tenant up fresh under a
+                        // new pool id.
+                        let tenant = &mut self.tenants[slot];
+                        tenant.active = false;
+                        tenant.rx.clear();
+                        tenant.tx.clear();
+                        self.spawn_tenant(&new, tenant_cfg)?;
+                        report.rebuilt.push(tenant_cfg.name.clone());
+                    }
+                },
                 None => {
                     self.spawn_tenant(&new, tenant_cfg)?;
                     report.added.push(tenant_cfg.name.clone());
@@ -428,7 +448,7 @@ impl Srv6Daemon {
     /// index, an invariant reloads preserve by never removing slots).
     fn spawn_tenant(&mut self, cfg: &Config, tenant_cfg: &TenantConfig) -> Result<(), DaemonError> {
         let template = build_datapath(tenant_cfg);
-        let id = self.pool.register_tenant_from(&template);
+        let id = self.pool.add_tenant(TenantSpec::from_datapath(&template).qos(tenant_cfg.qos.runtime()));
         debug_assert_eq!(id.index(), self.tenants.len(), "slot/tenant index alignment");
         let runtime = open_tenant(&mut *self.backend, cfg, tenant_cfg.clone(), id, template)?;
         self.tenants.push(runtime);
@@ -443,6 +463,17 @@ impl Srv6Daemon {
                 .collect(),
         );
     }
+}
+
+/// Feeds one RX burst into any ingress endpoint. The daemon is written
+/// against the pool's [`Ingress`] trait rather than a concrete handle, so
+/// the same path serves a tenant handle or a bare (default-tenant) pool.
+fn ingest_burst<'a>(
+    ingress: &mut impl Ingress,
+    now_ns: u64,
+    frames: impl IntoIterator<Item = &'a [u8]>,
+) -> usize {
+    ingress.enqueue_bytes_all(now_ns, frames)
 }
 
 /// Sends one forwarded packet out of `tenant_id`'s socket for `oif`.

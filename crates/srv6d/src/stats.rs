@@ -104,6 +104,8 @@ impl DaemonShared {
             ("forwarded_total", "Forward verdicts.", 3),
             ("local_delivered_total", "Local-delivery verdicts.", 4),
             ("dropped_total", "Drop verdicts.", 5),
+            ("rejected_over_budget_total", "Packets shed by an exhausted cost budget.", 6),
+            ("cost_total", "Cost-model units charged for processed work.", 7),
         ] {
             counter(&mut out, name, help);
             for (slot, tenant) in snapshot.tenants.iter().enumerate() {
@@ -116,6 +118,8 @@ impl DaemonShared {
                         row.forwarded,
                         row.local_delivered,
                         row.dropped,
+                        row.rejected_over_budget,
+                        row.cost,
                     ][pick];
                     let _ = writeln!(
                         out,

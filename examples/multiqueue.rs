@@ -16,7 +16,7 @@ use netpkt::ipv6::proto;
 use netpkt::packet::build_srv6_udp_packet;
 use netpkt::srh::SegmentRoutingHeader;
 use seg6_core::{Nexthop, Seg6Datapath, Seg6LocalAction};
-use seg6_runtime::{thread_spawn_count, PoolConfig, Runtime, RuntimeConfig, WorkerPool};
+use seg6_runtime::{thread_spawn_count, Ingress, PoolConfig, Runtime, RuntimeConfig, WorkerPool};
 use simnet::{CpuProfile, LinkConfig, Simulator};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;

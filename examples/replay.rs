@@ -20,7 +20,7 @@
 //! ```
 
 use seg6_core::{Nexthop, Seg6Datapath};
-use seg6_runtime::{PoolConfig, TenantId, WorkerPool};
+use seg6_runtime::{Ingress, PoolConfig, TenantId, TenantSpec, WorkerPool};
 use std::net::Ipv6Addr;
 use std::time::Instant;
 use trafficgen::capture::{CaptureReader, CaptureWriter};
@@ -28,6 +28,16 @@ use trafficgen::pace::Pacer;
 
 fn addr(s: &str) -> Ipv6Addr {
     s.parse().unwrap()
+}
+
+/// Streams one chunk of frames into any [`Ingress`] endpoint — the replay
+/// front-end only needs the trait, not a concrete pool or tenant handle.
+fn stream_chunk<'a>(
+    ingress: &mut impl Ingress,
+    now_ns: u64,
+    frames: impl IntoIterator<Item = &'a [u8]>,
+) -> usize {
+    ingress.enqueue_bytes_all(now_ns, frames)
 }
 
 /// A datapath routing everything out of `oif` — the two tenants get
@@ -69,7 +79,7 @@ fn main() {
         ..Default::default()
     };
     let mut pool = WorkerPool::new(config, |cpu| oif_datapath(1, cpu));
-    let tenant_b = pool.register_tenant(|cpu| oif_datapath(2, cpu));
+    let tenant_b = pool.add_tenant(TenantSpec::build_with(|cpu| oif_datapath(2, cpu)));
     println!(
         "replaying into a {WORKERS}-shard pool shared by {} tenants (alternating chunks)",
         pool.tenants()
@@ -88,7 +98,7 @@ fn main() {
         // Even chunks replay as the default tenant, odd chunks as tenant
         // B — one capture serving two routing contexts.
         let tenant = if index.is_multiple_of(2) { TenantId::DEFAULT } else { tenant_b };
-        pool.tenant(tenant).enqueue_bytes_all(now_ns, chunk.iter().map(Vec::as_slice))
+        stream_chunk(&mut pool.tenant(tenant), now_ns, chunk.iter().map(Vec::as_slice))
     };
     let replay_start = Instant::now();
     let mut max_lag = std::time::Duration::ZERO;

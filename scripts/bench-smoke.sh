@@ -46,12 +46,14 @@ fi
 # ingestion-transport group (mpsc per-packet send vs. SPSC ring burst
 # enqueue across the shard/burst sweep), and the tenancy group (one
 # shared multi-tenant pool vs. pool-per-node across the tenant/shard
-# sweep).
+# sweep, plus the noisy-neighbor pair comparing arrival-order against
+# QoS-scheduled admission under an 3:1 flood).
 for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     ring_ingest/mpsc_send_1w ring_ingest/ring_burst_1w_b32 \
     ring_ingest/mpsc_send_8w ring_ingest/ring_burst_8w_b256 \
     tenant_scaling/shared_1t_1w tenant_scaling/per_node_1t_1w \
     tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w \
+    tenant_scaling/noisy_fifo_1w tenant_scaling/noisy_qos_1w \
     srv6d_io/mem_ingest_1w srv6d_io/udp_loopback_1w; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2

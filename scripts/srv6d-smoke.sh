@@ -44,6 +44,9 @@ local = fc00::1
 listen = [::1]:48800
 peer = 1 [::1]:48900
 vrf = customers
+weight = 4
+quota = 50%
+budget = 500000
 route = ::/0 dev 1
 route = @customers 2001:db8::/32 dev 1
 sid = fc00::1:0:e end
@@ -88,6 +91,10 @@ printf '%s\n' "$metrics" | grep -q 'srv6d_enqueued_total{tenant="edge",slot="0",
     echo "metrics missing the per-shard counter rows" >&2
     exit 1
 }
+printf '%s\n' "$metrics" | grep -q 'srv6d_rejected_over_budget_total{tenant="edge",slot="0",shard="0"} 0' || {
+    echo "metrics missing the QoS over-budget counter rows" >&2
+    exit 1
+}
 
 # --- live reload: add a route, keep the tenant ------------------------
 cat >>"$cfg" <<'CONF'
@@ -109,6 +116,30 @@ grep -q 'reload:' "$log" || {
 grep 'reload:' "$log" | grep -q '1 route-patched' || {
     echo "reload report did not classify the change as a route diff:" >&2
     grep 'reload:' "$log" >&2
+    exit 1
+}
+
+# --- live reload: weight-only change takes the QoS fast path ----------
+# A pure QoS retune (weight 4 → 8) must be applied in place — "retuned",
+# not a slot rebuild and not a route patch.
+sed -i 's/^weight = 4$/weight = 8/' "$cfg"
+"$SRV6D" ctl "$sock" reload | grep -q '^ok' || {
+    echo "second reload command rejected" >&2
+    exit 1
+}
+for _ in $(seq 1 100); do
+    [ "$(grep -c 'reload:' "$log")" -ge 2 ] && break
+    sleep 0.1
+done
+retune="$(grep 'reload:' "$log" | tail -n 1)"
+printf '%s\n' "$retune" | grep -q '1 retuned' || {
+    echo "weight-only reload was not classified as a QoS retune:" >&2
+    printf '%s\n' "$retune" >&2
+    exit 1
+}
+printf '%s\n' "$retune" | grep -q '0 rebuilt' && printf '%s\n' "$retune" | grep -q '0 route-patched' || {
+    echo "weight-only reload fell off the fast path:" >&2
+    printf '%s\n' "$retune" >&2
     exit 1
 }
 
@@ -144,4 +175,4 @@ grep -q 'tenant edge (active)' "$log" || {
     exit 1
 }
 
-echo "srv6d smoke: start, metrics scrape, live reload, drain — all ok"
+echo "srv6d smoke: start, metrics scrape, live reload (routes + QoS retune), drain — all ok"
