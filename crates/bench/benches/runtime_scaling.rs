@@ -71,10 +71,7 @@ fn endpoint_datapath(prog: fn() -> ebpf_vm::Program, cpu: u32) -> Seg6Datapath {
     let mut dp = Seg6Datapath::new(addr("fc00:1::1")).on_cpu(cpu);
     dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
     let loaded = ebpf_vm::program::load(prog(), &HashMap::new(), &dp.helpers).expect("program");
-    dp.add_local_sid(
-        Ipv6Prefix::host(endpoint_sid()),
-        Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
-    );
+    dp.add_local_sid(Ipv6Prefix::host(endpoint_sid()), Seg6LocalAction::EndBpf { prog: loaded });
     dp
 }
 
@@ -94,7 +91,7 @@ fn wrr_datapath_with_prog(cpu: u32) -> (Seg6Datapath, std::sync::Arc<ebpf_vm::Lo
     let prog = ebpf_vm::program::load(wrr_encap_program(2, 3), &maps, &dp.helpers).expect("WRR program");
     dp.attach_lwt_bpf(
         "2001:db8:2::/48".parse().unwrap(),
-        LwtBpfAttachment { hook: LwtHook::Xmit, prog: prog.clone(), use_jit: true },
+        LwtBpfAttachment { hook: LwtHook::Xmit, prog: prog.clone() },
     );
     (dp, prog)
 }
@@ -714,6 +711,87 @@ fn bench_srv6d_io(c: &mut Criterion) {
     group.finish();
 }
 
+/// The execution-tier rows: one verified program, four tiers.
+///
+/// `srh_walk_*` is a compute-heavy straight-line program (an unrolled walk
+/// over the SRH and payload bytes, three ALU ops per byte) measured at the
+/// VM level with `run_program_with_state`, so the row isolates pure
+/// execution cost: interpreter dispatch vs. pre-decoded micro-ops vs. fused
+/// superinstructions vs. native x86-64 code with verifier-elided checks.
+/// `bench-smoke.sh` gates `srh_walk_native` at `MIN_JIT_SPEEDUP`× (default
+/// 3×) over `srh_walk_interp`. The `*_dp_*` rows run the shipped `End`,
+/// `End.X` and `End.T` programs through the full datapath, where per-packet
+/// setup dominates — those are presence-gated only.
+fn bench_jit_speedup(c: &mut Criterion) {
+    use ebpf_vm::vm::{run_program_with_state, NullEnv, RunContext, RunState, PKT_BASE};
+    use ebpf_vm::ExecTier;
+
+    let mut group = c.benchmark_group("jit_speedup");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(500));
+
+    // --- VM-level compute row: the unrolled SRH walk ---
+    let srh = SegmentRoutingHeader::from_path(proto::UDP, &[endpoint_sid(), addr("fc00:2::d2")]);
+    let template =
+        build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1024, 5001, &[0u8; 64], 64).data().to_vec();
+    let mut source = String::from("mov64 r9, r1\nldxdw r8, [r9+0]\nmov64 r0, 0\nmov64 r3, 0\n");
+    // Walk the SRH + payload: one byte load plus two ALU ops per offset.
+    for off in 40..(template.len() - 8) {
+        source.push_str(&format!("ldxb r2, [r8+{off}]\nadd64 r0, r2\nxor64 r3, r0\n"));
+    }
+    source.push_str("xor64 r0, r3\nexit\n");
+    let insns = ebpf_vm::asm::assemble(&source).expect("srh_walk assembles");
+    let prog = ebpf_vm::program::Program::new("srh_walk", ebpf_vm::program::ProgramType::LwtSeg6Local, insns);
+    let helpers = ebpf_vm::HelperRegistry::new();
+    let walk = ebpf_vm::program::load(prog, &HashMap::new(), &helpers).expect("srh_walk verifies");
+    let mut ctx = vec![0u8; 64];
+    ctx[0..8].copy_from_slice(&PKT_BASE.to_le_bytes());
+    ctx[8..16].copy_from_slice(&(PKT_BASE + template.len() as u64).to_le_bytes());
+    let mut state = RunState::new(ctx.len());
+    for tier in ExecTier::ALL {
+        let mut packet = template.clone();
+        let mut ctx = ctx.clone();
+        let mut env = NullEnv;
+        group.bench_function(format!("srh_walk_{}", tier.name()), |b| {
+            b.iter(|| {
+                let mut rc = RunContext { ctx: &mut ctx, packet: &mut packet, env: &mut env };
+                run_program_with_state(&walk, &helpers, &mut rc, tier, &mut state).expect("srh_walk runs")
+            })
+        });
+    }
+
+    // --- Datapath rows: the shipped endpoint programs, interp vs native ---
+    let nexthop = addr("fe80::42");
+    let progs: [(&str, ebpf_vm::Program); 3] = [
+        ("end", end_program()),
+        ("end_x", srv6_nf::end_x_program(nexthop)),
+        ("end_t", srv6_nf::end_t_program(100)),
+    ];
+    for (name, prog) in progs {
+        for tier in [ExecTier::Interp, ExecTier::Native] {
+            let mut dp = Seg6Datapath::new(addr("fc00:1::1")).on_cpu(0);
+            dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
+            dp.add_route("fe80::/10".parse().unwrap(), vec![Nexthop::direct(7)]);
+            dp.add_route_in_table(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
+            let loaded =
+                ebpf_vm::program::load(prog.clone(), &HashMap::new(), &dp.helpers).expect("endpoint program");
+            loaded.set_exec_tier(tier);
+            dp.add_local_sid(Ipv6Prefix::host(endpoint_sid()), Seg6LocalAction::EndBpf { prog: loaded });
+            let pool = srv6_pool();
+            group.throughput(Throughput::Elements(POOL as u64));
+            group.bench_function(format!("{name}_dp_{}", tier.name()), |b| {
+                b.iter(|| {
+                    let forwarded = run_per_packet(&mut dp, &pool);
+                    assert_eq!(forwarded, POOL as u64, "{name} dropped packets");
+                    forwarded
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_speedup,
@@ -722,6 +800,7 @@ criterion_group!(
     bench_ring_ingest,
     bench_tenant_scaling,
     bench_fib_scale,
-    bench_srv6d_io
+    bench_srv6d_io,
+    bench_jit_speedup
 );
 criterion_main!(benches);

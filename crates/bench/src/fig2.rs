@@ -101,11 +101,13 @@ pub fn build_scenario(variant: Fig2Variant) -> Fig2Scenario {
         Fig2Variant::PlainForwarding => None,
         Fig2Variant::EndStatic => Some(Seg6LocalAction::End),
         Fig2Variant::EndTStatic => Some(Seg6LocalAction::EndT { table: 100 }),
-        Fig2Variant::EndBpf => Some(load_bpf(&dp, end_program(), true)),
-        Fig2Variant::EndTBpf => Some(load_bpf(&dp, end_t_program(100), true)),
-        Fig2Variant::TagIncrementBpf => Some(load_bpf(&dp, tag_increment_program(), true)),
-        Fig2Variant::AddTlvBpf => Some(load_bpf(&dp, add_tlv_program(), true)),
-        Fig2Variant::AddTlvBpfNoJit => Some(load_bpf(&dp, add_tlv_program(), false)),
+        Fig2Variant::EndBpf => Some(load_bpf(&dp, end_program(), ebpf_vm::ExecTier::best_supported())),
+        Fig2Variant::EndTBpf => Some(load_bpf(&dp, end_t_program(100), ebpf_vm::ExecTier::best_supported())),
+        Fig2Variant::TagIncrementBpf => {
+            Some(load_bpf(&dp, tag_increment_program(), ebpf_vm::ExecTier::best_supported()))
+        }
+        Fig2Variant::AddTlvBpf => Some(load_bpf(&dp, add_tlv_program(), ebpf_vm::ExecTier::best_supported())),
+        Fig2Variant::AddTlvBpfNoJit => Some(load_bpf(&dp, add_tlv_program(), ebpf_vm::ExecTier::Interp)),
     };
     if let Some(action) = action {
         dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), action);
@@ -124,10 +126,11 @@ pub fn build_scenario(variant: Fig2Variant) -> Fig2Scenario {
     Fig2Scenario { datapath: dp, template, variant }
 }
 
-fn load_bpf(dp: &Seg6Datapath, prog: ebpf_vm::Program, use_jit: bool) -> Seg6LocalAction {
+fn load_bpf(dp: &Seg6Datapath, prog: ebpf_vm::Program, tier: ebpf_vm::ExecTier) -> Seg6LocalAction {
     let loaded =
         ebpf_vm::program::load(prog, &HashMap::new(), &dp.helpers).expect("figure-2 program must verify");
-    Seg6LocalAction::EndBpf { prog: loaded, use_jit }
+    loaded.set_exec_tier(tier);
+    Seg6LocalAction::EndBpf { prog: loaded }
 }
 
 impl Fig2Scenario {

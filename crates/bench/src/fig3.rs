@@ -125,7 +125,7 @@ pub fn build_scenario(variant: Fig3Variant) -> Fig3Scenario {
             let loaded = ebpf_vm::program::load(prog, &HashMap::new(), &dp.helpers).expect("encap program");
             dp.attach_lwt_bpf(
                 "2001:db8:2::/48".parse().unwrap(),
-                LwtBpfAttachment { hook: LwtHook::Xmit, prog: loaded, use_jit: true },
+                LwtBpfAttachment { hook: LwtHook::Xmit, prog: loaded },
             );
             vec![plain]
         }
@@ -138,10 +138,7 @@ pub fn build_scenario(variant: Fig3Variant) -> Fig3Scenario {
             maps.insert(1u32, perf_handle);
             let loaded =
                 ebpf_vm::program::load(end_dm_program(1), &maps, &dp.helpers).expect("End.DM program");
-            dp.add_local_sid(
-                netpkt::Ipv6Prefix::host(dm_sid()),
-                Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
-            );
+            dp.add_local_sid(netpkt::Ipv6Prefix::host(dm_sid()), Seg6LocalAction::EndBpf { prog: loaded });
             collector = Some(DelayCollector::new(perf.perf_buffer().expect("perf buffer")));
 
             // Build the probe by running the encapsulation program once on
@@ -158,7 +155,7 @@ pub fn build_scenario(variant: Fig3Variant) -> Fig3Scenario {
                 ebpf_vm::program::load(encap, &HashMap::new(), &ingress.helpers).expect("encap program");
             ingress.attach_lwt_bpf(
                 "2001:db8:2::/48".parse().unwrap(),
-                LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+                LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
             );
             let mut skb = Skb::new(netpkt::PacketBuf::from_slice(&plain));
             assert!(ingress.process(&mut skb, 42).is_forward());

@@ -185,7 +185,7 @@ pub fn install_wrr(
     prefix: &str,
     sids: (Ipv6Addr, Ipv6Addr),
     weights: (u32, u32),
-    use_jit: bool,
+    tier: ebpf_vm::ExecTier,
 ) {
     let (state, config) = wrr_maps(weights.0, weights.1, sids.0, sids.1);
     let mut maps: HashMap<u32, MapHandle> = HashMap::new();
@@ -193,7 +193,8 @@ pub fn install_wrr(
     maps.insert(3, config);
     let dp = &mut sim.node_mut(node).datapath;
     let prog = ebpf_vm::program::load(wrr_encap_program(2, 3), &maps, &dp.helpers).expect("WRR program");
-    dp.attach_lwt_bpf(prefix.parse().unwrap(), LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit });
+    prog.set_exec_tier(tier);
+    dp.attach_lwt_bpf(prefix.parse().unwrap(), LwtBpfAttachment { hook: LwtHook::Xmit, prog });
 }
 
 /// One point of the Figure 4 sweep.
@@ -226,15 +227,15 @@ pub fn run_fig4_point(mode: Fig4Mode, payload: usize, duration_ns: u64, seed: u6
         }
         Fig4Mode::EbpfWrr => {
             // Upstream: the CPE schedules its own traffic over both links
-            // towards the aggregation box, which decapsulates. The JIT is
-            // disabled, as on the paper's ARM32 CPE.
+            // towards the aggregation box, which decapsulates. The
+            // interpreter tier models the paper's JIT-less ARM32 CPE.
             install_wrr(
                 &mut topo.sim,
                 topo.cpe,
                 "2001:db8:1::/48",
                 (addrs::agg_sid(0), addrs::agg_sid(1)),
                 (1, 1),
-                false,
+                ebpf_vm::ExecTier::Interp,
             );
         }
     }
@@ -345,7 +346,7 @@ pub fn run_tcp(compensated: bool, flows: usize, duration_ns: u64, seed: u64) -> 
         "2001:db8:2::/48",
         (addrs::cpe_sid(0), addrs::cpe_sid(1)),
         (5, 3),
-        true,
+        ebpf_vm::ExecTier::best_supported(),
     );
 
     // Delay compensation: measure both paths, then delay the faster one.
@@ -422,7 +423,7 @@ mod tests {
             "2001:db8:1::/48",
             (addrs::agg_sid(0), addrs::agg_sid(1)),
             (1, 1),
-            true,
+            ebpf_vm::ExecTier::best_supported(),
         );
         for i in 0..20u64 {
             let pkt = build_ipv6_udp_packet(addrs::s2(), addrs::s1(), 1, 6001, &[0u8; 200], 64);

@@ -681,7 +681,7 @@ mod tests {
             &dp.helpers,
         )
         .unwrap();
-        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         let mut skb = srv6_skb(&["fc00::e2", "fc00::22"]);
         assert!(dp.process(&mut skb, 0).is_forward());
         assert_eq!(dp.stats.bpf_invocations, 1);
@@ -820,7 +820,7 @@ mod tests {
             &dp.helpers,
         )
         .unwrap();
-        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         dp.add_transit(
             "2001:db8:1::/48".parse().unwrap(),
             TransitBehaviour::encap_through(&[addr("fc00::a")]),

@@ -45,7 +45,7 @@
 //!     &HashMap::new(),
 //!     &dp.helpers,
 //! ).unwrap();
-//! dp.add_local_sid("fc00::1:0".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+//! dp.add_local_sid("fc00::1:0".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
 //!
 //! // An SRv6 packet whose first segment is that SID.
 //! let srh = SegmentRoutingHeader::from_path(

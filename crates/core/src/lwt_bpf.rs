@@ -36,10 +36,10 @@ pub enum LwtHook {
 pub struct LwtBpfAttachment {
     /// Hook point.
     pub hook: LwtHook,
-    /// The verified program.
+    /// The verified program. Its execution tier
+    /// ([`LoadedProgram::exec_tier`]) decides how it runs; use
+    /// [`LoadedProgram::set_exec_tier`] to pin one.
     pub prog: Arc<LoadedProgram>,
-    /// Whether to run it through the pre-decoded JIT.
-    pub use_jit: bool,
 }
 
 /// Routes with BPF programs attached, keyed by destination prefix.
@@ -117,7 +117,13 @@ pub fn run_lwt_bpf(
     ctx::build_context_into(skb, ctx_bytes);
     let result = {
         let mut rc = RunContext { ctx: ctx_bytes.as_mut_slice(), packet, env: &mut env };
-        ebpf_vm::vm::run_program_with_state(&attachment.prog, helpers, &mut rc, attachment.use_jit, state)
+        ebpf_vm::vm::run_program_with_state(
+            &attachment.prog,
+            helpers,
+            &mut rc,
+            attachment.prog.exec_tier(),
+            state,
+        )
     };
     let code = match result {
         Ok(code) => code,
@@ -166,7 +172,7 @@ mod tests {
         let mut table = LwtBpfTable::new();
         table.insert(
             "2001:db8::/32".parse().unwrap(),
-            LwtBpfAttachment { hook: LwtHook::Xmit, prog: prog.clone(), use_jit: true },
+            LwtBpfAttachment { hook: LwtHook::Xmit, prog: prog.clone() },
         );
         assert!(table.lookup(addr("2001:db8::5"), LwtHook::Xmit).is_some());
         assert!(table.lookup(addr("2001:db8::5"), LwtHook::In).is_none());
@@ -181,7 +187,7 @@ mod tests {
         let helpers = seg6_helper_registry();
         let tables = Arc::new(RouterTables::new());
         let prog = load_xmit("mov64 r0, 0\nexit", &helpers);
-        let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
+        let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog };
         let mut skb = plain_skb();
         let outcome = run_lwt_bpf(
             &attachment,
@@ -204,7 +210,7 @@ mod tests {
         let helpers = seg6_helper_registry();
         let tables = Arc::new(RouterTables::new());
         let prog = load_xmit("mov64 r0, 2\nexit", &helpers);
-        let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true };
+        let attachment = LwtBpfAttachment { hook: LwtHook::Xmit, prog };
         let mut skb = plain_skb();
         assert_eq!(
             run_lwt_bpf(

@@ -64,12 +64,12 @@ pub enum Seg6LocalAction {
         srh: SegmentRoutingHeader,
     },
     /// `End.BPF`: advance to the next segment, then run the attached eBPF
-    /// program (the paper's new action).
+    /// program (the paper's new action). The execution tier comes from the
+    /// program itself ([`LoadedProgram::exec_tier`], native where the host
+    /// supports it); use [`LoadedProgram::set_exec_tier`] to pin one.
     EndBpf {
         /// The verified program to execute.
         prog: Arc<LoadedProgram>,
-        /// Execute through the pre-decoded JIT (`true`) or the interpreter.
-        use_jit: bool,
     },
 }
 
@@ -224,7 +224,7 @@ pub fn apply_action(
                 Err(_) => ActionOutcome::Drop(DropReason::Malformed),
             }
         }
-        Seg6LocalAction::EndBpf { prog, use_jit } => run_end_bpf(skb, prog, *use_jit, actx, scratch),
+        Seg6LocalAction::EndBpf { prog } => run_end_bpf(skb, prog, actx, scratch),
     }
 }
 
@@ -254,7 +254,6 @@ fn decap_in_place(skb: &mut Skb) -> Result<Ipv6Addr, &'static str> {
 pub fn run_end_bpf(
     skb: &mut Skb,
     prog: &LoadedProgram,
-    use_jit: bool,
     actx: &ActionCtx<'_>,
     scratch: &mut RunScratch,
 ) -> ActionOutcome {
@@ -288,7 +287,7 @@ pub fn run_end_bpf(
     // 3. Run the program on the reused VM state.
     let result = {
         let mut rc = RunContext { ctx: ctx_bytes.as_mut_slice(), packet, env: &mut env };
-        ebpf_vm::vm::run_program_with_state(prog, actx.helpers, &mut rc, use_jit, state)
+        ebpf_vm::vm::run_program_with_state(prog, actx.helpers, &mut rc, prog.exec_tier(), state)
     };
     let code = match result {
         Ok(code) => code,
@@ -502,7 +501,7 @@ mod tests {
         let prog = load_seg6_prog("mov64 r0, 0\nexit", &helpers);
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         let outcome = apply_action(
-            &Seg6LocalAction::EndBpf { prog, use_jit: true },
+            &Seg6LocalAction::EndBpf { prog },
             &mut skb,
             &actx(&tables, &helpers),
             &mut RunScratch::new(),
@@ -524,7 +523,7 @@ mod tests {
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         assert_eq!(
             apply_action(
-                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &Seg6LocalAction::EndBpf { prog },
                 &mut skb,
                 &actx(&tables, &helpers),
                 &mut RunScratch::new(),
@@ -541,7 +540,7 @@ mod tests {
         let mut skb = srv6_skb(&["fc00::11"]);
         assert_eq!(
             apply_action(
-                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &Seg6LocalAction::EndBpf { prog },
                 &mut skb,
                 &actx(&tables, &helpers),
                 &mut RunScratch::new(),
@@ -558,7 +557,7 @@ mod tests {
         let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
         assert_eq!(
             apply_action(
-                &Seg6LocalAction::EndBpf { prog, use_jit: true },
+                &Seg6LocalAction::EndBpf { prog },
                 &mut skb,
                 &actx(&tables, &helpers),
                 &mut RunScratch::new(),
@@ -568,19 +567,20 @@ mod tests {
     }
 
     #[test]
-    fn end_bpf_interpreter_and_jit_agree() {
+    fn end_bpf_all_exec_tiers_agree() {
         let tables = Arc::new(RouterTables::new());
         let helpers = seg6_helper_registry();
         let prog = load_seg6_prog("mov64 r0, 0\nexit", &helpers);
-        for use_jit in [false, true] {
+        for tier in ebpf_vm::ExecTier::ALL {
+            prog.set_exec_tier(tier);
             let mut skb = srv6_skb(&["fc00::11", "fc00::22"]);
             let outcome = apply_action(
-                &Seg6LocalAction::EndBpf { prog: prog.clone(), use_jit },
+                &Seg6LocalAction::EndBpf { prog: prog.clone() },
                 &mut skb,
                 &actx(&tables, &helpers),
                 &mut RunScratch::new(),
             );
-            assert!(matches!(outcome, ActionOutcome::Forward { .. }));
+            assert!(matches!(outcome, ActionOutcome::Forward { .. }), "tier {}", tier.name());
         }
     }
 

@@ -57,7 +57,7 @@ fn counting_program() -> ebpf_vm::Program {
     b.build_program("count-and-peek", ProgramType::LwtSeg6Local).expect("static program")
 }
 
-fn router(use_jit: bool) -> Seg6Datapath {
+fn router(tier: ebpf_vm::ExecTier) -> Seg6Datapath {
     let mut dp = Seg6Datapath::new(addr("fc00::1"));
     dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
     dp.add_route("2001:db8::/32".parse().unwrap(), vec![Nexthop::via(addr("fe80::3"), 3)]);
@@ -71,7 +71,8 @@ fn router(use_jit: bool) -> Seg6Datapath {
     let mut maps: HashMap<u32, MapHandle> = HashMap::new();
     maps.insert(1, Arc::clone(&counter));
     let prog = load(counting_program(), &maps, &dp.helpers).expect("verified program");
-    dp.add_local_sid(Ipv6Prefix::host(addr("fc00::e2")), Seg6LocalAction::EndBpf { prog, use_jit });
+    prog.set_exec_tier(tier);
+    dp.add_local_sid(Ipv6Prefix::host(addr("fc00::e2")), Seg6LocalAction::EndBpf { prog });
     dp
 }
 
@@ -126,8 +127,8 @@ fn mixed_batch() -> Vec<Skb> {
     batch
 }
 
-fn assert_zero_alloc_steady_state(use_jit: bool) {
-    let mut dp = router(use_jit);
+fn assert_zero_alloc_steady_state(tier: ebpf_vm::ExecTier) {
+    let mut dp = router(tier);
     let mut verdicts: Vec<BatchVerdict> = Vec::new();
 
     // Warm-up: fills the scratch buffers, compiles the program image,
@@ -158,20 +159,32 @@ fn assert_zero_alloc_steady_state(use_jit: bool) {
 }
 
 #[test]
-fn steady_state_is_allocation_free_with_jit() {
-    assert_zero_alloc_steady_state(true);
+fn steady_state_is_allocation_free_with_interpreter() {
+    assert_zero_alloc_steady_state(ebpf_vm::ExecTier::Interp);
 }
 
 #[test]
-fn steady_state_is_allocation_free_with_interpreter() {
-    assert_zero_alloc_steady_state(false);
+fn steady_state_is_allocation_free_with_microop() {
+    assert_zero_alloc_steady_state(ebpf_vm::ExecTier::MicroOp);
+}
+
+#[test]
+fn steady_state_is_allocation_free_with_fused() {
+    assert_zero_alloc_steady_state(ebpf_vm::ExecTier::Fused);
+}
+
+#[test]
+fn steady_state_is_allocation_free_with_native() {
+    // Falls back to the fused tier on hosts without a backend, which must
+    // be allocation-free either way.
+    assert_zero_alloc_steady_state(ebpf_vm::ExecTier::Native);
 }
 
 /// The single-packet entry point shares the same scratch state, so it must
 /// be allocation-free in the steady state as well.
 #[test]
 fn steady_state_process_is_allocation_free() {
-    let mut dp = router(true);
+    let mut dp = router(ebpf_vm::ExecTier::best_supported());
     let mut warmup = mixed_batch();
     for skb in &mut warmup {
         dp.process(skb, 0);

@@ -198,7 +198,7 @@ mod tests {
         let mut pkt = vec![0u8; 16];
         let mut env = NullEnv;
         let mut rc = RunContext { ctx: &mut ctx, packet: &mut pkt, env: &mut env };
-        assert_eq!(run_program(&loaded, &helpers, &mut rc, true).unwrap(), 42);
+        assert_eq!(run_program(&loaded, &helpers, &mut rc).unwrap(), 42);
     }
 
     #[test]

@@ -1,0 +1,1164 @@
+//! Native x86-64 code generation — the `Native` execution tier.
+//!
+//! This module lowers a program's fused micro-op stream
+//! ([`crate::jit::FusedProgram`]) to x86-64 machine code in an executable
+//! page region. The pages are obtained with `mmap(PROT_READ|PROT_WRITE)`,
+//! the code is copied in, and the region is sealed with
+//! `mprotect(PROT_READ|PROT_EXEC)` before the first execution — W^X
+//! throughout, declared against raw libc entry points exactly like the
+//! `signal(2)` declaration `srv6d` already ships.
+//!
+//! ## Execution model
+//!
+//! The generated function has the C signature `fn(*mut NativeFrame)`. The
+//! frame is a flat `repr(C)` block holding the eleven BPF registers plus
+//! region *biases*: for each directly-accessible region the emitter knows
+//! about (stack, context, packet) the frame stores
+//! `host_pointer.wrapping_sub(synthetic_base)`, so the host address of a
+//! synthetic address `a` is the two-instruction `bias + a` — no compare
+//! chain on the fast path. `rbx` (callee-saved) holds the frame pointer for
+//! the whole program; BPF registers live in the frame and are loaded into
+//! scratch registers per operation, which keeps the register allocator
+//! trivial and the emitted code easy to audit.
+//!
+//! ## Verifier-derived check elision
+//!
+//! The verifier exports one [`crate::verifier::AccessFact`] per memory
+//! instruction ([`crate::verifier::AccessFacts`]):
+//!
+//! * **Stack** — the access was proven in-bounds against the (fixed-size)
+//!   stack on every path. No runtime check is emitted at all.
+//! * **Ctx** — the access is at a statically-known context offset, but the
+//!   verifier checks against the maximum context size while the embedder
+//!   may pass a shorter context at run time; a single
+//!   `cmp ctx_len, end; jb fault` guards the unchecked access.
+//! * **Packet** — the offset is dynamic; the emitter inlines the bounds
+//!   compare against `pkt_len` (with a carry check for wrap-around) and
+//!   falls back to the generic resolver on failure so out-of-range
+//!   addresses fault exactly like the interpreter.
+//! * **Other** — the access goes through a trampoline back into
+//!   [`crate::vm::load_scalar`] / [`crate::vm::store_scalar`], byte-for-byte
+//!   the interpreter's path (map values, merged pointer states).
+//!
+//! Helper calls go through a trampoline that rebuilds a [`HelperApi`] and
+//! dispatches through the load-time dense helper table by index — no id
+//! lookup at run time. Because helpers may grow or reallocate the packet,
+//! the trampoline refreshes the packet bias/length after every call.
+//!
+//! ## Safety argument
+//!
+//! Only verifier-accepted programs reach the emitter, and every memory
+//! access is either (a) proven in-bounds by the verifier (stack), (b)
+//! guarded by an emitted bounds check (ctx, packet), or (c) routed through
+//! the same safe Rust resolver the interpreter uses. The verifier also
+//! guarantees termination (no back-edges, ≤ [`crate::insn::MAX_INSNS`]
+//! instructions), which is why native code does not maintain the
+//! instruction budget counter: the budget exists to bound runaway loops the
+//! verifier already rejects.
+//!
+//! On non-x86-64 (or non-Linux) hosts the module compiles to a stub whose
+//! [`compile`] returns `Ok(None)`; callers fall back to the fused tier with
+//! no `cfg` of their own.
+#![allow(unsafe_code)]
+
+use crate::error::Result;
+use crate::jit::FusedProgram;
+use crate::program::LoadedProgram;
+use crate::verifier::AccessFacts;
+use crate::vm::{RunContext, RunState};
+
+/// Whether this build can emit and execute native code.
+pub const fn supported() -> bool {
+    cfg!(all(target_arch = "x86_64", target_os = "linux"))
+}
+
+/// A program lowered to executable machine code.
+///
+/// On unsupported targets the type still exists (so callers need no `cfg`)
+/// but can never be constructed: [`compile`] returns `Ok(None)` there.
+pub struct NativeProgram {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    buf: x86_64::ExecBuf,
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    _unconstructable: std::convert::Infallible,
+}
+
+impl NativeProgram {
+    /// Size of the emitted machine code in bytes.
+    pub fn code_len(&self) -> usize {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            self.buf.code_len
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            match self._unconstructable {}
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeProgram").field("code_len", &self.code_len()).finish()
+    }
+}
+
+/// Compiles a fused program to native code. Returns `Ok(None)` when the
+/// target has no native backend; callers then run the fused tier.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub fn compile(
+    fused: &FusedProgram,
+    facts: &AccessFacts,
+    loaded: &LoadedProgram,
+) -> Result<Option<NativeProgram>> {
+    x86_64::compile(fused, facts, loaded).map(Some)
+}
+
+/// Compiles a fused program to native code. Returns `Ok(None)` when the
+/// target has no native backend; callers then run the fused tier.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub fn compile(
+    _fused: &FusedProgram,
+    _facts: &AccessFacts,
+    _loaded: &LoadedProgram,
+) -> Result<Option<NativeProgram>> {
+    Ok(None)
+}
+
+/// Executes a native program against a caller-owned state (not reset here;
+/// [`crate::vm::run_program_with_state`] resets it first, like the other
+/// tiers).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub fn run(
+    native: &NativeProgram,
+    loaded: &LoadedProgram,
+    rc: &mut RunContext<'_>,
+    state: &mut RunState,
+) -> Result<u64> {
+    x86_64::run(native, loaded, rc, state)
+}
+
+/// Executes a native program. Unreachable on targets without a backend —
+/// [`compile`] never produces a [`NativeProgram`] there.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub fn run(
+    native: &NativeProgram,
+    _loaded: &LoadedProgram,
+    _rc: &mut RunContext<'_>,
+    _state: &mut RunState,
+) -> Result<u64> {
+    match native._unconstructable {}
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod x86_64 {
+    use crate::error::{Error, Result};
+    use crate::insn::{alu, jmp, AccessSize, NUM_REGS};
+    use crate::jit::{FusedProgram, MicroOp, Operand};
+    use crate::program::LoadedProgram;
+    use crate::verifier::{AccessFact, AccessFacts};
+    use crate::vm::{HelperApi, RunContext, RunState, CTX_BASE, PKT_BASE, STACK_BASE};
+    use core::ffi::c_void;
+
+    // -----------------------------------------------------------------
+    // Executable memory
+    // -----------------------------------------------------------------
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const PROT_EXEC: i32 = 4;
+    const MAP_PRIVATE: i32 = 2;
+    const MAP_ANONYMOUS: i32 = 0x20;
+
+    // Raw libc entry points, declared the same way srv6d declares
+    // `signal(2)` — no libc crate in the workspace.
+    extern "C" {
+        fn mmap(addr: *mut c_void, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut c_void;
+        fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An `mmap`ed region sealed read+execute after the code is copied in.
+    pub(super) struct ExecBuf {
+        ptr: *mut u8,
+        len: usize,
+        pub(super) code_len: usize,
+    }
+
+    // The region is immutable (RX) after construction; sharing raw code
+    // pages between threads is safe.
+    unsafe impl Send for ExecBuf {}
+    unsafe impl Sync for ExecBuf {}
+
+    impl ExecBuf {
+        fn new(code: &[u8]) -> Result<ExecBuf> {
+            let len = code.len().max(1);
+            unsafe {
+                let ptr = mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    -1,
+                    0,
+                );
+                if ptr.is_null() || ptr as isize == -1 {
+                    return Err(Error::runtime(0, "mmap of code region failed"));
+                }
+                std::ptr::copy_nonoverlapping(code.as_ptr(), ptr as *mut u8, code.len());
+                if mprotect(ptr, len, PROT_READ | PROT_EXEC) != 0 {
+                    munmap(ptr, len);
+                    return Err(Error::runtime(0, "mprotect(PROT_EXEC) on code region failed"));
+                }
+                Ok(ExecBuf { ptr: ptr as *mut u8, len, code_len: code.len() })
+            }
+        }
+    }
+
+    impl Drop for ExecBuf {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The native frame and trampolines
+    // -----------------------------------------------------------------
+
+    /// The flat machine-visible state block; `rbx` points here for the
+    /// whole program. `bias` fields hold `host_ptr - synthetic_base`
+    /// (wrapping), so `bias + synthetic_addr` is the host address.
+    #[repr(C)]
+    struct NativeFrame {
+        regs: [u64; NUM_REGS], // offsets 0..88
+        stack_bias: u64,       // 88
+        ctx_bias: u64,         // 96
+        ctx_len: u64,          // 104
+        pkt_bias: u64,         // 112
+        pkt_len: u64,          // 120
+        tramp_ctx: u64,        // 128
+        fault: u64,            // 136: 0 = ok, otherwise faulting slot + 1
+    }
+
+    const OFF_STACK_BIAS: i32 = 8 * NUM_REGS as i32;
+    const OFF_CTX_BIAS: i32 = OFF_STACK_BIAS + 8;
+    const OFF_CTX_LEN: i32 = OFF_STACK_BIAS + 16;
+    const OFF_PKT_BIAS: i32 = OFF_STACK_BIAS + 24;
+    const OFF_PKT_LEN: i32 = OFF_STACK_BIAS + 32;
+    const OFF_TRAMP: i32 = OFF_STACK_BIAS + 40;
+    const OFF_FAULT: i32 = OFF_STACK_BIAS + 48;
+
+    /// Everything the slow-path trampolines need to re-enter safe Rust.
+    /// Lives on `run`'s stack for the duration of one invocation; the
+    /// generated code only ever passes its address back to the trampolines
+    /// below.
+    struct TrampCtx {
+        frame: *mut NativeFrame,
+        state: *mut RunState,
+        rc: *mut RunContext<'static>,
+        loaded: *const LoadedProgram,
+        error: Option<Error>,
+    }
+
+    fn decode_size(size: u32) -> AccessSize {
+        match size {
+            1 => AccessSize::Byte,
+            2 => AccessSize::Half,
+            4 => AccessSize::Word,
+            _ => AccessSize::Double,
+        }
+    }
+
+    fn at_slot(err: Error, slot: u32) -> Error {
+        match err {
+            Error::Runtime { message, .. } => Error::Runtime { insn: slot as usize, message },
+            other => other,
+        }
+    }
+
+    /// Generic load slow path: exact interpreter semantics via
+    /// [`crate::vm::load_scalar`]. On error, records the faulting slot in
+    /// the frame so the generated code exits, and parks the error for
+    /// [`run`] to return.
+    unsafe extern "C" fn tramp_load(tc: *mut TrampCtx, addr: u64, size: u32, slot: u32) -> u64 {
+        let tc = &mut *tc;
+        match crate::vm::load_scalar(&*tc.state, &*tc.rc, addr, decode_size(size)) {
+            Ok(value) => value,
+            Err(err) => {
+                (*tc.frame).fault = u64::from(slot) + 1;
+                tc.error = Some(at_slot(err, slot));
+                0
+            }
+        }
+    }
+
+    /// Generic store slow path, mirroring [`tramp_load`].
+    unsafe extern "C" fn tramp_store(tc: *mut TrampCtx, addr: u64, value: u64, size: u32, slot: u32) {
+        let tc = &mut *tc;
+        if let Err(err) = crate::vm::store_scalar(&mut *tc.state, &mut *tc.rc, addr, decode_size(size), value)
+        {
+            (*tc.frame).fault = u64::from(slot) + 1;
+            tc.error = Some(at_slot(err, slot));
+        }
+    }
+
+    /// Helper-call trampoline: args come from the frame registers, the
+    /// helper runs with the same [`HelperApi`] every other tier uses, and
+    /// the packet bias/length are refreshed afterwards (helpers may grow or
+    /// reallocate the packet).
+    unsafe extern "C" fn tramp_helper(tc: *mut TrampCtx, idx: u32) -> i64 {
+        let tc = &mut *tc;
+        let frame = &mut *tc.frame;
+        let state = &mut *tc.state;
+        let rc = &mut *tc.rc;
+        let loaded = &*tc.loaded;
+        // Keep the RunState registers coherent around the call so a helper
+        // that inspects them sees exactly what the interpreter would show.
+        state.regs = frame.regs;
+        let args = [frame.regs[1], frame.regs[2], frame.regs[3], frame.regs[4], frame.regs[5]];
+        let func = loaded.helper_table()[idx as usize].func;
+        let ret = {
+            let mut api = HelperApi { state, rc, maps: &loaded.maps };
+            func(&mut api, args)
+        };
+        frame.regs = state.regs;
+        frame.pkt_bias = (rc.packet.as_mut_ptr() as u64).wrapping_sub(PKT_BASE);
+        frame.pkt_len = rc.packet.len() as u64;
+        ret
+    }
+
+    // -----------------------------------------------------------------
+    // The assembler
+    // -----------------------------------------------------------------
+
+    const RAX: u8 = 0;
+    const RCX: u8 = 1;
+    const RDX: u8 = 2;
+    const RBX: u8 = 3;
+    const RSI: u8 = 6;
+    const RDI: u8 = 7;
+
+    // x86 condition codes (the low nibble of Jcc).
+    const CC_B: u8 = 0x2;
+    const CC_AE: u8 = 0x3;
+    const CC_E: u8 = 0x4;
+    const CC_NE: u8 = 0x5;
+    const CC_BE: u8 = 0x6;
+    const CC_A: u8 = 0x7;
+    const CC_L: u8 = 0xc;
+    const CC_GE: u8 = 0xd;
+    const CC_LE: u8 = 0xe;
+    const CC_G: u8 = 0xf;
+
+    #[derive(Default)]
+    struct Asm {
+        code: Vec<u8>,
+    }
+
+    impl Asm {
+        fn b(&mut self, byte: u8) {
+            self.code.push(byte);
+        }
+        fn bytes(&mut self, bytes: &[u8]) {
+            self.code.extend_from_slice(bytes);
+        }
+        fn i32v(&mut self, value: i32) {
+            self.bytes(&value.to_le_bytes());
+        }
+        fn u64v(&mut self, value: u64) {
+            self.bytes(&value.to_le_bytes());
+        }
+        fn here(&self) -> usize {
+            self.code.len()
+        }
+        /// ModRM (+ optional disp) for `[base + disp]`. `base` must not be
+        /// rsp/rbp (the encodings alias SIB/RIP) — the emitter only uses
+        /// rbx, rdx and rsi bases.
+        fn modrm_mem(&mut self, reg: u8, base: u8, disp: i32) {
+            debug_assert!(base != 4 && base != 5);
+            if disp == 0 {
+                self.b((reg << 3) | base);
+            } else if (-128..=127).contains(&disp) {
+                self.b(0x40 | (reg << 3) | base);
+                self.b(disp as i8 as u8);
+            } else {
+                self.b(0x80 | (reg << 3) | base);
+                self.i32v(disp);
+            }
+        }
+        /// ModRM+SIB for `[base + index]` (scale 1, no displacement).
+        fn modrm_sib(&mut self, reg: u8, base: u8, index: u8) {
+            debug_assert!(base != 5 && index != 4);
+            self.b((reg << 3) | 0b100);
+            self.b((index << 3) | base);
+        }
+    }
+
+    /// One pending rel32 fixup.
+    enum Fixup {
+        /// Branch to a micro-op slot.
+        Slot(usize, u32),
+        /// Branch to the shared epilogue (normal exit or already-recorded
+        /// fault).
+        Epilogue(usize),
+        /// Branch to the fault label (`rax` holds slot + 1).
+        Fault(usize),
+    }
+
+    struct Emitter<'a> {
+        asm: Asm,
+        facts: &'a AccessFacts,
+        offsets: Vec<usize>,
+        fixups: Vec<Fixup>,
+    }
+
+    impl<'a> Emitter<'a> {
+        // --- frame register traffic -----------------------------------
+
+        /// `mov reg, qword [rbx + 8*bpf_reg]`
+        fn load_frame64(&mut self, reg: u8, bpf_reg: u8) {
+            self.asm.bytes(&[0x48, 0x8B]);
+            self.asm.modrm_mem(reg, RBX, 8 * i32::from(bpf_reg));
+        }
+        /// `mov reg32, dword [rbx + 8*bpf_reg]` (zero-extends).
+        fn load_frame32(&mut self, reg: u8, bpf_reg: u8) {
+            self.asm.b(0x8B);
+            self.asm.modrm_mem(reg, RBX, 8 * i32::from(bpf_reg));
+        }
+        fn load_frame(&mut self, reg: u8, bpf_reg: u8, is64: bool) {
+            if is64 {
+                self.load_frame64(reg, bpf_reg);
+            } else {
+                self.load_frame32(reg, bpf_reg);
+            }
+        }
+        /// `mov qword [rbx + 8*bpf_reg], reg`
+        fn store_frame(&mut self, bpf_reg: u8, reg: u8) {
+            self.asm.bytes(&[0x48, 0x89]);
+            self.asm.modrm_mem(reg, RBX, 8 * i32::from(bpf_reg));
+        }
+        /// `mov reg, qword [rbx + disp]` for the frame scalar fields.
+        fn load_field(&mut self, reg: u8, disp: i32) {
+            self.asm.bytes(&[0x48, 0x8B]);
+            self.asm.modrm_mem(reg, RBX, disp);
+        }
+        /// `movabs reg, imm64`
+        fn movabs(&mut self, reg: u8, imm: u64) {
+            self.asm.b(0x48);
+            self.asm.b(0xB8 + reg);
+            self.asm.u64v(imm);
+        }
+
+        // --- control flow ---------------------------------------------
+
+        /// Long `jcc rel32` with the target patched later.
+        fn jcc32(&mut self, cc: u8) -> usize {
+            self.asm.b(0x0F);
+            self.asm.b(0x80 | cc);
+            let pos = self.asm.here();
+            self.asm.i32v(0);
+            pos
+        }
+        /// Long `jmp rel32` with the target patched later.
+        fn jmp32(&mut self) -> usize {
+            self.asm.b(0xE9);
+            let pos = self.asm.here();
+            self.asm.i32v(0);
+            pos
+        }
+        /// Resolves a local forward rel32 to the current position.
+        fn bind(&mut self, pos: usize) {
+            let rel = (self.asm.here() as i64 - (pos as i64 + 4)) as i32;
+            self.asm.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        /// Short `jcc rel8` with the target patched later.
+        fn jcc8(&mut self, cc: u8) -> usize {
+            self.asm.b(0x70 | cc);
+            let pos = self.asm.here();
+            self.asm.b(0);
+            pos
+        }
+        /// Short `jmp rel8` with the target patched later.
+        fn jmp8(&mut self) -> usize {
+            self.asm.b(0xEB);
+            let pos = self.asm.here();
+            self.asm.b(0);
+            pos
+        }
+        fn bind8(&mut self, pos: usize) {
+            let rel = self.asm.here() as i64 - (pos as i64 + 1);
+            debug_assert!((-128..=127).contains(&rel));
+            self.asm.code[pos] = rel as i8 as u8;
+        }
+        /// `jcc fault` taking the branch when `cc` holds: emitted as the
+        /// inverted short jump over a `mov eax, slot+1; jmp fault` pair.
+        fn fault_if(&mut self, cc: u8, slot: usize) {
+            self.asm.b(0x70 | (cc ^ 1));
+            self.asm.b(10);
+            self.asm.b(0xB8);
+            self.asm.i32v(slot as i32 + 1);
+            self.asm.b(0xE9);
+            let pos = self.asm.here();
+            self.asm.i32v(0);
+            self.fixups.push(Fixup::Fault(pos));
+        }
+
+        // --- memory access helpers ------------------------------------
+
+        /// Width-correct load from `[base + rcx]` into `rax` (zero-extending).
+        fn load_mem_rax(&mut self, size: AccessSize, base: u8) {
+            match size {
+                AccessSize::Byte => {
+                    self.asm.bytes(&[0x0F, 0xB6]);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Half => {
+                    self.asm.bytes(&[0x0F, 0xB7]);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Word => {
+                    self.asm.b(0x8B);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Double => {
+                    self.asm.bytes(&[0x48, 0x8B]);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+            }
+        }
+        /// Width-correct store of `rax`'s low bytes to `[base + rcx]`.
+        fn store_mem_rax(&mut self, size: AccessSize, base: u8) {
+            match size {
+                AccessSize::Byte => {
+                    self.asm.b(0x88);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Half => {
+                    self.asm.bytes(&[0x66, 0x89]);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Word => {
+                    self.asm.b(0x89);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+                AccessSize::Double => {
+                    self.asm.bytes(&[0x48, 0x89]);
+                    self.asm.modrm_sib(RAX, base, RCX);
+                }
+            }
+        }
+        /// Computes the synthetic address `regs[base] + off` into `rcx`.
+        fn addr_to_rcx(&mut self, base: u8, off: i16) {
+            self.load_frame64(RCX, base);
+            if off != 0 {
+                // add rcx, imm32 (sign-extended, matching wrapping_add of
+                // the sign-extended 16-bit displacement)
+                self.asm.bytes(&[0x48, 0x81, 0xC1]);
+                self.asm.i32v(i32::from(off));
+            }
+        }
+        /// Emits the region dispatch for a load at `slot`; leaves the value
+        /// in `rax`. `rcx` must hold the synthetic address.
+        fn emit_load_access(&mut self, slot: usize, size: AccessSize) {
+            match self.facts.get(slot) {
+                AccessFact::Stack => {
+                    self.load_field(RDX, OFF_STACK_BIAS);
+                    self.load_mem_rax(size, RDX);
+                }
+                AccessFact::Ctx { end } => {
+                    self.emit_ctx_guard(slot, end);
+                    self.load_field(RDX, OFF_CTX_BIAS);
+                    self.load_mem_rax(size, RDX);
+                }
+                AccessFact::Packet => {
+                    // off = addr - PKT_BASE; end = off + len; fault to the
+                    // generic resolver on carry or end > pkt_len so
+                    // out-of-range addresses (including ones pointing at
+                    // other regions) behave exactly like the interpreter.
+                    self.movabs(RSI, PKT_BASE);
+                    self.asm.bytes(&[0x48, 0x8B, 0xD1]); // mov rdx, rcx
+                    self.asm.bytes(&[0x48, 0x2B, 0xD6]); // sub rdx, rsi
+                    self.asm.bytes(&[0x48, 0x8B, 0xF2]); // mov rsi, rdx
+                    self.asm.bytes(&[0x48, 0x83, 0xC6, size.bytes() as u8]); // add rsi, len
+                    let slow_carry = self.jcc32(CC_B);
+                    self.asm.bytes(&[0x48, 0x3B]); // cmp rsi, [rbx+pkt_len]
+                    self.asm.modrm_mem(RSI, RBX, OFF_PKT_LEN);
+                    let slow_len = self.jcc32(CC_A);
+                    self.load_field(RSI, OFF_PKT_BIAS);
+                    self.load_mem_rax(size, RSI);
+                    let done = self.jmp32();
+                    self.bind(slow_carry);
+                    self.bind(slow_len);
+                    self.emit_tramp_load(slot, size);
+                    self.bind(done);
+                }
+                AccessFact::Other => self.emit_tramp_load(slot, size),
+            }
+        }
+        /// Emits the region dispatch for a store at `slot`. `rcx` must hold
+        /// the synthetic address and `rax` the value.
+        fn emit_store_access(&mut self, slot: usize, size: AccessSize) {
+            match self.facts.get(slot) {
+                AccessFact::Stack => {
+                    self.load_field(RDX, OFF_STACK_BIAS);
+                    self.store_mem_rax(size, RDX);
+                }
+                AccessFact::Ctx { end } => {
+                    self.emit_ctx_guard(slot, end);
+                    self.load_field(RDX, OFF_CTX_BIAS);
+                    self.store_mem_rax(size, RDX);
+                }
+                // Stores never carry a Packet fact (the verifier rejects
+                // direct packet writes); anything else resolves generically.
+                AccessFact::Packet | AccessFact::Other => self.emit_tramp_store(slot, size),
+            }
+        }
+        /// `cmp qword [rbx+ctx_len], end; jb fault` — the only runtime cost
+        /// of a verifier-proven context access (the embedder's context may
+        /// be shorter than the verifier's maximum layout).
+        fn emit_ctx_guard(&mut self, slot: usize, end: u16) {
+            self.asm.bytes(&[0x48, 0x81]);
+            self.asm.modrm_mem(7, RBX, OFF_CTX_LEN); // cmp /7
+            self.asm.i32v(i32::from(end));
+            self.fault_if(CC_B, slot);
+        }
+        /// Calls [`tramp_load`]; the result lands in `rax`. A recorded
+        /// fault aborts to the epilogue (the trampoline already stored the
+        /// slot).
+        fn emit_tramp_load(&mut self, slot: usize, size: AccessSize) {
+            self.load_field(RDI, OFF_TRAMP);
+            self.asm.bytes(&[0x48, 0x8B, 0xF1]); // mov rsi, rcx (addr)
+            self.asm.b(0xBA); // mov edx, size
+            self.asm.i32v(size.bytes() as i32);
+            self.asm.b(0xB9); // mov ecx, slot
+            self.asm.i32v(slot as i32);
+            let f: unsafe extern "C" fn(*mut TrampCtx, u64, u32, u32) -> u64 = tramp_load;
+            self.movabs(RAX, f as usize as u64);
+            self.asm.bytes(&[0xFF, 0xD0]); // call rax
+            self.emit_fault_check();
+        }
+        /// Calls [`tramp_store`] with the value currently in `rax`.
+        fn emit_tramp_store(&mut self, slot: usize, size: AccessSize) {
+            self.load_field(RDI, OFF_TRAMP);
+            self.asm.bytes(&[0x48, 0x8B, 0xF1]); // mov rsi, rcx (addr)
+            self.asm.bytes(&[0x48, 0x8B, 0xD0]); // mov rdx, rax (value)
+            self.asm.b(0xB9); // mov ecx, size
+            self.asm.i32v(size.bytes() as i32);
+            self.asm.bytes(&[0x41, 0xB8]); // mov r8d, slot
+            self.asm.i32v(slot as i32);
+            let f: unsafe extern "C" fn(*mut TrampCtx, u64, u64, u32, u32) = tramp_store;
+            self.movabs(RAX, f as usize as u64);
+            self.asm.bytes(&[0xFF, 0xD0]); // call rax
+            self.emit_fault_check();
+        }
+        /// `cmp qword [rbx+fault], 0; jne epilogue` after a trampoline that
+        /// may have recorded a fault.
+        fn emit_fault_check(&mut self) {
+            self.asm.bytes(&[0x48, 0x83]);
+            self.asm.modrm_mem(7, RBX, OFF_FAULT); // cmp /7, imm8
+            self.asm.b(0);
+            let pos = self.jcc32(CC_NE);
+            self.fixups.push(Fixup::Epilogue(pos));
+        }
+
+        // --- operations -----------------------------------------------
+
+        fn emit_alu_imm(&mut self, op: u8, is64: bool, dst: u8, imm: u64, slot: usize) -> Result<()> {
+            if op == alu::MOV {
+                if is64 {
+                    // mov qword [rbx+8*dst], imm32 (sign-extended — BPF
+                    // immediates are sign-extended 32-bit values)
+                    self.asm.bytes(&[0x48, 0xC7]);
+                    self.asm.modrm_mem(0, RBX, 8 * i32::from(dst));
+                    self.asm.i32v(imm as i32);
+                } else {
+                    self.asm.b(0xB8); // mov eax, imm32 (zero-extends)
+                    self.asm.i32v(imm as u32 as i32);
+                    self.store_frame(dst, RAX);
+                }
+                return Ok(());
+            }
+            self.load_frame(RAX, dst, is64);
+            match op {
+                alu::ADD | alu::OR | alu::AND | alu::SUB | alu::XOR => {
+                    let ext = match op {
+                        alu::ADD => 0,
+                        alu::OR => 1,
+                        alu::AND => 4,
+                        alu::SUB => 5,
+                        _ => 6, // XOR
+                    };
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.b(0x81);
+                    self.asm.b(0xC0 | (ext << 3));
+                    self.asm.i32v(imm as i32);
+                }
+                alu::MUL => {
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.bytes(&[0x69, 0xC0]); // imul rax, rax, imm32
+                    self.asm.i32v(imm as i32);
+                }
+                alu::DIV | alu::MOD => {
+                    // The verifier rejects DIV/MOD by immediate zero, so no
+                    // guard is needed here.
+                    if is64 {
+                        self.asm.bytes(&[0x48, 0xC7, 0xC1]); // mov rcx, imm32 (sext)
+                        self.asm.i32v(imm as i32);
+                    } else {
+                        self.asm.b(0xB9); // mov ecx, imm32
+                        self.asm.i32v(imm as u32 as i32);
+                    }
+                    self.emit_divmod(op, is64, false);
+                }
+                alu::LSH | alu::RSH | alu::ARSH => {
+                    let ext = match op {
+                        alu::LSH => 4,
+                        alu::RSH => 5,
+                        _ => 7, // ARSH
+                    };
+                    let amount = (imm as u32) & if is64 { 63 } else { 31 };
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.b(0xC1);
+                    self.asm.b(0xC0 | (ext << 3));
+                    self.asm.b(amount as u8);
+                }
+                other => {
+                    return Err(Error::runtime(slot, format!("codegen: unsupported ALU op 0x{other:x}")))
+                }
+            }
+            self.store_frame(dst, RAX);
+            Ok(())
+        }
+
+        fn emit_alu_reg(&mut self, op: u8, is64: bool, dst: u8, src: u8, slot: usize) -> Result<()> {
+            if op == alu::MOV {
+                self.load_frame(RAX, src, is64);
+                self.store_frame(dst, RAX);
+                return Ok(());
+            }
+            self.load_frame(RCX, src, is64);
+            self.load_frame(RAX, dst, is64);
+            match op {
+                alu::ADD | alu::OR | alu::AND | alu::SUB | alu::XOR => {
+                    // op rax, rcx via the /r "load" forms: add=03 or=0B
+                    // and=23 sub=2B xor=33
+                    let opcode = match op {
+                        alu::ADD => 0x03,
+                        alu::OR => 0x0B,
+                        alu::AND => 0x23,
+                        alu::SUB => 0x2B,
+                        _ => 0x33, // XOR
+                    };
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.b(opcode);
+                    self.asm.b(0xC1);
+                }
+                alu::MUL => {
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.bytes(&[0x0F, 0xAF, 0xC1]); // imul rax, rcx
+                }
+                alu::DIV | alu::MOD => self.emit_divmod(op, is64, true),
+                alu::LSH | alu::RSH | alu::ARSH => {
+                    // The shift count sits in cl; the hardware masks it by
+                    // 63/31, exactly matching wrapping_shl/shr semantics.
+                    let ext = match op {
+                        alu::LSH => 4,
+                        alu::RSH => 5,
+                        _ => 7, // ARSH
+                    };
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.b(0xD3);
+                    self.asm.b(0xC0 | (ext << 3));
+                }
+                other => {
+                    return Err(Error::runtime(slot, format!("codegen: unsupported ALU op 0x{other:x}")))
+                }
+            }
+            self.store_frame(dst, RAX);
+            Ok(())
+        }
+
+        /// Unsigned divide/remainder of `rax` by `rcx`, with the BPF
+        /// division-by-zero semantics (quotient 0, remainder unchanged)
+        /// when `guard_zero` is set. The 32-bit dividend was loaded
+        /// zero-extending, so the remainder-unchanged path is already
+        /// width-correct.
+        fn emit_divmod(&mut self, op: u8, is64: bool, guard_zero: bool) {
+            let mut zero_jump = None;
+            if guard_zero {
+                if is64 {
+                    self.asm.bytes(&[0x48, 0x85, 0xC9]); // test rcx, rcx
+                } else {
+                    self.asm.bytes(&[0x85, 0xC9]); // test ecx, ecx
+                }
+                zero_jump = Some(self.jcc8(CC_E));
+            }
+            self.asm.bytes(&[0x33, 0xD2]); // xor edx, edx
+            if is64 {
+                self.asm.bytes(&[0x48, 0xF7, 0xF1]); // div rcx
+            } else {
+                self.asm.bytes(&[0xF7, 0xF1]); // div ecx
+            }
+            if op == alu::MOD {
+                if is64 {
+                    self.asm.bytes(&[0x48, 0x8B, 0xC2]); // mov rax, rdx
+                } else {
+                    self.asm.bytes(&[0x8B, 0xC2]); // mov eax, edx
+                }
+            }
+            if let Some(pos) = zero_jump {
+                let done = self.jmp8();
+                self.bind8(pos);
+                if op == alu::DIV {
+                    self.asm.bytes(&[0x33, 0xC0]); // xor eax, eax
+                }
+                self.bind8(done);
+            }
+        }
+
+        fn emit_byteswap(&mut self, dst: u8, bits: u8, to_be: bool, slot: usize) -> Result<()> {
+            match (bits, to_be) {
+                (16, true) => {
+                    self.load_frame64(RAX, dst);
+                    self.asm.bytes(&[0x66, 0xC1, 0xC8, 0x08]); // ror ax, 8
+                    self.asm.bytes(&[0x0F, 0xB7, 0xC0]); // movzx eax, ax
+                }
+                (16, false) => {
+                    self.load_frame64(RAX, dst);
+                    self.asm.bytes(&[0x0F, 0xB7, 0xC0]); // movzx eax, ax
+                }
+                (32, true) => {
+                    self.load_frame32(RAX, dst);
+                    self.asm.bytes(&[0x0F, 0xC8]); // bswap eax
+                }
+                (32, false) => {
+                    self.load_frame32(RAX, dst); // zero-extends = truncate
+                }
+                (64, true) => {
+                    self.load_frame64(RAX, dst);
+                    self.asm.bytes(&[0x48, 0x0F, 0xC8]); // bswap rax
+                }
+                (64, false) => return Ok(()), // identity
+                _ => return Err(Error::runtime(slot, format!("codegen: unsupported swap width {bits}"))),
+            }
+            self.store_frame(dst, RAX);
+            Ok(())
+        }
+
+        fn emit_jump_if(
+            &mut self,
+            op: u8,
+            is64: bool,
+            dst: u8,
+            rhs: Operand,
+            target: u32,
+            slot: usize,
+        ) -> Result<()> {
+            self.load_frame(RAX, dst, is64);
+            let is_set = op == jmp::JSET;
+            match rhs {
+                Operand::Imm(imm) => {
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    if is_set {
+                        self.asm.bytes(&[0xF7, 0xC0]); // test rax, imm32 (sext)
+                    } else {
+                        self.asm.bytes(&[0x81, 0xF8]); // cmp rax, imm32 (sext)
+                    }
+                    self.asm.i32v(imm as i32);
+                }
+                Operand::Reg(src) => {
+                    self.load_frame(RCX, src, is64);
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    if is_set {
+                        self.asm.bytes(&[0x85, 0xC8]); // test rax, rcx
+                    } else {
+                        self.asm.bytes(&[0x3B, 0xC1]); // cmp rax, rcx
+                    }
+                }
+            }
+            let cc = match op {
+                jmp::JEQ => CC_E,
+                jmp::JNE | jmp::JSET => CC_NE,
+                jmp::JGT => CC_A,
+                jmp::JGE => CC_AE,
+                jmp::JLT => CC_B,
+                jmp::JLE => CC_BE,
+                jmp::JSGT => CC_G,
+                jmp::JSGE => CC_GE,
+                jmp::JSLT => CC_L,
+                jmp::JSLE => CC_LE,
+                other => {
+                    return Err(Error::runtime(slot, format!("codegen: unsupported jump op 0x{other:x}")))
+                }
+            };
+            let pos = self.jcc32(cc);
+            self.fixups.push(Fixup::Slot(pos, target));
+            Ok(())
+        }
+
+        fn emit_op(&mut self, slot: usize, op: &MicroOp) -> Result<()> {
+            match *op {
+                MicroOp::AluImm { op, is64, dst, imm } => self.emit_alu_imm(op, is64, dst, imm, slot)?,
+                MicroOp::AluReg { op, is64, dst, src } => self.emit_alu_reg(op, is64, dst, src, slot)?,
+                MicroOp::Neg { is64, dst } => {
+                    self.load_frame(RAX, dst, is64);
+                    if is64 {
+                        self.asm.b(0x48);
+                    }
+                    self.asm.bytes(&[0xF7, 0xD8]); // neg rax / neg eax
+                    self.store_frame(dst, RAX);
+                }
+                MicroOp::ByteSwap { dst, bits, to_be } => self.emit_byteswap(dst, bits, to_be, slot)?,
+                MicroOp::LoadImm64 { dst, imm } => {
+                    self.movabs(RAX, imm);
+                    self.store_frame(dst, RAX);
+                }
+                MicroOp::Load { size, dst, src, off } => {
+                    self.addr_to_rcx(src, off);
+                    self.emit_load_access(slot, size);
+                    self.store_frame(dst, RAX);
+                }
+                MicroOp::StoreReg { size, dst, src, off } => {
+                    self.addr_to_rcx(dst, off);
+                    self.load_frame64(RAX, src);
+                    self.emit_store_access(slot, size);
+                }
+                MicroOp::StoreImm { size, dst, off, imm } => {
+                    self.addr_to_rcx(dst, off);
+                    self.movabs(RAX, imm);
+                    self.emit_store_access(slot, size);
+                }
+                MicroOp::Jump { target } => {
+                    let pos = self.jmp32();
+                    self.fixups.push(Fixup::Slot(pos, target));
+                }
+                MicroOp::JumpIf { op, is64, dst, rhs, target } => {
+                    self.emit_jump_if(op, is64, dst, rhs, target, slot)?
+                }
+                MicroOp::Call { idx, id: _ } => {
+                    self.load_field(RDI, OFF_TRAMP);
+                    self.asm.b(0xBE); // mov esi, idx
+                    self.asm.i32v(idx as i32);
+                    let f: unsafe extern "C" fn(*mut TrampCtx, u32) -> i64 = tramp_helper;
+                    self.movabs(RAX, f as usize as u64);
+                    self.asm.bytes(&[0xFF, 0xD0]); // call rax
+                    self.store_frame(0, RAX); // r0 = return value
+                }
+                MicroOp::Exit => {
+                    let pos = self.jmp32();
+                    self.fixups.push(Fixup::Epilogue(pos));
+                }
+                MicroOp::Nop => {}
+            }
+            Ok(())
+        }
+    }
+
+    pub(super) fn compile(
+        fused: &FusedProgram,
+        facts: &AccessFacts,
+        _loaded: &LoadedProgram,
+    ) -> Result<super::NativeProgram> {
+        let ops = fused.expand();
+        let mut e =
+            Emitter { asm: Asm::default(), facts, offsets: vec![0usize; ops.len()], fixups: Vec::new() };
+        // Prologue: push rbx; mov rbx, rdi. The push realigns rsp to a
+        // 16-byte boundary, so every `call rax` below lands in the
+        // trampolines with standard ABI alignment.
+        e.asm.bytes(&[0x53, 0x48, 0x89, 0xFB]);
+        for (slot, op) in ops.iter().enumerate() {
+            e.offsets[slot] = e.asm.here();
+            e.emit_op(slot, op)?;
+        }
+        // Fell-off-the-end guard: the verifier proves this unreachable, but
+        // make it a recorded fault rather than a stray jump if it ever runs.
+        e.asm.b(0xB8);
+        e.asm.i32v(ops.len() as i32 + 1);
+        // Fault label: rax holds slot + 1; store it and fall into the
+        // epilogue.
+        let fault_label = e.asm.here();
+        e.asm.bytes(&[0x48, 0x89]);
+        e.asm.modrm_mem(RAX, RBX, OFF_FAULT);
+        // Epilogue: pop rbx; ret.
+        let epilogue_label = e.asm.here();
+        e.asm.bytes(&[0x5B, 0xC3]);
+        for fixup in std::mem::take(&mut e.fixups) {
+            let (pos, target) = match fixup {
+                Fixup::Slot(pos, slot) => (pos, e.offsets[slot as usize]),
+                Fixup::Epilogue(pos) => (pos, epilogue_label),
+                Fixup::Fault(pos) => (pos, fault_label),
+            };
+            let rel = (target as i64 - (pos as i64 + 4)) as i32;
+            e.asm.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        let buf = ExecBuf::new(&e.asm.code)?;
+        Ok(super::NativeProgram { buf })
+    }
+
+    pub(super) fn run(
+        native: &super::NativeProgram,
+        loaded: &LoadedProgram,
+        rc: &mut RunContext<'_>,
+        state: &mut RunState,
+    ) -> Result<u64> {
+        let mut frame = NativeFrame {
+            regs: state.regs,
+            stack_bias: (state.stack.as_mut_ptr() as u64).wrapping_sub(STACK_BASE),
+            ctx_bias: (rc.ctx.as_mut_ptr() as u64).wrapping_sub(CTX_BASE),
+            ctx_len: rc.ctx.len() as u64,
+            pkt_bias: (rc.packet.as_mut_ptr() as u64).wrapping_sub(PKT_BASE),
+            pkt_len: rc.packet.len() as u64,
+            tramp_ctx: 0,
+            fault: 0,
+        };
+        let frame_ptr: *mut NativeFrame = &mut frame;
+        let mut tc = TrampCtx {
+            frame: frame_ptr,
+            state: state as *mut RunState,
+            // The lifetime is erased for storage only; the pointer never
+            // outlives this call.
+            rc: (rc as *mut RunContext<'_>).cast(),
+            loaded,
+            error: None,
+        };
+        frame.tramp_ctx = (&mut tc as *mut TrampCtx) as u64;
+        // SAFETY: the buffer holds code emitted by `compile` for this
+        // program, sealed RX; the entry point has the declared signature.
+        // All raw pointers stored above outlive the call, and the generated
+        // code only dereferences memory the verifier proved (or the emitted
+        // guards / trampolines check) to be inside the frame, stack, ctx or
+        // packet buffers.
+        unsafe {
+            let entry: unsafe extern "C" fn(*mut NativeFrame) =
+                std::mem::transmute::<*mut u8, unsafe extern "C" fn(*mut NativeFrame)>(native.buf.ptr);
+            entry(frame_ptr);
+        }
+        state.regs = frame.regs;
+        if frame.fault != 0 {
+            let insn = (frame.fault - 1) as usize;
+            return Err(tc
+                .error
+                .take()
+                .unwrap_or_else(|| Error::runtime(insn, format!("invalid memory access at insn {insn}"))));
+        }
+        Ok(frame.regs[0])
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::helpers::HelperRegistry;
+    use crate::insn::{alu, jmp, AccessSize, Insn};
+    use crate::program::{load, Program, ProgramType};
+    use crate::vm::{NullEnv, RunState, CTX_BASE, STACK_BASE};
+    use std::collections::HashMap;
+
+    fn run_native(prog: Program, ctx: &mut [u8], pkt: &mut Vec<u8>) -> Result<u64> {
+        let helpers = HelperRegistry::with_base_helpers();
+        let loaded = load(prog, &HashMap::new(), &helpers).unwrap();
+        let fused = crate::jit::fuse(loaded.jit().unwrap());
+        let native = compile(&fused, loaded.access_facts(), &loaded).unwrap().expect("x86-64 backend");
+        let mut env = NullEnv;
+        let mut rc = crate::vm::RunContext { ctx, packet: pkt, env: &mut env };
+        let mut state = RunState::new(rc.ctx.len());
+        run(&native, &loaded, &mut rc, &mut state)
+    }
+
+    #[test]
+    fn native_arithmetic_matches_interpreter() {
+        let insns = vec![
+            Insn::mov64_imm(0, 5),
+            Insn::alu64_imm(alu::MUL, 0, 7),
+            Insn::alu64_imm(alu::SUB, 0, 1),
+            Insn::mov64_imm(1, 0),
+            Insn::alu64_reg(alu::ADD, 0, 1),
+            Insn::alu64_imm(alu::RSH, 0, 1),
+            Insn::exit(),
+        ];
+        let prog = Program::new("arith", ProgramType::SocketFilter, insns);
+        let mut ctx = vec![0u8; 16];
+        let mut pkt = vec![0u8; 0];
+        assert_eq!(run_native(prog, &mut ctx, &mut pkt).unwrap(), 17);
+    }
+
+    #[test]
+    fn native_divide_by_zero_register_semantics() {
+        let insns = vec![
+            Insn::mov64_imm(0, 100),
+            Insn::mov64_imm(1, 0),
+            Insn::alu64_reg(alu::DIV, 0, 1),
+            Insn::exit(),
+        ];
+        let prog = Program::new("divzero", ProgramType::SocketFilter, insns);
+        let mut ctx = vec![0u8; 16];
+        let mut pkt = vec![0u8; 0];
+        assert_eq!(run_native(prog, &mut ctx, &mut pkt).unwrap(), 0);
+    }
+
+    #[test]
+    fn native_stack_roundtrip_and_branch() {
+        let insns = vec![
+            Insn::mov64_imm(1, 0x1234),
+            Insn::store_reg(AccessSize::Double, 10, 1, -8),
+            Insn::load(AccessSize::Half, 0, 10, -8),
+            Insn::jmp_imm(jmp::JEQ, 0, 0x1234, 1),
+            Insn::mov64_imm(0, 0),
+            Insn::exit(),
+        ];
+        let prog = Program::new("stack", ProgramType::SocketFilter, insns);
+        let mut ctx = vec![0u8; 16];
+        let mut pkt = vec![0u8; 0];
+        assert_eq!(run_native(prog, &mut ctx, &mut pkt).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn native_ctx_guard_faults_on_short_context() {
+        // Load past the runtime context length: the verifier allows it (the
+        // maximum layout is larger) but the emitted guard must fault with
+        // the interpreter's error position.
+        let insns = vec![Insn::load(AccessSize::Double, 0, 1, 64), Insn::exit()];
+        let prog = Program::new("shortctx", ProgramType::SocketFilter, insns);
+        let mut ctx = vec![0u8; 16];
+        let mut pkt = vec![0u8; 0];
+        let err = run_native(prog, &mut ctx, &mut pkt).unwrap_err();
+        match err {
+            crate::error::Error::Runtime { insn, .. } => assert_eq!(insn, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn native_reads_context_bytes() {
+        let insns = vec![Insn::load(AccessSize::Word, 0, 1, 4), Insn::exit()];
+        let prog = Program::new("ctxread", ProgramType::SocketFilter, insns);
+        let mut ctx = vec![0u8; 16];
+        ctx[4..8].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        let mut pkt = vec![0u8; 0];
+        assert_eq!(run_native(prog, &mut ctx, &mut pkt).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn supported_reports_this_target() {
+        assert!(supported());
+        let _ = (STACK_BASE, CTX_BASE); // silence unused imports on cfg skew
+    }
+}

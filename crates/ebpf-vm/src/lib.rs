@@ -11,9 +11,11 @@
 //!   [`asm`]sembler, a [`disasm`]sembler and a typed [`builder`];
 //! * a **static verifier** ([`verifier`]) enforcing the kernel-era rules the
 //!   paper relies on (no loops, no invalid memory accesses, helper gating);
-//! * two execution engines: a faithful **interpreter** ([`interp`]) and a
-//!   pre-decoded "**JIT**" ([`jit`]) whose performance gap reproduces the
-//!   paper's JIT-on/JIT-off comparisons;
+//! * four execution tiers ([`program::ExecTier`]): a faithful
+//!   **interpreter** ([`interp`]), a pre-decoded micro-op "**JIT**"
+//!   ([`jit`]), a **superinstruction-fused** stream (also [`jit`]) and a
+//!   true **native x86-64** code generator ([`codegen`]), auto-selected at
+//!   load time (non-x86-64 hosts fall back to the fused tier);
 //! * **maps** ([`maps`]): array, hash, LPM-trie, per-CPU array and
 //!   perf-event arrays, with both the program-side pointer semantics and the
 //!   user-space copy semantics;
@@ -41,14 +43,18 @@
 //! let mut packet = vec![0u8; 64];
 //! let mut env = NullEnv;
 //! let mut rc = RunContext { ctx: &mut ctx, packet: &mut packet, env: &mut env };
-//! assert_eq!(run_program(&loaded, &helpers, &mut rc, true).unwrap(), 42);
+//! assert_eq!(run_program(&loaded, &helpers, &mut rc).unwrap(), 42);
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is confined to the `codegen` module (executable-page
+// management and the native-code entry point); everything else stays
+// statically free of it.
+#![deny(unsafe_code)]
 
 pub mod asm;
 pub mod builder;
+pub mod codegen;
 pub mod disasm;
 pub mod error;
 pub mod helpers;
@@ -70,6 +76,6 @@ pub use maps::{
     UpdateFlags, DEFAULT_NUM_CPUS,
 };
 pub use perf::{PerfEvent, PerfEventBuffer};
-pub use program::{load, retcode, LoadedProgram, Program, ProgramType};
-pub use verifier::VerifierStats;
+pub use program::{load, retcode, ExecTier, LoadedProgram, Program, ProgramType};
+pub use verifier::{AccessFact, AccessFacts, VerifierStats};
 pub use vm::{run_program, HelperApi, NullEnv, RunContext, RunState, VmEnv, CTX_BASE, PKT_BASE, STACK_BASE};

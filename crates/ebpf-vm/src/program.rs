@@ -11,8 +11,9 @@ use crate::error::{Error, Result};
 use crate::helpers::{HelperDesc, HelperRegistry};
 use crate::insn::{class, jmp, Insn};
 use crate::maps::MapHandle;
-use crate::verifier::{self, VerifierStats};
+use crate::verifier::{self, AccessFacts, VerifierStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// The source-register value marking an `lddw` as a pseudo map-fd load,
@@ -92,6 +93,103 @@ impl Program {
     }
 }
 
+/// How a loaded program is executed.
+///
+/// The loader auto-selects the best tier the host supports —
+/// [`ExecTier::Native`] on x86-64 Linux, [`ExecTier::Fused`] elsewhere —
+/// and every tier's artifact is built eagerly at load time, so switching
+/// tiers later (tests, benchmarks, the `SEG6_EXEC_TIER` override) never
+/// allocates on the packet path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// The faithful per-instruction interpreter ([`crate::interp`]).
+    Interp,
+    /// The pre-decoded micro-op stream ([`crate::jit`]).
+    MicroOp,
+    /// The superinstruction-fused micro-op stream ([`crate::jit::fuse`]).
+    Fused,
+    /// Native x86-64 machine code ([`crate::codegen`]); execution falls
+    /// back to [`ExecTier::Fused`] when the host has no backend.
+    Native,
+}
+
+impl ExecTier {
+    /// All tiers, in increasing order of sophistication.
+    pub const ALL: [ExecTier; 4] = [ExecTier::Interp, ExecTier::MicroOp, ExecTier::Fused, ExecTier::Native];
+
+    /// Short lowercase name, as accepted by the `SEG6_EXEC_TIER`
+    /// environment override.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::MicroOp => "microop",
+            ExecTier::Fused => "fused",
+            ExecTier::Native => "native",
+        }
+    }
+
+    /// Parses a tier name (the `SEG6_EXEC_TIER` values).
+    pub fn parse(name: &str) -> Option<ExecTier> {
+        match name {
+            "interp" => Some(ExecTier::Interp),
+            "microop" => Some(ExecTier::MicroOp),
+            "fused" => Some(ExecTier::Fused),
+            "native" => Some(ExecTier::Native),
+            _ => None,
+        }
+    }
+
+    /// The tier the loader picks on this host absent any override: native
+    /// where a backend exists, fused elsewhere.
+    pub fn best_supported() -> ExecTier {
+        if crate::codegen::supported() {
+            ExecTier::Native
+        } else {
+            ExecTier::Fused
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ExecTier::Interp => 0,
+            ExecTier::MicroOp => 1,
+            ExecTier::Fused => 2,
+            ExecTier::Native => 3,
+        }
+    }
+
+    fn from_u8(value: u8) -> ExecTier {
+        match value {
+            0 => ExecTier::Interp,
+            1 => ExecTier::MicroOp,
+            2 => ExecTier::Fused,
+            _ => ExecTier::Native,
+        }
+    }
+}
+
+/// The program's current tier selection — atomic so tests and benchmarks
+/// can flip a shared `Arc<LoadedProgram>` without synchronisation.
+struct TierCell(AtomicU8);
+
+impl TierCell {
+    fn new(tier: ExecTier) -> Self {
+        TierCell(AtomicU8::new(tier.to_u8()))
+    }
+    fn get(&self) -> ExecTier {
+        ExecTier::from_u8(self.0.load(Ordering::Relaxed))
+    }
+    fn set(&self, tier: ExecTier) {
+        self.0.store(tier.to_u8(), Ordering::Relaxed);
+    }
+}
+
+impl Clone for TierCell {
+    fn clone(&self) -> Self {
+        TierCell(AtomicU8::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
 /// A verified program with its maps resolved, ready for execution.
 #[derive(Clone)]
 pub struct LoadedProgram {
@@ -109,12 +207,23 @@ pub struct LoadedProgram {
     /// Helper ids parallel to `helper_table`, for diagnostics and the
     /// compile-time id → index resolution.
     helper_ids: Vec<u32>,
+    /// Per-memory-instruction bounds facts exported by the verifier; the
+    /// native code generator uses them to elide per-access checks.
+    access_facts: AccessFacts,
+    /// The selected execution tier.
+    tier: TierCell,
     /// The pre-decoded JIT image, built once on first use — the kernel
     /// compiles at load time, and re-deriving the image per invocation is
     /// pure overhead on the per-packet hot path.
     jit_cache: OnceLock<crate::jit::JitProgram>,
     /// The interpreter's wire-form image, likewise built once.
     interp_cache: OnceLock<crate::interp::InterpreterImage>,
+    /// The superinstruction-fused stream, built once (at load time).
+    fused_cache: OnceLock<crate::jit::FusedProgram>,
+    /// The native code, built once (at load time); `None` on hosts without
+    /// a backend. Shared behind an `Arc` so cloning a program shares the
+    /// executable pages instead of re-emitting them.
+    native_cache: OnceLock<Option<Arc<crate::codegen::NativeProgram>>>,
 }
 
 impl LoadedProgram {
@@ -142,6 +251,44 @@ impl LoadedProgram {
     /// The program's interpreter image, encoding it on the first call.
     pub fn interp_image(&self) -> &crate::interp::InterpreterImage {
         self.interp_cache.get_or_init(|| crate::interp::InterpreterImage::new(self))
+    }
+
+    /// The verifier's per-memory-instruction bounds facts.
+    pub fn access_facts(&self) -> &AccessFacts {
+        &self.access_facts
+    }
+
+    /// The superinstruction-fused micro-op stream, built on the first call
+    /// (the loader calls this eagerly).
+    pub fn fused(&self) -> Result<&crate::jit::FusedProgram> {
+        if self.fused_cache.get().is_none() {
+            let fused = crate::jit::fuse(self.jit()?);
+            let _ = self.fused_cache.set(fused);
+        }
+        Ok(self.fused_cache.get().expect("cache populated above"))
+    }
+
+    /// The native code for this program, or `None` when the host has no
+    /// backend. Built on the first call (the loader calls this eagerly);
+    /// the per-packet dispatch is a cache read.
+    pub fn native(&self) -> Result<Option<&crate::codegen::NativeProgram>> {
+        if self.native_cache.get().is_none() {
+            let native = crate::codegen::compile(self.fused()?, &self.access_facts, self)?;
+            let _ = self.native_cache.set(native.map(Arc::new));
+        }
+        Ok(self.native_cache.get().expect("cache populated above").as_deref())
+    }
+
+    /// The execution tier [`crate::vm::run_program`] will use.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.tier.get()
+    }
+
+    /// Overrides the execution tier (tests, benchmarks, the CI matrix).
+    /// Selecting [`ExecTier::Native`] on a host without a backend is
+    /// allowed; execution falls back to the fused tier.
+    pub fn set_exec_tier(&self, tier: ExecTier) {
+        self.tier.set(tier);
     }
 }
 
@@ -179,7 +326,7 @@ pub fn load(
             }
         }
     }
-    let verifier_stats = verifier::verify(&program, helpers, maps)?;
+    let (verifier_stats, access_facts) = verifier::verify_with_facts(&program, helpers, maps)?;
     // Resolve every helper the program calls into a dense per-program
     // table; the verifier has already guaranteed the ids exist and are
     // allowed for this hook. (`lddw` second slots carry opcode 0, so a
@@ -200,15 +347,40 @@ pub fn load(
         helper_ids.push(id);
         helper_table.push(*desc);
     }
-    Ok(Arc::new(LoadedProgram {
+    let loaded = Arc::new(LoadedProgram {
         program,
         maps: used,
         verifier_stats,
         helper_table,
         helper_ids,
+        access_facts,
+        tier: TierCell::new(default_tier()),
         jit_cache: OnceLock::new(),
         interp_cache: OnceLock::new(),
-    }))
+        fused_cache: OnceLock::new(),
+        native_cache: OnceLock::new(),
+    });
+    // Build every tier's artifact now, as the kernel JIT compiles at
+    // BPF_PROG_LOAD time: the per-packet path only ever reads caches, and
+    // a later tier switch (tests, the CI matrix) allocates nothing.
+    let _ = loaded.interp_image();
+    loaded.jit()?;
+    loaded.fused()?;
+    loaded.native()?;
+    Ok(loaded)
+}
+
+/// The tier new programs start on: the `SEG6_EXEC_TIER` environment
+/// variable (`interp`, `microop`, `fused`, `native`) when set — the CI
+/// matrix uses it to force every tier through the full test suites — and
+/// the best tier the host supports otherwise. A forced `native` on a host
+/// without a backend falls back to `fused` at dispatch, so the override is
+/// portable.
+fn default_tier() -> ExecTier {
+    match std::env::var("SEG6_EXEC_TIER") {
+        Ok(name) => ExecTier::parse(name.trim()).unwrap_or_else(ExecTier::best_supported),
+        Err(_) => ExecTier::best_supported(),
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,66 @@ pub struct VerifierStats {
     pub stack_depth: usize,
 }
 
+/// What the verifier proved about one load/store instruction, over every
+/// path that reaches it. The native code generator uses these facts to
+/// elide the per-access region dispatch: an access proven [`AccessFact::Stack`]
+/// needs no run-time check at all (the verifier bounds-checked the exact
+/// offset against the same 512-byte stack the VM uses), a
+/// [`AccessFact::Ctx`] access needs only a single length compare (the
+/// verifier checked against [`MAX_CTX_SIZE`], but the embedder's context
+/// may be smaller), and a [`AccessFact::Packet`] access needs only the
+/// bounds compare the kernel's direct-packet-access contract requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessFact {
+    /// Nothing uniform was proven (map values, or paths disagreeing on the
+    /// region): resolve the access generically at run time.
+    #[default]
+    Other,
+    /// Every path reaches the insn with an in-bounds stack pointer at a
+    /// statically known offset.
+    Stack,
+    /// Every path reaches the insn with a context pointer at the same
+    /// static offset; `end` is `offset + access size`, the bound to compare
+    /// against the embedder's actual context length.
+    Ctx {
+        /// One past the last context byte the access touches.
+        end: u16,
+    },
+    /// Every path reaches the insn with a packet pointer (loads only —
+    /// packet stores are rejected outright).
+    Packet,
+}
+
+/// Per-instruction memory-access facts for a verified program, indexed by
+/// instruction position.
+#[derive(Debug, Clone, Default)]
+pub struct AccessFacts {
+    facts: Vec<Option<AccessFact>>,
+}
+
+impl AccessFacts {
+    /// The fact proven for the load/store at `pc` ([`AccessFact::Other`]
+    /// for instructions that are not memory accesses).
+    pub fn get(&self, pc: usize) -> AccessFact {
+        self.facts.get(pc).copied().flatten().unwrap_or(AccessFact::Other)
+    }
+
+    /// Merges `fact` into position `pc`: the first path to reach an insn
+    /// seeds the fact, later paths must agree exactly or the fact degrades
+    /// to [`AccessFact::Other`] (generic run-time resolution is always
+    /// sound).
+    fn record(&mut self, pc: usize, fact: AccessFact) {
+        if self.facts.len() <= pc {
+            self.facts.resize(pc + 1, None);
+        }
+        self.facts[pc] = match self.facts[pc] {
+            None => Some(fact),
+            Some(prev) if prev == fact => Some(fact),
+            Some(_) => Some(AccessFact::Other),
+        };
+    }
+}
+
 /// Abstract value tracked for each register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RegType {
@@ -111,6 +171,7 @@ struct Verifier<'a> {
     /// Marks the second slot of every `lddw`.
     is_lddw_hi: Vec<bool>,
     stats: VerifierStats,
+    facts: AccessFacts,
 }
 
 /// Verifies `program`, returning statistics on success.
@@ -119,12 +180,29 @@ pub fn verify(
     helpers: &HelperRegistry,
     maps: &HashMap<u32, MapHandle>,
 ) -> Result<VerifierStats> {
-    let mut verifier =
-        Verifier { program, helpers, maps, is_lddw_hi: Vec::new(), stats: VerifierStats::default() };
+    verify_with_facts(program, helpers, maps).map(|(stats, _)| stats)
+}
+
+/// Verifies `program`, additionally returning the per-instruction memory
+/// facts the symbolic execution proved — the input the native code
+/// generator uses to elide per-access checks.
+pub fn verify_with_facts(
+    program: &Program,
+    helpers: &HelperRegistry,
+    maps: &HashMap<u32, MapHandle>,
+) -> Result<(VerifierStats, AccessFacts)> {
+    let mut verifier = Verifier {
+        program,
+        helpers,
+        maps,
+        is_lddw_hi: Vec::new(),
+        stats: VerifierStats::default(),
+        facts: AccessFacts::default(),
+    };
     verifier.check_structure()?;
     verifier.check_no_loops()?;
     verifier.symbolic_execution()?;
-    Ok(verifier.stats)
+    Ok((verifier.stats, verifier.facts))
 }
 
 impl<'a> Verifier<'a> {
@@ -386,6 +464,7 @@ impl<'a> Verifier<'a> {
                 }
                 let depth = STACK_SIZE as i64 - start;
                 self.stats.stack_depth = self.stats.stack_depth.max(depth as usize);
+                self.facts.record(pc, AccessFact::Stack);
                 Ok(())
             }
             RegType::PtrToCtx(ctx_off) => {
@@ -396,6 +475,7 @@ impl<'a> Verifier<'a> {
                         format!("context access out of bounds at offset {start}"),
                     ));
                 }
+                self.facts.record(pc, AccessFact::Ctx { end: (start + len) as u16 });
                 Ok(())
             }
             RegType::PtrToPacket(_) => {
@@ -404,12 +484,14 @@ impl<'a> Verifier<'a> {
                 }
                 // Offsets may be data-dependent (e.g. a TLV walk); bounds are
                 // enforced at run time.
+                self.facts.record(pc, AccessFact::Packet);
                 Ok(())
             }
             RegType::PtrToMapValue { maybe_null } => {
                 if maybe_null {
                     return Err(Error::verifier(pc, "possible NULL map-value dereference; add a null check"));
                 }
+                self.facts.record(pc, AccessFact::Other);
                 Ok(())
             }
             RegType::MapPtr(_) => Err(Error::verifier(pc, "map handles cannot be dereferenced directly")),
@@ -871,6 +953,57 @@ mod tests {
         assert!(verify(&seg6, &helpers, &HashMap::new()).is_err());
         let xmit = Program::new("t", ProgramType::LwtXmit, insns);
         verify(&xmit, &helpers, &HashMap::new()).unwrap();
+    }
+
+    #[test]
+    fn access_facts_classify_regions() {
+        let insns = vec![
+            Insn::store_imm(AccessSize::Double, 10, -8, 7), // stack store
+            Insn::load(AccessSize::Word, 0, 1, 16),         // ctx load
+            Insn::exit(),
+        ];
+        let prog = Program::new("t", ProgramType::SocketFilter, insns);
+        let (_, facts) =
+            verify_with_facts(&prog, &HelperRegistry::with_base_helpers(), &HashMap::new()).unwrap();
+        assert_eq!(facts.get(0), AccessFact::Stack);
+        assert_eq!(facts.get(1), AccessFact::Ctx { end: 20 });
+        assert_eq!(facts.get(2), AccessFact::Other);
+    }
+
+    #[test]
+    fn access_facts_mark_packet_loads() {
+        // LWT programs get a packet pointer from ctx[0].
+        let insns = vec![
+            Insn::load(AccessSize::Double, 2, 1, 0), // r2 = packet ptr
+            Insn::load(AccessSize::Byte, 0, 2, 3),   // packet load
+            Insn::exit(),
+        ];
+        let prog = Program::new("t", ProgramType::LwtXmit, insns);
+        let (_, facts) =
+            verify_with_facts(&prog, &HelperRegistry::with_base_helpers(), &HashMap::new()).unwrap();
+        assert_eq!(facts.get(0), AccessFact::Ctx { end: 8 });
+        assert_eq!(facts.get(1), AccessFact::Packet);
+    }
+
+    #[test]
+    fn access_facts_degrade_on_conflicting_paths() {
+        // One path loads through a ctx pointer, the other through a stack
+        // pointer, both via r2 at the same insn — the fact must degrade to
+        // Other so the native tier falls back to generic resolution.
+        let insns = vec![
+            Insn::mov64_reg(2, 1), // r2 = ctx ptr
+            Insn::load(AccessSize::Byte, 0, 1, 0),
+            Insn::jmp_imm(jmp::JEQ, 0, 0, 2),
+            Insn::mov64_reg(2, 10), // fallthrough: r2 = fp
+            Insn::alu64_imm(alu::ADD, 2, -16),
+            Insn::load(AccessSize::Byte, 3, 2, 4), // ctx+4 on one path, stack-12 on the other
+            Insn::mov64_imm(0, 0),
+            Insn::exit(),
+        ];
+        let prog = Program::new("t", ProgramType::SocketFilter, insns);
+        let (_, facts) =
+            verify_with_facts(&prog, &HelperRegistry::with_base_helpers(), &HashMap::new()).unwrap();
+        assert_eq!(facts.get(5), AccessFact::Other);
     }
 
     #[test]

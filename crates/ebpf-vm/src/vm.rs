@@ -635,35 +635,39 @@ fn relocate(err: Error, pc: usize) -> Error {
     }
 }
 
-/// Executes a loaded program with the interpreter or the JIT depending on
-/// `use_jit`. This is the highest-level convenience entry point; the
-/// dedicated [`crate::interp`] and [`crate::jit`] modules expose the two
-/// engines separately for benchmarking.
-pub fn run_program(
-    loaded: &LoadedProgram,
-    helpers: &HelperRegistry,
-    rc: &mut RunContext<'_>,
-    use_jit: bool,
-) -> Result<u64> {
+/// Executes a loaded program on its selected execution tier
+/// ([`LoadedProgram::exec_tier`]). This is the highest-level convenience
+/// entry point; the dedicated [`crate::interp`], [`crate::jit`] and
+/// [`crate::codegen`] modules expose the engines separately for
+/// benchmarking.
+pub fn run_program(loaded: &LoadedProgram, helpers: &HelperRegistry, rc: &mut RunContext<'_>) -> Result<u64> {
     let mut state = RunState::new(rc.ctx.len());
-    run_program_with_state(loaded, helpers, rc, use_jit, &mut state)
+    run_program_with_state(loaded, helpers, rc, loaded.exec_tier(), &mut state)
 }
 
 /// Like [`run_program`], but reuses a caller-owned [`RunState`] (resetting
-/// it first) instead of allocating a fresh one — the per-packet entry point
-/// of the zero-allocation datapath.
+/// it first) instead of allocating a fresh one, and takes the tier
+/// explicitly — the per-packet entry point of the zero-allocation datapath.
+/// Every tier's artifact was built at load time, so no branch of this
+/// dispatch allocates. [`crate::program::ExecTier::Native`] falls back to
+/// the fused tier on hosts without a native backend.
 pub fn run_program_with_state(
     loaded: &LoadedProgram,
     helpers: &HelperRegistry,
     rc: &mut RunContext<'_>,
-    use_jit: bool,
+    tier: crate::program::ExecTier,
     state: &mut RunState,
 ) -> Result<u64> {
+    use crate::program::ExecTier;
     state.reset();
-    if use_jit {
-        crate::jit::run_with_state(loaded.jit()?, loaded, helpers, rc, state)
-    } else {
-        crate::interp::run_with_state(loaded.interp_image(), loaded, helpers, rc, state)
+    match tier {
+        ExecTier::Interp => crate::interp::run_with_state(loaded.interp_image(), loaded, helpers, rc, state),
+        ExecTier::MicroOp => crate::jit::run_with_state(loaded.jit()?, loaded, helpers, rc, state),
+        ExecTier::Fused => crate::jit::run_fused_with_state(loaded.fused()?, loaded, helpers, rc, state),
+        ExecTier::Native => match loaded.native()? {
+            Some(native) => crate::codegen::run(native, loaded, rc, state),
+            None => crate::jit::run_fused_with_state(loaded.fused()?, loaded, helpers, rc, state),
+        },
     }
 }
 

@@ -1,0 +1,401 @@
+//! Differential fuzzing across the four execution tiers.
+//!
+//! A deterministic xorshift generator builds ~1000 randomized,
+//! verifier-accepted LWT seg6local programs and runs each through the
+//! interpreter, the micro-op tier, the fused-superinstruction tier and the
+//! native x86-64 tier (where the host has one; elsewhere `Native`
+//! transparently falls back to `Fused`, which still must agree). Every tier
+//! must produce an identical exit value, register file, stack image,
+//! context bytes, packet bytes and helper-call sequence — including on the
+//! fault paths the out-of-bounds accesses deliberately provoke.
+//!
+//! The generator keeps the invariants the verifier cares about at every
+//! snippet boundary: `r0`–`r7` hold scalars, `r8` holds the packet pointer,
+//! `r9` holds the context pointer, and `r1`–`r5` are re-initialised after
+//! each helper call. Branches only jump forward to snippet boundaries, so
+//! every path sees the same register typing.
+
+use ebpf_vm::program::{load, Program, ProgramType};
+use ebpf_vm::vm::{run_program_with_state, RunContext, RunState, VmEnv, PKT_BASE};
+use ebpf_vm::{Error, ExecTier, HelperRegistry};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Number of verifier-accepted programs to push through all tiers.
+const PROGRAMS: usize = 1000;
+/// Generation attempts before giving up (the generator is tuned so nearly
+/// every program verifies; this is a backstop, not a budget).
+const MAX_ATTEMPTS: usize = 3 * PROGRAMS;
+
+const PACKET_LEN: usize = 150;
+const CTX_LEN: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording environment: makes helper-call sequences observable
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RecordingEnv {
+    /// `(which, value)` per env service call, in order.
+    log: Vec<(u8, u64)>,
+    tick: u64,
+}
+
+impl VmEnv for RecordingEnv {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn ktime_ns(&mut self) -> u64 {
+        self.tick += 1;
+        let v = 0x4000 + self.tick * 7;
+        self.log.push((0, v));
+        v
+    }
+
+    fn cpu_id(&mut self) -> u32 {
+        self.log.push((1, 3));
+        3
+    }
+
+    fn prandom_u32(&mut self) -> u32 {
+        self.tick += 1;
+        let v = (self.tick as u32).wrapping_mul(0x9e37_79b9);
+        self.log.push((2, u64::from(v)));
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program generator
+// ---------------------------------------------------------------------------
+
+/// Stack slots the prologue initialises; loads are restricted to these so
+/// every verifier path sees them written.
+const WARM_SLOTS: [i32; 4] = [-8, -16, -24, -32];
+
+fn emit_scalar_alu(out: &mut String, rng: &mut Rng) {
+    let dst = rng.below(8);
+    let wide = if rng.chance(70) { "64" } else { "32" };
+    let ops = ["add", "sub", "mul", "div", "mod", "or", "and", "xor", "lsh", "rsh", "arsh", "mov"];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    if rng.chance(50) {
+        let imm: i64 = match op {
+            "lsh" | "rsh" | "arsh" => {
+                if wide == "64" {
+                    rng.below(64) as i64
+                } else {
+                    rng.below(32) as i64
+                }
+            }
+            "div" | "mod" => 1 + rng.below(254) as i64,
+            _ => (rng.next() as u32 as i64) - (i64::from(u32::MAX) / 2),
+        };
+        out.push_str(&format!("{op}{wide} r{dst}, {imm}\n"));
+    } else {
+        let src = rng.below(8);
+        out.push_str(&format!("{op}{wide} r{dst}, r{src}\n"));
+    }
+}
+
+fn emit_unary(out: &mut String, rng: &mut Rng) {
+    let dst = rng.below(8);
+    match rng.below(4) {
+        0 => out.push_str(&format!("neg64 r{dst}\n")),
+        1 => out.push_str(&format!("neg32 r{dst}\n")),
+        2 => {
+            let bits = [16, 32, 64][rng.below(3) as usize];
+            out.push_str(&format!("be{bits} r{dst}\n"));
+        }
+        _ => {
+            let bits = [16, 32, 64][rng.below(3) as usize];
+            out.push_str(&format!("le{bits} r{dst}\n"));
+        }
+    }
+}
+
+fn emit_stack_op(out: &mut String, rng: &mut Rng) {
+    let (sz, bytes) = [("b", 1), ("h", 2), ("w", 4), ("dw", 8)][rng.below(4) as usize];
+    if rng.chance(50) {
+        // Store anywhere in the first 64 bytes of the frame.
+        let slot = -8 * (1 + rng.below(8) as i32);
+        let off = slot + (rng.below((8 / bytes) as u64) as i32) * bytes;
+        if rng.chance(70) {
+            let src = rng.below(8);
+            out.push_str(&format!("stx{sz} [r10{off}], r{src}\n"));
+        } else {
+            let imm = rng.next() as u32 as i64 % 1000;
+            out.push_str(&format!("st{sz} [r10{off}], {imm}\n"));
+        }
+    } else {
+        // Load only from the prologue-warmed slots.
+        let slot = WARM_SLOTS[rng.below(WARM_SLOTS.len() as u64) as usize];
+        let off = slot + (rng.below((8 / bytes) as u64) as i32) * bytes;
+        let dst = rng.below(8);
+        out.push_str(&format!("ldx{sz} r{dst}, [r10{off}]\n"));
+    }
+}
+
+fn emit_ctx_op(out: &mut String, rng: &mut Rng, oob: bool) {
+    if rng.chance(60) {
+        // Scalar read of a metadata field (past the two pointer fields).
+        let (sz, step) = if rng.chance(50) { ("w", 4u64) } else { ("dw", 8u64) };
+        let off = if oob {
+            // Past the 64-byte runtime context but inside the verifier's
+            // static MAX_CTX_SIZE — faults at run time on every tier.
+            CTX_LEN as u64 + rng.below(16) * step
+        } else {
+            16 + rng.below((CTX_LEN as u64 - 16) / step) * step
+        };
+        let dst = rng.below(8);
+        out.push_str(&format!("ldx{sz} r{dst}, [r9+{off}]\n"));
+    } else {
+        // Write to mark / the cb scratch area.
+        let offs = [24u64, 40, 44, 48, 52, 56];
+        let off = offs[rng.below(offs.len() as u64) as usize];
+        if rng.chance(60) {
+            let src = rng.below(8);
+            out.push_str(&format!("stxw [r9+{off}], r{src}\n"));
+        } else {
+            out.push_str(&format!("stw [r9+{off}], {}\n", rng.below(0xffff)));
+        }
+    }
+}
+
+fn emit_packet_load(out: &mut String, rng: &mut Rng, oob: bool) {
+    let (sz, bytes) = [("b", 1u64), ("h", 2), ("w", 4), ("dw", 8)][rng.below(4) as usize];
+    let dst = rng.below(8);
+    if rng.chance(70) {
+        let off = if oob { PACKET_LEN as u64 + rng.below(60) } else { rng.below(PACKET_LEN as u64 - bytes) };
+        out.push_str(&format!("ldx{sz} r{dst}, [r8+{off}]\n"));
+    } else {
+        // Variable offset: mask a scalar, add it to a packet-pointer copy,
+        // load through it, then re-scalarise the temporary.
+        let idx = rng.below(8);
+        out.push_str(&format!("and64 r{idx}, 63\n"));
+        out.push_str("mov64 r3, r8\n");
+        out.push_str(&format!("add64 r3, r{idx}\n"));
+        out.push_str(&format!("ldx{sz} r{dst}, [r3+0]\n"));
+        out.push_str(&format!("mov64 r3, {}\n", rng.below(256)));
+    }
+}
+
+fn emit_helper_call(out: &mut String, rng: &mut Rng) {
+    match rng.below(4) {
+        0 => out.push_str("call 5\n"), // bpf_ktime_get_ns
+        1 => out.push_str("call 7\n"), // bpf_get_prandom_u32
+        2 => out.push_str("call 8\n"), // bpf_get_smp_processor_id
+        _ => {
+            // bpf_skb_load_bytes(ctx, off, fp-16, 8): copies packet bytes
+            // into the stack through the helper path.
+            out.push_str("mov64 r1, r9\n");
+            out.push_str(&format!("mov64 r2, {}\n", rng.below(PACKET_LEN as u64 + 16)));
+            out.push_str("mov64 r3, r10\n");
+            out.push_str("add64 r3, -16\n");
+            out.push_str("mov64 r4, 8\n");
+            out.push_str("call 26\n");
+        }
+    }
+    // Calls clobber r1-r5; restore the all-scalars invariant.
+    for r in 1..=5 {
+        out.push_str(&format!("mov64 r{r}, {}\n", rng.below(512)));
+    }
+}
+
+fn emit_branch(out: &mut String, rng: &mut Rng, target: u64) {
+    let ops = ["jeq", "jne", "jgt", "jge", "jlt", "jle", "jsgt", "jsge", "jslt", "jsle", "jset"];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    let wide = if rng.chance(75) { "" } else { "32" };
+    let dst = rng.below(8);
+    if rng.chance(50) {
+        let imm = rng.below(1024) as i64 - 512;
+        out.push_str(&format!("{op}{wide} r{dst}, {imm}, s{target}\n"));
+    } else {
+        let src = rng.below(8);
+        out.push_str(&format!("{op}{wide} r{dst}, r{src}, s{target}\n"));
+    }
+}
+
+/// Generates one program as assembler text. `oob` sprinkles out-of-bounds
+/// context/packet accesses so the fault paths get differential coverage.
+fn generate(rng: &mut Rng) -> String {
+    let oob = rng.chance(4);
+    let mut s = String::new();
+    // Prologue: pin the pointer registers, scalarise everything else, warm
+    // the stack slots loads are allowed to touch.
+    s.push_str("mov64 r9, r1\n");
+    s.push_str("ldxdw r8, [r9+0]\n");
+    for r in 0..8 {
+        s.push_str(&format!("mov64 r{r}, {}\n", rng.below(0xffff)));
+    }
+    for slot in WARM_SLOTS {
+        s.push_str(&format!("stxdw [r10{slot}], r{}\n", rng.below(8)));
+    }
+    let snippets = 6 + rng.below(6);
+    for i in 0..snippets {
+        s.push_str(&format!("s{i}:\n"));
+        for _ in 0..(2 + rng.below(5)) {
+            let kind = rng.below(100);
+            let oob_here = oob && rng.chance(30);
+            match kind {
+                0..=34 => emit_scalar_alu(&mut s, rng),
+                35..=44 => emit_unary(&mut s, rng),
+                45..=59 => emit_stack_op(&mut s, rng),
+                60..=71 => emit_ctx_op(&mut s, rng, oob_here),
+                72..=84 => emit_packet_load(&mut s, rng, oob_here),
+                85..=92 => emit_helper_call(&mut s, rng),
+                _ => s.push_str(&format!("lddw r{}, 0x{:x}\n", rng.below(8), rng.next())),
+            }
+        }
+        if i + 1 < snippets && rng.chance(60) {
+            let target = i + 1 + rng.below(snippets - i - 1);
+            emit_branch(&mut s, rng, target);
+        }
+    }
+    s.push_str(&format!("s{snippets}:\n"));
+    // Fold a couple of registers into the exit value so divergence in any
+    // of them shows up even without the register-file comparison.
+    s.push_str("mov64 r0, r6\n");
+    s.push_str("xor64 r0, r7\n");
+    s.push_str("exit\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness
+// ---------------------------------------------------------------------------
+
+fn fresh_ctx() -> Vec<u8> {
+    let mut ctx = vec![0u8; CTX_LEN];
+    ctx[0..8].copy_from_slice(&PKT_BASE.to_le_bytes());
+    ctx[8..16].copy_from_slice(&(PKT_BASE + PACKET_LEN as u64).to_le_bytes());
+    ctx[16..20].copy_from_slice(&(PACKET_LEN as u32).to_le_bytes());
+    ctx[20..24].copy_from_slice(&0x86ddu32.to_le_bytes());
+    ctx
+}
+
+fn fresh_packet() -> Vec<u8> {
+    (0..PACKET_LEN).map(|i| (i as u8).wrapping_mul(7).wrapping_add(13)).collect()
+}
+
+/// Everything one tier's run produced, in comparable form.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    /// `Ok(exit)` or the faulting instruction index. Fast-path native
+    /// faults synthesise their own message, so errors compare by location
+    /// and variant, not text.
+    result: Result<u64, (u8, usize)>,
+    regs: [u64; 11],
+    stack: Vec<u8>,
+    ctx: Vec<u8>,
+    packet: Vec<u8>,
+    helper_log: Vec<(u8, u64)>,
+}
+
+fn error_key(e: &Error) -> (u8, usize) {
+    match e {
+        Error::Runtime { insn, .. } => (0, *insn),
+        Error::Helper(_) => (1, 0),
+        Error::Map(_) => (2, 0),
+        other => panic!("unexpected error class from a verified program: {other:?}"),
+    }
+}
+
+fn observe(
+    prog: &std::sync::Arc<ebpf_vm::program::LoadedProgram>,
+    helpers: &HelperRegistry,
+    tier: ExecTier,
+) -> Observation {
+    let mut ctx = fresh_ctx();
+    let mut packet = fresh_packet();
+    let mut env = RecordingEnv::default();
+    let mut state = RunState::new(ctx.len());
+    let result = {
+        let mut rc = RunContext { ctx: &mut ctx, packet: &mut packet, env: &mut env };
+        run_program_with_state(prog, helpers, &mut rc, tier, &mut state)
+    };
+    Observation {
+        result: result.map_err(|e| error_key(&e)),
+        regs: state.regs,
+        stack: state.stack.clone(),
+        ctx,
+        packet,
+        helper_log: env.log,
+    }
+}
+
+#[test]
+fn all_tiers_agree_on_randomized_programs() {
+    let helpers = HelperRegistry::with_base_helpers();
+    let maps = HashMap::new();
+    let mut accepted = 0usize;
+    let mut faulted = 0usize;
+    let mut attempts = 0usize;
+    let mut rng = Rng::new(0x5eed_cafe);
+    while accepted < PROGRAMS {
+        attempts += 1;
+        assert!(attempts <= MAX_ATTEMPTS, "generator accept rate collapsed: {accepted}/{attempts} verified");
+        let source = generate(&mut rng);
+        let insns = match ebpf_vm::asm::assemble(&source) {
+            Ok(insns) => insns,
+            Err(e) => panic!("generator produced unassemblable source: {e}\n{source}"),
+        };
+        let prog = Program::new("fuzz", ProgramType::LwtSeg6Local, insns);
+        let loaded = match load(prog, &maps, &helpers) {
+            Ok(loaded) => loaded,
+            // A rare reject (e.g. a shift chain the tracker widens into a
+            // pointer-looking value) just costs one attempt.
+            Err(_) => continue,
+        };
+        accepted += 1;
+
+        let reference = observe(&loaded, &helpers, ExecTier::Interp);
+        if reference.result.is_err() {
+            faulted += 1;
+        }
+        for tier in [ExecTier::MicroOp, ExecTier::Fused, ExecTier::Native] {
+            let got = observe(&loaded, &helpers, tier);
+            assert_eq!(
+                got, reference,
+                "tier {tier:?} diverged from the interpreter on program #{accepted}:\n{source}"
+            );
+        }
+    }
+    // The OOB sprinkling must actually exercise the fault paths.
+    assert!(faulted > 0, "no generated program faulted; fault-path parity went untested");
+    eprintln!(
+        "tier differential: {accepted} programs ({attempts} attempts, {faulted} faulting) \
+         agreed across {:?}",
+        ExecTier::ALL
+    );
+}

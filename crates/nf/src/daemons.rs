@@ -280,7 +280,7 @@ mod tests {
         .unwrap();
         ingress.attach_lwt_bpf(
             "2001:db8:2::/48".parse().unwrap(),
-            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
         );
 
         // Probe packets: unique TX timestamp per probe, many flows so RSS
@@ -314,10 +314,7 @@ mod tests {
             let mut maps: HashMap<u32, MapHandle> = HashMap::new();
             maps.insert(1, perf.clone());
             let prog = load(end_dm_program(1), &maps, &dp.helpers).unwrap();
-            dp.add_local_sid(
-                netpkt::Ipv6Prefix::host(dm_sid),
-                Seg6LocalAction::EndBpf { prog, use_jit: true },
-            );
+            dp.add_local_sid(netpkt::Ipv6Prefix::host(dm_sid), Seg6LocalAction::EndBpf { prog });
             ShardSetup::new(dp).with_drain(DelayCollector::shard_drain(Arc::clone(&collector)))
         });
 

@@ -30,6 +30,6 @@ pub use daemons::{compute_compensation, DelayCollector, DelayCompensation, EcmpT
 pub use events::{DelayEvent, OamEvent, DELAY_EVENT_SIZE, OAM_EVENT_SIZE, OAM_MAX_NEXTHOPS};
 pub use oam::{helper_fib_ecmp_nexthops, oam_helper_registry, HELPER_FIB_ECMP_NEXTHOPS};
 pub use progs::{
-    add_tlv_program, end_dm_program, end_oamp_program, end_program, end_t_program, owd_encap_program,
-    tag_increment_program, wrr_encap_program, wrr_maps, OwdEncapConfig, ADD_TLV_TYPE,
+    add_tlv_program, end_dm_program, end_oamp_program, end_program, end_t_program, end_x_program,
+    owd_encap_program, tag_increment_program, wrr_encap_program, wrr_maps, OwdEncapConfig, ADD_TLV_TYPE,
 };

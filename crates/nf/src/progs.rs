@@ -69,6 +69,29 @@ pub fn end_t_program(table: u32) -> Program {
     Program::new("nf_end_t", ProgramType::LwtSeg6Local, b.build().expect("static program"))
 }
 
+/// The BPF counterpart of `End.X`: ask `bpf_lwt_seg6_action` to
+/// cross-connect to a specific layer-3 nexthop (`END_X` with the 16-byte
+/// address parameter), then return `BPF_REDIRECT`.
+pub fn end_x_program(nexthop: Ipv6Addr) -> Program {
+    let (lo, hi) = addr_halves(nexthop);
+    let mut b = ProgramBuilder::new();
+    // Spill the nexthop to fp[-16..0]; seg6_action(skb, END_X, &nexthop, 16)
+    b.load_imm64(6, lo);
+    b.store_mem(AccessSize::Double, 10, 6, -16);
+    b.load_imm64(6, hi);
+    b.store_mem(AccessSize::Double, 10, 6, -8);
+    b.mov_imm(2, action_codes::END_X as i32);
+    b.mov_reg(3, 10);
+    b.add_imm(3, -16);
+    b.mov_imm(4, 16);
+    b.call(ids::LWT_SEG6_ACTION);
+    b.jmp_imm(jmp::JNE, 0, 0, "drop");
+    b.ret(retcode::BPF_REDIRECT as i32);
+    b.label("drop");
+    b.ret(retcode::BPF_DROP as i32);
+    Program::new("nf_end_x", ProgramType::LwtSeg6Local, b.build().expect("static program"))
+}
+
 /// `Tag++`: fetch the SRH tag, increment it and write it back through
 /// `bpf_lwt_seg6_store_bytes` (the paper's 50-SLOC example).
 pub fn tag_increment_program() -> Program {
@@ -461,6 +484,7 @@ mod tests {
         for prog in [
             end_program(),
             end_t_program(254),
+            end_x_program(addr("fe80::42")),
             tag_increment_program(),
             add_tlv_program(),
             owd_encap_program(OwdEncapConfig {
@@ -482,7 +506,7 @@ mod tests {
     fn end_bpf_forwards_like_static_end() {
         let mut dp = router();
         let prog = load(end_program(), &HashMap::new(), &dp.helpers).unwrap();
-        dp.add_local_sid("fc00::e1".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid("fc00::e1".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         let mut skb = srv6_skb(&["fc00::e1", "fc00::22"]);
         let verdict = dp.process(&mut skb, 0);
         assert_eq!(verdict, Verdict::Forward { oif: 2, neighbour: addr("fe80::2") });
@@ -493,22 +517,41 @@ mod tests {
         let mut dp = router();
         dp.add_route_in_table(100, "fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::9"), 9)]);
         let prog = load(end_t_program(100), &HashMap::new(), &dp.helpers).unwrap();
-        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid("fc00::e2".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         let mut skb = srv6_skb(&["fc00::e2", "fc00::22"]);
         assert_eq!(dp.process(&mut skb, 0), Verdict::Forward { oif: 9, neighbour: addr("fe80::9") });
+    }
+
+    #[test]
+    fn end_x_bpf_redirects_through_the_configured_nexthop() {
+        for tier in ebpf_vm::ExecTier::ALL {
+            let mut dp = router();
+            // The override carries the nexthop only; the datapath finds
+            // the interface by looking the nexthop itself up.
+            dp.add_route("fe80::/10".parse().unwrap(), vec![Nexthop::direct(7)]);
+            let prog = load(end_x_program(addr("fe80::42")), &HashMap::new(), &dp.helpers).unwrap();
+            prog.set_exec_tier(tier);
+            dp.add_local_sid("fc00::e3".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
+            let mut skb = srv6_skb(&["fc00::e3", "fc00::22"]);
+            assert_eq!(
+                dp.process(&mut skb, 0),
+                Verdict::Forward { oif: 7, neighbour: addr("fe80::42") },
+                "tier {tier:?}"
+            );
+        }
     }
 
     #[test]
     fn tag_increment_updates_the_srh_tag() {
         let mut dp = router();
         let prog = load(tag_increment_program(), &HashMap::new(), &dp.helpers).unwrap();
-        dp.add_local_sid("fc00::e3".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
-        for use_jit in [true, false] {
-            let _ = use_jit;
+        dp.add_local_sid("fc00::e3".parse().unwrap(), Seg6LocalAction::EndBpf { prog: prog.clone() });
+        for tier in ebpf_vm::ExecTier::ALL {
+            prog.set_exec_tier(tier);
             let mut skb = srv6_skb(&["fc00::e3", "fc00::22"]);
             assert!(dp.process(&mut skb, 0).is_forward());
             let parsed = ParsedPacket::parse(skb.packet.data()).unwrap();
-            assert_eq!(parsed.require_srh().unwrap().srh.tag, 1);
+            assert_eq!(parsed.require_srh().unwrap().srh.tag, 1, "tier {}", tier.name());
         }
     }
 
@@ -516,7 +559,7 @@ mod tests {
     fn add_tlv_grows_the_srh() {
         let mut dp = router();
         let prog = load(add_tlv_program(), &HashMap::new(), &dp.helpers).unwrap();
-        dp.add_local_sid("fc00::e4".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid("fc00::e4".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         let mut skb = srv6_skb(&["fc00::e4", "fc00::22"]);
         let before = skb.len();
         assert!(dp.process(&mut skb, 0).is_forward());
@@ -544,7 +587,7 @@ mod tests {
         .unwrap();
         ingress.attach_lwt_bpf(
             "2001:db8:2::/48".parse().unwrap(),
-            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
         );
         let mut skb =
             Skb::new(build_ipv6_udp_packet(addr("2001:db8::1"), addr("2001:db8:2::9"), 1, 2, &[0u8; 32], 64));
@@ -574,10 +617,7 @@ mod tests {
         let mut maps = HashMap::new();
         maps.insert(1u32, perf_handle);
         let dm_prog = load(end_dm_program(1), &maps, &dm_router.helpers).unwrap();
-        dm_router.add_local_sid(
-            "fc00::d1".parse().unwrap(),
-            Seg6LocalAction::EndBpf { prog: dm_prog, use_jit: true },
-        );
+        dm_router.add_local_sid("fc00::d1".parse().unwrap(), Seg6LocalAction::EndBpf { prog: dm_prog });
 
         // The packet must first be advanced to the DM SID: simulate the
         // in-between forwarding by handing it straight to the DM router (the
@@ -617,7 +657,7 @@ mod tests {
         .unwrap();
         ingress.attach_lwt_bpf(
             "2001:db8:2::/48".parse().unwrap(),
-            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+            LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
         );
         let mut encapsulated = 0;
         let total = 200;
@@ -649,10 +689,7 @@ mod tests {
         maps.insert(2u32, state);
         maps.insert(3u32, config);
         let prog = load(wrr_encap_program(2, 3), &maps, &cpe.helpers).unwrap();
-        cpe.attach_lwt_bpf(
-            "2001:db8::/32".parse().unwrap(),
-            LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true },
-        );
+        cpe.attach_lwt_bpf("2001:db8::/32".parse().unwrap(), LwtBpfAttachment { hook: LwtHook::Xmit, prog });
         let mut per_path = [0u32; 2];
         for _ in 0..160 {
             let mut skb =
@@ -684,7 +721,7 @@ mod tests {
         let mut maps = HashMap::new();
         maps.insert(1u32, perf_handle);
         let prog = load(end_oamp_program(1), &maps, &hop.helpers).unwrap();
-        hop.add_local_sid("fc00::21".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        hop.add_local_sid("fc00::21".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
 
         // The prober sends an SRv6 probe whose first segment is this hop's
         // OAMP SID and whose final destination is the traceroute target,
@@ -713,7 +750,7 @@ mod tests {
         let perf_handle: MapHandle = perf.clone();
         maps.insert(1u32, perf_handle);
         let prog = load(end_oamp_program(1), &maps, &hop.helpers).unwrap();
-        hop.add_local_sid("fc00::21".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        hop.add_local_sid("fc00::21".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
         let mut skb = srv6_skb(&["fc00::21", "2001:db8::99"]);
         assert!(hop.process(&mut skb, 0).is_forward());
         assert!(perf.perf_buffer().unwrap().is_empty());

@@ -476,7 +476,7 @@ mod tests {
             let mut maps: HashMap<u32, MapHandle> = HashMap::new();
             maps.insert(1, Arc::clone(&shared));
             let prog = load(counting_program(), &maps, &dp.helpers).expect("verified program");
-            dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+            dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog });
             dp
         });
 

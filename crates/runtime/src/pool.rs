@@ -797,18 +797,6 @@ impl WorkerPool {
         };
     }
 
-    /// Deprecated positional form of [`WorkerPool::add_tenant`].
-    #[deprecated(note = "use `WorkerPool::add_tenant` with `TenantSpec::build_with`")]
-    pub fn register_tenant(&mut self, builder: impl FnMut(u32) -> Seg6Datapath) -> TenantId {
-        self.add_tenant(TenantSpec::build_with(builder))
-    }
-
-    /// Deprecated positional form of [`WorkerPool::add_tenant`].
-    #[deprecated(note = "use `WorkerPool::add_tenant` with `TenantSpec::from_datapath`")]
-    pub fn register_tenant_from(&mut self, datapath: &Seg6Datapath) -> TenantId {
-        self.add_tenant(TenantSpec::from_datapath(datapath))
-    }
-
     /// Number of registered tenants (including the default one).
     pub fn tenants(&self) -> u32 {
         self.tenant_cells.len() as u32
@@ -2165,7 +2153,7 @@ mod tests {
             maps.insert(1, Arc::clone(&counter));
             maps.insert(2, perf.clone());
             let prog = load(emitting_program(), &maps, &dp.helpers).expect("verified program");
-            dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+            dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog });
             let ring = Arc::clone(&ring);
             let collected = Arc::clone(&collected);
             ShardSetup::new(dp).with_drain(Box::new(move |cpu| {

@@ -29,7 +29,7 @@ use netpkt::packet::build_ipv6_udp_packet;
 use netpkt::PacketBuf;
 use seg6_core::alloc_counter::{global_allocations, CountingAllocator};
 use seg6_core::{Nexthop, Seg6Datapath};
-use seg6_runtime::{Ingress, PoolConfig, WorkerPool};
+use seg6_runtime::{Ingress, PoolConfig, TenantSpec, WorkerPool};
 use std::net::Ipv6Addr;
 
 #[global_allocator]
@@ -152,14 +152,12 @@ fn pool_steady_state_does_not_allocate_per_packet() {
 
     // Registering the tenant allocates (datapath forks, counter row, the
     // arena's re-provision to the larger in-flight bound) — all of it
-    // one-time cost outside the measurement. Deliberately goes through the
-    // deprecated positional shim to keep it compiling for its final PR.
-    #[allow(deprecated)]
-    let tenant_b = pool.register_tenant(|cpu| {
+    // one-time cost outside the measurement.
+    let tenant_b = pool.add_tenant(TenantSpec::build_with(|cpu| {
         let mut dp = Seg6Datapath::new(addr("fc00::2")).on_cpu(cpu);
         dp.add_route("::/0".parse().unwrap(), vec![Nexthop::direct(2)]);
         dp
-    });
+    }));
     let half = PACKETS_PER_ROUND / 2;
     for _ in 0..3 {
         // Warm-up: both tenants' paths touch every reused buffer once.

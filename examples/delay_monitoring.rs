@@ -59,7 +59,7 @@ fn main() {
     };
     sim.node_mut(ingress).datapath.attach_lwt_bpf(
         "2001:db8:2::/48".parse().unwrap(),
-        LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+        LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
     );
 
     // Egress: End.DM bound to the DM SID, reporting through a perf map.
@@ -73,7 +73,7 @@ fn main() {
     };
     sim.node_mut(egress)
         .datapath
-        .add_local_sid(netpkt::Ipv6Prefix::host(dm_sid), Seg6LocalAction::EndBpf { prog: dm, use_jit: true });
+        .add_local_sid(netpkt::Ipv6Prefix::host(dm_sid), Seg6LocalAction::EndBpf { prog: dm });
 
     // The user-space daemon (the paper's bcc/Python collector).
     let mut collector = DelayCollector::new(perf.perf_buffer().expect("perf buffer"));

@@ -35,7 +35,7 @@ fn main() {
     let mut maps = HashMap::new();
     maps.insert(1u32, perf_handle);
     let prog = ebpf_vm::program::load(end_oamp_program(1), &maps, &hop2.helpers).expect("End.OAMP verifies");
-    hop2.add_local_sid(netpkt::Ipv6Prefix::host(oamp_sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+    hop2.add_local_sid(netpkt::Ipv6Prefix::host(oamp_sid), Seg6LocalAction::EndBpf { prog });
 
     // The enhanced traceroute client.
     let mut traceroute = EcmpTraceroute::new();

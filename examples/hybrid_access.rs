@@ -85,10 +85,9 @@ fn build(seed: u64) -> Topology {
         let dp = &mut sim.node_mut(agg).datapath;
         ebpf_vm::program::load(wrr_encap_program(2, 3), &maps, &dp.helpers).expect("WRR program verifies")
     };
-    sim.node_mut(agg).datapath.attach_lwt_bpf(
-        "2001:db8:2::/48".parse().unwrap(),
-        LwtBpfAttachment { hook: LwtHook::Xmit, prog, use_jit: true },
-    );
+    sim.node_mut(agg)
+        .datapath
+        .attach_lwt_bpf("2001:db8:2::/48".parse().unwrap(), LwtBpfAttachment { hook: LwtHook::Xmit, prog });
 
     Topology { sim, s1, agg, s2, links: [l0, l1] }
 }

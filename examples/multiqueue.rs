@@ -63,7 +63,7 @@ fn main() {
         let mut maps: HashMap<u32, MapHandle> = HashMap::new();
         maps.insert(1, Arc::clone(&shared));
         let prog = load(counting_program(), &maps, &dp.helpers).expect("verified program");
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog });
         dp
     });
 
@@ -121,7 +121,7 @@ fn main() {
         let mut maps: HashMap<u32, MapHandle> = HashMap::new();
         maps.insert(1, Arc::clone(&pool_shared));
         let prog = load(counting_program(), &maps, &dp.helpers).expect("verified program");
-        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        dp.add_local_sid(netpkt::Ipv6Prefix::host(sid), Seg6LocalAction::EndBpf { prog });
         dp
     });
     let spawns_at_steady_state = thread_spawn_count();

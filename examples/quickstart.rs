@@ -40,8 +40,7 @@ fn main() {
     );
 
     // Bind it to the SID fc00::1:e as an End.BPF action.
-    router
-        .add_local_sid("fc00::1:e".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit: true });
+    router.add_local_sid("fc00::1:e".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded });
 
     // Build an SRv6 packet whose segment list visits that SID first.
     let path: Vec<Ipv6Addr> = vec!["fc00::1:e".parse().unwrap(), "fc00::2:42".parse().unwrap()];

@@ -54,12 +54,44 @@ for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     tenant_scaling/shared_1t_1w tenant_scaling/per_node_1t_1w \
     tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w \
     tenant_scaling/noisy_fifo_1w tenant_scaling/noisy_qos_1w \
-    srv6d_io/mem_ingest_1w srv6d_io/udp_loopback_1w; do
+    srv6d_io/mem_ingest_1w srv6d_io/udp_loopback_1w \
+    jit_speedup/srh_walk_interp jit_speedup/srh_walk_microop \
+    jit_speedup/srh_walk_fused jit_speedup/srh_walk_native \
+    jit_speedup/end_dp_interp jit_speedup/end_dp_native \
+    jit_speedup/end_x_dp_interp jit_speedup/end_x_dp_native \
+    jit_speedup/end_t_dp_interp jit_speedup/end_t_dp_native; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2
         exit 1
     fi
 done
+
+# Execution-tier ratio gate: the native tier must beat the interpreter by
+# at least MIN_JIT_SPEEDUP× on the compute-heavy VM-level row (the
+# datapath rows are dominated by per-packet setup and are presence-gated
+# only). On hosts without an x86-64 backend the native tier falls back to
+# the fused interpreter; set MIN_JIT_SPEEDUP accordingly there.
+MIN_JIT_SPEEDUP="${MIN_JIT_SPEEDUP:-3.0}"
+row_ns() {
+    # One object per line (split on '}'), so a row's name and its
+    # ns_per_iter stay together.
+    printf '%s' "$rows" | tr '}' '\n' | grep "\"$1\"" | \
+        grep -o '"ns_per_iter":[0-9.]*' | head -n1 | cut -d: -f2
+}
+interp_ns="$(row_ns jit_speedup/srh_walk_interp || true)"
+native_ns="$(row_ns jit_speedup/srh_walk_native || true)"
+if [ -z "$interp_ns" ] || [ -z "$native_ns" ]; then
+    echo "could not extract jit_speedup srh_walk timings" >&2
+    exit 1
+fi
+awk -v i="$interp_ns" -v n="$native_ns" -v min="$MIN_JIT_SPEEDUP" 'BEGIN {
+    ratio = i / n
+    printf "jit_speedup gate: native %.1fx interpreter (minimum %.1fx)\n", ratio, min
+    if (ratio < min) {
+        printf "native tier too slow: %.1fx < %.1fx\n", ratio, min > "/dev/stderr"
+        exit 1
+    }
+}'
 
 # Provenance comes from the bench process itself: every row carries the
 # parallelism it actually saw; surface the first row's value in the

@@ -54,10 +54,9 @@ fn end_bpf_filters_packets_inside_the_simulator() {
         let dp = &sim.node_mut(r).datapath;
         load(prog, &HashMap::new(), &dp.helpers).unwrap()
     };
-    sim.node_mut(r).datapath.add_local_sid(
-        "fc00::11/128".parse().unwrap(),
-        Seg6LocalAction::EndBpf { prog: loaded, use_jit: true },
-    );
+    sim.node_mut(r)
+        .datapath
+        .add_local_sid("fc00::11/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded });
 
     // Send 10 packets, alternating tag parity.
     for i in 0..10u16 {
@@ -74,23 +73,24 @@ fn end_bpf_filters_packets_inside_the_simulator() {
     assert_eq!(sim.node(r).datapath.stats.dropped_for(seg6_core::DropReason::BpfDrop), 5);
 }
 
-/// The same program gives identical results through the interpreter and the
-/// pre-decoded JIT when run over the full datapath.
+/// The same program gives identical results through every execution tier
+/// when run over the full datapath.
 #[test]
-fn interpreter_and_jit_agree_on_the_datapath() {
-    for use_jit in [false, true] {
+fn all_execution_tiers_agree_on_the_datapath() {
+    for tier in ebpf_vm::ExecTier::ALL {
         let mut dp = seg6_core::Seg6Datapath::new(addr("fc00::1"));
         dp.add_route("fc00::/16".parse().unwrap(), vec![Nexthop::via(addr("fe80::2"), 2)]);
         let prog = srv6_nf::tag_increment_program();
         let loaded = load(prog, &HashMap::new(), &dp.helpers).unwrap();
-        dp.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded, use_jit });
+        loaded.set_exec_tier(tier);
+        dp.add_local_sid("fc00::e1/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: loaded });
 
         let srh = SegmentRoutingHeader::from_path(proto::UDP, &[addr("fc00::e1"), addr("fc00::99")]);
         let pkt = build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1, 2, &[0u8; 32], 64);
         let mut skb = seg6_core::Skb::new(pkt);
         assert!(dp.process(&mut skb, 0).is_forward());
         let parsed = netpkt::ParsedPacket::parse(skb.packet.data()).unwrap();
-        assert_eq!(parsed.require_srh().unwrap().srh.tag, 1, "use_jit = {use_jit}");
+        assert_eq!(parsed.require_srh().unwrap().srh.tag, 1, "tier = {tier:?}");
     }
 }
 

@@ -54,7 +54,7 @@ fn delay_monitoring_use_case_end_to_end() {
     };
     sim.node_mut(ingress).datapath.attach_lwt_bpf(
         "2001:db8:2::/48".parse().unwrap(),
-        LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap, use_jit: true },
+        LwtBpfAttachment { hook: LwtHook::Xmit, prog: encap },
     );
 
     // Egress End.DM.
@@ -68,7 +68,7 @@ fn delay_monitoring_use_case_end_to_end() {
     };
     sim.node_mut(egress)
         .datapath
-        .add_local_sid("fc00::d1/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: dm, use_jit: true });
+        .add_local_sid("fc00::d1/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog: dm });
 
     let total = 500u64;
     for i in 0..total {
@@ -124,7 +124,7 @@ fn ecmp_discovery_use_case_end_to_end() {
     };
     sim.node_mut(hop)
         .datapath
-        .add_local_sid("fc00::21/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog, use_jit: true });
+        .add_local_sid("fc00::21/128".parse().unwrap(), Seg6LocalAction::EndBpf { prog });
 
     // The probe: SRv6 packet through the hop's OAMP SID with a reply-to TLV.
     let mut srh =
