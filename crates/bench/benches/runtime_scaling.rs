@@ -407,7 +407,7 @@ fn bench_tenant_scaling(c: &mut Criterion) {
             let config = PoolConfig { workers, batch_size: 32, queue_depth: 2 * POOL, ..Default::default() };
 
             // Shared pool: T tenants on one set of shards.
-            let mut shared = WorkerPool::new(config, |cpu| tenant_datapath(1, cpu));
+            let mut shared = WorkerPool::new(config.clone(), |cpu| tenant_datapath(1, cpu));
             let mut ids = vec![TenantId::DEFAULT];
             for t in 1..tenants {
                 ids.push(shared.add_tenant(TenantSpec::build_with(|cpu| tenant_datapath(1 + t as u32, cpu))));
@@ -428,7 +428,7 @@ fn bench_tenant_scaling(c: &mut Criterion) {
 
             // Pool-per-node: T pools, each with its own shard threads.
             let mut pools: Vec<WorkerPool> = (0..tenants)
-                .map(|t| WorkerPool::new(config, |cpu| tenant_datapath(1 + t as u32, cpu)))
+                .map(|t| WorkerPool::new(config.clone(), |cpu| tenant_datapath(1 + t as u32, cpu)))
                 .collect();
             group.bench_function(format!("per_node_{tenants}t_{workers}w"), |b| {
                 b.iter(|| {
@@ -673,22 +673,33 @@ fn bench_srv6d_io(c: &mut Criterion) {
         assert_eq!(report.drain.counters.in_flight(), 0);
     }
 
-    // --- UDP loopback: the deployable configuration ---------------------
-    {
-        let config = Config::parse(
+    // --- Kernel sockets over loopback: the deployable configurations ----
+    // One row per backend, plus a derived syscalls-per-kiloframe figure:
+    // wall-clock on loopback is dominated by the copies either way, but
+    // the syscall count is deterministic — `recvmmsg`/`sendmmsg` move a
+    // burst per call where the std backend pays one call per datagram —
+    // so the smoke gate checks the ratio on that number, not on time.
+    let socket_row = |group: &mut criterion::BenchmarkGroup<'_>,
+                      name: &str,
+                      backend: Box<dyn srv6d::IoBackend>,
+                      listen_port: u16,
+                      peer_port: u16|
+     -> f64 {
+        let config = Config::parse(&format!(
             "[daemon]\nworkers = 1\nbatch-size = 32\nqueue-depth = 1024\nrx-burst = 64\n\
-             [tenant edge]\nlocal = fc00::1\nlisten = [::1]:47010\npeer = 1 [::1]:47110\n\
-             route = ::/0 dev 1",
-        )
+             [tenant edge]\nlocal = fc00::1\nlisten = [::1]:{listen_port}\npeer = 1 [::1]:{peer_port}\n\
+             route = ::/0 dev 1"
+        ))
         .expect("valid config");
         // The capture socket must exist before the daemon connects its TX.
-        let capture = std::net::UdpSocket::bind("[::1]:47110").expect("bind capture");
+        let capture = std::net::UdpSocket::bind(format!("[::1]:{peer_port}")).expect("bind capture");
         capture.set_nonblocking(true).expect("nonblocking capture");
-        let mut daemon = Srv6Daemon::start(config, Box::new(UdpBackend)).expect("daemon starts");
+        let mut daemon = Srv6Daemon::start(config, backend).expect("daemon starts");
         let sender = std::net::UdpSocket::bind("[::1]:0").expect("bind sender");
-        sender.connect("[::1]:47010").expect("connect sender");
+        sender.connect(format!("[::1]:{listen_port}")).expect("connect sender");
         let mut buf = vec![0u8; 2048];
-        group.bench_function("udp_loopback_1w", |b| {
+        let mut moved = 0u64;
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut sent = 0usize;
                 let mut captured = 0usize;
@@ -702,13 +713,33 @@ fn bench_srv6d_io(c: &mut Criterion) {
                         captured += 1;
                     }
                 }
+                moved += 2 * BURST as u64; // BURST in, BURST back out
                 captured
             })
         });
+        let syscalls = daemon.io_syscalls();
         let report = daemon.drain();
         assert_eq!(report.drain.counters.in_flight(), 0);
-    }
+        syscalls as f64 * 1000.0 / moved.max(1) as f64
+    };
+    let udp_rate = socket_row(&mut group, "udp_loopback_1w", Box::new(UdpBackend), 47010, 47110);
+    let mmsg_rate = socket_row(&mut group, "mmsg_loopback_1w", Box::new(srv6d::MmsgBackend), 47020, 47120);
     group.finish();
+
+    // Emit the syscall figures as extra BENCH_JSON rows (same shape as
+    // the shim's) so bench-smoke.sh can gate on the deterministic count.
+    if std::env::var_os("CRITERION_JSON").is_some() {
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let utc = std::env::var("BENCH_UTC").unwrap_or_default();
+        for (name, rate) in [("udp_loopback_1w_syscalls", udp_rate), ("mmsg_loopback_1w_syscalls", mmsg_rate)]
+        {
+            println!(
+                "BENCH_JSON {{\"name\":\"srv6d_io/{name}\",\"ns_per_iter\":{rate:.1},\"iters\":1,\
+                 \"throughput_per_s\":0,\"throughput_unit\":\"syscalls/kframe\",\
+                 \"host_parallelism\":{parallelism},\"utc\":\"{utc}\"}}"
+            );
+        }
+    }
 }
 
 /// The execution-tier rows: one verified program, four tiers.

@@ -88,6 +88,24 @@ impl BufPool {
         self.recycled
     }
 
+    /// The headroom every buffer this arena hands out carries.
+    pub fn headroom(&self) -> usize {
+        self.headroom
+    }
+
+    /// Adds an externally minted buffer to the free list, counted as an
+    /// allocation (it is one — just performed elsewhere, e.g. on a worker
+    /// thread first-touching its arena segment so the pages land on that
+    /// worker's NUMA node). Buffers beyond the retention cap are dropped
+    /// like excess [`put`](BufPool::put)s.
+    pub fn adopt(&mut self, mut buf: PacketBuf) {
+        self.allocated += 1;
+        if self.free.len() < self.max_retained {
+            buf.reset(self.headroom);
+            self.free.push(buf);
+        }
+    }
+
     /// Raises (or lowers) the retention cap. The worker pool calls this
     /// when a tenant registers: the in-flight bound — and therefore the
     /// number of buffers the arena must be able to retain for the steady

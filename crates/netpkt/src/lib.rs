@@ -44,8 +44,12 @@
 //! assert_eq!(parsed.next_header, proto::ROUTING);
 //! ```
 
+// Unsafe is denied crate-wide; the one exception is `sockio::mmsg`, the
+// raw `recvmmsg`/`sendmmsg` FFI backend, which carries its own
+// `#[allow(unsafe_code)]` and documents every unsafe block — the same
+// policy `seg6-runtime` applies to its `ring` module.
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod buf;
 pub mod bufpool;
@@ -69,6 +73,7 @@ pub use icmpv6::{Icmpv6Header, Icmpv6Type};
 pub use ipv6::{proto, Ipv6Header, IPV6_HEADER_LEN};
 pub use packet::ParsedPacket;
 pub use prefix::Ipv6Prefix;
+pub use sockio::mmsg::{MmsgRx, MmsgTx};
 pub use sockio::{FrameBatch, MemRx, MemTx, PacketRx, PacketTx, UdpRx, UdpTx};
 pub use srh::{SegmentRoutingHeader, SrhTlv, TlvKind, SRH_FIXED_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};

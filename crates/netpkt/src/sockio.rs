@@ -33,6 +33,9 @@ use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::{Arc, Mutex};
 
+#[allow(unsafe_code)]
+pub mod mmsg;
+
 /// Default size of one receive-frame slot: enough for any packet this
 /// lab builds, far below a jumbo frame.
 pub const DEFAULT_FRAME_CAP: usize = 2048;
@@ -157,6 +160,12 @@ pub trait PacketRx: Send {
     /// source has nothing more, and returns how many frames were added.
     /// Never blocks: an idle source returns `Ok(0)`.
     fn fill(&mut self, batch: &mut FrameBatch) -> io::Result<usize>;
+
+    /// Receive syscalls issued so far (0 for syscall-free transports).
+    /// Lets benches compare per-burst syscall cost across backends.
+    fn syscalls(&self) -> u64 {
+        0
+    }
 }
 
 /// A batched frame transmitter — one egress destination.
@@ -166,14 +175,54 @@ pub trait PacketRx: Send {
 /// end of the burst. This is the seam where a gathering `sendmmsg`
 /// implementation would buffer in `send_frame` and submit in `flush_tx`.
 pub trait PacketTx: Send {
-    /// Sends one frame. `Ok(false)` means the frame was dropped by
-    /// backpressure (a full link); errors are transport failures.
+    /// Sends one frame. `Ok(false)` means the frame was dropped —
+    /// backpressure (a full link) or a transient transport condition (see
+    /// [`transient_send_error`]); errors are persistent transport failures.
     fn send_frame(&mut self, frame: &[u8]) -> io::Result<bool>;
+
+    /// Sends a whole burst and returns how many frames the transport
+    /// accepted; frames it did not accept were dropped. The default loops
+    /// [`PacketTx::send_frame`]; gathering transports override this with
+    /// one `sendmmsg` per call.
+    fn send_frames(&mut self, frames: &[&[u8]]) -> io::Result<usize> {
+        let mut sent = 0;
+        for frame in frames {
+            if self.send_frame(frame)? {
+                sent += 1;
+            }
+        }
+        Ok(sent)
+    }
 
     /// Completes the current burst (no-op for eager transports).
     fn flush_tx(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// Send syscalls issued so far (0 for syscall-free transports).
+    fn syscalls(&self) -> u64 {
+        0
+    }
+}
+
+/// Whether a send error is a transient per-datagram condition that a
+/// datapath counts as a *drop* and keeps going, rather than a transport
+/// failure that should abort the burst.
+///
+/// Connected UDP surfaces ICMP errors from an earlier datagram on the
+/// *next* send: the peer being momentarily gone (`ECONNREFUSED`) or
+/// unroutable (`EHOSTUNREACH`/`ENETUNREACH`) is exactly the packet loss a
+/// NIC would eat silently, not a reason to stop transmitting. Both the
+/// std and mmsg backends classify with this one predicate so their drop
+/// accounting stays identical.
+pub fn transient_send_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::HostUnreachable
+            | io::ErrorKind::NetworkUnreachable
+    )
 }
 
 /// Sends every frame of a burst through `tx`, flushing once at the end.
@@ -197,6 +246,7 @@ pub fn send_batch<'a>(
 #[derive(Debug)]
 pub struct UdpRx {
     socket: UdpSocket,
+    syscalls: u64,
 }
 
 impl UdpRx {
@@ -204,13 +254,13 @@ impl UdpRx {
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let socket = UdpSocket::bind(addr)?;
         socket.set_nonblocking(true)?;
-        Ok(UdpRx { socket })
+        Ok(UdpRx { socket, syscalls: 0 })
     }
 
     /// Wraps an already-bound socket (switched to non-blocking).
     pub fn from_socket(socket: UdpSocket) -> io::Result<Self> {
         socket.set_nonblocking(true)?;
-        Ok(UdpRx { socket })
+        Ok(UdpRx { socket, syscalls: 0 })
     }
 
     /// The bound local address (useful after binding port 0).
@@ -223,6 +273,7 @@ impl PacketRx for UdpRx {
     fn fill(&mut self, batch: &mut FrameBatch) -> io::Result<usize> {
         let mut got = 0;
         while let Some(slot) = batch.begin_frame() {
+            self.syscalls += 1;
             match self.socket.recv_from(slot) {
                 Ok((len, _from)) => {
                     batch.commit_frame(len);
@@ -234,6 +285,10 @@ impl PacketRx for UdpRx {
         }
         Ok(got)
     }
+
+    fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
 }
 
 /// Batched transmit over a connected, non-blocking UDP socket — one
@@ -241,6 +296,7 @@ impl PacketRx for UdpRx {
 #[derive(Debug)]
 pub struct UdpTx {
     socket: UdpSocket,
+    syscalls: u64,
 }
 
 impl UdpTx {
@@ -255,7 +311,7 @@ impl UdpTx {
                 s.set_nonblocking(true)?;
                 Ok(s)
             }) {
-                Ok(socket) => return Ok(UdpTx { socket }),
+                Ok(socket) => return Ok(UdpTx { socket, syscalls: 0 }),
                 Err(e) => last = Some(e),
             }
         }
@@ -270,17 +326,19 @@ impl UdpTx {
 
 impl PacketTx for UdpTx {
     fn send_frame(&mut self, frame: &[u8]) -> io::Result<bool> {
+        self.syscalls += 1;
         match self.socket.send(frame) {
             Ok(_) => Ok(true),
             // A full socket buffer is backpressure, not an error — the
             // same drop-and-count a NIC TX ring performs.
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(false),
-            // Connected UDP surfaces ICMP unreachable as ConnectionRefused
-            // on the *next* send; the peer being momentarily gone is not a
-            // datapath failure.
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => Ok(false),
+            Err(e) if transient_send_error(&e) => Ok(false),
             Err(e) => Err(e),
         }
+    }
+
+    fn syscalls(&self) -> u64 {
+        self.syscalls
     }
 }
 
@@ -423,6 +481,38 @@ mod tests {
         // Storage went to the free list: the next send reuses it.
         assert!(tx.send_frame(&[7; 10]).unwrap());
         assert_eq!(tx.state.lock().unwrap().free.len(), 3);
+    }
+
+    #[test]
+    fn transient_send_errors_count_as_drops_not_aborts() {
+        use io::ErrorKind as K;
+        for kind in [K::ConnectionRefused, K::ConnectionReset, K::HostUnreachable, K::NetworkUnreachable] {
+            assert!(transient_send_error(&io::Error::from(kind)), "{kind:?} is a drop");
+        }
+        for kind in [K::WouldBlock, K::PermissionDenied, K::InvalidInput, K::AddrNotAvailable] {
+            assert!(!transient_send_error(&io::Error::from(kind)), "{kind:?} is not a drop");
+        }
+
+        // A vanished peer surfaces ICMP port-unreachable as
+        // ConnectionRefused on a *later* send. The burst must keep going
+        // with the refused frames counted as drops (`Ok(false)`), never
+        // abort the flush mid-batch with an `Err`.
+        let victim = UdpRx::bind("[::1]:0").unwrap();
+        let addr = victim.local_addr().unwrap();
+        drop(victim);
+        let mut tx = UdpTx::connect(addr).unwrap();
+        let frames: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 16]).collect();
+        let mut saw_drop = false;
+        for _ in 0..50 {
+            let sent = send_batch(&mut tx, frames.iter().map(Vec::as_slice))
+                .expect("refused sends are drops, not batch-aborting errors");
+            if sent < frames.len() {
+                saw_drop = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(saw_drop, "ICMP refusal on loopback reported as drops");
     }
 
     #[test]

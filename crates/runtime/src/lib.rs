@@ -50,10 +50,11 @@
 //! ```
 
 #![warn(missing_docs)]
-// Unsafe is denied crate-wide and allowed in exactly one module: the
+// Unsafe is denied crate-wide and allowed in exactly two modules: the
 // lock-free SPSC ring (`ring`), whose slot accesses cannot be expressed in
-// safe Rust. Its safety argument is documented there and hammered by the
-// two-thread stress test (`tests/ring_stress.rs`).
+// safe Rust (its safety argument is documented there and hammered by the
+// two-thread stress test, `tests/ring_stress.rs`), and the
+// `sched_setaffinity(2)` FFI in `affinity`.
 #![deny(unsafe_code)]
 
 use netpkt::flow::{rss_hash_packet, rss_hash_packet_symmetric, steer};
@@ -61,11 +62,14 @@ use netpkt::PacketBuf;
 use seg6_core::{Seg6Datapath, Skb, Verdict};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+#[allow(unsafe_code)]
+pub mod affinity;
 pub mod pool;
 #[allow(unsafe_code)]
 pub mod ring;
 pub mod telemetry;
 
+pub use affinity::PinPolicy;
 pub use pool::{
     work_cost, BatchDrain, DrainReport, Ingress, PoolConfig, PoolReport, ShardFlush, ShardSetup, ShardStats,
     Tenant, TenantId, TenantQos, TenantSpec, WorkerPool, COST_BASE, COST_BPF, COST_SEG6LOCAL, COST_TRANSIT,

@@ -94,6 +94,7 @@
 //!   message, lets every worker finish its backlog, runs the final drain,
 //!   and joins the threads. No packet or perf event is stranded.
 
+use crate::affinity::PinPolicy;
 use crate::ring::{self, Consumer, Producer};
 use crate::telemetry::{PoolCounters, TenantCounters};
 use crate::{count_thread_spawn, RunReport, WorkerStats, MAX_WORKERS};
@@ -423,7 +424,7 @@ impl From<Seg6Datapath> for ShardSetup {
 }
 
 /// Configuration of a [`WorkerPool`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Number of worker shards (receive queues). Clamped to
     /// `1..=`[`MAX_WORKERS`].
@@ -460,6 +461,18 @@ pub struct PoolConfig {
     /// back with [`WorkerPool::recycle`] after reading them); leave off
     /// for counter-only workloads.
     pub collect_outputs: bool,
+    /// How shard threads pin themselves to CPU cores
+    /// (`sched_setaffinity(2)` at spawn, inside the worker thread). The
+    /// observed placement — pinned core and its NUMA node — is reported
+    /// per shard in [`PoolSnapshot::placement`](crate::PoolSnapshot).
+    /// Pins that fail (non-Linux, forbidden cpuset) leave the shard
+    /// unpinned and running; pinning is a placement hint, never a
+    /// correctness requirement.
+    pub pinning: PinPolicy,
+    /// Pin the dispatcher — the thread that calls [`WorkerPool::new`] and
+    /// later drives ingestion — to this core. Applied best-effort during
+    /// construction.
+    pub pin_dispatcher: Option<u32>,
 }
 
 impl Default for PoolConfig {
@@ -471,6 +484,8 @@ impl Default for PoolConfig {
             napi_budget: 256,
             symmetric_steering: false,
             collect_outputs: false,
+            pinning: PinPolicy::None,
+            pin_dispatcher: None,
         }
     }
 }
@@ -535,6 +550,13 @@ enum Ctrl {
     /// returns, so no descriptor stamped with the new tenant can reach a
     /// worker that has not installed it.
     AddTenant { datapath: Box<Seg6Datapath>, cells: Arc<TenantCounters>, qos: Arc<QosCell>, done: Sender<()> },
+    /// Mint `count` packet buffers *on this shard's thread* and ship them
+    /// back for the dispatcher's arena. First-touch allocation policy
+    /// makes the pages land on the minting thread's NUMA node, so a
+    /// pinned shard's arena segment is local to its core — the reason
+    /// arena provisioning is a worker-side operation rather than a
+    /// dispatcher-side `prefill`.
+    Provision { count: usize, headroom: usize, done: Sender<Vec<PacketBuf>> },
     /// Finish the backlog, run the final drain, exit.
     Shutdown,
 }
@@ -623,6 +645,13 @@ impl WorkerPool {
         let config = PoolConfig { workers, ..config };
         let queue_capacity = config.queue_depth.max(1).next_power_of_two();
         let counters = Arc::new(PoolCounters::new(workers));
+        // Resolve the pin policy against the cores this process may
+        // actually use (cgroup cpusets included); each worker applies its
+        // own pin on its own thread and records what it got.
+        let pin_plan = config.pinning.plan(workers, &crate::affinity::available_cores());
+        if let Some(core) = config.pin_dispatcher {
+            let _ = crate::affinity::pin_current_thread(core);
+        }
         let default_cells = counters.tenant(TenantId::DEFAULT);
         let default_qos = Arc::new(QosCell::new(1));
         let burst = worker_burst(&config);
@@ -656,9 +685,17 @@ impl WorkerPool {
                 sleeping: Arc::clone(&sleeping),
             };
             count_thread_spawn();
+            let worker_config = config.clone();
+            let pin = pin_plan[id as usize];
+            let placement = Arc::clone(&counters);
             let handle = std::thread::Builder::new()
                 .name(format!("seg6-worker-{id}"))
-                .spawn(move || worker_loop(config, state, ctrl_rx, ring_rx))
+                .spawn(move || {
+                    let pinned = pin.filter(|&core| crate::affinity::pin_current_thread(core).is_ok());
+                    let numa = pinned.and_then(crate::affinity::numa_node_of_cpu);
+                    placement.record_placement(id, pinned, numa);
+                    worker_loop(worker_config, state, ctrl_rx, ring_rx)
+                })
                 .expect("spawn worker thread");
             shards.push(ShardTx {
                 ring: ring_tx,
@@ -670,6 +707,7 @@ impl WorkerPool {
             });
             handles.push(handle);
         }
+        let bufs = BufPool::new(Self::in_flight_bound(&config, queue_capacity, 1));
         WorkerPool {
             config,
             shards,
@@ -678,7 +716,7 @@ impl WorkerPool {
             tenant_stats: vec![ShardStats::default()],
             counters,
             tenant_cells: vec![default_cells],
-            bufs: BufPool::new(Self::in_flight_bound(&config, queue_capacity, 1)),
+            bufs,
             reclaim_scratch: Vec::new(),
             ingress_scratch: vec![IngressRow::default()],
             admission: vec![TenantAdmission::from_qos(&TenantQos::default(), queue_capacity)],
@@ -768,7 +806,7 @@ impl WorkerPool {
         let bound = Self::in_flight_bound(&self.config, self.queue_capacity, self.tenant_cells.len());
         self.bufs.set_max_retained(bound);
         if self.bytes_arena_ready {
-            self.bufs.prefill(bound);
+            self.provision_arena(bound);
         }
         id
     }
@@ -811,7 +849,7 @@ impl WorkerPool {
 
     /// The pool's configuration (with the worker count clamped).
     pub fn config(&self) -> PoolConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Number of worker shards.
@@ -925,11 +963,53 @@ impl WorkerPool {
     fn ensure_bytes_arena(&mut self) {
         if !self.bytes_arena_ready {
             self.bytes_arena_ready = true;
-            self.bufs.prefill(Self::in_flight_bound(
+            self.provision_arena(Self::in_flight_bound(
                 &self.config,
                 self.queue_capacity,
                 self.tenant_cells.len(),
             ));
+        }
+    }
+
+    /// Grows the arena to `bound` retained buffers by having each shard
+    /// thread mint (and first-touch) an equal segment on its own thread —
+    /// with pinned shards, the pages of a shard's segment land on that
+    /// shard's NUMA node, which a dispatcher-side `prefill` could never
+    /// arrange. The minted buffers still pool in the dispatcher's shared
+    /// arena (buffers migrate across shards with the traffic anyway); the
+    /// point is where the *first touch* happens. Worker mints count as
+    /// arena allocations, so `allocations()`-flatness gates keep their
+    /// meaning.
+    fn provision_arena(&mut self, bound: usize) {
+        self.bufs.set_max_retained(bound);
+        let need = bound.saturating_sub(self.bufs.available());
+        if need == 0 {
+            return;
+        }
+        let workers = self.shards.len();
+        let per = need / workers;
+        let rem = need % workers;
+        let replies: Vec<Receiver<Vec<PacketBuf>>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tx)| {
+                let count = per + usize::from(i < rem);
+                if count == 0 {
+                    return None;
+                }
+                let (done_tx, done_rx) = channel();
+                tx.ctrl
+                    .send(Ctrl::Provision { count, headroom: self.bufs.headroom(), done: done_tx })
+                    .expect("worker alive");
+                tx.wake();
+                Some(done_rx)
+            })
+            .collect();
+        for reply in replies {
+            for buf in reply.recv().expect("worker provisioned its arena segment") {
+                self.bufs.adopt(buf);
+            }
         }
     }
 
@@ -1363,6 +1443,10 @@ fn worker_loop(
                 install_tenant(&mut shard, *datapath, cells, qos, done, worker_burst(&config));
                 continue;
             }
+            Ok(Ctrl::Provision { count, headroom, done }) => {
+                provision_segment(count, headroom, done);
+                continue;
+            }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
                 // Finish the backlog and the final drain, so no packet or
                 // perf event is stranded. Disconnection without a shutdown
@@ -1400,6 +1484,10 @@ fn worker_loop(
                 shard.sleeping.store(false, Ordering::SeqCst);
                 install_tenant(&mut shard, *datapath, cells, qos, done, worker_burst(&config));
             }
+            Ok(Ctrl::Provision { count, headroom, done }) => {
+                shard.sleeping.store(false, Ordering::SeqCst);
+                provision_segment(count, headroom, done);
+            }
             Ok(Ctrl::Shutdown) | Err(TryRecvError::Disconnected) => {
                 shard.sleeping.store(false, Ordering::SeqCst);
                 drain_ring(&mut shard, &mut ring, &mut clock, &config);
@@ -1411,6 +1499,29 @@ fn worker_loop(
             }
         }
     }
+}
+
+/// Mints one shard's arena segment *on the shard's own thread*. The
+/// buffers are created and their steady-state storage written here, so
+/// first-touch places their pages on this thread's NUMA node; then they
+/// ship back to the dispatcher's shared arena. The touch extends each
+/// buffer to the default frame capacity and resets it, leaving exactly
+/// what `BufPool::prefill` used to produce — just with local pages.
+fn provision_segment(count: usize, headroom: usize, done: Sender<Vec<PacketBuf>>) {
+    let mut segment = Vec::with_capacity(count);
+    let touch = [0u8; 256];
+    for _ in 0..count {
+        let mut buf = PacketBuf::with_headroom(headroom);
+        let mut written = 0;
+        while written < netpkt::sockio::DEFAULT_FRAME_CAP {
+            buf.append(&touch);
+            written += touch.len();
+        }
+        buf.reset(headroom);
+        segment.push(buf);
+    }
+    // A vanished dispatcher mid-provision just drops the segment.
+    let _ = done.send(segment);
 }
 
 /// Installs a tenant's datapath, counter row, QoS cell and scheduler
@@ -1642,6 +1753,36 @@ mod tests {
 
     fn addr(s: &str) -> Ipv6Addr {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn pinned_shards_report_their_placement() {
+        let config = PoolConfig { workers: 2, pinning: PinPolicy::Compact, ..PoolConfig::default() };
+        let mut pool = WorkerPool::new(config, forwarding_datapath);
+        // A flush barrier round-trips every worker, and each records its
+        // placement at thread start, before its first control receive —
+        // so the snapshot after the barrier is deterministic.
+        let _ = pool.flush();
+        let snap = pool.counters().snapshot();
+        assert_eq!(snap.placement.len(), 2);
+        if cfg!(target_os = "linux") {
+            let cores = crate::affinity::available_cores();
+            for (i, p) in snap.placement.iter().enumerate() {
+                assert_eq!(p.pinned_core, Some(cores[i % cores.len()]), "shard {i} pinned compactly");
+                if let Some(node) = p.numa_node {
+                    assert_eq!(crate::affinity::numa_node_of_cpu(p.pinned_core.unwrap()), Some(node));
+                }
+            }
+        } else {
+            assert!(snap.placement.iter().all(|p| p.pinned_core.is_none()));
+        }
+
+        // Unpinned pools report no placement, and the default config
+        // still pins nothing.
+        let mut pool = WorkerPool::new(PoolConfig::default(), forwarding_datapath);
+        let _ = pool.flush();
+        let snap = pool.counters().snapshot();
+        assert!(snap.placement.iter().all(|p| p.pinned_core.is_none() && p.numa_node.is_none()));
     }
 
     fn forwarding_datapath(cpu: u32) -> Seg6Datapath {

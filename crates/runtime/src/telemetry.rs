@@ -242,6 +242,22 @@ pub struct PoolSnapshot {
     /// Aggregated per-shard samples (summed over tenants), indexed by
     /// shard id.
     pub shards: Vec<ShardSnapshot>,
+    /// Where each shard thread landed, indexed by shard id: the core it
+    /// pinned to (if [`PoolConfig::pinning`](crate::PoolConfig::pinning)
+    /// asked for one and `sched_setaffinity` succeeded) and that core's
+    /// NUMA node. Benches record this so multi-shard rows can prove they
+    /// ran on real, distinct cores.
+    pub placement: Vec<PlacementSnapshot>,
+}
+
+/// One shard thread's observed placement (see [`PoolSnapshot::placement`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementSnapshot {
+    /// The core the shard thread successfully pinned itself to, `None`
+    /// when unpinned (policy `None`, or the pin failed).
+    pub pinned_core: Option<u32>,
+    /// The pinned core's NUMA node, where sysfs exposes one.
+    pub numa_node: Option<u32>,
 }
 
 impl PoolSnapshot {
@@ -320,12 +336,55 @@ impl PoolSnapshot {
 pub struct PoolCounters {
     workers: u32,
     tenants: RwLock<Vec<Arc<TenantCounters>>>,
+    /// Per-shard placement cells, written once by each worker thread at
+    /// spawn (after its pin attempt) and sampled into
+    /// [`PoolSnapshot::placement`]. `u32::MAX` encodes "none".
+    placement: Box<[ShardPlacementCell]>,
+}
+
+#[derive(Debug)]
+struct ShardPlacementCell {
+    pinned_core: AtomicU64,
+    numa_node: AtomicU64,
+}
+
+/// Sentinel for "no core / no node" in the placement cells.
+const PLACEMENT_NONE: u64 = u64::MAX;
+
+impl ShardPlacementCell {
+    fn new() -> Self {
+        ShardPlacementCell {
+            pinned_core: AtomicU64::new(PLACEMENT_NONE),
+            numa_node: AtomicU64::new(PLACEMENT_NONE),
+        }
+    }
+
+    fn sample(&self) -> PlacementSnapshot {
+        let decode = |v: u64| if v == PLACEMENT_NONE { None } else { Some(v as u32) };
+        PlacementSnapshot {
+            pinned_core: decode(self.pinned_core.load(Ordering::Relaxed)),
+            numa_node: decode(self.numa_node.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PoolCounters {
     /// A counter block with one (default) tenant row.
     pub(crate) fn new(workers: u32) -> Self {
-        PoolCounters { workers, tenants: RwLock::new(vec![Arc::new(TenantCounters::new(workers))]) }
+        PoolCounters {
+            workers,
+            tenants: RwLock::new(vec![Arc::new(TenantCounters::new(workers))]),
+            placement: (0..workers).map(|_| ShardPlacementCell::new()).collect(),
+        }
+    }
+
+    /// Records shard `shard`'s observed placement — called once by the
+    /// worker thread itself, right after its pin attempt.
+    pub(crate) fn record_placement(&self, shard: u32, core: Option<u32>, numa: Option<u32>) {
+        let cell = &self.placement[shard as usize];
+        let encode = |v: Option<u32>| v.map_or(PLACEMENT_NONE, u64::from);
+        cell.pinned_core.store(encode(core), Ordering::Relaxed);
+        cell.numa_node.store(encode(numa), Ordering::Relaxed);
     }
 
     /// Appends a fresh tenant row and returns it (the pool hands the `Arc`
@@ -363,7 +422,8 @@ impl PoolCounters {
                 aggregate.accumulate(cell);
             }
         }
-        PoolSnapshot { tenants, shards }
+        let placement = self.placement.iter().map(|cell| cell.sample()).collect();
+        PoolSnapshot { tenants, shards, placement }
     }
 }
 

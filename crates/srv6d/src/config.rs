@@ -12,6 +12,9 @@
 //! queue-depth = 1024       # descriptor ring slots per shard
 //! rx-burst = 64            # frames pulled per socket read burst
 //! stats-socket = /tmp/srv6d.sock
+//! io-backend = auto        # std | mmsg | auto (raw recvmmsg/sendmmsg bursts)
+//! pin = compact            # none | compact | spread | explicit core list (0,2,4)
+//! pin-dispatcher = 0       # optionally pin the dispatcher thread too
 //!
 //! [tenant edge]
 //! local = fc00::1          # the node address SIDs hang off
@@ -36,7 +39,7 @@
 //! half of it applied.
 
 use netpkt::Ipv6Prefix;
-use seg6_runtime::MAX_WORKERS;
+use seg6_runtime::{PinPolicy, MAX_WORKERS};
 use std::fmt;
 use std::net::{Ipv6Addr, SocketAddr};
 use std::path::{Path, PathBuf};
@@ -85,11 +88,54 @@ pub struct DaemonConfig {
     pub rx_burst: usize,
     /// Unix socket path for the stats/control endpoint (optional).
     pub stats_socket: Option<PathBuf>,
+    /// Socket backend: per-datagram std sockets, raw `recvmmsg`/`sendmmsg`
+    /// bursts, or auto-pick (`io-backend = std|mmsg|auto`). Resolved by
+    /// [`crate::io::resolve_backend`] at start; not live-reloadable.
+    pub io_backend: IoBackendChoice,
+    /// Shard-thread pin policy (`pin = none|compact|spread|<core list>`).
+    pub pinning: PinPolicy,
+    /// Pin the dispatcher thread too (`pin-dispatcher = <core>`).
+    pub pin_dispatcher: Option<u32>,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { workers: 1, batch_size: 32, queue_depth: 1024, rx_burst: 64, stats_socket: None }
+        DaemonConfig {
+            workers: 1,
+            batch_size: 32,
+            queue_depth: 1024,
+            rx_burst: 64,
+            stats_socket: None,
+            io_backend: IoBackendChoice::Std,
+            pinning: PinPolicy::None,
+            pin_dispatcher: None,
+        }
+    }
+}
+
+/// The `io-backend =` choice: which socket implementation the daemon
+/// opens its tenant queues with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackendChoice {
+    /// Standard-library UDP sockets, one syscall per datagram. The
+    /// default: works everywhere, and what every deployment ran before
+    /// the mmsg backend existed.
+    #[default]
+    Std,
+    /// Raw `recvmmsg(2)`/`sendmmsg(2)`, one syscall per burst. Linux
+    /// only; configuring it elsewhere is a start-time error.
+    Mmsg,
+    /// `mmsg` where supported, `std` elsewhere.
+    Auto,
+}
+
+impl fmt::Display for IoBackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IoBackendChoice::Std => "std",
+            IoBackendChoice::Mmsg => "mmsg",
+            IoBackendChoice::Auto => "auto",
+        })
     }
 }
 
@@ -284,8 +330,9 @@ impl Config {
     pub fn reloadable_from(&self, other: &Config) -> Result<(), ConfigError> {
         if self.daemon != other.daemon {
             return Err(ConfigError::global(
-                "[daemon] settings (workers / batch-size / queue-depth / rx-burst / stats-socket) \
-                 cannot change across a live reload — restart the daemon",
+                "[daemon] settings (workers / batch-size / queue-depth / rx-burst / stats-socket / \
+                 io-backend / pin / pin-dispatcher) cannot change across a live reload — restart \
+                 the daemon",
             ));
         }
         Ok(())
@@ -405,6 +452,30 @@ fn daemon_key(daemon: &mut DaemonConfig, num: usize, key: &str, value: &str) -> 
         "queue-depth" => daemon.queue_depth = parse_num("queue-depth")?.max(1),
         "rx-burst" => daemon.rx_burst = parse_num("rx-burst")?.max(1),
         "stats-socket" => daemon.stats_socket = Some(PathBuf::from(value)),
+        "io-backend" | "io_backend" => {
+            daemon.io_backend = match value {
+                "std" => IoBackendChoice::Std,
+                "mmsg" => IoBackendChoice::Mmsg,
+                "auto" => IoBackendChoice::Auto,
+                other => {
+                    return Err(ConfigError::at(
+                        num,
+                        format!("`io-backend` must be std, mmsg or auto (got `{other}`)"),
+                    ))
+                }
+            }
+        }
+        "pin" => {
+            daemon.pinning =
+                value.parse::<PinPolicy>().map_err(|e| ConfigError::at(num, format!("`pin`: {e}")))?
+        }
+        "pin-dispatcher" | "pin_dispatcher" => {
+            daemon.pin_dispatcher = Some(
+                value
+                    .parse::<u32>()
+                    .map_err(|_| ConfigError::at(num, "`pin-dispatcher` must be a core number"))?,
+            )
+        }
         other => return Err(ConfigError::at(num, format!("unknown [daemon] key `{other}`"))),
     }
     Ok(())
@@ -792,5 +863,53 @@ route = ::/0 dev 7
         let mut reshaped = base.clone();
         reshaped.daemon.workers = 1;
         assert!(base.reloadable_from(&reshaped).is_err());
+    }
+
+    #[test]
+    fn io_backend_and_pinning_keys_parse() {
+        let text = GOOD.replace(
+            "stats-socket = /tmp/srv6d-test.sock",
+            "stats-socket = /tmp/srv6d-test.sock\nio-backend = auto\npin = 0,2\npin-dispatcher = 1",
+        );
+        let cfg = Config::parse(&text).unwrap();
+        assert_eq!(cfg.daemon.io_backend, IoBackendChoice::Auto);
+        assert_eq!(cfg.daemon.pinning, PinPolicy::Explicit(vec![0, 2]));
+        assert_eq!(cfg.daemon.pin_dispatcher, Some(1));
+
+        // Underscore spellings are accepted, and the defaults hold when the
+        // keys are absent.
+        let text = GOOD.replace("rx-burst = 32", "rx-burst = 32\nio_backend = mmsg");
+        assert_eq!(Config::parse(&text).unwrap().daemon.io_backend, IoBackendChoice::Mmsg);
+        let cfg = Config::parse(GOOD).unwrap();
+        assert_eq!(cfg.daemon.io_backend, IoBackendChoice::Std);
+        assert_eq!(cfg.daemon.pinning, PinPolicy::None);
+        assert_eq!(cfg.daemon.pin_dispatcher, None);
+    }
+
+    #[test]
+    fn io_backend_and_pinning_keys_reject_bad_values() {
+        for (bad, needle) in [
+            ("io-backend = dpdk", "`io-backend` must be"),
+            ("pin = diagonal", "`pin`:"),
+            ("pin-dispatcher = many", "`pin-dispatcher` must be a core number"),
+        ] {
+            let text = GOOD.replace("rx-burst = 32", &format!("rx-burst = 32\n{bad}"));
+            let err = Config::parse(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{bad}: {err}");
+            assert!(err.contains("line 8"), "{bad} should blame its line: {err}");
+        }
+    }
+
+    #[test]
+    fn reload_guard_rejects_backend_and_pinning_changes() {
+        let base = Config::parse(GOOD).unwrap();
+        let mut flipped = base.clone();
+        flipped.daemon.io_backend = IoBackendChoice::Mmsg;
+        let err = base.reloadable_from(&flipped).unwrap_err().to_string();
+        assert!(err.contains("io-backend"), "{err}");
+
+        let mut pinned = base.clone();
+        pinned.daemon.pinning = PinPolicy::Compact;
+        assert!(base.reloadable_from(&pinned).is_err());
     }
 }

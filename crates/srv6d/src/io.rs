@@ -7,6 +7,8 @@
 //! fabric lifecycle tests run the whole daemon on: same daemon code, no
 //! network, every injected frame observable on the far side.
 
+use crate::config::IoBackendChoice;
+use netpkt::sockio::mmsg::{self, MmsgRx, MmsgTx};
 use netpkt::sockio::{mem_link, FrameBatch, MemRx, MemTx, PacketRx, PacketTx, UdpRx, UdpTx};
 use std::collections::HashMap;
 use std::io;
@@ -37,6 +39,51 @@ impl IoBackend for UdpBackend {
 
     fn open_tx(&mut self, _tenant: &str, _oif: u32, peer: SocketAddr) -> io::Result<Box<dyn PacketTx>> {
         Ok(Box::new(UdpTx::connect(peer)?))
+    }
+}
+
+/// The raw-syscall backend: `recvmmsg(2)`/`sendmmsg(2)` sockets from
+/// [`netpkt::sockio::mmsg`], moving a whole burst per syscall. Linux
+/// only — [`resolve_backend`] decides whether to hand this one out.
+#[derive(Debug, Default)]
+pub struct MmsgBackend;
+
+impl IoBackend for MmsgBackend {
+    fn open_rx(&mut self, _tenant: &str, _queue: u32, listen: SocketAddr) -> io::Result<Box<dyn PacketRx>> {
+        Ok(Box::new(MmsgRx::bind(listen)?))
+    }
+
+    fn open_tx(&mut self, _tenant: &str, _oif: u32, peer: SocketAddr) -> io::Result<Box<dyn PacketTx>> {
+        Ok(Box::new(MmsgTx::connect(peer)?))
+    }
+}
+
+/// Resolves the configured `io-backend` choice to a concrete backend plus
+/// the name `srv6d check` and the startup banner print. `std` and `mmsg`
+/// are literal; `auto` takes mmsg where the host supports it and falls
+/// back to std elsewhere — the callers never `cfg` on the platform, the
+/// same pattern as the exec-tier auto-pick. Asking for `mmsg` explicitly
+/// on a host without it is a start-time error, not a silent downgrade.
+pub fn resolve_backend(choice: IoBackendChoice) -> io::Result<(Box<dyn IoBackend>, &'static str)> {
+    match choice {
+        IoBackendChoice::Std => Ok((Box::new(UdpBackend), "std")),
+        IoBackendChoice::Mmsg => {
+            if mmsg::supported() {
+                Ok((Box::new(MmsgBackend), "mmsg"))
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "io-backend = mmsg requires Linux (use 'auto' to fall back)",
+                ))
+            }
+        }
+        IoBackendChoice::Auto => {
+            if mmsg::supported() {
+                Ok((Box::new(MmsgBackend), "mmsg"))
+            } else {
+                Ok((Box::new(UdpBackend), "std"))
+            }
+        }
     }
 }
 

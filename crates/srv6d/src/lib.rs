@@ -37,7 +37,9 @@ pub mod daemon;
 pub mod io;
 pub mod stats;
 
-pub use config::{Config, ConfigError, DaemonConfig, RouteSpec, SidBehaviour, SidSpec, TenantConfig};
+pub use config::{
+    Config, ConfigError, DaemonConfig, IoBackendChoice, RouteSpec, SidBehaviour, SidSpec, TenantConfig,
+};
 pub use daemon::{DaemonDrainReport, DaemonError, ReloadReport, ServicePass, Srv6Daemon, TenantFinal};
-pub use io::{IoBackend, MemBackend, UdpBackend};
+pub use io::{resolve_backend, IoBackend, MemBackend, MmsgBackend, UdpBackend};
 pub use stats::{control, ControlFlags, DaemonShared, StatsServer, TenantIo, TenantMeta};

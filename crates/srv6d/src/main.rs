@@ -13,7 +13,7 @@
 //! deployments without signal access (and the CI smoke test) drive the
 //! identical paths.
 
-use srv6d::{Config, Srv6Daemon, UdpBackend};
+use srv6d::{resolve_backend, Config, Srv6Daemon};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
@@ -112,6 +112,53 @@ fn check(args: &[String]) -> ExitCode {
                 config.tenants.iter().map(|t| t.routes.len()).sum::<usize>(),
                 config.tenants.iter().map(|t| t.sids.len()).sum::<usize>()
             );
+            // Resolve the io-backend exactly as `run` would, so a config
+            // that cannot start here (mmsg on a non-Linux host) fails the
+            // check rather than the deploy.
+            match resolve_backend(config.daemon.io_backend) {
+                Ok((_, name)) => {
+                    println!("io-backend: {} (configured {})", name, config.daemon.io_backend)
+                }
+                Err(e) => {
+                    eprintln!("io-backend: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            let cores = seg6_runtime::affinity::available_cores();
+            let plan = config.daemon.pinning.plan(config.daemon.workers, &cores);
+            println!(
+                "pinning: {} ({} cores online){}",
+                config.daemon.pinning,
+                cores.len(),
+                config
+                    .daemon
+                    .pin_dispatcher
+                    .map(|core| format!(", dispatcher -> cpu{core}"))
+                    .unwrap_or_default()
+            );
+            for (shard, core) in plan.iter().enumerate() {
+                match core {
+                    Some(core) => {
+                        let node = seg6_runtime::affinity::numa_node_of_cpu(*core)
+                            .map(|n| format!(" (numa {n})"))
+                            .unwrap_or_default();
+                        println!("  shard {shard} -> cpu{core}{node}");
+                    }
+                    None => println!("  shard {shard} -> unpinned"),
+                }
+            }
+            let nodes = seg6_runtime::affinity::numa_nodes();
+            if nodes.is_empty() {
+                println!("numa: topology not exposed by this host");
+            } else {
+                for (node, cpus) in nodes {
+                    println!(
+                        "numa: node {} -> cpus {}",
+                        node,
+                        cpus.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+                    );
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -151,7 +198,14 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(stats) = &stats {
         config.daemon.stats_socket = Some(stats.clone());
     }
-    let mut daemon = match Srv6Daemon::start(config, Box::new(UdpBackend)) {
+    let (backend, backend_name) = match resolve_backend(config.daemon.io_backend) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            eprintln!("srv6d: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut daemon = match Srv6Daemon::start(config, backend) {
         Ok(daemon) => daemon,
         Err(e) => {
             eprintln!("srv6d: {e}");
@@ -161,7 +215,7 @@ fn run(args: &[String]) -> ExitCode {
     let shared = daemon.shared();
     signals::install();
     println!(
-        "srv6d: serving {} tenants on {} queues each{}",
+        "srv6d: serving {} tenants on {} queues each, io-backend {backend_name}{}",
         daemon.config().tenants.len(),
         daemon.config().daemon.workers,
         daemon

@@ -281,3 +281,53 @@ fn stats_socket_serves_metrics_and_control() {
     daemon.drain();
     assert!(!socket.exists(), "stats socket file removed on drain");
 }
+
+/// Pulls the value of the metric line starting with `prefix`.
+fn metric_value(metrics: &str, prefix: &str) -> f64 {
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no `{prefix}` line in:\n{metrics}"));
+    line.rsplit(' ').next().unwrap().parse().expect("numeric metric value")
+}
+
+/// The derived gauges: `srv6d_cost_rate` differentiates the cost counter
+/// over the scrape window, `srv6d_budget_headroom` subtracts it from the
+/// configured budget, and the placement gauges report each shard's
+/// pin/NUMA state (-1 sentinels when unpinned, as in this unpinned run).
+#[test]
+fn metrics_expose_cost_rates_and_placement() {
+    let mem = MemBackend::new(512);
+    let config = Config::parse(
+        "[daemon]\nworkers = 2\n\
+         [tenant edge]\nlocal = fc00::1\nlisten = [::1]:44200\npeer = 1 [::1]:44300\n\
+         budget = 1000000\nroute = ::/0 dev 1",
+    )
+    .unwrap();
+    let mut daemon = Srv6Daemon::start(config, Box::new(mem.clone())).expect("starts");
+    let shared = daemon.shared();
+
+    // First scrape opens the rate window: no history yet, rate is 0.
+    let first = shared.render_metrics();
+    assert_eq!(metric_value(&first, "srv6d_cost_rate{tenant=\"edge\",slot=\"0\"}"), 0.0);
+
+    for flow in 0..64 {
+        assert!(mem.inject("edge", 0, &frame_to("2001:db8:f::1", flow)));
+    }
+    service_until_processed(&mut daemon, 0, 64);
+    std::thread::sleep(Duration::from_millis(20));
+
+    let metrics = shared.render_metrics();
+    let rate = metric_value(&metrics, "srv6d_cost_rate{tenant=\"edge\",slot=\"0\"}");
+    assert!(rate > 0.0, "cost accrued this window must show as a positive rate: {metrics}");
+    let headroom = metric_value(&metrics, "srv6d_budget_headroom{tenant=\"edge\",slot=\"0\"}");
+    assert!(headroom < 1_000_000.0, "headroom = budget - rate: {metrics}");
+    assert!((headroom - (1_000_000.0 - rate)).abs() < 1e-6, "{headroom} vs {rate}");
+
+    // No `pin =` key: both shards report the -1 sentinels.
+    for shard in 0..2 {
+        assert_eq!(metric_value(&metrics, &format!("srv6d_shard_pinned_core{{shard=\"{shard}\"}}")), -1.0);
+        assert_eq!(metric_value(&metrics, &format!("srv6d_shard_numa_node{{shard=\"{shard}\"}}")), -1.0);
+    }
+    daemon.drain();
+}

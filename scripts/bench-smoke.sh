@@ -55,6 +55,8 @@ for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     tenant_scaling/shared_4t_4w tenant_scaling/per_node_4t_4w \
     tenant_scaling/noisy_fifo_1w tenant_scaling/noisy_qos_1w \
     srv6d_io/mem_ingest_1w srv6d_io/udp_loopback_1w \
+    srv6d_io/mmsg_loopback_1w srv6d_io/udp_loopback_1w_syscalls \
+    srv6d_io/mmsg_loopback_1w_syscalls \
     jit_speedup/srh_walk_interp jit_speedup/srh_walk_microop \
     jit_speedup/srh_walk_fused jit_speedup/srh_walk_native \
     jit_speedup/end_dp_interp jit_speedup/end_dp_native \
@@ -89,6 +91,28 @@ awk -v i="$interp_ns" -v n="$native_ns" -v min="$MIN_JIT_SPEEDUP" 'BEGIN {
     printf "jit_speedup gate: native %.1fx interpreter (minimum %.1fx)\n", ratio, min
     if (ratio < min) {
         printf "native tier too slow: %.1fx < %.1fx\n", ratio, min > "/dev/stderr"
+        exit 1
+    }
+}'
+
+# Socket-backend ratio gate: recvmmsg/sendmmsg must move the same
+# traffic in at least MIN_MMSG_SYSCALL_SAVING× fewer syscalls than the
+# per-datagram std backend. The syscall counts come from the daemon's
+# own counters (see srv6d_io in the bench), so unlike wall-clock this
+# gate is deterministic even on a loaded 1-core host.
+MIN_MMSG_SYSCALL_SAVING="${MIN_MMSG_SYSCALL_SAVING:-1.3}"
+udp_syscalls="$(row_ns srv6d_io/udp_loopback_1w_syscalls || true)"
+mmsg_syscalls="$(row_ns srv6d_io/mmsg_loopback_1w_syscalls || true)"
+if [ -z "$udp_syscalls" ] || [ -z "$mmsg_syscalls" ]; then
+    echo "could not extract srv6d_io syscall rates" >&2
+    exit 1
+fi
+awk -v u="$udp_syscalls" -v m="$mmsg_syscalls" -v min="$MIN_MMSG_SYSCALL_SAVING" 'BEGIN {
+    ratio = u / m
+    printf "srv6d_io gate: mmsg moves a kframe in %.1fx fewer syscalls than std (minimum %.1fx)\n", \
+        ratio, min
+    if (ratio < min) {
+        printf "mmsg backend saves too few syscalls: %.1fx < %.1fx\n", ratio, min > "/dev/stderr"
         exit 1
     }
 }'

@@ -10,7 +10,8 @@
 #   scripts/srv6d-smoke.sh
 #
 # Environment:
-#   SRV6D  path to a prebuilt srv6d binary (default: builds --release)
+#   SRV6D       path to a prebuilt srv6d binary (default: builds --release)
+#   IO_BACKEND  io-backend config value: std (default), mmsg, or auto
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,12 +33,16 @@ cfg="$work/srv6d.conf"
 sock="$work/stats.sock"
 log="$work/srv6d.log"
 
-cat >"$cfg" <<'CONF'
+IO_BACKEND="${IO_BACKEND:-std}"
+
+cat >"$cfg" <<CONF
 [daemon]
 workers = 1
 batch-size = 32
 queue-depth = 1024
 rx-burst = 64
+io-backend = $IO_BACKEND
+pin = compact
 
 [tenant edge]
 local = fc00::1
@@ -54,8 +59,19 @@ sid = fc00::1:0:d6 end.dt6 customers
 CONF
 
 # --- validate-only path -----------------------------------------------
-"$SRV6D" check --config "$cfg" | grep -q '^ok: 1 tenants' || {
+check_out="$("$SRV6D" check --config "$cfg")"
+printf '%s\n' "$check_out" | grep -q '^ok: 1 tenants' || {
     echo "srv6d check rejected a valid config" >&2
+    exit 1
+}
+printf '%s\n' "$check_out" | grep -q "^io-backend: .* (configured $IO_BACKEND)" || {
+    echo "srv6d check did not report the resolved io-backend:" >&2
+    printf '%s\n' "$check_out" >&2
+    exit 1
+}
+printf '%s\n' "$check_out" | grep -q '^pinning: compact' || {
+    echo "srv6d check did not report the pinning plan:" >&2
+    printf '%s\n' "$check_out" >&2
     exit 1
 }
 
@@ -95,6 +111,33 @@ printf '%s\n' "$metrics" | grep -q 'srv6d_rejected_over_budget_total{tenant="edg
     echo "metrics missing the QoS over-budget counter rows" >&2
     exit 1
 }
+printf '%s\n' "$metrics" | grep -q 'srv6d_cost_rate{tenant="edge",slot="0"}' || {
+    echo "metrics missing the per-tenant cost-rate gauge" >&2
+    exit 1
+}
+printf '%s\n' "$metrics" | grep -q 'srv6d_budget_headroom{tenant="edge",slot="0"}' || {
+    echo "metrics missing the budget-headroom gauge (tenant has a budget)" >&2
+    exit 1
+}
+
+# --- shard pinning ----------------------------------------------------
+# `pin = compact` pins shard 0 to the first allowed core; the gauge is
+# -1 only when pinning failed. Pinning is a placement hint, so on a
+# single-core host (where the scheduler has no choice anyway) this is a
+# logged skip rather than a failure.
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
+    printf '%s\n' "$metrics" | grep -q 'srv6d_shard_pinned_core{shard="0"} [0-9]' || {
+        echo "shard 0 not pinned despite pin = compact on a multi-core host:" >&2
+        printf '%s\n' "$metrics" | grep 'srv6d_shard_' >&2
+        exit 1
+    }
+else
+    printf '%s\n' "$metrics" | grep -q 'srv6d_shard_pinned_core{shard="0"}' || {
+        echo "metrics missing the shard placement gauges" >&2
+        exit 1
+    }
+    echo "srv6d smoke: 1-core host, pinning gauge present but value not asserted"
+fi
 
 # --- live reload: add a route, keep the tenant ------------------------
 cat >>"$cfg" <<'CONF'
