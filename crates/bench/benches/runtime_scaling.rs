@@ -742,6 +742,17 @@ fn bench_srv6d_io(c: &mut Criterion) {
     }
 }
 
+/// The unrolled SRH + payload byte walk (one load plus two ALU ops per
+/// offset, packet pointer in `r8`, accumulators in `r0`/`r3`), shared by
+/// the VM-level `srh_walk` rows and the `end_scan_dp` datapath rows.
+fn srh_walk_body(packet_len: usize) -> String {
+    let mut body = String::new();
+    for off in 40..(packet_len - 8) {
+        body.push_str(&format!("ldxb r2, [r8+{off}]\nadd64 r0, r2\nxor64 r3, r0\n"));
+    }
+    body
+}
+
 /// The execution-tier rows: one verified program, four tiers.
 ///
 /// `srh_walk_*` is a compute-heavy straight-line program (an unrolled walk
@@ -750,9 +761,13 @@ fn bench_srv6d_io(c: &mut Criterion) {
 /// execution cost: interpreter dispatch vs. pre-decoded micro-ops vs. fused
 /// superinstructions vs. native x86-64 code with verifier-elided checks.
 /// `bench-smoke.sh` gates `srh_walk_native` at `MIN_JIT_SPEEDUP`× (default
-/// 3×) over `srh_walk_interp`. The `*_dp_*` rows run the shipped `End`,
-/// `End.X` and `End.T` programs through the full datapath, where per-packet
-/// setup dominates — those are presence-gated only.
+/// 3×) over `srh_walk_interp`. The `*_dp_*` rows run endpoint programs
+/// through the full datapath: the shipped `End`, `End.X` and `End.T`
+/// programs plus `end_scan`, the same byte walk attached as an `End.BPF`
+/// policy. `bench-smoke.sh` gates `end_scan_dp` at `MIN_DP_SPEEDUP`×
+/// (default 1.15×) and holds `end_dp`/`end_x_dp`/`end_t_dp` — whose
+/// programs are a dozen trivial instructions, so per-packet datapath work
+/// dominates — to a `MIN_DP_FLOOR` non-regression floor.
 fn bench_jit_speedup(c: &mut Criterion) {
     use ebpf_vm::vm::{run_program_with_state, NullEnv, RunContext, RunState, PKT_BASE};
     use ebpf_vm::ExecTier;
@@ -767,10 +782,7 @@ fn bench_jit_speedup(c: &mut Criterion) {
     let template =
         build_srv6_udp_packet(addr("2001:db8::1"), &srh, 1024, 5001, &[0u8; 64], 64).data().to_vec();
     let mut source = String::from("mov64 r9, r1\nldxdw r8, [r9+0]\nmov64 r0, 0\nmov64 r3, 0\n");
-    // Walk the SRH + payload: one byte load plus two ALU ops per offset.
-    for off in 40..(template.len() - 8) {
-        source.push_str(&format!("ldxb r2, [r8+{off}]\nadd64 r0, r2\nxor64 r3, r0\n"));
-    }
+    source.push_str(&srh_walk_body(template.len()));
     source.push_str("xor64 r0, r3\nexit\n");
     let insns = ebpf_vm::asm::assemble(&source).expect("srh_walk assembles");
     let prog = ebpf_vm::program::Program::new("srh_walk", ebpf_vm::program::ProgramType::LwtSeg6Local, insns);
@@ -784,6 +796,9 @@ fn bench_jit_speedup(c: &mut Criterion) {
         let mut packet = template.clone();
         let mut ctx = ctx.clone();
         let mut env = NullEnv;
+        // One program execution per iteration: the BENCH_JSON rows carry
+        // elem/s so the smoke gate can compare tiers by rate, not only ns.
+        group.throughput(Throughput::Elements(1));
         group.bench_function(format!("srh_walk_{}", tier.name()), |b| {
             b.iter(|| {
                 let mut rc = RunContext { ctx: &mut ctx, packet: &mut packet, env: &mut env };
@@ -792,12 +807,26 @@ fn bench_jit_speedup(c: &mut Criterion) {
         });
     }
 
-    // --- Datapath rows: the shipped endpoint programs, interp vs native ---
+    // --- Datapath rows: endpoint programs end-to-end, interp vs native ---
+    // `end_scan` attaches the byte walk as an `End.BPF` policy program (an
+    // OAM-style per-packet telemetry scan), so one datapath row exists
+    // where program execution is a large share of the per-packet cost and
+    // the tier ratio is meaningful end-to-end. The walk is guarded by the
+    // context `len` field and returns `BPF_OK`.
+    let mut scan =
+        String::from("mov64 r9, r1\nldxdw r8, [r9+0]\nldxw r7, [r9+16]\nmov64 r0, 0\nmov64 r3, 0\n");
+    scan.push_str(&format!("jlt r7, {}, short\n", template.len()));
+    scan.push_str(&srh_walk_body(template.len()));
+    scan.push_str("short:\nmov64 r0, 0\nexit\n");
+    let scan_insns = ebpf_vm::asm::assemble(&scan).expect("end_scan assembles");
+    let scan_prog =
+        ebpf_vm::program::Program::new("end_scan", ebpf_vm::program::ProgramType::LwtSeg6Local, scan_insns);
     let nexthop = addr("fe80::42");
-    let progs: [(&str, ebpf_vm::Program); 3] = [
+    let progs: [(&str, ebpf_vm::Program); 4] = [
         ("end", end_program()),
         ("end_x", srv6_nf::end_x_program(nexthop)),
         ("end_t", srv6_nf::end_t_program(100)),
+        ("end_scan", scan_prog),
     ];
     for (name, prog) in progs {
         for tier in [ExecTier::Interp, ExecTier::Native] {

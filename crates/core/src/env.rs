@@ -10,7 +10,7 @@
 
 use crate::fib::RouterTables;
 use crate::skb::RouteOverride;
-use ebpf_vm::vm::VmEnv;
+use ebpf_vm::vm::{EnvSnapshot, VmEnv};
 use std::any::Any;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
@@ -122,6 +122,13 @@ impl VmEnv for Seg6Env {
 
     fn trace(&mut self, message: &str) {
         self.traces.push(message.to_string());
+    }
+
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        // `now_ns` and `cpu` are fixed for the lifetime of one invocation,
+        // so the native tier may inline them (prandom mutates state and
+        // stays a real call).
+        Some(EnvSnapshot { ktime_ns: self.now_ns, cpu_id: self.cpu })
     }
 }
 

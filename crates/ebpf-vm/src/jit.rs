@@ -147,6 +147,41 @@ pub enum MicroOp {
     Nop,
 }
 
+impl MicroOp {
+    /// Calls `f` with every BPF register this op reads or writes — the
+    /// liveness metadata the native tier's register allocator consumes. A
+    /// helper call mentions `r0`–`r5` (arguments and return value), `Exit`
+    /// mentions `r0`.
+    pub fn for_each_reg(&self, mut f: impl FnMut(u8)) {
+        match *self {
+            MicroOp::AluImm { dst, .. }
+            | MicroOp::Neg { dst, .. }
+            | MicroOp::ByteSwap { dst, .. }
+            | MicroOp::LoadImm64 { dst, .. }
+            | MicroOp::StoreImm { dst, .. } => f(dst),
+            MicroOp::AluReg { dst, src, .. }
+            | MicroOp::Load { dst, src, .. }
+            | MicroOp::StoreReg { dst, src, .. } => {
+                f(dst);
+                f(src);
+            }
+            MicroOp::JumpIf { dst, rhs, .. } => {
+                f(dst);
+                if let Operand::Reg(src) = rhs {
+                    f(src);
+                }
+            }
+            MicroOp::Call { .. } => {
+                for reg in 0..6 {
+                    f(reg);
+                }
+            }
+            MicroOp::Exit => f(0),
+            MicroOp::Jump { .. } | MicroOp::Nop => {}
+        }
+    }
+}
+
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct JitProgram {

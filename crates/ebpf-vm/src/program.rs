@@ -224,6 +224,11 @@ pub struct LoadedProgram {
     /// a backend. Shared behind an `Arc` so cloning a program shares the
     /// executable pages instead of re-emitting them.
     native_cache: OnceLock<Option<Arc<crate::codegen::NativeProgram>>>,
+    /// Process-unique load identity. Per-state native caches (the
+    /// map-lookup site cache) are keyed by this rather than by pointer —
+    /// a freed program's address can be reused by a later load, which
+    /// would let a persistent state serve another program's cache entries.
+    uid: u64,
 }
 
 impl LoadedProgram {
@@ -277,6 +282,11 @@ impl LoadedProgram {
             let _ = self.native_cache.set(native.map(Arc::new));
         }
         Ok(self.native_cache.get().expect("cache populated above").as_deref())
+    }
+
+    /// Process-unique identity of this load, for per-state native caches.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The execution tier [`crate::vm::run_program`] will use.
@@ -347,6 +357,7 @@ pub fn load(
         helper_ids.push(id);
         helper_table.push(*desc);
     }
+    static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
     let loaded = Arc::new(LoadedProgram {
         program,
         maps: used,
@@ -359,6 +370,7 @@ pub fn load(
         interp_cache: OnceLock::new(),
         fused_cache: OnceLock::new(),
         native_cache: OnceLock::new(),
+        uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
     });
     // Build every tier's artifact now, as the kernel JIT compiles at
     // BPF_PROG_LOAD time: the per-packet path only ever reads caches, and
@@ -366,7 +378,11 @@ pub fn load(
     let _ = loaded.interp_image();
     loaded.jit()?;
     loaded.fused()?;
-    loaded.native()?;
+    if let Some(native) = loaded.native()? {
+        if std::env::var("SEG6_JIT_DEBUG").is_ok_and(|v| v == "1") {
+            eprintln!("{}", crate::disasm::native_report(&loaded.program.name, native.debug_info()));
+        }
+    }
     Ok(loaded)
 }
 

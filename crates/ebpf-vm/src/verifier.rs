@@ -63,8 +63,9 @@ pub struct VerifierStats {
 /// bounds compare the kernel's direct-packet-access contract requires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AccessFact {
-    /// Nothing uniform was proven (map values, or paths disagreeing on the
-    /// region): resolve the access generically at run time.
+    /// Nothing uniform was proven (paths disagreeing on the region, or a
+    /// map-value access whose offset could not be bounded statically):
+    /// resolve the access generically at run time.
     #[default]
     Other,
     /// Every path reaches the insn with an in-bounds stack pointer at a
@@ -80,6 +81,21 @@ pub enum AccessFact {
     /// Every path reaches the insn with a packet pointer (loads only —
     /// packet stores are rejected outright).
     Packet,
+    /// Every path reaches the insn with a null-checked map-value pointer
+    /// whose statically-known offset plus access size fits inside the
+    /// map's value: the native tier accesses the value bytes directly
+    /// through the per-run region table, no trampoline needed.
+    MapValue,
+    /// Recorded at the `call bpf_map_lookup_elem` instruction itself (not a
+    /// load/store): every path reaches the call with the same map handle in
+    /// `r1`. The native tier uses this to emit the array-lookup fast path.
+    MapLookup {
+        /// The map file descriptor `r1` holds on every path.
+        fd: u32,
+        /// Whether `r2` (the key pointer) is a statically-bounded stack
+        /// pointer on every path — required for the inline key read.
+        key_in_stack: bool,
+    },
 }
 
 /// Per-instruction memory-access facts for a verified program, indexed by
@@ -132,6 +148,12 @@ enum RegType {
     PtrToMapValue {
         /// Whether the pointer may still be NULL on this path.
         maybe_null: bool,
+        /// Byte offset from the start of the value; `None` once the program
+        /// added a non-constant amount to the pointer.
+        offset: Option<i64>,
+        /// Size of the map's values, captured from the map handle at the
+        /// lookup call site (0 when the map could not be identified).
+        value_size: u32,
     },
     /// Opaque map handle loaded by a pseudo-map-fd `lddw`.
     MapPtr(u32),
@@ -487,11 +509,21 @@ impl<'a> Verifier<'a> {
                 self.facts.record(pc, AccessFact::Packet);
                 Ok(())
             }
-            RegType::PtrToMapValue { maybe_null } => {
+            RegType::PtrToMapValue { maybe_null, offset, value_size } => {
                 if maybe_null {
                     return Err(Error::verifier(pc, "possible NULL map-value dereference; add a null check"));
                 }
-                self.facts.record(pc, AccessFact::Other);
+                // A statically-bounded access inside the value earns the
+                // direct-access fact; anything the symbolic execution could
+                // not bound stays on the generic run-time path (which
+                // faults out-of-bounds accesses exactly as before).
+                let fact = match offset {
+                    Some(o) if o + off >= 0 && value_size > 0 && o + off + len <= i64::from(value_size) => {
+                        AccessFact::MapValue
+                    }
+                    _ => AccessFact::Other,
+                };
+                self.facts.record(pc, fact);
                 Ok(())
             }
             RegType::MapPtr(_) => Err(Error::verifier(pc, "map handles cannot be dereferenced directly")),
@@ -609,11 +641,15 @@ impl<'a> Verifier<'a> {
                 (RegType::PtrToStack(_) | RegType::PtrToCtx(_), None) => {
                     return Err(Error::verifier(pc, "variable offset into stack or context is not allowed"));
                 }
-                (RegType::PtrToMapValue { maybe_null }, _) => {
+                (RegType::PtrToMapValue { maybe_null, offset, value_size }, delta) => {
                     if maybe_null {
                         return Err(Error::verifier(pc, "arithmetic on a possibly-NULL map value pointer"));
                     }
-                    RegType::PtrToMapValue { maybe_null: false }
+                    let offset = match (offset, delta) {
+                        (Some(o), Some(d)) => Some(o + d),
+                        _ => None,
+                    };
+                    RegType::PtrToMapValue { maybe_null: false, offset, value_size }
                 }
                 (RegType::MapPtr(_), _) => {
                     return Err(Error::verifier(pc, "arithmetic on map handles is not allowed"));
@@ -674,12 +710,31 @@ impl<'a> Verifier<'a> {
                         ),
                     ));
                 }
+                // For map lookups, capture what r1 (the map handle) and r2
+                // (the key pointer) hold *before* the call clobbers them —
+                // the native tier uses these facts for its inline fast path
+                // and to bound later dereferences of the returned pointer.
+                let mut value_size = 0u32;
+                if id == ids::MAP_LOOKUP_ELEM {
+                    if let RegType::MapPtr(fd) = regs.regs[1] {
+                        if let Some(map) = self.maps.get(&fd) {
+                            value_size = map.value_size() as u32;
+                            let key_in_stack = match regs.regs[2] {
+                                RegType::PtrToStack(off) => {
+                                    off >= 0 && off + map.key_size() as i64 <= STACK_SIZE as i64
+                                }
+                                _ => false,
+                            };
+                            self.facts.record(pc, AccessFact::MapLookup { fd, key_in_stack });
+                        }
+                    }
+                }
                 // r1-r5 are clobbered, r0 carries the result.
                 for r in 1..=5 {
                     regs.regs[r] = RegType::Uninit;
                 }
                 regs.regs[0] = if id == ids::MAP_LOOKUP_ELEM {
-                    RegType::PtrToMapValue { maybe_null: true }
+                    RegType::PtrToMapValue { maybe_null: true, offset: Some(0), value_size }
                 } else {
                     RegType::Scalar(None)
                 };
@@ -697,13 +752,14 @@ impl<'a> Verifier<'a> {
                 // Null-check refinement: `if (ptr == 0)` / `if (ptr != 0)`
                 // clears `maybe_null` on the branch where the pointer is
                 // known to be non-NULL.
-                if let RegType::PtrToMapValue { maybe_null: true } = dst_type {
+                if let RegType::PtrToMapValue { maybe_null: true, offset, value_size } = dst_type {
+                    let non_null = RegType::PtrToMapValue { maybe_null: false, offset, value_size };
                     if compares_to_zero_imm && op == jmp::JEQ {
                         // taken: ptr is NULL; fallthrough: non-NULL.
                         taken_regs.regs[usize::from(insn.dst)] = RegType::Scalar(Some(0));
-                        regs.regs[usize::from(insn.dst)] = RegType::PtrToMapValue { maybe_null: false };
+                        regs.regs[usize::from(insn.dst)] = non_null;
                     } else if compares_to_zero_imm && op == jmp::JNE {
-                        taken_regs.regs[usize::from(insn.dst)] = RegType::PtrToMapValue { maybe_null: false };
+                        taken_regs.regs[usize::from(insn.dst)] = non_null;
                         regs.regs[usize::from(insn.dst)] = RegType::Scalar(Some(0));
                     }
                 }
@@ -916,6 +972,69 @@ mod tests {
             Insn::exit(),
         ];
         verify_with_map(with_check).unwrap();
+    }
+
+    #[test]
+    fn map_value_accesses_earn_direct_facts() {
+        let fd = 1u32;
+        let mut lddw = Insn::lddw_lo(1, map_ptr_value(fd));
+        lddw.src = PSEUDO_MAP_FD;
+        lddw.imm = fd as i32;
+        // lookup; null check; 4-byte loads at offsets 0 and 4 (value is 8
+        // bytes, so both are statically in bounds); then a load through the
+        // pointer after adding an unknown scalar (degrades to Other).
+        let insns = vec![
+            lddw,
+            Insn::lddw_hi(0),
+            Insn::mov64_reg(2, 10),
+            Insn::alu64_imm(alu::ADD, 2, -8),
+            Insn::store_imm(AccessSize::Word, 10, -8, 0),
+            Insn::call(ids::MAP_LOOKUP_ELEM),
+            Insn::jmp_imm(jmp::JEQ, 0, 0, 5),
+            Insn::load(AccessSize::Word, 3, 0, 0),
+            Insn::load(AccessSize::Word, 4, 0, 4),
+            Insn::alu64_reg(alu::ADD, 0, 3),
+            Insn::load(AccessSize::Byte, 5, 0, 0),
+            Insn::mov64_imm(0, 0),
+            Insn::exit(),
+        ];
+        let prog = Program::new("t", ProgramType::SocketFilter, insns);
+        let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+        maps.insert(1, ArrayMap::new(8, 4));
+        let (_, facts) = verify_with_facts(&prog, &HelperRegistry::with_base_helpers(), &maps).unwrap();
+        assert_eq!(facts.get(5), AccessFact::MapLookup { fd: 1, key_in_stack: true });
+        assert_eq!(facts.get(7), AccessFact::MapValue);
+        assert_eq!(facts.get(8), AccessFact::MapValue);
+        assert_eq!(facts.get(10), AccessFact::Other, "unknown offset must stay generic");
+    }
+
+    #[test]
+    fn map_value_facts_degrade_past_the_value_bound() {
+        let fd = 1u32;
+        let mut lddw = Insn::lddw_lo(1, map_ptr_value(fd));
+        lddw.src = PSEUDO_MAP_FD;
+        lddw.imm = fd as i32;
+        // An 8-byte load at offset 4 of an 8-byte value crosses the bound:
+        // still accepted (the run-time path faults it, as before), but it
+        // must not earn the direct-access fact.
+        let insns = vec![
+            lddw,
+            Insn::lddw_hi(0),
+            Insn::mov64_reg(2, 10),
+            Insn::alu64_imm(alu::ADD, 2, -8),
+            Insn::store_imm(AccessSize::Word, 10, -8, 0),
+            Insn::call(ids::MAP_LOOKUP_ELEM),
+            Insn::jmp_imm(jmp::JEQ, 0, 0, 2),
+            Insn::load(AccessSize::Double, 3, 0, 4),
+            Insn::mov64_imm(0, 0),
+            Insn::mov64_imm(0, 0),
+            Insn::exit(),
+        ];
+        let prog = Program::new("t", ProgramType::SocketFilter, insns);
+        let mut maps: HashMap<u32, MapHandle> = HashMap::new();
+        maps.insert(1, ArrayMap::new(8, 4));
+        let (_, facts) = verify_with_facts(&prog, &HelperRegistry::with_base_helpers(), &maps).unwrap();
+        assert_eq!(facts.get(7), AccessFact::Other);
     }
 
     #[test]

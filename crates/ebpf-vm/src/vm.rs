@@ -69,6 +69,18 @@ pub fn fd_from_map_ptr(value: u64) -> Option<u32> {
     }
 }
 
+/// A per-invocation snapshot of the trivially-pure helper results, used by
+/// the native tier to inline `bpf_ktime_get_ns` / `bpf_get_smp_processor_id`
+/// (and to tag the array-map lookup cache) as direct loads instead of
+/// trampoline calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvSnapshot {
+    /// The value `ktime_ns()` returns for the whole invocation.
+    pub ktime_ns: u64,
+    /// The value `cpu_id()` returns for the whole invocation.
+    pub cpu_id: u32,
+}
+
 /// Kernel-side services available to helpers.
 ///
 /// The base implementation is enough for pure computation; embedders such as
@@ -94,6 +106,16 @@ pub trait VmEnv {
     }
     /// Sink for `bpf_trace_printk`.
     fn trace(&mut self, _message: &str) {}
+
+    /// Environments whose `ktime_ns`/`cpu_id` are stable for the duration of
+    /// one program run may return a snapshot of them, which lets the native
+    /// tier inline those helpers as direct loads. Environments that log,
+    /// count or otherwise observe each helper call (e.g. the differential
+    /// fuzz recorder) must keep the default `None` so every call still goes
+    /// through the trampoline.
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        None
+    }
 }
 
 /// A [`VmEnv`] with no services, for tests and pure programs.
@@ -103,6 +125,10 @@ pub struct NullEnv;
 impl VmEnv for NullEnv {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot(&mut self) -> Option<EnvSnapshot> {
+        Some(EnvSnapshot { ktime_ns: 0, cpu_id: 0 })
     }
 }
 
@@ -126,6 +152,16 @@ pub struct RunState {
     pub stack: Vec<u8>,
     /// Map-value regions made visible to the program by lookups.
     value_regions: Vec<ValueRef>,
+    /// Per-region bias (`host data pointer - synthetic region base`), kept
+    /// parallel to `value_regions` so the native tier can turn a synthetic
+    /// map-value address into a host address with one table load.
+    region_bias: Vec<u64>,
+    /// Dedup index from the `ValueRef` allocation to its region, so repeated
+    /// lookups of the same value return the same synthetic address.
+    region_dedup: HashMap<usize, u64>,
+    /// Native-tier array-lookup site caches, keyed by program uid. Entries
+    /// are `[tag, addr]` pairs per call site (see `codegen`).
+    site_caches: Vec<(u64, Box<[u64]>)>,
     /// Number of instructions executed so far.
     pub insn_executed: u64,
     /// Maximum number of instructions before aborting.
@@ -144,6 +180,9 @@ impl RunState {
             regs,
             stack: vec![0u8; STACK_SIZE],
             value_regions: Vec::new(),
+            region_bias: Vec::new(),
+            region_dedup: HashMap::new(),
+            site_caches: Vec::new(),
             insn_executed: 0,
             insn_budget: DEFAULT_INSN_BUDGET,
         }
@@ -158,17 +197,50 @@ impl RunState {
         self.regs[1] = CTX_BASE;
         self.regs[10] = STACK_BASE + STACK_SIZE as u64;
         self.stack.fill(0);
-        self.value_regions.clear();
+        // Map-value regions deliberately persist across runs: like kernel
+        // map-value pointers, the addresses handed out stay valid, repeated
+        // lookups of the same value return the same address (the dedup
+        // below), and the native tier's per-site lookup cache relies on
+        // both. The set is bounded by the distinct values ever looked up.
         self.insn_executed = 0;
         self.insn_budget = DEFAULT_INSN_BUDGET;
     }
 
     /// Registers a map value region and returns the synthetic address the
-    /// program can use to access it.
+    /// program can use to access it. Registering the same value twice
+    /// returns the same address.
     pub fn register_value_region(&mut self, value: ValueRef) -> u64 {
+        let key = std::sync::Arc::as_ptr(&value) as *const u8 as usize;
+        if let Some(&idx) = self.region_dedup.get(&key) {
+            return MAP_VALUE_BASE + idx * MAP_VALUE_STRIDE;
+        }
         let idx = self.value_regions.len() as u64;
+        let base = MAP_VALUE_BASE + idx * MAP_VALUE_STRIDE;
+        // The buffer pointer is stable: map values are fixed-size and
+        // updated in place, so the Vec behind the lock never reallocates.
+        self.region_bias.push((value.read().as_ptr() as u64).wrapping_sub(base));
+        self.region_dedup.insert(key, idx);
         self.value_regions.push(value);
-        MAP_VALUE_BASE + idx * MAP_VALUE_STRIDE
+        base
+    }
+
+    /// Base pointer of the per-region bias table (see `region_bias`). The
+    /// table may move when a new region is registered, so the native tier
+    /// re-reads this after every helper call.
+    pub(crate) fn region_bias_ptr(&self) -> *const u64 {
+        self.region_bias.as_ptr()
+    }
+
+    /// Returns (creating it on first use) the array-lookup site cache for
+    /// the program identified by `uid`, with room for `sites` entries of
+    /// two words each. The cache persists with the state, like the regions
+    /// its cached addresses point into.
+    pub(crate) fn lookup_cache(&mut self, uid: u64, sites: usize) -> *mut u64 {
+        if let Some(pos) = self.site_caches.iter().position(|(u, _)| *u == uid) {
+            return self.site_caches[pos].1.as_mut_ptr();
+        }
+        self.site_caches.push((uid, vec![0u64; sites * 2].into_boxed_slice()));
+        self.site_caches.last_mut().expect("just pushed").1.as_mut_ptr()
     }
 }
 

@@ -140,9 +140,12 @@ pub fn add_tlv_program() -> Program {
     b.call(ids::LWT_SEG6_ADJUST_SRH);
     b.jmp_imm(jmp::JNE, 0, 0, "drop");
     // Stage the TLV bytes on the stack: type, len = 6, six bytes of payload.
+    // r5 is free here (the upcoming call clobbers it anyway), and staying
+    // within nine live registers keeps the program spill-free under the
+    // native tier's register allocator.
     let tlv_bytes = [ADD_TLV_TYPE, 6, 0xab, 0xab, 0xab, 0xab, 0xab, 0xab];
-    b.load_imm64(8, u64::from_le_bytes(tlv_bytes));
-    b.store_mem(AccessSize::Double, 10, 8, -8);
+    b.load_imm64(5, u64::from_le_bytes(tlv_bytes));
+    b.store_mem(AccessSize::Double, 10, 5, -8);
     // store_bytes(skb, offset = r7, from = r10-8, len = 8)
     b.mov_reg(1, R_CTX_SAVED);
     b.mov_reg(2, 7);
@@ -499,6 +502,70 @@ mod tests {
         ] {
             let name = prog.name.clone();
             load(prog, &maps, &registry).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn shipped_programs_compile_with_zero_spills_and_inline_the_hot_helpers() {
+        if !ebpf_vm::codegen::supported() {
+            return;
+        }
+        let registry = oam_helper_registry();
+        let perf: MapHandle = PerfEventArray::new(16);
+        let mut maps = HashMap::new();
+        maps.insert(1u32, perf);
+        let (state, config) = wrr_maps(5, 3, addr("fd00::a1"), addr("fd00::a2"));
+        maps.insert(2u32, state);
+        maps.insert(3u32, config);
+        // `(program, minimum inlined-helper sites)`: `owd_encap` calls
+        // `bpf_ktime_get_ns`, `wrr_encap` performs two array-map lookups
+        // that must each get the cached fast path.
+        let cases = [
+            (end_program(), 0),
+            (end_t_program(254), 0),
+            (end_x_program(addr("fe80::42")), 0),
+            (tag_increment_program(), 0),
+            (add_tlv_program(), 0),
+            (
+                owd_encap_program(OwdEncapConfig {
+                    dm_sid: addr("fc00::d1"),
+                    controller: addr("2001:db8::c0"),
+                    controller_port: 9999,
+                    ratio: 100,
+                }),
+                1,
+            ),
+            (end_dm_program(1), 0),
+            (wrr_encap_program(2, 3), 2),
+            (end_oamp_program(1), 0),
+        ];
+        for (prog, min_inlined) in cases {
+            let name = prog.name.clone();
+            let loaded = load(prog, &maps, &registry).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            // Compile the register-allocating emitter explicitly so the
+            // assertions hold even under `SEG6_NATIVE_REGALLOC=off`.
+            let native = ebpf_vm::codegen::compile_with(
+                loaded.fused().unwrap(),
+                loaded.access_facts(),
+                &loaded,
+                ebpf_vm::codegen::NativeMode::RegAlloc,
+            )
+            .unwrap()
+            .expect("native backend available");
+            let debug = native.debug_info();
+            assert!(debug.regalloc, "{name}: frame-only emitter selected");
+            assert_eq!(
+                debug.spills, 0,
+                "{name} spilled under register allocation (homes {:?})",
+                debug.assignments
+            );
+            assert!(
+                debug.inlined_helpers >= min_inlined,
+                "{name}: {} inlined helper sites, expected at least {min_inlined}",
+                debug.inlined_helpers
+            );
+            let report = ebpf_vm::disasm::native_report(&name, debug);
+            assert!(report.contains("spills=0"), "unexpected debug report: {report}");
         }
     }
 

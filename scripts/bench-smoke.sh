@@ -61,7 +61,8 @@ for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
     jit_speedup/srh_walk_fused jit_speedup/srh_walk_native \
     jit_speedup/end_dp_interp jit_speedup/end_dp_native \
     jit_speedup/end_x_dp_interp jit_speedup/end_x_dp_native \
-    jit_speedup/end_t_dp_interp jit_speedup/end_t_dp_native; do
+    jit_speedup/end_t_dp_interp jit_speedup/end_t_dp_native \
+    jit_speedup/end_scan_dp_interp jit_speedup/end_scan_dp_native; do
     if ! printf '%s' "$rows" | grep -q "\"$row\""; then
         echo "missing bench row $row in snapshot" >&2
         exit 1
@@ -69,10 +70,10 @@ for row in fib_scale/trie_10 fib_scale/trie_100k fib_scale/linear_100k \
 done
 
 # Execution-tier ratio gate: the native tier must beat the interpreter by
-# at least MIN_JIT_SPEEDUP× on the compute-heavy VM-level row (the
-# datapath rows are dominated by per-packet setup and are presence-gated
-# only). On hosts without an x86-64 backend the native tier falls back to
-# the fused interpreter; set MIN_JIT_SPEEDUP accordingly there.
+# at least MIN_JIT_SPEEDUP× on the compute-heavy VM-level row. On hosts
+# without an x86-64 backend the native tier falls back to the fused
+# interpreter; set MIN_JIT_SPEEDUP (and the MIN_DP_* knobs below)
+# accordingly there.
 MIN_JIT_SPEEDUP="${MIN_JIT_SPEEDUP:-3.0}"
 row_ns() {
     # One object per line (split on '}'), so a row's name and its
@@ -94,6 +95,40 @@ awk -v i="$interp_ns" -v n="$native_ns" -v min="$MIN_JIT_SPEEDUP" 'BEGIN {
         exit 1
     }
 }'
+
+# Datapath ratio gates: the same comparison end-to-end through the full
+# datapath (SID lookup, SRH advance, context build, program run, route
+# lookup). The native tier must clear MIN_DP_SPEEDUP× on the row whose
+# program does substantial per-packet work: the End.BPF telemetry scan
+# (end_scan_dp, ~10x on an idle host). The shipped End/End.X/End.T
+# programs are a dozen instructions each — shared per-packet datapath
+# work dominates both tiers, their honest ratios sit between ~1.0 and
+# ~1.3 and swing by ±0.15 run-to-run on a shared host — so instead of
+# gating inside the noise band they carry a MIN_DP_FLOOR non-regression
+# floor that still catches a native tier that makes the datapath slower.
+MIN_DP_SPEEDUP="${MIN_DP_SPEEDUP:-1.15}"
+MIN_DP_FLOOR="${MIN_DP_FLOOR:-0.80}"
+dp_gate() {
+    name="$1" min="$2" kind="$3"
+    i="$(row_ns "jit_speedup/${name}_interp" || true)"
+    n="$(row_ns "jit_speedup/${name}_native" || true)"
+    if [ -z "$i" ] || [ -z "$n" ]; then
+        echo "could not extract jit_speedup $name timings" >&2
+        exit 1
+    fi
+    awk -v i="$i" -v n="$n" -v min="$min" -v name="$name" -v kind="$kind" 'BEGIN {
+        ratio = i / n
+        printf "jit_speedup gate: %s native %.2fx interpreter (%s %.2fx)\n", name, ratio, kind, min
+        if (ratio < min) {
+            printf "%s native tier below the %s: %.2fx < %.2fx\n", name, kind, ratio, min > "/dev/stderr"
+            exit 1
+        }
+    }'
+}
+dp_gate end_scan_dp "$MIN_DP_SPEEDUP" minimum
+dp_gate end_dp "$MIN_DP_FLOOR" floor
+dp_gate end_x_dp "$MIN_DP_FLOOR" floor
+dp_gate end_t_dp "$MIN_DP_FLOOR" floor
 
 # Socket-backend ratio gate: recvmmsg/sendmmsg must move the same
 # traffic in at least MIN_MMSG_SYSCALL_SAVING× fewer syscalls than the
